@@ -1,0 +1,645 @@
+//! # kr-autodiff
+//!
+//! A tape-based reverse-mode automatic-differentiation engine over dense
+//! [`Matrix`] values, built from scratch because the deep-clustering half
+//! of the paper (Section 7) needs batch-wise backpropagation and no ML
+//! framework is available offline.
+//!
+//! Design: **define-by-run**. Every training step builds a fresh
+//! [`Graph`]; parameters live outside the graph in a
+//! [`optim::ParamStore`] and are injected as trainable leaves. After
+//! [`Graph::backward`], per-parameter gradients are handed to an
+//! optimizer ([`optim::Adam`] / [`optim::Sgd`]).
+//!
+//! The op set is exactly what DKM/IDEC-style training needs: matmul,
+//! broadcast bias, elementwise arithmetic, ReLU/tanh/sigmoid, fused
+//! pairwise squared distances, row softmax, row normalization, tiling
+//! ops for Khatri-Rao centroid construction, and scalar reductions.
+//! Every op's backward pass is verified against finite differences in
+//! `tests/gradcheck.rs`.
+//!
+//! ```
+//! use kr_autodiff::Graph;
+//! use kr_linalg::Matrix;
+//!
+//! let mut g = Graph::new();
+//! let x = g.input(Matrix::from_rows(&[vec![1.0, 2.0]]).unwrap());
+//! let y = g.input(Matrix::from_rows(&[vec![3.0, 5.0]]).unwrap());
+//! let d = g.sub(x, y);
+//! let loss = g.mean_sq(d); // mean of squared entries
+//! assert_eq!(g.value(loss).get(0, 0), (4.0 + 9.0) / 2.0);
+//! g.backward(loss);
+//! // d loss / d x = 2 (x - y) / len
+//! assert_eq!(g.grad(x).unwrap().row(0), &[-2.0, -3.0]);
+//! ```
+
+pub mod optim;
+
+use kr_linalg::{ops, Matrix};
+
+/// Identifier of a node in a [`Graph`].
+pub type VarId = usize;
+
+/// Identifier of a parameter in a [`optim::ParamStore`].
+pub type ParamId = usize;
+
+#[derive(Debug, Clone)]
+enum Op {
+    /// Constant or parameter input.
+    Leaf,
+    MatMul(VarId, VarId),
+    Add(VarId, VarId),
+    Sub(VarId, VarId),
+    Mul(VarId, VarId),
+    /// `a + bias` where `bias` is `1 x m`, broadcast over rows of `a`.
+    AddRowBroadcast(VarId, VarId),
+    Relu(VarId),
+    Tanh(VarId),
+    Sigmoid(VarId),
+    Scale(VarId, f64),
+    AddScalar(VarId),
+    /// Elementwise `a^c` for constant `c` (inputs must stay positive).
+    PowConst(VarId, f64),
+    Ln(VarId),
+    /// Sum of all entries -> `1 x 1`.
+    Sum(VarId),
+    /// Mean of all squared entries -> `1 x 1`.
+    MeanSq(VarId),
+    /// Row-wise softmax.
+    RowSoftmax(VarId),
+    /// Row-wise normalization `a_ij / Σ_j a_ij` (row sums cached).
+    RowNormalize(VarId, Vec<f64>),
+    /// Pairwise squared Euclidean distances between rows of `x` (n x m)
+    /// and rows of `c` (k x m) -> `n x k`.
+    SqDist(VarId, VarId),
+    /// Vertical tiling: the whole matrix repeated `t` times.
+    Tile(VarId, usize),
+    /// Each row repeated `t` times consecutively.
+    RepeatInterleave(VarId, usize),
+    /// Mean squared error between two same-shape matrices -> `1 x 1`.
+    Mse(VarId, VarId),
+}
+
+struct Node {
+    value: Matrix,
+    grad: Option<Matrix>,
+    op: Op,
+    /// For parameter leaves: which store parameter this mirrors.
+    param: Option<ParamId>,
+}
+
+/// A single-use computation tape.
+#[derive(Default)]
+pub struct Graph {
+    nodes: Vec<Node>,
+}
+
+impl Graph {
+    /// Creates an empty tape.
+    pub fn new() -> Self {
+        Graph { nodes: Vec::new() }
+    }
+
+    fn push(&mut self, value: Matrix, op: Op) -> VarId {
+        self.nodes.push(Node { value, grad: None, op, param: None });
+        self.nodes.len() - 1
+    }
+
+    /// Inserts a non-trainable input (constant) leaf.
+    pub fn input(&mut self, value: Matrix) -> VarId {
+        self.push(value, Op::Leaf)
+    }
+
+    /// Inserts a trainable leaf mirroring parameter `pid` of `store`.
+    pub fn param(&mut self, store: &optim::ParamStore, pid: ParamId) -> VarId {
+        let id = self.push(store.get(pid).clone(), Op::Leaf);
+        self.nodes[id].param = Some(pid);
+        id
+    }
+
+    /// Value of a node.
+    pub fn value(&self, id: VarId) -> &Matrix {
+        &self.nodes[id].value
+    }
+
+    /// Gradient of the last [`Graph::backward`] target w.r.t. node `id`.
+    pub fn grad(&self, id: VarId) -> Option<&Matrix> {
+        self.nodes[id].grad.as_ref()
+    }
+
+    /// Number of nodes on the tape.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the tape is empty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    // ---- ops ----------------------------------------------------------
+
+    /// Matrix product.
+    pub fn matmul(&mut self, a: VarId, b: VarId) -> VarId {
+        let v = self.nodes[a].value.matmul(&self.nodes[b].value).expect("matmul shapes");
+        self.push(v, Op::MatMul(a, b))
+    }
+
+    /// Elementwise sum (same shapes).
+    pub fn add(&mut self, a: VarId, b: VarId) -> VarId {
+        let v = self.nodes[a].value.add(&self.nodes[b].value).expect("add shapes");
+        self.push(v, Op::Add(a, b))
+    }
+
+    /// Elementwise difference.
+    pub fn sub(&mut self, a: VarId, b: VarId) -> VarId {
+        let v = self.nodes[a].value.sub(&self.nodes[b].value).expect("sub shapes");
+        self.push(v, Op::Sub(a, b))
+    }
+
+    /// Elementwise (Hadamard) product.
+    pub fn mul(&mut self, a: VarId, b: VarId) -> VarId {
+        let v = self.nodes[a].value.hadamard(&self.nodes[b].value).expect("mul shapes");
+        self.push(v, Op::Mul(a, b))
+    }
+
+    /// Adds a `1 x m` bias row to every row of `a`.
+    pub fn add_row_broadcast(&mut self, a: VarId, bias: VarId) -> VarId {
+        let av = &self.nodes[a].value;
+        let bv = &self.nodes[bias].value;
+        assert_eq!(bv.nrows(), 1, "bias must be a row vector");
+        assert_eq!(bv.ncols(), av.ncols(), "bias width");
+        let mut v = av.clone();
+        for i in 0..v.nrows() {
+            ops::add_assign(v.row_mut(i), bv.row(0));
+        }
+        self.push(v, Op::AddRowBroadcast(a, bias))
+    }
+
+    /// Rectified linear unit.
+    pub fn relu(&mut self, a: VarId) -> VarId {
+        let v = self.nodes[a].value.map(|x| x.max(0.0));
+        self.push(v, Op::Relu(a))
+    }
+
+    /// Hyperbolic tangent.
+    pub fn tanh(&mut self, a: VarId) -> VarId {
+        let v = self.nodes[a].value.map(f64::tanh);
+        self.push(v, Op::Tanh(a))
+    }
+
+    /// Logistic sigmoid.
+    pub fn sigmoid(&mut self, a: VarId) -> VarId {
+        let v = self.nodes[a].value.map(|x| 1.0 / (1.0 + (-x).exp()));
+        self.push(v, Op::Sigmoid(a))
+    }
+
+    /// Multiplies every entry by `s`.
+    pub fn scale(&mut self, a: VarId, s: f64) -> VarId {
+        let v = self.nodes[a].value.scale(s);
+        self.push(v, Op::Scale(a, s))
+    }
+
+    /// Adds `s` to every entry.
+    pub fn add_scalar(&mut self, a: VarId, s: f64) -> VarId {
+        let v = self.nodes[a].value.map(|x| x + s);
+        self.push(v, Op::AddScalar(a))
+    }
+
+    /// Elementwise power with a constant exponent. The input must be
+    /// strictly positive where `c` is non-integral.
+    pub fn pow_const(&mut self, a: VarId, c: f64) -> VarId {
+        let v = self.nodes[a].value.map(|x| x.powf(c));
+        self.push(v, Op::PowConst(a, c))
+    }
+
+    /// Elementwise natural logarithm (input must be positive).
+    pub fn ln(&mut self, a: VarId) -> VarId {
+        let v = self.nodes[a].value.map(f64::ln);
+        self.push(v, Op::Ln(a))
+    }
+
+    /// Sum of all entries (`1 x 1`).
+    pub fn sum(&mut self, a: VarId) -> VarId {
+        let v = Matrix::from_vec(1, 1, vec![self.nodes[a].value.sum()]).unwrap();
+        self.push(v, Op::Sum(a))
+    }
+
+    /// Mean of all squared entries (`1 x 1`).
+    pub fn mean_sq(&mut self, a: VarId) -> VarId {
+        let av = &self.nodes[a].value;
+        let v = av.frobenius_sq() / av.len() as f64;
+        let v = Matrix::from_vec(1, 1, vec![v]).unwrap();
+        self.push(v, Op::MeanSq(a))
+    }
+
+    /// Numerically-stable row-wise softmax.
+    pub fn row_softmax(&mut self, a: VarId) -> VarId {
+        let mut v = self.nodes[a].value.clone();
+        for i in 0..v.nrows() {
+            ops::softmax_inplace(v.row_mut(i));
+        }
+        self.push(v, Op::RowSoftmax(a))
+    }
+
+    /// Row-wise normalization `a_ij / Σ_j a_ij` (entries must be
+    /// non-negative with positive row sums).
+    pub fn row_normalize(&mut self, a: VarId) -> VarId {
+        let mut v = self.nodes[a].value.clone();
+        let mut sums = Vec::with_capacity(v.nrows());
+        for i in 0..v.nrows() {
+            let s: f64 = v.row(i).iter().sum();
+            sums.push(s);
+            if s != 0.0 {
+                ops::scale_assign(v.row_mut(i), 1.0 / s);
+            }
+        }
+        self.push(v, Op::RowNormalize(a, sums))
+    }
+
+    /// Fused pairwise squared Euclidean distances: rows of `x` (`n x m`)
+    /// against rows of `c` (`k x m`), producing `n x k`.
+    pub fn sq_dist(&mut self, x: VarId, c: VarId) -> VarId {
+        let v = self.nodes[x]
+            .value
+            .pairwise_sqdist(&self.nodes[c].value)
+            .expect("sq_dist shapes");
+        self.push(v, Op::SqDist(x, c))
+    }
+
+    /// Vertical tiling: `[A; A; …]`, `t` copies.
+    pub fn tile(&mut self, a: VarId, t: usize) -> VarId {
+        assert!(t >= 1);
+        let av = &self.nodes[a].value;
+        let (r, c) = av.shape();
+        let mut v = Matrix::zeros(r * t, c);
+        for b in 0..t {
+            for i in 0..r {
+                v.row_mut(b * r + i).copy_from_slice(av.row(i));
+            }
+        }
+        self.push(v, Op::Tile(a, t))
+    }
+
+    /// Repeats each row `t` times consecutively.
+    pub fn repeat_interleave(&mut self, a: VarId, t: usize) -> VarId {
+        assert!(t >= 1);
+        let av = &self.nodes[a].value;
+        let (r, c) = av.shape();
+        let mut v = Matrix::zeros(r * t, c);
+        for i in 0..r {
+            for b in 0..t {
+                v.row_mut(i * t + b).copy_from_slice(av.row(i));
+            }
+        }
+        self.push(v, Op::RepeatInterleave(a, t))
+    }
+
+    /// Mean squared error between two same-shape matrices (`1 x 1`).
+    pub fn mse(&mut self, a: VarId, b: VarId) -> VarId {
+        let av = &self.nodes[a].value;
+        let bv = &self.nodes[b].value;
+        assert_eq!(av.shape(), bv.shape(), "mse shapes");
+        let len = av.len() as f64;
+        let s: f64 = av
+            .as_slice()
+            .iter()
+            .zip(bv.as_slice())
+            .map(|(&x, &y)| (x - y) * (x - y))
+            .sum();
+        let v = Matrix::from_vec(1, 1, vec![s / len]).unwrap();
+        self.push(v, Op::Mse(a, b))
+    }
+
+    // ---- backward -----------------------------------------------------
+
+    /// Reverse-mode sweep from scalar node `target` (must be `1 x 1`).
+    /// Gradients accumulate into every reachable node.
+    pub fn backward(&mut self, target: VarId) {
+        assert_eq!(
+            self.nodes[target].value.shape(),
+            (1, 1),
+            "backward target must be scalar"
+        );
+        for n in &mut self.nodes {
+            n.grad = None;
+        }
+        self.nodes[target].grad = Some(Matrix::from_vec(1, 1, vec![1.0]).unwrap());
+        for id in (0..self.nodes.len()).rev() {
+            let Some(grad) = self.nodes[id].grad.clone() else {
+                continue;
+            };
+            let op = self.nodes[id].op.clone();
+            match op {
+                Op::Leaf => {}
+                Op::MatMul(a, b) => {
+                    let da = grad.matmul_transpose_b(&self.nodes[b].value).unwrap();
+                    let db = self.nodes[a].value.matmul_transpose_a(&grad).unwrap();
+                    self.accumulate(a, da);
+                    self.accumulate(b, db);
+                }
+                Op::Add(a, b) => {
+                    self.accumulate(a, grad.clone());
+                    self.accumulate(b, grad);
+                }
+                Op::Sub(a, b) => {
+                    self.accumulate(a, grad.clone());
+                    self.accumulate(b, grad.scale(-1.0));
+                }
+                Op::Mul(a, b) => {
+                    let da = grad.hadamard(&self.nodes[b].value).unwrap();
+                    let db = grad.hadamard(&self.nodes[a].value).unwrap();
+                    self.accumulate(a, da);
+                    self.accumulate(b, db);
+                }
+                Op::AddRowBroadcast(a, bias) => {
+                    // Bias gradient: column sums of the upstream grad.
+                    let mut db = Matrix::zeros(1, grad.ncols());
+                    for i in 0..grad.nrows() {
+                        ops::add_assign(db.row_mut(0), grad.row(i));
+                    }
+                    self.accumulate(a, grad);
+                    self.accumulate(bias, db);
+                }
+                Op::Relu(a) => {
+                    let mask = &self.nodes[a].value;
+                    let da = grad
+                        .zip_with(mask, "relu-bwd", |g, x| if x > 0.0 { g } else { 0.0 })
+                        .unwrap();
+                    self.accumulate(a, da);
+                }
+                Op::Tanh(a) => {
+                    let t = &self.nodes[id].value;
+                    let da = grad.zip_with(t, "tanh-bwd", |g, y| g * (1.0 - y * y)).unwrap();
+                    self.accumulate(a, da);
+                }
+                Op::Sigmoid(a) => {
+                    let s = &self.nodes[id].value;
+                    let da = grad.zip_with(s, "sig-bwd", |g, y| g * y * (1.0 - y)).unwrap();
+                    self.accumulate(a, da);
+                }
+                Op::Scale(a, s) => self.accumulate(a, grad.scale(s)),
+                Op::AddScalar(a) => self.accumulate(a, grad),
+                Op::PowConst(a, c) => {
+                    let base = &self.nodes[a].value;
+                    let da = grad
+                        .zip_with(base, "pow-bwd", |g, x| g * c * x.powf(c - 1.0))
+                        .unwrap();
+                    self.accumulate(a, da);
+                }
+                Op::Ln(a) => {
+                    let base = &self.nodes[a].value;
+                    let da = grad.zip_with(base, "ln-bwd", |g, x| g / x).unwrap();
+                    self.accumulate(a, da);
+                }
+                Op::Sum(a) => {
+                    let g = grad.get(0, 0);
+                    let shape = self.nodes[a].value.shape();
+                    self.accumulate(a, Matrix::filled(shape.0, shape.1, g));
+                }
+                Op::MeanSq(a) => {
+                    let g = grad.get(0, 0);
+                    let len = self.nodes[a].value.len() as f64;
+                    let da = self.nodes[a].value.scale(2.0 * g / len);
+                    self.accumulate(a, da);
+                }
+                Op::RowSoftmax(a) => {
+                    let s = &self.nodes[id].value;
+                    let mut da = Matrix::zeros(s.nrows(), s.ncols());
+                    for i in 0..s.nrows() {
+                        let srow = s.row(i);
+                        let grow = grad.row(i);
+                        let dot = ops::dot(grow, srow);
+                        let drow = da.row_mut(i);
+                        for ((d, &g), &sv) in drow.iter_mut().zip(grow).zip(srow) {
+                            *d = sv * (g - dot);
+                        }
+                    }
+                    self.accumulate(a, da);
+                }
+                Op::RowNormalize(a, sums) => {
+                    let y = &self.nodes[id].value;
+                    let mut da = Matrix::zeros(y.nrows(), y.ncols());
+                    for i in 0..y.nrows() {
+                        let s = sums[i];
+                        if s == 0.0 {
+                            continue;
+                        }
+                        let yrow = y.row(i);
+                        let grow = grad.row(i);
+                        let dot = ops::dot(grow, yrow);
+                        let drow = da.row_mut(i);
+                        for (d, &g) in drow.iter_mut().zip(grow) {
+                            *d = (g - dot) / s;
+                        }
+                    }
+                    self.accumulate(a, da);
+                }
+                Op::SqDist(x, c) => {
+                    // d D_ij / d x_i = 2 (x_i - c_j); d / d c_j = -that.
+                    let xv = self.nodes[x].value.clone();
+                    let cv = self.nodes[c].value.clone();
+                    let row_g: Vec<f64> = (0..grad.nrows())
+                        .map(|i| grad.row(i).iter().sum())
+                        .collect();
+                    let mut col_g = vec![0.0f64; grad.ncols()];
+                    for i in 0..grad.nrows() {
+                        ops::add_assign(&mut col_g, grad.row(i));
+                    }
+                    // dX = 2 (diag(row_g) X - G C)
+                    let gc = grad.matmul(&cv).unwrap();
+                    let mut dx = Matrix::zeros(xv.nrows(), xv.ncols());
+                    for i in 0..xv.nrows() {
+                        let dst = dx.row_mut(i);
+                        for ((d, &xvv), &gcv) in dst.iter_mut().zip(xv.row(i)).zip(gc.row(i)) {
+                            *d = 2.0 * (row_g[i] * xvv - gcv);
+                        }
+                    }
+                    // dC = 2 (diag(col_g) C - G^T X)
+                    let gtx = grad.matmul_transpose_a(&xv).unwrap();
+                    let mut dc = Matrix::zeros(cv.nrows(), cv.ncols());
+                    for j in 0..cv.nrows() {
+                        let dst = dc.row_mut(j);
+                        for ((d, &cvv), &gtv) in dst.iter_mut().zip(cv.row(j)).zip(gtx.row(j)) {
+                            *d = 2.0 * (col_g[j] * cvv - gtv);
+                        }
+                    }
+                    self.accumulate(x, dx);
+                    self.accumulate(c, dc);
+                }
+                Op::Tile(a, t) => {
+                    let r = self.nodes[a].value.nrows();
+                    let mut da = Matrix::zeros(r, self.nodes[a].value.ncols());
+                    for b in 0..t {
+                        for i in 0..r {
+                            ops::add_assign(da.row_mut(i), grad.row(b * r + i));
+                        }
+                    }
+                    self.accumulate(a, da);
+                }
+                Op::RepeatInterleave(a, t) => {
+                    let r = self.nodes[a].value.nrows();
+                    let mut da = Matrix::zeros(r, self.nodes[a].value.ncols());
+                    for i in 0..r {
+                        for b in 0..t {
+                            ops::add_assign(da.row_mut(i), grad.row(i * t + b));
+                        }
+                    }
+                    self.accumulate(a, da);
+                }
+                Op::Mse(a, b) => {
+                    let g = grad.get(0, 0);
+                    let len = self.nodes[a].value.len() as f64;
+                    let diff = self.nodes[a].value.sub(&self.nodes[b].value).unwrap();
+                    let da = diff.scale(2.0 * g / len);
+                    let db = da.scale(-1.0);
+                    self.accumulate(a, da);
+                    self.accumulate(b, db);
+                }
+            }
+        }
+    }
+
+    fn accumulate(&mut self, id: VarId, g: Matrix) {
+        match &mut self.nodes[id].grad {
+            Some(existing) => existing.axpy_inplace(1.0, &g).expect("grad shapes"),
+            slot @ None => *slot = Some(g),
+        }
+    }
+
+    /// Gradients of all parameter leaves, as `(param_id, grad)` pairs.
+    /// Leaves never touched by backward contribute zero matrices.
+    pub fn param_grads(&self) -> Vec<(ParamId, Matrix)> {
+        self.nodes
+            .iter()
+            .filter_map(|n| {
+                n.param.map(|pid| {
+                    let g = n
+                        .grad
+                        .clone()
+                        .unwrap_or_else(|| Matrix::zeros(n.value.nrows(), n.value.ncols()));
+                    (pid, g)
+                })
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_values() {
+        let mut g = Graph::new();
+        let a = g.input(Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap());
+        let b = g.input(Matrix::from_rows(&[vec![1.0, 1.0], vec![1.0, 1.0]]).unwrap());
+        let s = g.add(a, b);
+        assert_eq!(g.value(s).row(0), &[2.0, 3.0]);
+        let p = g.matmul(a, b);
+        assert_eq!(g.value(p).row(0), &[3.0, 3.0]);
+        let sc = g.scale(a, 2.0);
+        assert_eq!(g.value(sc).row(1), &[6.0, 8.0]);
+        let total = g.sum(a);
+        assert_eq!(g.value(total).get(0, 0), 10.0);
+    }
+
+    #[test]
+    fn backward_through_matmul_chain() {
+        // loss = sum(A * B); dA = 1 * B^T broadcastwise.
+        let mut g = Graph::new();
+        let a = g.input(Matrix::from_rows(&[vec![1.0, 2.0]]).unwrap());
+        let b = g.input(Matrix::from_rows(&[vec![3.0], vec![5.0]]).unwrap());
+        let p = g.matmul(a, b); // 1x1 = [13]
+        let loss = g.sum(p);
+        g.backward(loss);
+        assert_eq!(g.grad(a).unwrap().row(0), &[3.0, 5.0]);
+        assert_eq!(g.grad(b).unwrap().col(0), vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn grad_accumulates_over_fanout() {
+        // loss = sum(a + a) -> da = 2.
+        let mut g = Graph::new();
+        let a = g.input(Matrix::from_rows(&[vec![1.0]]).unwrap());
+        let s = g.add(a, a);
+        let loss = g.sum(s);
+        g.backward(loss);
+        assert_eq!(g.grad(a).unwrap().get(0, 0), 2.0);
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let mut g = Graph::new();
+        let a = g.input(Matrix::from_rows(&[vec![1.0, 2.0, 3.0], vec![-5.0, 0.0, 5.0]]).unwrap());
+        let s = g.row_softmax(a);
+        for i in 0..2 {
+            let sum: f64 = g.value(s).row(i).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn sq_dist_matches_linalg() {
+        let mut g = Graph::new();
+        let x = g.input(Matrix::from_rows(&[vec![0.0, 0.0], vec![3.0, 4.0]]).unwrap());
+        let c = g.input(Matrix::from_rows(&[vec![0.0, 4.0]]).unwrap());
+        let d = g.sq_dist(x, c);
+        assert_eq!(g.value(d).get(0, 0), 16.0);
+        assert_eq!(g.value(d).get(1, 0), 9.0);
+    }
+
+    #[test]
+    fn tile_and_repeat_shapes() {
+        let mut g = Graph::new();
+        let a = g.input(Matrix::from_rows(&[vec![1.0], vec![2.0]]).unwrap());
+        let t = g.tile(a, 3);
+        assert_eq!(g.value(t).col(0), vec![1.0, 2.0, 1.0, 2.0, 1.0, 2.0]);
+        let r = g.repeat_interleave(a, 3);
+        assert_eq!(g.value(r).col(0), vec![1.0, 1.0, 1.0, 2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn kr_sum_centroids_via_tiling() {
+        // Centroid grid M[i*h2+j] = t1_i + t2_j built from tape ops.
+        let mut g = Graph::new();
+        let t1 = g.input(Matrix::from_rows(&[vec![1.0], vec![2.0]]).unwrap());
+        let t2 = g.input(Matrix::from_rows(&[vec![10.0], vec![20.0], vec![30.0]]).unwrap());
+        let t1r = g.repeat_interleave(t1, 3);
+        let t2t = g.tile(t2, 2);
+        let m = g.add(t1r, t2t);
+        assert_eq!(
+            g.value(m).col(0),
+            vec![11.0, 21.0, 31.0, 12.0, 22.0, 32.0]
+        );
+    }
+
+    #[test]
+    fn backward_requires_scalar() {
+        let mut g = Graph::new();
+        let a = g.input(Matrix::zeros(2, 2));
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut g2 = Graph::new();
+            let b = g2.input(Matrix::zeros(2, 2));
+            g2.backward(b);
+        }));
+        assert!(r.is_err());
+        let s = g.sum(a);
+        g.backward(s); // fine
+    }
+
+    #[test]
+    fn param_grads_zero_when_unreached() {
+        let mut store = optim::ParamStore::new();
+        let pid = store.add(Matrix::zeros(2, 2));
+        let mut g = Graph::new();
+        let _w = g.param(&store, pid);
+        let x = g.input(Matrix::from_rows(&[vec![1.0]]).unwrap());
+        let loss = g.sum(x);
+        g.backward(loss);
+        let grads = g.param_grads();
+        assert_eq!(grads.len(), 1);
+        assert_eq!(grads[0].0, pid);
+        assert_eq!(grads[0].1, Matrix::zeros(2, 2));
+    }
+}

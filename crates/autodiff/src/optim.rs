@@ -1,0 +1,206 @@
+//! Parameter storage and first-order optimizers.
+
+use crate::ParamId;
+use kr_linalg::Matrix;
+
+/// Owns the trainable parameters of a model across training steps.
+#[derive(Debug, Clone, Default)]
+pub struct ParamStore {
+    params: Vec<Matrix>,
+}
+
+impl ParamStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        ParamStore { params: Vec::new() }
+    }
+
+    /// Registers a parameter, returning its id.
+    pub fn add(&mut self, value: Matrix) -> ParamId {
+        self.params.push(value);
+        self.params.len() - 1
+    }
+
+    /// Current value of parameter `pid`.
+    pub fn get(&self, pid: ParamId) -> &Matrix {
+        &self.params[pid]
+    }
+
+    /// Mutable access to parameter `pid`.
+    pub fn get_mut(&mut self, pid: ParamId) -> &mut Matrix {
+        &mut self.params[pid]
+    }
+
+    /// Replaces the value of parameter `pid` (shape must match).
+    pub fn set(&mut self, pid: ParamId, value: Matrix) {
+        assert_eq!(self.params[pid].shape(), value.shape(), "param shape");
+        self.params[pid] = value;
+    }
+
+    /// Number of registered parameters.
+    pub fn len(&self) -> usize {
+        self.params.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.params.is_empty()
+    }
+
+    /// Total number of scalar parameters.
+    pub fn n_scalars(&self) -> usize {
+        self.params.iter().map(|p| p.len()).sum()
+    }
+}
+
+/// The Adam optimizer (Kingma & Ba 2015), the paper's optimizer for all
+/// deep clustering experiments (Section 9.1).
+#[derive(Debug, Clone)]
+pub struct Adam {
+    lr: f64,
+    beta1: f64,
+    beta2: f64,
+    eps: f64,
+    t: u64,
+    m: Vec<Matrix>,
+    v: Vec<Matrix>,
+}
+
+impl Adam {
+    /// Creates Adam state matching `store` with the given learning rate
+    /// and standard `(0.9, 0.999, 1e-8)` moments.
+    pub fn new(store: &ParamStore, lr: f64) -> Self {
+        let m = (0..store.len())
+            .map(|i| Matrix::zeros(store.get(i).nrows(), store.get(i).ncols()))
+            .collect::<Vec<_>>();
+        let v = m.clone();
+        Adam { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, t: 0, m, v }
+    }
+
+    /// Changes the learning rate (the paper drops from 1e-3 for
+    /// pretraining to 1e-4 for the clustering phase).
+    pub fn set_lr(&mut self, lr: f64) {
+        self.lr = lr;
+    }
+
+    /// Current learning rate.
+    pub fn lr(&self) -> f64 {
+        self.lr
+    }
+
+    /// Applies one Adam step given `(param_id, grad)` pairs.
+    pub fn step(&mut self, store: &mut ParamStore, grads: &[(ParamId, Matrix)]) {
+        self.t += 1;
+        let b1t = 1.0 - self.beta1.powi(self.t as i32);
+        let b2t = 1.0 - self.beta2.powi(self.t as i32);
+        for (pid, grad) in grads {
+            let m = &mut self.m[*pid];
+            let v = &mut self.v[*pid];
+            let p = store.get_mut(*pid);
+            debug_assert_eq!(p.shape(), grad.shape(), "grad shape for param {pid}");
+            let (b1, b2, eps, lr) = (self.beta1, self.beta2, self.eps, self.lr);
+            for ((pv, mv), (vv, &gv)) in p
+                .as_mut_slice()
+                .iter_mut()
+                .zip(m.as_mut_slice())
+                .zip(v.as_mut_slice().iter_mut().zip(grad.as_slice()))
+            {
+                *mv = b1 * *mv + (1.0 - b1) * gv;
+                *vv = b2 * *vv + (1.0 - b2) * gv * gv;
+                let m_hat = *mv / b1t;
+                let v_hat = *vv / b2t;
+                *pv -= lr * m_hat / (v_hat.sqrt() + eps);
+            }
+        }
+    }
+}
+
+/// Plain stochastic gradient descent (used in ablations and tests).
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    lr: f64,
+}
+
+impl Sgd {
+    /// Creates SGD with learning rate `lr`.
+    pub fn new(lr: f64) -> Self {
+        Sgd { lr }
+    }
+
+    /// Applies one SGD step.
+    pub fn step(&self, store: &mut ParamStore, grads: &[(ParamId, Matrix)]) {
+        for (pid, grad) in grads {
+            let p = store.get_mut(*pid);
+            p.axpy_inplace(-self.lr, grad).expect("grad shape");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Graph;
+
+    /// Minimizes `||w - target||^2` and checks convergence.
+    fn optimize_quadratic(use_adam: bool) -> f64 {
+        let target = Matrix::from_rows(&[vec![3.0, -2.0]]).unwrap();
+        let mut store = ParamStore::new();
+        let w = store.add(Matrix::zeros(1, 2));
+        let mut adam = Adam::new(&store, 0.05);
+        let sgd = Sgd::new(0.1);
+        for _ in 0..500 {
+            let mut g = Graph::new();
+            let wv = g.param(&store, w);
+            let t = g.input(target.clone());
+            let d = g.sub(wv, t);
+            let loss = g.mean_sq(d);
+            g.backward(loss);
+            let grads = g.param_grads();
+            if use_adam {
+                adam.step(&mut store, &grads);
+            } else {
+                sgd.step(&mut store, &grads);
+            }
+        }
+        kr_linalg::ops::sqdist(store.get(w).row(0), target.row(0))
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        assert!(optimize_quadratic(true) < 1e-4);
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        assert!(optimize_quadratic(false) < 1e-4);
+    }
+
+    #[test]
+    fn store_roundtrip() {
+        let mut store = ParamStore::new();
+        let a = store.add(Matrix::zeros(2, 3));
+        let b = store.add(Matrix::filled(1, 1, 7.0));
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.n_scalars(), 7);
+        assert_eq!(store.get(b).get(0, 0), 7.0);
+        store.set(a, Matrix::filled(2, 3, 1.0));
+        assert_eq!(store.get(a).get(1, 2), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "param shape")]
+    fn set_rejects_shape_change() {
+        let mut store = ParamStore::new();
+        let a = store.add(Matrix::zeros(2, 2));
+        store.set(a, Matrix::zeros(3, 3));
+    }
+
+    #[test]
+    fn adam_lr_schedule() {
+        let store = ParamStore::new();
+        let mut adam = Adam::new(&store, 1e-3);
+        assert_eq!(adam.lr(), 1e-3);
+        adam.set_lr(1e-4);
+        assert_eq!(adam.lr(), 1e-4);
+    }
+}

@@ -1,0 +1,231 @@
+//! Finite-difference verification of every backward rule.
+//!
+//! For each op we build a scalar loss `sum(op(...))` (or the op itself if
+//! already scalar), compute analytic gradients with `backward`, and
+//! compare against central finite differences on every input coordinate.
+
+use kr_autodiff::{Graph, VarId};
+use kr_linalg::Matrix;
+
+const EPS: f64 = 1e-5;
+const TOL: f64 = 1e-5;
+
+/// Checks d loss / d input against central differences.
+/// `build` maps input matrices to the scalar loss node.
+fn grad_check(inputs: &[Matrix], build: impl Fn(&mut Graph, &[VarId]) -> VarId) {
+    // Analytic gradients.
+    let mut g = Graph::new();
+    let ids: Vec<VarId> = inputs.iter().map(|m| g.input(m.clone())).collect();
+    let loss = build(&mut g, &ids);
+    assert_eq!(g.value(loss).shape(), (1, 1), "loss must be scalar");
+    g.backward(loss);
+    let analytic: Vec<Matrix> = ids
+        .iter()
+        .map(|&id| {
+            g.grad(id)
+                .cloned()
+                .unwrap_or_else(|| Matrix::zeros(g.value(id).nrows(), g.value(id).ncols()))
+        })
+        .collect();
+
+    // Finite differences.
+    for (which, input) in inputs.iter().enumerate() {
+        for idx in 0..input.len() {
+            let eval = |delta: f64| -> f64 {
+                let mut perturbed: Vec<Matrix> = inputs.to_vec();
+                perturbed[which].as_mut_slice()[idx] += delta;
+                let mut g = Graph::new();
+                let ids: Vec<VarId> = perturbed.iter().map(|m| g.input(m.clone())).collect();
+                let loss = build(&mut g, &ids);
+                g.value(loss).get(0, 0)
+            };
+            let numeric = (eval(EPS) - eval(-EPS)) / (2.0 * EPS);
+            let got = analytic[which].as_slice()[idx];
+            assert!(
+                (numeric - got).abs() <= TOL * (1.0 + numeric.abs().max(got.abs())),
+                "input {which} coord {idx}: numeric {numeric} vs analytic {got}"
+            );
+        }
+    }
+}
+
+fn mat(rows: usize, cols: usize, seed: u64) -> Matrix {
+    // Deterministic, well-conditioned values away from kinks.
+    let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(12345);
+    Matrix::from_fn(rows, cols, |_, _| {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        ((state % 2000) as f64 / 1000.0) - 1.0 + 0.123
+    })
+}
+
+fn positive_mat(rows: usize, cols: usize, seed: u64) -> Matrix {
+    mat(rows, cols, seed).map(|v| v.abs() + 0.5)
+}
+
+#[test]
+fn matmul_grad() {
+    grad_check(&[mat(2, 3, 1), mat(3, 4, 2)], |g, ids| {
+        let p = g.matmul(ids[0], ids[1]);
+        g.sum(p)
+    });
+}
+
+#[test]
+fn add_sub_mul_grad() {
+    grad_check(&[mat(3, 3, 3), mat(3, 3, 4)], |g, ids| {
+        let a = g.add(ids[0], ids[1]);
+        let s = g.sub(a, ids[1]);
+        let m = g.mul(s, ids[0]);
+        g.sum(m)
+    });
+}
+
+#[test]
+fn bias_broadcast_grad() {
+    grad_check(&[mat(4, 3, 5), mat(1, 3, 6)], |g, ids| {
+        let y = g.add_row_broadcast(ids[0], ids[1]);
+        let sq = g.mul(y, y);
+        g.sum(sq)
+    });
+}
+
+#[test]
+fn relu_grad() {
+    // Values away from 0 (mat() offsets by 0.123, none land exactly at 0).
+    grad_check(&[mat(3, 4, 7)], |g, ids| {
+        let r = g.relu(ids[0]);
+        g.sum(r)
+    });
+}
+
+#[test]
+fn tanh_sigmoid_grad() {
+    grad_check(&[mat(3, 3, 8)], |g, ids| {
+        let t = g.tanh(ids[0]);
+        let s = g.sigmoid(t);
+        g.sum(s)
+    });
+}
+
+#[test]
+fn scale_add_scalar_grad() {
+    grad_check(&[mat(2, 5, 9)], |g, ids| {
+        let s = g.scale(ids[0], -2.5);
+        let a = g.add_scalar(s, 3.0);
+        let m = g.mul(a, a);
+        g.sum(m)
+    });
+}
+
+#[test]
+fn pow_ln_grad() {
+    grad_check(&[positive_mat(3, 3, 10)], |g, ids| {
+        let p = g.pow_const(ids[0], -1.5);
+        let l = g.ln(ids[0]);
+        let s = g.add(p, l);
+        g.sum(s)
+    });
+}
+
+#[test]
+fn mean_sq_grad() {
+    grad_check(&[mat(3, 4, 11)], |g, ids| g.mean_sq(ids[0]));
+}
+
+#[test]
+fn row_softmax_grad() {
+    grad_check(&[mat(3, 4, 12), mat(3, 4, 13)], |g, ids| {
+        let s = g.row_softmax(ids[0]);
+        // Weighted sum so the gradient is non-uniform.
+        let w = g.mul(s, ids[1]);
+        g.sum(w)
+    });
+}
+
+#[test]
+fn row_normalize_grad() {
+    grad_check(&[positive_mat(3, 4, 14), mat(3, 4, 15)], |g, ids| {
+        let n = g.row_normalize(ids[0]);
+        let w = g.mul(n, ids[1]);
+        g.sum(w)
+    });
+}
+
+#[test]
+fn sq_dist_grad() {
+    grad_check(&[mat(4, 3, 16), mat(2, 3, 17), mat(4, 2, 18)], |g, ids| {
+        let d = g.sq_dist(ids[0], ids[1]);
+        let w = g.mul(d, ids[2]); // weight so both sides get rich grads
+        g.sum(w)
+    });
+}
+
+#[test]
+fn tile_repeat_grad() {
+    grad_check(&[mat(2, 3, 19), mat(6, 3, 20)], |g, ids| {
+        let t = g.tile(ids[0], 3);
+        let r = g.repeat_interleave(ids[0], 3);
+        let sum = g.add(t, r);
+        let w = g.mul(sum, ids[1]);
+        g.sum(w)
+    });
+}
+
+#[test]
+fn mse_grad() {
+    grad_check(&[mat(3, 3, 21), mat(3, 3, 22)], |g, ids| g.mse(ids[0], ids[1]));
+}
+
+#[test]
+fn dkm_loss_composition_grad() {
+    // The full DKM loss (Eq. 3) as composed by kr-deep:
+    // L = sum(D ⊙ softmax(-a D)) / n over latent Z and centroids M.
+    grad_check(&[mat(5, 2, 23), mat(3, 2, 24)], |g, ids| {
+        let d = g.sq_dist(ids[0], ids[1]);
+        let neg = g.scale(d, -1.0); // a = 1 for conditioning
+        let w = g.row_softmax(neg);
+        let dw = g.mul(d, w);
+        let s = g.sum(dw);
+        g.scale(s, 1.0 / 5.0)
+    });
+}
+
+#[test]
+fn idec_q_composition_grad() {
+    // Student-t soft assignment q (Eq. 4 machinery): row-normalized
+    // (1 + D)^(-(a+1)/2) with a = 1.
+    grad_check(&[mat(4, 2, 25), mat(2, 2, 26), positive_mat(4, 2, 27)], |g, ids| {
+        let d = g.sq_dist(ids[0], ids[1]);
+        let one_plus = g.add_scalar(d, 1.0);
+        let pw = g.pow_const(one_plus, -1.0);
+        let q = g.row_normalize(pw);
+        let lq = g.ln(q);
+        let p = g.row_normalize(ids[2]); // fixed target-ish weights
+        let klish = g.mul(p, lq);
+        let s = g.sum(klish);
+        g.scale(s, -1.0)
+    });
+}
+
+#[test]
+fn kr_centroid_construction_grad() {
+    // Protocentroid tiling into the centroid grid, then a clustering-ish
+    // loss — the exact path used by Khatri-Rao deep clustering.
+    grad_check(&[mat(2, 3, 28), mat(3, 3, 29), mat(5, 3, 30)], |g, ids| {
+        let t1 = g.repeat_interleave(ids[0], 3);
+        let t2 = g.tile(ids[1], 2);
+        let grid_sum = g.add(t1, t2); // 6 x 3 centroid grid (sum agg)
+        let grid_prod = g.mul(t1, t2); // 6 x 3 centroid grid (product agg)
+        let z = ids[2]; // 5 x 3 latent batch
+        let d = g.sq_dist(z, grid_sum);
+        let neg = g.scale(d, -0.5);
+        let w = g.row_softmax(neg);
+        let dw = g.mul(d, w);
+        let cluster = g.sum(dw);
+        let reg = g.mean_sq(grid_prod);
+        let total = g.add(cluster, reg);
+        g.scale(total, 0.2)
+    });
+}

@@ -1,0 +1,90 @@
+//! Criterion microbenchmarks of the kernels every experiment rests on:
+//! pairwise squared distances, the KR assignment step (both variants),
+//! the Proposition 6.1 update, and the Hungarian solver.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kr_core::aggregator::Aggregator;
+use kr_core::kr_kmeans::{prop61_update_pass, KrKMeans, KrVariant};
+use kr_linalg::Matrix;
+use std::hint::black_box;
+
+fn bench_pairwise_sqdist(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pairwise_sqdist");
+    group.sample_size(10);
+    for &(n, k, m) in &[(500usize, 50usize, 32usize), (1000, 100, 32)] {
+        let x = Matrix::from_fn(n, m, |i, j| ((i * 31 + j * 7) % 97) as f64 * 0.01);
+        let cmat = Matrix::from_fn(k, m, |i, j| ((i * 13 + j * 3) % 89) as f64 * 0.02);
+        group.bench_with_input(BenchmarkId::from_parameter(format!("{n}x{k}x{m}")), &(), |b, _| {
+            b.iter(|| black_box(x.pairwise_sqdist(&cmat).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_kr_assignment_variants(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kr_fit_one_iter");
+    group.sample_size(10);
+    let ds = kr_datasets::synthetic::blobs(1000, 16, 64, 1.0, 90);
+    for (name, variant) in [
+        ("time_efficient", KrVariant::TimeEfficient),
+        ("memory_efficient", KrVariant::MemoryEfficient),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                black_box(
+                    KrKMeans::new(vec![8, 8])
+                        .with_variant(variant)
+                        .with_n_init(1)
+                        .with_max_iter(2)
+                        .with_seed(1)
+                        .fit(&ds.data)
+                        .unwrap(),
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_prop61_update(c: &mut Criterion) {
+    let mut group = c.benchmark_group("prop61_update_pass");
+    group.sample_size(10);
+    let ds = kr_datasets::synthetic::blobs(2000, 16, 36, 1.0, 91);
+    let labels: Vec<usize> = (0..2000).map(|i| i % 36).collect();
+    for agg in [Aggregator::Sum, Aggregator::Product] {
+        group.bench_function(format!("agg_{agg}"), |b| {
+            b.iter(|| {
+                let mut sets = vec![
+                    Matrix::from_fn(6, 16, |i, j| (i + j) as f64 * 0.1 + 0.5),
+                    Matrix::from_fn(6, 16, |i, j| (i * j + 1) as f64 * 0.05 + 0.5),
+                ];
+                prop61_update_pass(&ds.data, &labels, &mut sets, agg, 0);
+                black_box(sets)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_hungarian(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hungarian");
+    group.sample_size(10);
+    for n in [50usize, 100] {
+        let cost: Vec<Vec<f64>> = (0..n)
+            .map(|i| (0..n).map(|j| ((i * 37 + j * 17) % 101) as f64).collect())
+            .collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &(), |b, _| {
+            b.iter(|| black_box(kr_metrics::hungarian::solve(&cost)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_pairwise_sqdist,
+    bench_kr_assignment_variants,
+    bench_prop61_update,
+    bench_hungarian
+);
+criterion_main!(benches);

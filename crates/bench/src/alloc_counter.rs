@@ -1,0 +1,83 @@
+//! Counting global allocator for peak-memory measurement (Figure 8).
+//!
+//! Wraps the system allocator with atomic counters for live and peak
+//! bytes. Installed for every binary that links `kr-bench`; the per-call
+//! overhead is two relaxed atomic ops, negligible next to the clustering
+//! kernels being measured.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+static LIVE: AtomicUsize = AtomicUsize::new(0);
+static PEAK: AtomicUsize = AtomicUsize::new(0);
+
+/// System allocator wrapper that tracks live and peak bytes.
+pub struct CountingAllocator;
+
+// SAFETY: delegates directly to `System`; bookkeeping never allocates.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let p = unsafe { System.alloc(layout) };
+        if !p.is_null() {
+            let live = LIVE.fetch_add(layout.size(), Ordering::Relaxed) + layout.size();
+            PEAK.fetch_max(live, Ordering::Relaxed);
+        }
+        p
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) };
+        LIVE.fetch_sub(layout.size(), Ordering::Relaxed);
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let p = unsafe { System.realloc(ptr, layout, new_size) };
+        if !p.is_null() {
+            if new_size >= layout.size() {
+                let live =
+                    LIVE.fetch_add(new_size - layout.size(), Ordering::Relaxed) + new_size
+                        - layout.size();
+                PEAK.fetch_max(live, Ordering::Relaxed);
+            } else {
+                LIVE.fetch_sub(layout.size() - new_size, Ordering::Relaxed);
+            }
+        }
+        p
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+/// Currently live heap bytes.
+pub fn live_bytes() -> usize {
+    LIVE.load(Ordering::Relaxed)
+}
+
+/// Resets the peak to the current live byte count.
+pub fn reset_peak() {
+    PEAK.store(LIVE.load(Ordering::Relaxed), Ordering::Relaxed);
+}
+
+/// Peak live bytes since the last [`reset_peak`], relative to the level
+/// at reset time (saturating at zero).
+pub fn peak_since_reset() -> usize {
+    PEAK.load(Ordering::Relaxed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn peak_tracks_allocations() {
+        reset_peak();
+        let before = peak_since_reset();
+        let v = vec![0u8; 4 * 1024 * 1024];
+        let after = peak_since_reset();
+        assert!(after >= before + 4 * 1024 * 1024, "{before} -> {after}");
+        drop(v);
+        // Peak must not decrease on free.
+        assert!(peak_since_reset() >= after);
+    }
+}

@@ -1,0 +1,72 @@
+//! # kr-bench
+//!
+//! Shared infrastructure for the table/figure regeneration harnesses.
+//! Each bench target under `benches/` is a `harness = false` binary that
+//! re-runs one experiment of the paper's Section 9 and prints the same
+//! rows/series the paper reports, alongside the paper's own numbers
+//! where applicable (EXPERIMENTS.md records the comparison).
+//!
+//! The [`alloc_counter`] module installs a counting global allocator so
+//! the Figure 8 harness can report *peak memory* per algorithm run, the
+//! quantity the paper plots.
+
+pub mod alloc_counter;
+
+use std::time::Instant;
+
+/// Runs `f`, returning `(result, seconds, peak_bytes_during_f)`.
+pub fn measure<T>(f: impl FnOnce() -> T) -> (T, f64, usize) {
+    alloc_counter::reset_peak();
+    let start = Instant::now();
+    let out = f();
+    let secs = start.elapsed().as_secs_f64();
+    let peak = alloc_counter::peak_since_reset();
+    (out, secs, peak)
+}
+
+/// Scale factor for experiments: `KR_BENCH_SCALE=0.2` shrinks sample
+/// counts to 20%. Defaults to 1.0 (the reduced-but-complete defaults
+/// documented in DESIGN.md §7).
+pub fn scale() -> f64 {
+    std::env::var("KR_BENCH_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&v: &f64| v > 0.0)
+        .unwrap_or(1.0)
+}
+
+/// Applies the scale factor to a sample count with a floor.
+pub fn scaled(n: usize, floor: usize) -> usize {
+    ((n as f64 * scale()) as usize).max(floor)
+}
+
+/// Prints a rule line for the tables.
+pub fn rule(width: usize) {
+    println!("{}", "-".repeat(width));
+}
+
+/// Formats bytes as mebibytes.
+pub fn mib(bytes: usize) -> f64 {
+    bytes as f64 / (1024.0 * 1024.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measure_reports_time_and_peak() {
+        let (sum, secs, peak) = measure(|| {
+            let v: Vec<u64> = (0..200_000).collect();
+            v.iter().sum::<u64>()
+        });
+        assert_eq!(sum, 199_999u64 * 200_000 / 2);
+        assert!(secs >= 0.0);
+        assert!(peak >= 200_000 * 8, "peak {peak}");
+    }
+
+    #[test]
+    fn scaled_floors() {
+        assert!(scaled(1000, 10) >= 10);
+    }
+}

@@ -1,0 +1,149 @@
+//! The elementwise aggregator `⊕` of the Khatri-Rao clustering paradigm.
+//!
+//! The paper studies `⊕ ∈ {+, ×}` (Section 3): applied to vectors it is
+//! the elementwise sum or the Hadamard product; applied to sets of
+//! protocentroids it induces the Khatri-Rao sum/product operator.
+
+/// The aggregator function combining protocentroids into centroids.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Aggregator {
+    /// Elementwise sum (`⊕ = +`), the paper's default for deep clustering.
+    #[default]
+    Sum,
+    /// Elementwise (Hadamard) product (`⊕ = ×`).
+    Product,
+}
+
+impl Aggregator {
+    /// `true` for the product aggregator.
+    #[inline]
+    pub fn is_product(self) -> bool {
+        matches!(self, Aggregator::Product)
+    }
+
+    /// The identity element: `0` for sum, `1` for product.
+    #[inline]
+    pub fn identity(self) -> f64 {
+        match self {
+            Aggregator::Sum => 0.0,
+            Aggregator::Product => 1.0,
+        }
+    }
+
+    /// Scalar application of `⊕`.
+    #[inline]
+    pub fn apply(self, a: f64, b: f64) -> f64 {
+        match self {
+            Aggregator::Sum => a + b,
+            Aggregator::Product => a * b,
+        }
+    }
+
+    /// Writes `a ⊕ b` elementwise into `out`.
+    #[inline]
+    pub fn aggregate_into(self, out: &mut [f64], a: &[f64], b: &[f64]) {
+        kr_linalg::ops::aggregate_into(out, a, b, self.is_product());
+    }
+
+    /// `out ⊕= a` elementwise, in place.
+    #[inline]
+    pub fn aggregate_assign(self, out: &mut [f64], a: &[f64]) {
+        kr_linalg::ops::aggregate_assign(out, a, self.is_product());
+    }
+
+    /// Fills `out` with the identity element.
+    #[inline]
+    pub fn fill_identity(self, out: &mut [f64]) {
+        let id = self.identity();
+        for v in out {
+            *v = id;
+        }
+    }
+
+    /// "Splits" a value into `p` equal `⊕`-shares so that aggregating
+    /// `p` shares approximately reproduces it: `v / p` for sum, the
+    /// signed `p`-th root for product. Used by the kr++-style
+    /// initialization heuristic.
+    ///
+    /// For the product aggregator the roundtrip is exact only when
+    /// `v >= 0` or `p` is odd (equal negative shares cannot multiply to
+    /// a negative value for even `p`); initialization tolerates this.
+    pub fn split_share(self, v: f64, p: usize) -> f64 {
+        match self {
+            Aggregator::Sum => v / p as f64,
+            Aggregator::Product => v.signum() * v.abs().powf(1.0 / p as f64),
+        }
+    }
+
+    /// Short display form matching the paper's notation.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            Aggregator::Sum => "+",
+            Aggregator::Product => "x",
+        }
+    }
+}
+
+impl std::fmt::Display for Aggregator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.symbol())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_semantics() {
+        assert_eq!(Aggregator::Sum.apply(2.0, 3.0), 5.0);
+        assert_eq!(Aggregator::Product.apply(2.0, 3.0), 6.0);
+        assert_eq!(Aggregator::Sum.identity(), 0.0);
+        assert_eq!(Aggregator::Product.identity(), 1.0);
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        for agg in [Aggregator::Sum, Aggregator::Product] {
+            for v in [-3.5, 0.0, 7.25] {
+                assert_eq!(agg.apply(v, agg.identity()), v);
+            }
+        }
+    }
+
+    #[test]
+    fn vector_aggregation() {
+        let mut out = vec![0.0; 2];
+        Aggregator::Product.aggregate_into(&mut out, &[2.0, 3.0], &[4.0, 5.0]);
+        assert_eq!(out, vec![8.0, 15.0]);
+        Aggregator::Sum.aggregate_assign(&mut out, &[1.0, 1.0]);
+        assert_eq!(out, vec![9.0, 16.0]);
+    }
+
+    #[test]
+    fn split_share_roundtrips() {
+        let cases = [
+            (Aggregator::Sum, vec![-8.0, 0.5, 3.0], vec![2usize, 3]),
+            (Aggregator::Product, vec![0.5, 3.0, 8.0], vec![2, 3]),
+            (Aggregator::Product, vec![-8.0], vec![3]), // odd p handles sign
+        ];
+        for (agg, values, ps) in cases {
+            for &v in &values {
+                for &p in &ps {
+                    let share = agg.split_share(v, p);
+                    let mut acc = agg.identity();
+                    for _ in 0..p {
+                        acc = agg.apply(acc, share);
+                    }
+                    assert!((acc - v).abs() < 1e-9, "{agg:?} v={v} p={p}: got {acc}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Aggregator::Sum.to_string(), "+");
+        assert_eq!(Aggregator::Product.to_string(), "x");
+    }
+}

@@ -1,0 +1,229 @@
+//! Design choices in Khatri-Rao clustering (paper Section 8):
+//! budget arithmetic, Propositions 8.1 and 8.2, and the sum-vs-product
+//! aggregator heuristic.
+
+use crate::aggregator::Aggregator;
+use kr_linalg::Matrix;
+
+/// Number of centroids representable by sets of sizes `hs`: `∏ h_l`.
+pub fn max_representable(hs: &[usize]) -> usize {
+    hs.iter().product()
+}
+
+/// Number of stored vectors: `Σ h_l`.
+pub fn budget_used(hs: &[usize]) -> usize {
+    hs.iter().sum()
+}
+
+/// Whether a configuration offers a compression advantage over plain
+/// centroids, i.e. `∏ h_l > Σ h_l` (Section 8: two sets of two
+/// protocentroids represent four centroids — no advantage).
+pub fn has_advantage(hs: &[usize]) -> bool {
+    max_representable(hs) > budget_used(hs)
+}
+
+/// Splits a budget `b` of vectors into `p` sets as evenly as possible
+/// (sizes differ by at most one and sum to `b`), which maximizes the
+/// representable centroid count for that `(b, p)` (Section 8,
+/// "Choosing the cardinality of sets of protocentroids").
+pub fn balanced_budget_split(b: usize, p: usize) -> Vec<usize> {
+    assert!(p >= 1 && b >= p, "need at least one vector per set");
+    let base = b / p;
+    let extra = b % p;
+    (0..p).map(|i| base + usize::from(i < extra)).collect()
+}
+
+/// Proposition 8.1: among the divisors of budget `b`, the number of
+/// equal-size sets maximizing the representable centroid count
+/// `(b/p)^p`. Exact by enumeration; the proposition guarantees the
+/// optimum is one of the two divisors closest to `b / e`.
+pub fn optimal_num_sets(b: usize) -> usize {
+    assert!(b >= 1);
+    divisors(b)
+        .into_iter()
+        .max_by(|&p1, &p2| {
+            let v1 = representable_for(b, p1);
+            let v2 = representable_for(b, p2);
+            v1.partial_cmp(&v2).expect("finite")
+        })
+        .expect("b >= 1 has divisors")
+}
+
+/// The two divisors of `b` closest to `b / e` (below and above), the
+/// candidate set named by Proposition 8.1.
+pub fn prop81_candidates(b: usize) -> Vec<usize> {
+    let target = b as f64 / std::f64::consts::E;
+    let divs = divisors(b);
+    let below = divs.iter().copied().filter(|&d| (d as f64) <= target).max();
+    let above = divs.iter().copied().filter(|&d| (d as f64) >= target).min();
+    let mut out = Vec::new();
+    if let Some(d) = below {
+        out.push(d);
+    }
+    if let Some(d) = above {
+        if Some(d) != below {
+            out.push(d);
+        }
+    }
+    out
+}
+
+/// `log2((b/p)^p)` — the (log) number of representable centroids with
+/// `p` equal sets from budget `b`.
+fn representable_for(b: usize, p: usize) -> f64 {
+    let h = b as f64 / p as f64;
+    p as f64 * h.log2()
+}
+
+fn divisors(b: usize) -> Vec<usize> {
+    (1..=b).filter(|d| b % d == 0).collect()
+}
+
+/// Proposition 8.2: bounds on the number `p*` of protocentroid sets
+/// (each of size at least `h_min >= 2`) guaranteed to represent `k`
+/// centroids: `log_{h_min} k <= p* <= ceil(k / (h_min - 1))`.
+///
+/// Returns `(lower, upper)` with the lower bound rounded up.
+pub fn prop82_bounds(k: usize, h_min: usize) -> (usize, usize) {
+    assert!(h_min >= 2, "h_min must be at least 2");
+    assert!(k >= 1);
+    let lower = (k as f64).log(h_min as f64).ceil().max(0.0) as usize;
+    let upper = k.div_ceil(h_min - 1);
+    (lower, upper)
+}
+
+/// Heuristic from Section 8 ("Choosing the aggregator function"):
+/// given an unconstrained centroid grid indexed as `h1 x h2`, decide
+/// whether the grid looks additive or multiplicative.
+///
+/// In the additive model, differences `μ_{i,j} - μ_{i',j}` are constant
+/// across `j`; in the multiplicative model the same invariance holds for
+/// log-magnitudes. The aggregator whose invariance is violated least
+/// (variance across `j`, averaged over pairs and dimensions) wins.
+pub fn suggest_aggregator(grid: &Matrix, h1: usize, h2: usize) -> Aggregator {
+    assert_eq!(grid.nrows(), h1 * h2, "grid must be h1*h2 rows");
+    let additive = invariance_score(grid, h1, h2, false);
+    let multiplicative = invariance_score(grid, h1, h2, true);
+    if multiplicative < additive {
+        Aggregator::Product
+    } else {
+        Aggregator::Sum
+    }
+}
+
+fn invariance_score(grid: &Matrix, h1: usize, h2: usize, log_domain: bool) -> f64 {
+    let m = grid.ncols();
+    let value = |i: usize, j: usize, d: usize| -> f64 {
+        let v = grid.get(i * h2 + j, d);
+        if log_domain {
+            (v.abs() + 1e-9).ln()
+        } else {
+            v
+        }
+    };
+    let mut total = 0.0;
+    let mut terms = 0usize;
+    for i in 0..h1 {
+        for i2 in (i + 1)..h1 {
+            for d in 0..m {
+                // Variance across j of the difference profile.
+                let diffs: Vec<f64> = (0..h2).map(|j| value(i, j, d) - value(i2, j, d)).collect();
+                total += kr_linalg::ops::variance(&diffs);
+                terms += 1;
+            }
+        }
+    }
+    if terms == 0 {
+        f64::INFINITY
+    } else {
+        total / terms as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::operator::khatri_rao;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn budget_math() {
+        assert_eq!(max_representable(&[3, 4]), 12);
+        assert_eq!(budget_used(&[3, 4]), 7);
+        assert!(has_advantage(&[3, 4]));
+        assert!(!has_advantage(&[2, 2])); // paper's no-advantage example
+        assert!(has_advantage(&[3, 3]));
+    }
+
+    #[test]
+    fn balanced_split_sums_and_evenness() {
+        assert_eq!(balanced_budget_split(12, 3), vec![4, 4, 4]);
+        assert_eq!(balanced_budget_split(13, 3), vec![5, 4, 4]);
+        for (b, p) in [(7usize, 2usize), (20, 6), (5, 5)] {
+            let split = balanced_budget_split(b, p);
+            assert_eq!(split.iter().sum::<usize>(), b);
+            let max = split.iter().max().unwrap();
+            let min = split.iter().min().unwrap();
+            assert!(max - min <= 1);
+        }
+    }
+
+    #[test]
+    fn paper_example_budget_12() {
+        // Section 8: budget 12 in 2 sets -> 36 centroids, 3 sets -> 64.
+        assert_eq!(max_representable(&balanced_budget_split(12, 2)), 36);
+        assert_eq!(max_representable(&balanced_budget_split(12, 3)), 64);
+        // And the optimum over divisors of 12 is p = 4 (3^4 = 81).
+        assert_eq!(max_representable(&balanced_budget_split(12, 4)), 81);
+        assert_eq!(optimal_num_sets(12), 4);
+    }
+
+    #[test]
+    fn prop81_candidates_contain_optimum() {
+        for b in 2..=60usize {
+            let opt = optimal_num_sets(b);
+            let candidates = prop81_candidates(b);
+            assert!(
+                candidates.contains(&opt),
+                "b={b}: optimum {opt} not in candidates {candidates:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn prop82_bounds_hold() {
+        // Lower bound: h_min^p >= k requires p >= log_hmin(k).
+        for (k, hmin) in [(9usize, 3usize), (100, 10), (64, 2), (7, 2)] {
+            let (lo, hi) = prop82_bounds(k, hmin);
+            assert!(lo <= hi, "k={k} hmin={hmin}: {lo} > {hi}");
+            // p = lo sets of size exactly ceil(k^(1/lo)) >= hmin can
+            // represent k centroids.
+            assert!((hmin as f64).powi(lo as i32) >= k as f64 - 1e-9 || lo == 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "h_min must be at least 2")]
+    fn prop82_rejects_hmin_one() {
+        let _ = prop82_bounds(10, 1);
+    }
+
+    #[test]
+    fn aggregator_heuristic_detects_structure() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let t1 = Matrix::from_fn(3, 4, |_, _| rng.gen_range(0.5..3.0));
+        let t2 = Matrix::from_fn(3, 4, |_, _| rng.gen_range(0.5..3.0));
+        let additive = khatri_rao(&[t1.clone(), t2.clone()], Aggregator::Sum).unwrap();
+        assert_eq!(suggest_aggregator(&additive, 3, 3), Aggregator::Sum);
+        let multiplicative = khatri_rao(&[t1, t2], Aggregator::Product).unwrap();
+        assert_eq!(suggest_aggregator(&multiplicative, 3, 3), Aggregator::Product);
+    }
+
+    #[test]
+    fn aggregator_heuristic_trivial_grid() {
+        // Degenerate 1x1 grid: must not panic, defaults to Sum.
+        let grid = Matrix::from_rows(&[vec![1.0, 2.0]]).unwrap();
+        assert_eq!(suggest_aggregator(&grid, 1, 1), Aggregator::Sum);
+    }
+}

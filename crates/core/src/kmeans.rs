@@ -1,0 +1,423 @@
+//! Standard k-Means (Lloyd's algorithm) baseline.
+//!
+//! Mirrors the structure of [`crate::kr_kmeans`] — same distance kernel,
+//! same restart logic, same empty-cluster handling — so the scalability
+//! comparison of Figure 8 measures the Khatri-Rao machinery rather than
+//! incidental implementation differences (paper Appendix B).
+
+use crate::{CoreError, Result};
+use kr_linalg::{ops, parallel, Matrix};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Centroid initialization strategy for k-Means.
+#[derive(Debug, Clone, Default)]
+pub enum KMeansInit {
+    /// Sample `k` distinct data points uniformly at random.
+    Random,
+    /// k-means++ D²-weighted seeding (Arthur & Vassilvitskii 2007).
+    #[default]
+    PlusPlus,
+    /// Warm start from the given `k x m` centroids (e.g. to refine a
+    /// Khatri-Rao solution without the structural constraint).
+    FromCentroids(Matrix),
+}
+
+/// Configurable k-Means runner (builder style).
+///
+/// ```
+/// use kr_core::kmeans::KMeans;
+/// let data = kr_datasets::synthetic::blobs(200, 2, 4, 0.3, 0).data;
+/// let model = KMeans::new(4).with_seed(1).with_n_init(5).fit(&data).unwrap();
+/// assert_eq!(model.centroids.nrows(), 4);
+/// assert_eq!(model.labels.len(), 200);
+/// ```
+#[derive(Debug, Clone)]
+pub struct KMeans {
+    k: usize,
+    init: KMeansInit,
+    n_init: usize,
+    max_iter: usize,
+    tol: f64,
+    seed: u64,
+    threads: usize,
+}
+
+/// A fitted k-Means model.
+#[derive(Debug, Clone)]
+pub struct KMeansModel {
+    /// Final centroids, `k x m`.
+    pub centroids: Matrix,
+    /// Per-point cluster assignments.
+    pub labels: Vec<usize>,
+    /// Final inertia (sum of squared distances to assigned centroids).
+    pub inertia: f64,
+    /// Iterations executed by the best restart.
+    pub n_iter: usize,
+}
+
+impl KMeans {
+    /// Creates a runner for `k` clusters with the paper's defaults:
+    /// k-means++ init, 20 restarts, 200 iterations, tolerance `1e-4`.
+    pub fn new(k: usize) -> Self {
+        KMeans {
+            k,
+            init: KMeansInit::PlusPlus,
+            n_init: 20,
+            max_iter: 200,
+            tol: 1e-4,
+            seed: 0,
+            threads: 1,
+        }
+    }
+
+    /// Sets the initialization strategy.
+    pub fn with_init(mut self, init: KMeansInit) -> Self {
+        self.init = init;
+        self
+    }
+
+    /// Sets the number of random restarts (best inertia wins).
+    pub fn with_n_init(mut self, n_init: usize) -> Self {
+        self.n_init = n_init.max(1);
+        self
+    }
+
+    /// Sets the maximum Lloyd iterations per restart.
+    pub fn with_max_iter(mut self, max_iter: usize) -> Self {
+        self.max_iter = max_iter.max(1);
+        self
+    }
+
+    /// Sets the convergence tolerance on total squared centroid movement.
+    pub fn with_tol(mut self, tol: f64) -> Self {
+        self.tol = tol;
+        self
+    }
+
+    /// Sets the RNG seed (fits are deterministic given the seed).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the number of worker threads for the assignment step.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Runs k-Means, returning the best model over all restarts.
+    pub fn fit(&self, data: &Matrix) -> Result<KMeansModel> {
+        validate_input(data, self.k)?;
+        if let KMeansInit::FromCentroids(c) = &self.init {
+            if c.shape() != (self.k, data.ncols()) {
+                return Err(CoreError::InvalidConfig(format!(
+                    "warm-start centroids must be {}x{}, got {}x{}",
+                    self.k,
+                    data.ncols(),
+                    c.nrows(),
+                    c.ncols()
+                )));
+            }
+        }
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut best: Option<KMeansModel> = None;
+        for _ in 0..self.n_init {
+            let model = self.fit_once(data, &mut rng)?;
+            if best.as_ref().map_or(true, |b| model.inertia < b.inertia) {
+                best = Some(model);
+            }
+        }
+        Ok(best.expect("n_init >= 1"))
+    }
+
+    fn fit_once(&self, data: &Matrix, rng: &mut StdRng) -> Result<KMeansModel> {
+        let (n, m) = data.shape();
+        let mut centroids = match &self.init {
+            KMeansInit::Random => sample_rows(data, self.k, rng),
+            KMeansInit::PlusPlus => plus_plus_init(data, self.k, rng),
+            KMeansInit::FromCentroids(c) => {
+                debug_assert_eq!(c.shape(), (self.k, m), "warm-start shape");
+                c.clone()
+            }
+        };
+        let mut labels = vec![0usize; n];
+        let mut dmin = vec![0.0f64; n];
+        let mut n_iter = 0;
+        let mut inertia = f64::INFINITY;
+        for it in 0..self.max_iter {
+            n_iter = it + 1;
+            assign(data, &centroids, &mut labels, &mut dmin, self.threads);
+            inertia = dmin.iter().sum();
+
+            // Update step: cluster means.
+            let mut sums = Matrix::zeros(self.k, m);
+            let mut counts = vec![0usize; self.k];
+            for (x, &l) in data.rows_iter().zip(labels.iter()) {
+                ops::add_assign(sums.row_mut(l), x);
+                counts[l] += 1;
+            }
+            let mut movement = 0.0;
+            for c in 0..self.k {
+                if counts[c] == 0 {
+                    // Empty cluster: reseed to a random data point
+                    // (Appendix B's policy, shared with KR-k-Means).
+                    let pick = rng.gen_range(0..n);
+                    let new_row = data.row(pick).to_vec();
+                    movement += ops::sqdist(centroids.row(c), &new_row);
+                    centroids.row_mut(c).copy_from_slice(&new_row);
+                    continue;
+                }
+                let inv = 1.0 / counts[c] as f64;
+                let sum_row = sums.row(c);
+                let cen_row = centroids.row_mut(c);
+                let mut delta = 0.0;
+                for (cv, &sv) in cen_row.iter_mut().zip(sum_row.iter()) {
+                    let nv = sv * inv;
+                    let d = nv - *cv;
+                    delta += d * d;
+                    *cv = nv;
+                }
+                movement += delta;
+            }
+            if movement < self.tol {
+                break;
+            }
+        }
+        // Final assignment against the converged centroids.
+        assign(data, &centroids, &mut labels, &mut dmin, self.threads);
+        inertia = dmin.iter().sum::<f64>().min(inertia);
+        Ok(KMeansModel { centroids, labels, inertia, n_iter })
+    }
+}
+
+/// Assigns each row of `data` to its nearest centroid, filling `labels`
+/// and the per-point squared distance `dmin`. Chunk-parallel over points.
+pub(crate) fn assign(
+    data: &Matrix,
+    centroids: &Matrix,
+    labels: &mut [usize],
+    dmin: &mut [f64],
+    threads: usize,
+) {
+    let n = data.nrows();
+    debug_assert_eq!(labels.len(), n);
+    debug_assert_eq!(dmin.len(), n);
+    // Precompute centroid norms once; per-point work is then one dot per
+    // centroid, matching the pairwise_sqdist expansion without the n x k
+    // buffer.
+    let c_norms = centroids.row_sq_norms();
+    // Work on zipped chunks: split labels, use index ranges for the rest.
+    struct Out {
+        label: usize,
+        d: f64,
+    }
+    let mut buf: Vec<Out> = (0..n).map(|_| Out { label: 0, d: 0.0 }).collect();
+    parallel::map_chunks_into(&mut buf, threads, |start, chunk| {
+        for (off, out) in chunk.iter_mut().enumerate() {
+            let x = data.row(start + off);
+            let xn = ops::sq_norm(x);
+            let mut best = 0usize;
+            let mut best_d = f64::INFINITY;
+            for (c, crow) in centroids.rows_iter().enumerate() {
+                let d = xn + c_norms[c] - 2.0 * ops::dot(x, crow);
+                if d < best_d {
+                    best_d = d;
+                    best = c;
+                }
+            }
+            out.label = best;
+            out.d = best_d.max(0.0);
+        }
+    });
+    for (i, out) in buf.into_iter().enumerate() {
+        labels[i] = out.label;
+        dmin[i] = out.d;
+    }
+}
+
+/// Samples `k` distinct rows uniformly at random.
+pub(crate) fn sample_rows(data: &Matrix, k: usize, rng: &mut StdRng) -> Matrix {
+    let n = data.nrows();
+    let mut indices: Vec<usize> = Vec::with_capacity(k);
+    if k <= n {
+        let mut chosen = std::collections::HashSet::new();
+        while indices.len() < k {
+            let i = rng.gen_range(0..n);
+            if chosen.insert(i) {
+                indices.push(i);
+            }
+        }
+    } else {
+        unreachable!("validated k <= n");
+    }
+    data.select_rows(&indices)
+}
+
+/// k-means++ D²-weighted seeding.
+pub(crate) fn plus_plus_init(data: &Matrix, k: usize, rng: &mut StdRng) -> Matrix {
+    let n = data.nrows();
+    let mut centroids = Matrix::zeros(k, data.ncols());
+    let first = rng.gen_range(0..n);
+    centroids.row_mut(0).copy_from_slice(data.row(first));
+    let mut d2: Vec<f64> = data
+        .rows_iter()
+        .map(|x| ops::sqdist(x, centroids.row(0)))
+        .collect();
+    for c in 1..k {
+        let total: f64 = d2.iter().sum();
+        let pick = if total > 0.0 {
+            let mut target = rng.gen_range(0.0..total);
+            let mut chosen = n - 1;
+            for (i, &w) in d2.iter().enumerate() {
+                if target < w {
+                    chosen = i;
+                    break;
+                }
+                target -= w;
+            }
+            chosen
+        } else {
+            rng.gen_range(0..n)
+        };
+        centroids.row_mut(c).copy_from_slice(data.row(pick));
+        // Maintain the running min-distance array.
+        for (i, x) in data.rows_iter().enumerate() {
+            let d = ops::sqdist(x, centroids.row(c));
+            if d < d2[i] {
+                d2[i] = d;
+            }
+        }
+    }
+    centroids
+}
+
+pub(crate) fn validate_input(data: &Matrix, required_points: usize) -> Result<()> {
+    if data.nrows() == 0 || data.ncols() == 0 {
+        return Err(CoreError::EmptyInput);
+    }
+    if !data.all_finite() {
+        return Err(CoreError::NonFiniteInput);
+    }
+    if required_points == 0 {
+        return Err(CoreError::InvalidConfig("k must be >= 1".into()));
+    }
+    if data.nrows() < required_points {
+        return Err(CoreError::TooFewPoints {
+            available: data.nrows(),
+            required: required_points,
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_blobs() -> Matrix {
+        let mut rows = Vec::new();
+        for i in 0..20 {
+            let j = (i % 5) as f64 * 0.01;
+            rows.push(vec![0.0 + j, 0.0 - j]);
+            rows.push(vec![10.0 + j, 10.0 - j]);
+        }
+        Matrix::from_rows(&rows).unwrap()
+    }
+
+    #[test]
+    fn separates_two_blobs() {
+        let data = two_blobs();
+        let model = KMeans::new(2).with_seed(3).fit(&data).unwrap();
+        assert!(model.inertia < 0.1, "inertia {}", model.inertia);
+        // Points alternate blob membership by construction.
+        for pair in model.labels.chunks(2) {
+            assert_ne!(pair[0], pair[1]);
+        }
+    }
+
+    #[test]
+    fn k_equals_n_gives_zero_inertia() {
+        let data = Matrix::from_rows(&[vec![0.0, 0.0], vec![5.0, 5.0], vec![9.0, 1.0]]).unwrap();
+        let model = KMeans::new(3).with_seed(0).fit(&data).unwrap();
+        assert!(model.inertia < 1e-20);
+    }
+
+    #[test]
+    fn k_one_centroid_is_mean() {
+        let data = two_blobs();
+        let model = KMeans::new(1).with_seed(0).fit(&data).unwrap();
+        let means = data.col_means();
+        for (a, b) in model.centroids.row(0).iter().zip(means.iter()) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        let data = Matrix::zeros(0, 0);
+        assert!(matches!(KMeans::new(2).fit(&data), Err(CoreError::EmptyInput)));
+        let data = Matrix::zeros(3, 2);
+        assert!(matches!(
+            KMeans::new(5).fit(&data),
+            Err(CoreError::TooFewPoints { .. })
+        ));
+        let mut data = Matrix::zeros(5, 2);
+        data.set(0, 0, f64::NAN);
+        assert!(matches!(KMeans::new(2).fit(&data), Err(CoreError::NonFiniteInput)));
+        let data = Matrix::zeros(5, 2);
+        assert!(matches!(KMeans::new(0).fit(&data), Err(CoreError::InvalidConfig(_))));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let data = two_blobs();
+        let a = KMeans::new(2).with_seed(42).fit(&data).unwrap();
+        let b = KMeans::new(2).with_seed(42).fit(&data).unwrap();
+        assert_eq!(a.centroids, b.centroids);
+        assert_eq!(a.labels, b.labels);
+    }
+
+    #[test]
+    fn threads_do_not_change_result() {
+        let data = two_blobs();
+        let a = KMeans::new(2).with_seed(7).with_threads(1).fit(&data).unwrap();
+        let b = KMeans::new(2).with_seed(7).with_threads(4).fit(&data).unwrap();
+        assert_eq!(a.labels, b.labels);
+        assert!((a.inertia - b.inertia).abs() < 1e-9);
+    }
+
+    #[test]
+    fn random_init_also_works() {
+        let data = two_blobs();
+        let model = KMeans::new(2)
+            .with_init(KMeansInit::Random)
+            .with_n_init(10)
+            .with_seed(1)
+            .fit(&data)
+            .unwrap();
+        assert!(model.inertia < 0.1);
+    }
+
+    #[test]
+    fn more_clusters_never_hurt_inertia() {
+        let data = two_blobs();
+        let mut last = f64::INFINITY;
+        for k in [1, 2, 4, 8] {
+            let model = KMeans::new(k).with_seed(5).with_n_init(10).fit(&data).unwrap();
+            assert!(model.inertia <= last + 1e-9, "k={k}");
+            last = model.inertia;
+        }
+    }
+
+    #[test]
+    fn plus_plus_spreads_seeds() {
+        let data = two_blobs();
+        let mut rng = StdRng::seed_from_u64(11);
+        let seeds = plus_plus_init(&data, 2, &mut rng);
+        // The two seeds must come from different blobs.
+        let d = ops::sqdist(seeds.row(0), seeds.row(1));
+        assert!(d > 50.0, "seeds too close: {d}");
+    }
+}

@@ -1,0 +1,856 @@
+//! **Khatri-Rao-k-Means** (paper Algorithm 1).
+//!
+//! Extends Lloyd's algorithm so that the `∏ h_l` centroids are never free
+//! parameters: they are always the Khatri-Rao `⊕`-aggregation of `p`
+//! small protocentroid sets. Each iteration:
+//!
+//! 1. **Assignment** — every point goes to the nearest aggregated
+//!    centroid (computed on the fly in the memory-efficient variant, or
+//!    from a materialized `k x m` buffer in the time-efficient variant;
+//!    Appendix B describes both).
+//! 2. **Protocentroid update** — sets are updated one at a time with the
+//!    closed forms of Proposition 6.1 (each set sees the *already
+//!    updated* earlier sets, exactly as in Algorithm 1 lines 16-19).
+//! 3. **Convergence check** — total squared movement of the aggregated
+//!    centroids below `tol`, or `max_iter` reached.
+//!
+//! Empty protocentroids (no point assigned to any of their combinations)
+//! are reseeded to random data points (Appendix B).
+
+use crate::aggregator::Aggregator;
+use crate::kmeans::{assign, validate_input};
+use crate::operator::{aggregate_tuple_into, khatri_rao, CentroidIndexer};
+use crate::{CoreError, Result};
+use kr_linalg::{ops, parallel, Matrix};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Protocentroid initialization strategy.
+#[derive(Debug, Clone, Default)]
+pub enum KrInit {
+    /// Sample raw data points as protocentroids (Algorithm 1 lines 3-4).
+    #[default]
+    RandomPoints,
+    /// kr++-style seeding: D²-spread data points distributed across the
+    /// sets and rescaled so that aggregated centroids start at data
+    /// scale (Section 6, "Initialization").
+    KrPlusPlus,
+    /// Start from user-provided protocentroid sets (used by the deep
+    /// clustering initialization and by tests).
+    FromSets(Vec<Matrix>),
+}
+
+/// Memory/time trade-off of the assignment step (Appendix B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum KrVariant {
+    /// Materialize all `∏ h_l` centroids each iteration (faster).
+    #[default]
+    TimeEfficient,
+    /// Compute centroids on the fly, never storing more than one
+    /// (`O((n + Σ h_l) m)` space, the paper's headline space bound).
+    MemoryEfficient,
+}
+
+/// Configurable Khatri-Rao-k-Means runner (builder style).
+///
+/// ```
+/// use kr_core::kr_kmeans::KrKMeans;
+/// use kr_core::aggregator::Aggregator;
+/// let data = kr_datasets::synthetic::blobs(300, 2, 9, 0.4, 3).data;
+/// let model = KrKMeans::new(vec![3, 3])
+///     .with_aggregator(Aggregator::Sum)
+///     .with_seed(1)
+///     .fit(&data)
+///     .unwrap();
+/// assert_eq!(model.protocentroids.len(), 2);
+/// assert_eq!(model.centroids().nrows(), 9);
+/// assert_eq!(model.n_parameters(), 6 * 2); // 6 vectors in R^2
+/// ```
+#[derive(Debug, Clone)]
+pub struct KrKMeans {
+    hs: Vec<usize>,
+    aggregator: Aggregator,
+    init: KrInit,
+    n_init: usize,
+    max_iter: usize,
+    tol: f64,
+    seed: u64,
+    threads: usize,
+    variant: KrVariant,
+}
+
+/// A fitted Khatri-Rao-k-Means model.
+#[derive(Debug, Clone)]
+pub struct KrKMeansModel {
+    /// The `p` protocentroid sets (set `l` is `h_l x m`).
+    pub protocentroids: Vec<Matrix>,
+    /// Flat centroid assignment per point (see [`CentroidIndexer`]).
+    pub labels: Vec<usize>,
+    /// Final inertia.
+    pub inertia: f64,
+    /// Iterations executed by the best restart.
+    pub n_iter: usize,
+    /// Aggregator used.
+    pub aggregator: Aggregator,
+    indexer: CentroidIndexer,
+}
+
+impl KrKMeansModel {
+    /// Materializes the full centroid grid (`∏ h_l x m`).
+    pub fn centroids(&self) -> Matrix {
+        khatri_rao(&self.protocentroids, self.aggregator).expect("validated sets")
+    }
+
+    /// The centroid indexer (flat index <-> protocentroid tuple).
+    pub fn indexer(&self) -> &CentroidIndexer {
+        &self.indexer
+    }
+
+    /// Per-point tuple assignments `(j_1, …, j_p)`.
+    pub fn tuple_labels(&self) -> Vec<Vec<usize>> {
+        self.labels.iter().map(|&l| self.indexer.to_tuple(l)).collect()
+    }
+
+    /// Per-point assignment to protocentroids of set `l` (the marginal
+    /// labels `a_l` of Algorithm 1).
+    pub fn set_labels(&self, l: usize) -> Vec<usize> {
+        self.labels.iter().map(|&lab| self.indexer.to_tuple(lab)[l]).collect()
+    }
+
+    /// Number of stored summary parameters (`Σ h_l * m`).
+    pub fn n_parameters(&self) -> usize {
+        self.protocentroids.iter().map(|s| s.len()).sum()
+    }
+}
+
+impl KrKMeans {
+    /// Creates a runner for protocentroid set sizes `hs` with the
+    /// paper's defaults: sum aggregator, random-point init, 20 restarts,
+    /// 200 iterations, tolerance `1e-4`, time-efficient variant.
+    pub fn new(hs: Vec<usize>) -> Self {
+        KrKMeans {
+            hs,
+            aggregator: Aggregator::Sum,
+            init: KrInit::RandomPoints,
+            n_init: 20,
+            max_iter: 200,
+            tol: 1e-4,
+            seed: 0,
+            threads: 1,
+            variant: KrVariant::TimeEfficient,
+        }
+    }
+
+    /// Sets the aggregator (`⊕ ∈ {+, ×}`).
+    pub fn with_aggregator(mut self, agg: Aggregator) -> Self {
+        self.aggregator = agg;
+        self
+    }
+
+    /// Sets the initialization strategy.
+    pub fn with_init(mut self, init: KrInit) -> Self {
+        self.init = init;
+        self
+    }
+
+    /// Sets the number of restarts (best inertia wins).
+    pub fn with_n_init(mut self, n_init: usize) -> Self {
+        self.n_init = n_init.max(1);
+        self
+    }
+
+    /// Sets the iteration cap per restart.
+    pub fn with_max_iter(mut self, max_iter: usize) -> Self {
+        self.max_iter = max_iter.max(1);
+        self
+    }
+
+    /// Sets the convergence tolerance on centroid movement.
+    pub fn with_tol(mut self, tol: f64) -> Self {
+        self.tol = tol;
+        self
+    }
+
+    /// Sets the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the worker-thread count for the assignment step.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Selects the memory- or time-efficient assignment variant.
+    pub fn with_variant(mut self, variant: KrVariant) -> Self {
+        self.variant = variant;
+        self
+    }
+
+    /// Runs Khatri-Rao-k-Means, returning the best model over restarts.
+    pub fn fit(&self, data: &Matrix) -> Result<KrKMeansModel> {
+        if self.hs.is_empty() || self.hs.iter().any(|&h| h == 0) {
+            return Err(CoreError::InvalidConfig(
+                "protocentroid set sizes must be non-empty and >= 1".into(),
+            ));
+        }
+        let needed = *self.hs.iter().max().expect("non-empty");
+        validate_input(data, needed)?;
+        if let KrInit::FromSets(sets) = &self.init {
+            if sets.len() != self.hs.len()
+                || sets
+                    .iter()
+                    .zip(self.hs.iter())
+                    .any(|(s, &h)| s.nrows() != h || s.ncols() != data.ncols())
+            {
+                return Err(CoreError::InvalidConfig(
+                    "FromSets shapes must match hs and data dimension".into(),
+                ));
+            }
+        }
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut best: Option<KrKMeansModel> = None;
+        for _ in 0..self.n_init {
+            let model = self.fit_once(data, &mut rng)?;
+            if best.as_ref().map_or(true, |b| model.inertia < b.inertia) {
+                best = Some(model);
+            }
+        }
+        Ok(best.expect("n_init >= 1"))
+    }
+
+    fn fit_once(&self, data: &Matrix, rng: &mut StdRng) -> Result<KrKMeansModel> {
+        let n = data.nrows();
+        let indexer = CentroidIndexer::new(self.hs.clone());
+        let k = indexer.n_centroids();
+        let mut sets = self.initialize(data, rng);
+        let mut old_sets = sets.clone();
+        let mut labels = vec![0usize; n];
+        let mut dmin = vec![0.0f64; n];
+        let mut n_iter = 0;
+
+        for it in 0..self.max_iter {
+            n_iter = it + 1;
+            // --- Assignment (Algorithm 1 lines 7-15).
+            self.assign_points(data, &sets, &indexer, &mut labels, &mut dmin);
+
+            // --- Protocentroid updates (lines 16-19, Proposition 6.1).
+            let clusters = bucket_by_label(&labels, k);
+            for q in 0..sets.len() {
+                update_set(
+                    data,
+                    &mut sets,
+                    q,
+                    &clusters,
+                    &indexer,
+                    self.aggregator,
+                    rng,
+                );
+            }
+
+            // --- Convergence (line 20): total squared centroid movement.
+            let movement = centroid_movement(&sets, &old_sets, &indexer, self.aggregator);
+            if movement < self.tol {
+                break;
+            }
+            for (o, s) in old_sets.iter_mut().zip(sets.iter()) {
+                o.clone_from(s);
+            }
+        }
+        // Final assignment against converged protocentroids.
+        self.assign_points(data, &sets, &indexer, &mut labels, &mut dmin);
+        let inertia = dmin.iter().sum();
+        Ok(KrKMeansModel {
+            protocentroids: sets,
+            labels,
+            inertia,
+            n_iter,
+            aggregator: self.aggregator,
+            indexer,
+        })
+    }
+
+    fn initialize(&self, data: &Matrix, rng: &mut StdRng) -> Vec<Matrix> {
+        match &self.init {
+            KrInit::FromSets(sets) => sets.clone(),
+            KrInit::RandomPoints => self
+                .hs
+                .iter()
+                .map(|&h| crate::kmeans::sample_rows(data, h, rng))
+                .collect(),
+            KrInit::KrPlusPlus => {
+                // Anchored D² seeding: every set gets h_l D²-spread data
+                // points. Set 0 keeps them verbatim; the other sets are
+                // converted to *deviations* from the data mean (sum) or
+                // *ratios* against it (product), so the initial
+                // aggregations `θ_0 ⊕ θ_1 ⊕ …` sit on the data manifold,
+                // anchored at the set-0 seeds and displaced by the other
+                // sets' deviations. This realizes Section 6's requirement
+                // that the sampled far-apart centroids equal aggregations
+                // of the initial protocentroids.
+                let mean = data.col_means();
+                let mut sets = Vec::with_capacity(self.hs.len());
+                for (l, &h) in self.hs.iter().enumerate() {
+                    let mut set = crate::kmeans::plus_plus_init(data, h.min(data.nrows()), rng);
+                    if l > 0 {
+                        for j in 0..set.nrows() {
+                            let row = set.row_mut(j);
+                            for (v, &g) in row.iter_mut().zip(mean.iter()) {
+                                match self.aggregator {
+                                    Aggregator::Sum => *v -= g,
+                                    Aggregator::Product => {
+                                        if g.abs() > 1e-9 {
+                                            *v /= g;
+                                        } else {
+                                            *v = 1.0;
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    sets.push(set);
+                }
+                sets
+            }
+        }
+    }
+
+    fn assign_points(
+        &self,
+        data: &Matrix,
+        sets: &[Matrix],
+        indexer: &CentroidIndexer,
+        labels: &mut [usize],
+        dmin: &mut [f64],
+    ) {
+        match self.variant {
+            KrVariant::TimeEfficient => {
+                let centroids = khatri_rao(sets, self.aggregator).expect("validated sets");
+                assign(data, &centroids, labels, dmin, self.threads);
+            }
+            KrVariant::MemoryEfficient => {
+                assign_on_the_fly(
+                    data,
+                    sets,
+                    indexer,
+                    self.aggregator,
+                    labels,
+                    dmin,
+                    self.threads,
+                );
+            }
+        }
+    }
+}
+
+/// On-the-fly assignment: enumerate all centroid combinations, holding
+/// only one aggregated centroid at a time (Algorithm 1 lines 7-14).
+fn assign_on_the_fly(
+    data: &Matrix,
+    sets: &[Matrix],
+    indexer: &CentroidIndexer,
+    agg: Aggregator,
+    labels: &mut [usize],
+    dmin: &mut [f64],
+    threads: usize,
+) {
+    let n = data.nrows();
+    let m = data.ncols();
+    let x_norms = data.row_sq_norms();
+    let mut state: Vec<(f64, usize)> = vec![(f64::INFINITY, 0usize); n];
+    let mut mu = vec![0.0f64; m];
+    indexer.for_each_tuple(|flat, tuple| {
+        aggregate_tuple_into(&mut mu, sets, tuple, agg);
+        let mu_norm = ops::sq_norm(&mu);
+        let mu_ref = &mu;
+        let x_norms_ref = &x_norms;
+        parallel::map_chunks_into(&mut state, threads, |start, chunk| {
+            for (off, slot) in chunk.iter_mut().enumerate() {
+                let i = start + off;
+                let d = (x_norms_ref[i] + mu_norm - 2.0 * ops::dot(data.row(i), mu_ref)).max(0.0);
+                if d < slot.0 {
+                    *slot = (d, flat);
+                }
+            }
+        });
+    });
+    for (i, (d, l)) in state.into_iter().enumerate() {
+        dmin[i] = d;
+        labels[i] = l;
+    }
+}
+
+/// Groups point indices by flat cluster label.
+/// One full closed-form update pass of every protocentroid set against a
+/// *fixed* flat assignment (Proposition 6.1, Algorithm 1 lines 16-19).
+///
+/// Sets are updated sequentially — each sees the already-updated earlier
+/// sets. Public so that callers (tests, the deep-clustering initializer)
+/// can verify or reuse the block-coordinate-descent step in isolation.
+/// `seed` drives the reseeding of empty protocentroids.
+pub fn prop61_update_pass(
+    data: &Matrix,
+    labels: &[usize],
+    sets: &mut [Matrix],
+    agg: Aggregator,
+    seed: u64,
+) {
+    assert_eq!(data.nrows(), labels.len(), "one label per point");
+    let indexer = CentroidIndexer::new(sets.iter().map(|s| s.nrows()).collect());
+    let clusters = bucket_by_label(labels, indexer.n_centroids());
+    let mut rng = StdRng::seed_from_u64(seed);
+    for q in 0..sets.len() {
+        update_set(data, sets, q, &clusters, &indexer, agg, &mut rng);
+    }
+}
+
+/// Closed-form update pass (Proposition 6.1) driven by *sufficient
+/// statistics* instead of raw points: per-cluster coordinate sums
+/// (`k x m`) and member counts. The closed forms only depend on
+/// `Σ_{x∈C} x` and `|C|`, so this is exactly equivalent to
+/// [`prop61_update_pass`] — it is what a federated server runs after
+/// aggregating client statistics (Figure 10's `KR-FkM`).
+///
+/// Protocentroids whose combinations are all empty keep their value
+/// (a federated server has no raw data to reseed from).
+pub fn prop61_update_from_stats(
+    sums: &Matrix,
+    counts: &[usize],
+    sets: &mut [Matrix],
+    agg: Aggregator,
+) {
+    let indexer = CentroidIndexer::new(sets.iter().map(|s| s.nrows()).collect());
+    assert_eq!(sums.nrows(), indexer.n_centroids(), "one sum row per cluster");
+    assert_eq!(counts.len(), indexer.n_centroids(), "one count per cluster");
+    let m = sums.ncols();
+    for q in 0..sets.len() {
+        let h_q = sets[q].nrows();
+        let mut num = Matrix::zeros(h_q, m);
+        let mut den = Matrix::zeros(h_q, m);
+        let mut totals = vec![0usize; h_q];
+        let mut other = vec![0.0f64; m];
+        indexer.for_each_tuple(|flat, tuple| {
+            let n_c = counts[flat];
+            if n_c == 0 {
+                return;
+            }
+            let j = tuple[q];
+            totals[j] += n_c;
+            agg.fill_identity(&mut other);
+            for (l, &jl) in tuple.iter().enumerate() {
+                if l != q {
+                    agg.aggregate_assign(&mut other, sets[l].row(jl));
+                }
+            }
+            match agg {
+                Aggregator::Sum => {
+                    let row = num.row_mut(j);
+                    ops::add_assign(row, sums.row(flat));
+                    ops::axpy(row, -(n_c as f64), &other);
+                }
+                Aggregator::Product => {
+                    ops::add_hadamard_assign(num.row_mut(j), sums.row(flat), &other);
+                    ops::add_weighted_square_assign(den.row_mut(j), n_c as f64, &other);
+                }
+            }
+        });
+        for j in 0..h_q {
+            if totals[j] == 0 {
+                continue;
+            }
+            match agg {
+                Aggregator::Sum => {
+                    let inv = 1.0 / totals[j] as f64;
+                    let dst = sets[q].row_mut(j);
+                    for (t, &nv) in dst.iter_mut().zip(num.row(j).iter()) {
+                        *t = nv * inv;
+                    }
+                }
+                Aggregator::Product => {
+                    let dst = sets[q].row_mut(j);
+                    for ((t, &nv), &dv) in
+                        dst.iter_mut().zip(num.row(j).iter()).zip(den.row(j).iter())
+                    {
+                        if dv > 1e-12 {
+                            *t = nv / dv;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Within-assignment objective: squared distance of each point to the
+/// aggregated centroid of its *assigned* (not nearest) cluster.
+pub fn fixed_assignment_objective(
+    data: &Matrix,
+    labels: &[usize],
+    sets: &[Matrix],
+    agg: Aggregator,
+) -> f64 {
+    let indexer = CentroidIndexer::new(sets.iter().map(|s| s.nrows()).collect());
+    let mut mu = vec![0.0f64; data.ncols()];
+    let mut total = 0.0;
+    for (x, &l) in data.rows_iter().zip(labels.iter()) {
+        aggregate_tuple_into(&mut mu, sets, &indexer.to_tuple(l), agg);
+        total += ops::sqdist(x, &mu);
+    }
+    total
+}
+
+fn bucket_by_label(labels: &[usize], k: usize) -> Vec<Vec<usize>> {
+    let mut clusters: Vec<Vec<usize>> = vec![Vec::new(); k];
+    for (i, &l) in labels.iter().enumerate() {
+        clusters[l].push(i);
+    }
+    clusters
+}
+
+/// Closed-form update of protocentroid set `q` (Proposition 6.1),
+/// generalized to `p` sets:
+///
+/// * sum: `θ_q^j = Σ_combos Σ_{x∈C} (x - o) / Σ_combos |C|`,
+///   where `o` is the sum of the other sets' rows for that combination;
+/// * product: `θ_q^j = Σ_combos Σ_{x∈C} x ⊙ w / Σ_combos |C| (w ⊙ w)`,
+///   where `w` is the Hadamard product of the other sets' rows
+///   (elementwise division; unconstrained dimensions keep their value).
+///
+/// Protocentroids whose combinations are all empty are reseeded to a
+/// random data point (Appendix B).
+fn update_set(
+    data: &Matrix,
+    sets: &mut [Matrix],
+    q: usize,
+    clusters: &[Vec<usize>],
+    indexer: &CentroidIndexer,
+    agg: Aggregator,
+    rng: &mut StdRng,
+) {
+    let m = data.ncols();
+    let h_q = sets[q].nrows();
+    let mut num = Matrix::zeros(h_q, m);
+    // For sum the denominator is a scalar count per protocentroid;
+    // for product it is elementwise. Keep both, use what's needed.
+    let mut den = Matrix::zeros(h_q, m);
+    let mut counts = vec![0usize; h_q];
+    let mut other = vec![0.0f64; m];
+
+    indexer.for_each_tuple(|flat, tuple| {
+        let members = &clusters[flat];
+        if members.is_empty() {
+            return;
+        }
+        let j = tuple[q];
+        counts[j] += members.len();
+        // Aggregate of all sets except q for this tuple.
+        agg.fill_identity(&mut other);
+        for (l, &jl) in tuple.iter().enumerate() {
+            if l != q {
+                agg.aggregate_assign(&mut other, sets[l].row(jl));
+            }
+        }
+        match agg {
+            Aggregator::Sum => {
+                let num_row = num.row_mut(j);
+                for &i in members {
+                    ops::add_assign(num_row, data.row(i));
+                }
+                ops::axpy(num_row, -(members.len() as f64), &other);
+            }
+            Aggregator::Product => {
+                let num_row = num.row_mut(j);
+                for &i in members {
+                    ops::add_hadamard_assign(num_row, data.row(i), &other);
+                }
+                ops::add_weighted_square_assign(den.row_mut(j), members.len() as f64, &other);
+            }
+        }
+    });
+
+    for j in 0..h_q {
+        if counts[j] == 0 {
+            // Empty protocentroid (Appendix B): reseed so that one of
+            // its *combinations* lands exactly on a random data point —
+            // θ_q^j := x ⊖ o for a random tuple of the other sets, which
+            // keeps the reseeded centroid on the data manifold for both
+            // aggregators.
+            let pick = rng.gen_range(0..data.nrows());
+            let x = data.row(pick);
+            agg.fill_identity(&mut other);
+            for (l, set) in sets.iter().enumerate() {
+                if l != q {
+                    let jl = rng.gen_range(0..set.nrows());
+                    agg.aggregate_assign(&mut other, set.row(jl));
+                }
+            }
+            let dst = sets[q].row_mut(j);
+            for ((t, &xv), &ov) in dst.iter_mut().zip(x.iter()).zip(other.iter()) {
+                *t = match agg {
+                    Aggregator::Sum => xv - ov,
+                    Aggregator::Product => {
+                        if ov.abs() > 1e-9 {
+                            xv / ov
+                        } else {
+                            xv
+                        }
+                    }
+                };
+            }
+            continue;
+        }
+        match agg {
+            Aggregator::Sum => {
+                let inv = 1.0 / counts[j] as f64;
+                let dst = sets[q].row_mut(j);
+                for (t, &nv) in dst.iter_mut().zip(num.row(j).iter()) {
+                    *t = nv * inv;
+                }
+            }
+            Aggregator::Product => {
+                let dst = sets[q].row_mut(j);
+                for ((t, &nv), &dv) in dst.iter_mut().zip(num.row(j).iter()).zip(den.row(j).iter())
+                {
+                    if dv > 1e-12 {
+                        *t = nv / dv;
+                    }
+                    // else: dimension unconstrained by the data; keep.
+                }
+            }
+        }
+    }
+}
+
+/// Total squared movement of the aggregated centroid grid between two
+/// protocentroid configurations (Algorithm 1 line 20), computed without
+/// materializing either grid.
+fn centroid_movement(
+    sets: &[Matrix],
+    old_sets: &[Matrix],
+    indexer: &CentroidIndexer,
+    agg: Aggregator,
+) -> f64 {
+    let m = sets[0].ncols();
+    let mut new_mu = vec![0.0f64; m];
+    let mut old_mu = vec![0.0f64; m];
+    let mut total = 0.0;
+    indexer.for_each_tuple(|_, tuple| {
+        aggregate_tuple_into(&mut new_mu, sets, tuple, agg);
+        aggregate_tuple_into(&mut old_mu, old_sets, tuple, agg);
+        total += ops::sqdist(&new_mu, &old_mu);
+    });
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kr_datasets::synthetic::{kr_structured, StructureKind};
+
+    #[test]
+    fn recovers_additive_structure() {
+        let (ds, _, _) = kr_structured(3, 2, 40, 0.05, StructureKind::Additive, 5);
+        let model = KrKMeans::new(vec![3, 2])
+            .with_aggregator(Aggregator::Sum)
+            .with_n_init(20)
+            .with_seed(2)
+            .fit(&ds.data)
+            .unwrap();
+        // Expected inertia of perfect clustering: n * m * std^2.
+        let ideal = ds.data.nrows() as f64 * 2.0 * 0.05 * 0.05;
+        assert!(model.inertia < 3.0 * ideal, "inertia {} vs ideal {ideal}", model.inertia);
+        let ari = kr_metrics_ari(&model.labels, &ds.labels);
+        assert!(ari > 0.95, "ari {ari}");
+    }
+
+    #[test]
+    fn recovers_multiplicative_structure() {
+        let (ds, _, _) = kr_structured(2, 2, 50, 0.03, StructureKind::Multiplicative, 6);
+        let model = KrKMeans::new(vec![2, 2])
+            .with_aggregator(Aggregator::Product)
+            .with_n_init(20)
+            .with_seed(3)
+            .fit(&ds.data)
+            .unwrap();
+        let ari = kr_metrics_ari(&model.labels, &ds.labels);
+        assert!(ari > 0.9, "ari {ari}");
+    }
+
+    // Minimal ARI so kr-core's tests do not depend on kr-metrics
+    // (kept in sync with kr-metrics, which cross-checks it).
+    fn kr_metrics_ari(pred: &[usize], truth: &[usize]) -> f64 {
+        let kp = pred.iter().max().unwrap() + 1;
+        let kt = truth.iter().max().unwrap() + 1;
+        let mut table = vec![vec![0f64; kt]; kp];
+        for (&p, &t) in pred.iter().zip(truth) {
+            table[p][t] += 1.0;
+        }
+        let comb2 = |x: f64| x * (x - 1.0) / 2.0;
+        let sum_ij: f64 = table.iter().flatten().map(|&v| comb2(v)).sum();
+        let a: f64 = table.iter().map(|r| comb2(r.iter().sum())).sum();
+        let mut col_sums = vec![0f64; kt];
+        for r in &table {
+            for (c, &v) in col_sums.iter_mut().zip(r) {
+                *c += v;
+            }
+        }
+        let b: f64 = col_sums.iter().map(|&v| comb2(v)).sum();
+        let total = comb2(pred.len() as f64);
+        let expected = a * b / total;
+        (sum_ij - expected) / (0.5 * (a + b) - expected)
+    }
+
+    #[test]
+    fn memory_and_time_variants_agree() {
+        let (ds, _, _) = kr_structured(3, 3, 20, 0.2, StructureKind::Additive, 8);
+        let base = KrKMeans::new(vec![3, 3]).with_seed(4).with_n_init(3);
+        let t = base
+            .clone()
+            .with_variant(KrVariant::TimeEfficient)
+            .fit(&ds.data)
+            .unwrap();
+        let m = base
+            .with_variant(KrVariant::MemoryEfficient)
+            .fit(&ds.data)
+            .unwrap();
+        assert_eq!(t.labels, m.labels);
+        assert!((t.inertia - m.inertia).abs() < 1e-6);
+        for (a, b) in t.protocentroids.iter().zip(m.protocentroids.iter()) {
+            assert!(a.sub(b).unwrap().max_abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn threads_do_not_change_result() {
+        let (ds, _, _) = kr_structured(2, 3, 20, 0.3, StructureKind::Additive, 9);
+        let a = KrKMeans::new(vec![2, 3]).with_seed(5).with_threads(1).fit(&ds.data).unwrap();
+        let b = KrKMeans::new(vec![2, 3]).with_seed(5).with_threads(4).fit(&ds.data).unwrap();
+        assert_eq!(a.labels, b.labels);
+        assert!((a.inertia - b.inertia).abs() < 1e-9);
+    }
+
+    #[test]
+    fn three_sets_supported() {
+        let data = kr_datasets::synthetic::blobs(240, 3, 8, 0.5, 11).data;
+        let model = KrKMeans::new(vec![2, 2, 2])
+            .with_n_init(5)
+            .with_seed(6)
+            .fit(&data)
+            .unwrap();
+        assert_eq!(model.centroids().nrows(), 8);
+        assert_eq!(model.protocentroids.len(), 3);
+        assert!(model.labels.iter().all(|&l| l < 8));
+        // Tuple labels must be consistent with flat labels.
+        for (i, tuple) in model.tuple_labels().iter().enumerate() {
+            assert_eq!(model.indexer().to_flat(tuple), model.labels[i]);
+        }
+    }
+
+    #[test]
+    fn kr_plus_plus_init_works() {
+        let (ds, _, _) = kr_structured(3, 3, 30, 0.1, StructureKind::Additive, 12);
+        let model = KrKMeans::new(vec![3, 3])
+            .with_init(KrInit::KrPlusPlus)
+            .with_n_init(20)
+            .with_seed(7)
+            .fit(&ds.data)
+            .unwrap();
+        // kr++ must produce a high-agreement summary; like the paper we
+        // accept imperfect local minima (hence > 0.7 rather than ~1).
+        let ari = kr_metrics_ari(&model.labels, &ds.labels);
+        assert!(ari > 0.7, "ari {ari}");
+        assert!(model.inertia.is_finite());
+    }
+
+    #[test]
+    fn from_sets_init_validated() {
+        let data = Matrix::zeros(10, 2);
+        let bad = KrKMeans::new(vec![2, 2])
+            .with_init(KrInit::FromSets(vec![Matrix::zeros(3, 2), Matrix::zeros(2, 2)]));
+        assert!(matches!(bad.fit(&data), Err(CoreError::InvalidConfig(_))));
+    }
+
+    #[test]
+    fn rejects_invalid_configs() {
+        let data = Matrix::zeros(10, 2);
+        assert!(KrKMeans::new(vec![]).fit(&data).is_err());
+        assert!(KrKMeans::new(vec![3, 0]).fit(&data).is_err());
+        let tiny = Matrix::zeros(2, 2);
+        assert!(matches!(
+            KrKMeans::new(vec![5, 2]).fit(&tiny),
+            Err(CoreError::TooFewPoints { .. })
+        ));
+    }
+
+    #[test]
+    fn inertia_not_worse_than_random_protocentroids() {
+        let (ds, t1, t2) = kr_structured(3, 3, 20, 0.2, StructureKind::Additive, 13);
+        let fitted = KrKMeans::new(vec![3, 3])
+            .with_init(KrInit::FromSets(vec![t1.clone(), t2.clone()]))
+            .with_n_init(1)
+            .with_seed(0)
+            .fit(&ds.data)
+            .unwrap();
+        // Starting at the truth, inertia must stay near the noise floor.
+        let centroids = khatri_rao(&[t1, t2], Aggregator::Sum).unwrap();
+        let truth_inertia = kr_metrics::inertia_stub(&ds.data, &centroids);
+        assert!(fitted.inertia <= truth_inertia * 1.01 + 1e-9);
+    }
+
+    // Tiny local inertia helper (mirrors kr-metrics::inertia).
+    mod kr_metrics {
+        use kr_linalg::{ops, Matrix};
+        pub fn inertia_stub(data: &Matrix, centroids: &Matrix) -> f64 {
+            data.rows_iter()
+                .map(|x| {
+                    centroids
+                        .rows_iter()
+                        .map(|c| ops::sqdist(x, c))
+                        .fold(f64::INFINITY, f64::min)
+                })
+                .sum()
+        }
+    }
+
+    #[test]
+    fn update_is_monotone_on_fixed_assignment() {
+        // One full iteration must not increase inertia (Lloyd property
+        // extended by Proposition 6.1: assignment optimal given
+        // centroids, update optimal given assignment).
+        let (ds, _, _) = kr_structured(3, 2, 30, 0.5, StructureKind::Additive, 14);
+        let mut inertias = Vec::new();
+        for iters in [1usize, 2, 4, 8, 16] {
+            let model = KrKMeans::new(vec![3, 2])
+                .with_n_init(1)
+                .with_seed(21)
+                .with_max_iter(iters)
+                .fit(&ds.data)
+                .unwrap();
+            inertias.push(model.inertia);
+        }
+        for w in inertias.windows(2) {
+            assert!(w[1] <= w[0] + 1e-6, "inertia increased: {inertias:?}");
+        }
+    }
+
+    #[test]
+    fn product_aggregator_handles_zero_dimensions() {
+        // A feature that is exactly zero for every point makes the
+        // product denominator vanish; the update must stay finite.
+        let mut data = kr_datasets::synthetic::blobs(60, 2, 4, 0.2, 15).data;
+        for i in 0..data.nrows() {
+            data.set(i, 1, 0.0);
+        }
+        let model = KrKMeans::new(vec![2, 2])
+            .with_aggregator(Aggregator::Product)
+            .with_n_init(3)
+            .with_seed(8)
+            .fit(&data)
+            .unwrap();
+        assert!(model.centroids().all_finite());
+        assert!(model.inertia.is_finite());
+    }
+}

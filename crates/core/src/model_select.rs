@@ -1,0 +1,171 @@
+//! Estimating the number of clusters (paper Section 8, "Choosing the
+//! number of centroids").
+//!
+//! The paper notes that Khatri-Rao clustering composes with established
+//! k-estimation techniques such as X-Means: instead of growing the
+//! centroid count directly, a Khatri-Rao variant grows the cardinality
+//! of one protocentroid set (or adds a set). Both searches below score
+//! candidates with the spherical-Gaussian BIC of X-Means.
+
+use crate::aggregator::Aggregator;
+use crate::kmeans::KMeans;
+use crate::kr_kmeans::{KrKMeans, KrKMeansModel};
+use crate::Result;
+use kr_linalg::Matrix;
+use kr_metrics::internal::bic_spherical;
+
+/// One scored candidate from a model-selection sweep.
+#[derive(Debug, Clone)]
+pub struct Candidate {
+    /// Cluster count of this candidate.
+    pub k: usize,
+    /// Protocentroid set sizes (singleton `[k]` for plain k-Means).
+    pub hs: Vec<usize>,
+    /// BIC score (higher is better).
+    pub bic: f64,
+    /// Inertia of the fitted model.
+    pub inertia: f64,
+}
+
+/// X-Means-style sweep for plain k-Means: fits every `k` in `ks` and
+/// returns all scored candidates plus the index of the BIC-best one.
+pub fn select_k_kmeans(
+    data: &Matrix,
+    ks: &[usize],
+    n_init: usize,
+    seed: u64,
+) -> Result<(usize, Vec<Candidate>)> {
+    let mut cands = Vec::with_capacity(ks.len());
+    for &k in ks {
+        let model = KMeans::new(k).with_n_init(n_init).with_seed(seed).fit(data)?;
+        let bic = bic_spherical(data, &model.centroids, &model.labels);
+        cands.push(Candidate { k, hs: vec![k], bic, inertia: model.inertia });
+    }
+    Ok((best_index(&cands), cands))
+}
+
+/// Khatri-Rao growth search: starting from `hs = [2, 2]`, repeatedly
+/// tries incrementing the smallest set; a step is kept while BIC
+/// improves. Stops at the first non-improving step or when the budget
+/// `Σ h_l` would exceed `max_budget`. Returns the best fitted model and
+/// the visited candidates.
+pub fn grow_kr_kmeans(
+    data: &Matrix,
+    agg: Aggregator,
+    max_budget: usize,
+    n_init: usize,
+    seed: u64,
+) -> Result<(KrKMeansModel, Vec<Candidate>)> {
+    let mut hs = vec![2usize, 2usize];
+    let mut visited = Vec::new();
+    let fit = |hs: &[usize]| -> Result<(KrKMeansModel, f64)> {
+        let model = KrKMeans::new(hs.to_vec())
+            .with_aggregator(agg)
+            .with_n_init(n_init)
+            .with_seed(seed)
+            .fit(data)?;
+        let centroids = model.centroids();
+        let bic = bic_spherical(data, &centroids, &model.labels);
+        Ok((model, bic))
+    };
+    let (mut best_model, mut best_bic) = fit(&hs)?;
+    visited.push(Candidate {
+        k: hs.iter().product(),
+        hs: hs.clone(),
+        bic: best_bic,
+        inertia: best_model.inertia,
+    });
+    loop {
+        // Grow the smallest set (keeps sets balanced, maximizing the
+        // representable count for the budget — Section 8).
+        let grow_at = hs
+            .iter()
+            .enumerate()
+            .min_by_key(|&(_, &h)| h)
+            .map(|(i, _)| i)
+            .expect("non-empty");
+        let mut next = hs.clone();
+        next[grow_at] += 1;
+        if next.iter().sum::<usize>() > max_budget {
+            break;
+        }
+        let (model, bic) = fit(&next)?;
+        visited.push(Candidate {
+            k: next.iter().product(),
+            hs: next.clone(),
+            bic,
+            inertia: model.inertia,
+        });
+        if bic > best_bic {
+            best_bic = bic;
+            best_model = model;
+            hs = next;
+        } else {
+            break;
+        }
+    }
+    Ok((best_model, visited))
+}
+
+fn best_index(cands: &[Candidate]) -> usize {
+    let mut best = 0;
+    for (i, c) in cands.iter().enumerate().skip(1) {
+        if c.bic > cands[best].bic {
+            best = i;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kmeans_bic_finds_true_k() {
+        let ds = kr_datasets::synthetic::blobs(400, 2, 4, 0.3, 1);
+        let (best, cands) = select_k_kmeans(&ds.data, &[2, 3, 4, 5, 6], 5, 2).unwrap();
+        assert_eq!(cands[best].k, 4, "scores: {cands:?}");
+    }
+
+    #[test]
+    fn candidates_cover_requested_ks() {
+        let ds = kr_datasets::synthetic::blobs(100, 2, 3, 0.5, 2);
+        let (_, cands) = select_k_kmeans(&ds.data, &[2, 3], 2, 0).unwrap();
+        assert_eq!(cands.len(), 2);
+        assert_eq!(cands[0].k, 2);
+        assert_eq!(cands[1].k, 3);
+    }
+
+    #[test]
+    fn kr_growth_respects_budget() {
+        let ds = kr_datasets::synthetic::blobs(200, 2, 9, 0.4, 3);
+        let (model, visited) = grow_kr_kmeans(&ds.data, Aggregator::Sum, 7, 3, 4).unwrap();
+        // Budget 7 caps at hs like [4, 3] / [3, 3] etc.
+        assert!(model.n_parameters() / ds.data.ncols() <= 7);
+        assert!(!visited.is_empty());
+        for c in &visited {
+            assert!(c.hs.iter().sum::<usize>() <= 7);
+            assert_eq!(c.k, c.hs.iter().product::<usize>());
+        }
+    }
+
+    #[test]
+    fn kr_growth_expands_beyond_start_when_structure_is_rich() {
+        // 9 well-separated KR-structured clusters: growth should move
+        // past the initial [2, 2].
+        let (ds, _, _) = kr_datasets::synthetic::kr_structured(
+            3,
+            3,
+            40,
+            0.1,
+            kr_datasets::synthetic::StructureKind::Additive,
+            5,
+        );
+        let (model, visited) = grow_kr_kmeans(&ds.data, Aggregator::Sum, 10, 5, 6).unwrap();
+        assert!(
+            model.centroids().nrows() > 4,
+            "never grew: visited {visited:?}"
+        );
+    }
+}

@@ -1,0 +1,351 @@
+//! Procedural glyph rendering: the offline stand-in for MNIST-family
+//! image datasets and the faithful re-creation of `stickfigures`.
+//!
+//! A [`Canvas`] is a grayscale raster with Bresenham line drawing. Digits
+//! are drawn as seven-segment glyphs with per-sample stroke jitter, which
+//! yields image clusters with the same flavor as handwritten digits:
+//! high-dimensional, sparse, cluster identity carried by stroke layout.
+
+use rand::Rng;
+
+/// A grayscale raster canvas with intensities in `[0, 1]`.
+#[derive(Debug, Clone)]
+pub struct Canvas {
+    /// Width in pixels.
+    pub width: usize,
+    /// Height in pixels.
+    pub height: usize,
+    /// Row-major pixel intensities.
+    pub pixels: Vec<f64>,
+}
+
+impl Canvas {
+    /// Creates an all-black canvas.
+    pub fn new(width: usize, height: usize) -> Self {
+        Canvas { width, height, pixels: vec![0.0; width * height] }
+    }
+
+    /// Sets pixel `(x, y)` to `max(current, v)`, ignoring out-of-bounds.
+    pub fn plot(&mut self, x: i64, y: i64, v: f64) {
+        if x < 0 || y < 0 || x as usize >= self.width || y as usize >= self.height {
+            return;
+        }
+        let idx = y as usize * self.width + x as usize;
+        if v > self.pixels[idx] {
+            self.pixels[idx] = v;
+        }
+    }
+
+    /// Pixel at `(x, y)` (0 if out of bounds).
+    pub fn get(&self, x: usize, y: usize) -> f64 {
+        if x >= self.width || y >= self.height {
+            0.0
+        } else {
+            self.pixels[y * self.width + x]
+        }
+    }
+
+    /// Draws a line from `(x0, y0)` to `(x1, y1)` with Bresenham's
+    /// algorithm at intensity `v`, with an optional 1-pixel-thick halo at
+    /// `v * 0.5` when `thick` is true.
+    pub fn line(&mut self, x0: i64, y0: i64, x1: i64, y1: i64, v: f64, thick: bool) {
+        let (mut x, mut y) = (x0, y0);
+        let dx = (x1 - x0).abs();
+        let dy = -(y1 - y0).abs();
+        let sx = if x0 < x1 { 1 } else { -1 };
+        let sy = if y0 < y1 { 1 } else { -1 };
+        let mut err = dx + dy;
+        loop {
+            self.plot(x, y, v);
+            if thick {
+                self.plot(x + 1, y, v * 0.5);
+                self.plot(x, y + 1, v * 0.5);
+            }
+            if x == x1 && y == y1 {
+                break;
+            }
+            let e2 = 2 * err;
+            if e2 >= dy {
+                err += dy;
+                x += sx;
+            }
+            if e2 <= dx {
+                err += dx;
+                y += sy;
+            }
+        }
+    }
+
+    /// Adds clipped Gaussian pixel noise.
+    pub fn add_noise(&mut self, rng: &mut impl Rng, std: f64) {
+        for p in &mut self.pixels {
+            *p = (*p + crate::rng::normal(rng) * std).clamp(0.0, 1.0);
+        }
+    }
+
+    /// Consumes the canvas, returning the flat pixel vector.
+    pub fn into_pixels(self) -> Vec<f64> {
+        self.pixels
+    }
+}
+
+/// Segment activation table for seven-segment digits `0..=9`.
+/// Order: A (top), B (top-right), C (bottom-right), D (bottom),
+/// E (bottom-left), F (top-left), G (middle).
+const SEGMENTS: [[bool; 7]; 10] = [
+    [true, true, true, true, true, true, false],     // 0
+    [false, true, true, false, false, false, false], // 1
+    [true, true, false, true, true, false, true],    // 2
+    [true, true, true, true, false, false, true],    // 3
+    [false, true, true, false, false, true, true],   // 4
+    [true, false, true, true, false, true, true],    // 5
+    [true, false, true, true, true, true, true],     // 6
+    [true, true, true, false, false, false, false],  // 7
+    [true, true, true, true, true, true, true],      // 8
+    [true, true, true, true, false, true, true],     // 9
+];
+
+/// Renders digit `d` (0-9) as a seven-segment glyph on a `size x size`
+/// canvas with per-segment endpoint jitter of up to `jitter` pixels.
+///
+/// `size >= 8`. Returns the flat pixel vector of length `size * size`.
+pub fn render_digit(d: usize, size: usize, jitter: f64, rng: &mut impl Rng) -> Vec<f64> {
+    assert!(d < 10, "digit must be 0-9");
+    assert!(size >= 8, "canvas too small");
+    let mut canvas = Canvas::new(size, size);
+    let s = size as f64;
+    let left = s * 0.25;
+    let right = s * 0.75;
+    let top = s * 0.12;
+    let mid = s * 0.5;
+    let bottom = s * 0.88;
+    let j = |rng: &mut dyn rand::RngCore| -> f64 {
+        if jitter > 0.0 {
+            crate::rng::normal(&mut *rng) * jitter
+        } else {
+            0.0
+        }
+    };
+    // Segment endpoints: (x0, y0, x1, y1).
+    let endpoints = [
+        (left, top, right, top),       // A
+        (right, top, right, mid),      // B
+        (right, mid, right, bottom),   // C
+        (left, bottom, right, bottom), // D
+        (left, mid, left, bottom),     // E
+        (left, top, left, mid),        // F
+        (left, mid, right, mid),       // G
+    ];
+    let thick = size >= 16;
+    for (seg, &(x0, y0, x1, y1)) in endpoints.iter().enumerate() {
+        if !SEGMENTS[d][seg] {
+            continue;
+        }
+        canvas.line(
+            (x0 + j(rng)).round() as i64,
+            (y0 + j(rng)).round() as i64,
+            (x1 + j(rng)).round() as i64,
+            (y1 + j(rng)).round() as i64,
+            1.0,
+            thick,
+        );
+    }
+    canvas.into_pixels()
+}
+
+/// Upper-body pose for a stick figure: how the arms are held.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArmPose {
+    /// Arms raised above shoulder height.
+    Up,
+    /// Arms horizontal.
+    Straight,
+    /// Arms lowered.
+    Down,
+}
+
+/// Lower-body pose for a stick figure: how the legs are held.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LegPose {
+    /// Legs wide apart.
+    Apart,
+    /// Legs moderately apart.
+    Normal,
+    /// Legs together.
+    Together,
+}
+
+/// All arm poses in canonical order.
+pub const ARM_POSES: [ArmPose; 3] = [ArmPose::Up, ArmPose::Straight, ArmPose::Down];
+/// All leg poses in canonical order.
+pub const LEG_POSES: [LegPose; 3] = [LegPose::Apart, LegPose::Normal, LegPose::Together];
+
+/// Renders the *upper half* (head, torso top, arms) of a 20x20 stick
+/// figure. Strictly confined to rows `0..10` so that a full figure is the
+/// **pixelwise sum** of its upper and lower halves — the additive
+/// Khatri-Rao structure of Figure 1.
+pub fn render_upper(pose: ArmPose) -> Vec<f64> {
+    let mut canvas = Canvas::new(20, 20);
+    // Head: small diamond around (10, 2).
+    canvas.line(9, 2, 11, 2, 1.0, false);
+    canvas.line(10, 1, 10, 3, 1.0, false);
+    // Torso upper half: rows 4..10.
+    canvas.line(10, 4, 10, 9, 1.0, false);
+    // Arms from the shoulder at (10, 5).
+    match pose {
+        ArmPose::Up => {
+            canvas.line(10, 5, 5, 1, 1.0, false);
+            canvas.line(10, 5, 15, 1, 1.0, false);
+        }
+        ArmPose::Straight => {
+            canvas.line(10, 5, 4, 5, 1.0, false);
+            canvas.line(10, 5, 16, 5, 1.0, false);
+        }
+        ArmPose::Down => {
+            canvas.line(10, 5, 5, 9, 1.0, false);
+            canvas.line(10, 5, 15, 9, 1.0, false);
+        }
+    }
+    canvas.into_pixels()
+}
+
+/// Renders the *lower half* (torso bottom, legs) of a 20x20 stick figure,
+/// strictly confined to rows `10..20`.
+pub fn render_lower(pose: LegPose) -> Vec<f64> {
+    let mut canvas = Canvas::new(20, 20);
+    // Torso lower half: rows 10..13, hip at (10, 13).
+    canvas.line(10, 10, 10, 13, 1.0, false);
+    match pose {
+        LegPose::Apart => {
+            canvas.line(10, 13, 4, 19, 1.0, false);
+            canvas.line(10, 13, 16, 19, 1.0, false);
+        }
+        LegPose::Normal => {
+            canvas.line(10, 13, 7, 19, 1.0, false);
+            canvas.line(10, 13, 13, 19, 1.0, false);
+        }
+        LegPose::Together => {
+            canvas.line(10, 13, 9, 19, 1.0, false);
+            canvas.line(10, 13, 11, 19, 1.0, false);
+        }
+    }
+    canvas.into_pixels()
+}
+
+/// Renders a complete stick figure as the pixelwise sum (clamped to 1) of
+/// the chosen upper and lower halves.
+pub fn render_stickfigure(arms: ArmPose, legs: LegPose) -> Vec<f64> {
+    let upper = render_upper(arms);
+    let lower = render_lower(legs);
+    upper
+        .iter()
+        .zip(lower.iter())
+        .map(|(&a, &b)| (a + b).min(1.0))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::seeded;
+
+    #[test]
+    fn canvas_line_endpoints() {
+        let mut c = Canvas::new(10, 10);
+        c.line(0, 0, 9, 9, 1.0, false);
+        assert_eq!(c.get(0, 0), 1.0);
+        assert_eq!(c.get(9, 9), 1.0);
+        assert_eq!(c.get(5, 5), 1.0);
+        assert_eq!(c.get(0, 9), 0.0);
+    }
+
+    #[test]
+    fn canvas_out_of_bounds_is_ignored() {
+        let mut c = Canvas::new(4, 4);
+        c.line(-5, -5, 8, 8, 1.0, true); // must not panic
+        assert!(c.pixels.iter().any(|&p| p > 0.0));
+    }
+
+    #[test]
+    fn digits_are_distinct() {
+        let mut rng = seeded(0);
+        let glyphs: Vec<Vec<f64>> =
+            (0..10).map(|d| render_digit(d, 16, 0.0, &mut rng)).collect();
+        for i in 0..10 {
+            for j in (i + 1)..10 {
+                assert_ne!(glyphs[i], glyphs[j], "digits {i} and {j} render identically");
+            }
+        }
+    }
+
+    #[test]
+    fn digit_jitter_changes_rendering() {
+        let mut rng = seeded(1);
+        let a = render_digit(3, 28, 1.0, &mut rng);
+        let b = render_digit(3, 28, 1.0, &mut rng);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn digit_8_has_most_ink() {
+        let mut rng = seeded(2);
+        let ink = |d: usize, rng: &mut rand::rngs::StdRng| -> f64 {
+            render_digit(d, 16, 0.0, rng).iter().sum()
+        };
+        let eight = ink(8, &mut rng);
+        for d in [1usize, 7] {
+            assert!(ink(d, &mut rng) < eight);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "digit must be 0-9")]
+    fn digit_out_of_range_panics() {
+        let mut rng = seeded(0);
+        let _ = render_digit(10, 16, 0.0, &mut rng);
+    }
+
+    #[test]
+    fn stickfigure_halves_partition_rows() {
+        for arms in ARM_POSES {
+            let u = render_upper(arms);
+            // No ink below row 10.
+            assert!(u[10 * 20..].iter().all(|&p| p == 0.0), "{arms:?}");
+        }
+        for legs in LEG_POSES {
+            let l = render_lower(legs);
+            // No ink above row 10.
+            assert!(l[..10 * 20].iter().all(|&p| p == 0.0), "{legs:?}");
+        }
+    }
+
+    #[test]
+    fn stickfigure_is_exact_sum_of_halves() {
+        // Because the halves occupy disjoint rows, sum == clamped sum.
+        for arms in ARM_POSES {
+            for legs in LEG_POSES {
+                let full = render_stickfigure(arms, legs);
+                let u = render_upper(arms);
+                let l = render_lower(legs);
+                for ((&f, &a), &b) in full.iter().zip(u.iter()).zip(l.iter()) {
+                    assert_eq!(f, a + b);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn nine_figures_distinct() {
+        let mut set = std::collections::HashSet::new();
+        for arms in ARM_POSES {
+            for legs in LEG_POSES {
+                let bits: Vec<u8> = render_stickfigure(arms, legs)
+                    .iter()
+                    .map(|&p| if p > 0.0 { 1 } else { 0 })
+                    .collect();
+                set.insert(bits);
+            }
+        }
+        assert_eq!(set.len(), 9);
+    }
+}

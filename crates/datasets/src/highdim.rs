@@ -1,0 +1,327 @@
+//! High-dimensional structured stand-ins for the paper's tabular,
+//! sensor, face, time-series, and categorical datasets.
+//!
+//! Common recipe: sample well-separated cluster prototypes in a latent
+//! space (or directly in signal space), push them through a smooth map,
+//! and add noise — preserving the "clusterable but high-dimensional"
+//! character that the corresponding real datasets have.
+
+use crate::rng::{self, seeded};
+use crate::Dataset;
+use kr_linalg::Matrix;
+use rand::Rng;
+
+/// HAR-like sensor features: `k` latent Gaussian clusters in 12-D pushed
+/// through a fixed random linear map + `tanh` squashing into `m` dims.
+/// Defaults per Table 1: n = 10299, m = 561, k = 6, IR ~ 0.72.
+pub fn har_like(n: usize, m: usize, k: usize, seed: u64) -> Dataset {
+    latent_nonlinear("HAR", n, m, k, 12, 0.72, 0.35, seed)
+}
+
+/// Olivetti-Faces-like: 40 clusters of 64x64 "face fields" — each
+/// cluster mean is a smooth 2-D random field (sum of a few low-frequency
+/// cosines), each sample a noisy variant. n = 400, m = 4096, k = 40.
+pub fn olivetti_like(seed: u64) -> Dataset {
+    face_fields("Olivetti Faces", 400, 64, 64, 40, 1.0, seed)
+}
+
+/// CMU-Faces-like at 30x32 = 960 features, 20 clusters, IR ~ 0.88.
+pub fn cmu_faces_like(seed: u64) -> Dataset {
+    face_fields("CMU Faces", 624, 30, 32, 20, 0.88, seed)
+}
+
+/// Symbols-like time series: per-cluster prototypes are sinusoid
+/// mixtures; samples get amplitude jitter, phase warp, and noise.
+/// n = 1020, length 398, k = 6, IR ~ 0.90.
+pub fn symbols_like(seed: u64) -> Dataset {
+    let (n, m, k) = (1020, 398, 6);
+    let mut r = seeded(seed);
+    // Prototype spectra: 3 random harmonics per cluster.
+    let protos: Vec<[(f64, f64, f64); 3]> = (0..k)
+        .map(|_| {
+            [
+                (r.gen_range(1.0..4.0), r.gen_range(0.5..1.5), r.gen_range(0.0..6.28)),
+                (r.gen_range(4.0..9.0), r.gen_range(0.2..0.8), r.gen_range(0.0..6.28)),
+                (r.gen_range(9.0..16.0), r.gen_range(0.05..0.3), r.gen_range(0.0..6.28)),
+            ]
+        })
+        .collect();
+    let sizes = rng::imbalanced_sizes(n, k, 0.90);
+    let mut data = Matrix::zeros(n, m);
+    let mut labels = Vec::with_capacity(n);
+    let mut row = 0;
+    for (c, &size) in sizes.iter().enumerate() {
+        for _ in 0..size {
+            let amp_jitter = 1.0 + rng::normal(&mut r) * 0.1;
+            let phase_warp = rng::normal(&mut r) * 0.15;
+            let out = data.row_mut(row);
+            for (t, v) in out.iter_mut().enumerate() {
+                let x = t as f64 / m as f64 * std::f64::consts::TAU;
+                let mut s = 0.0;
+                for &(freq, amp, phase) in &protos[c] {
+                    s += amp * (freq * x + phase + phase_warp).sin();
+                }
+                *v = amp_jitter * s + rng::normal(&mut r) * 0.08;
+            }
+            labels.push(c);
+            row += 1;
+        }
+    }
+    Dataset::new("Symbols", data, labels)
+}
+
+/// Soybean-Large-like categorical data: 35 integer-coded attributes,
+/// 15 imbalanced classes (IR ~ 0.22), 562 samples. Each class has its
+/// own per-attribute categorical distribution concentrated on a "home"
+/// category, mimicking plant-disease codes.
+pub fn soybean_like(seed: u64) -> Dataset {
+    let (n, m, k) = (562, 35, 15);
+    let mut r = seeded(seed);
+    let cardinalities: Vec<usize> = (0..m).map(|_| r.gen_range(2..7usize)).collect();
+    // Home category per (class, attribute).
+    let homes: Vec<Vec<usize>> = (0..k)
+        .map(|_| cardinalities.iter().map(|&c| r.gen_range(0..c)).collect())
+        .collect();
+    let sizes = rng::imbalanced_sizes(n, k, 0.22);
+    let mut data = Matrix::zeros(n, m);
+    let mut labels = Vec::with_capacity(n);
+    let mut row = 0;
+    for (c, &size) in sizes.iter().enumerate() {
+        for _ in 0..size {
+            let out = data.row_mut(row);
+            for (a, v) in out.iter_mut().enumerate() {
+                let value = if r.gen_bool(0.75) {
+                    homes[c][a]
+                } else {
+                    r.gen_range(0..cardinalities[a])
+                };
+                *v = value as f64;
+            }
+            labels.push(c);
+            row += 1;
+        }
+    }
+    Dataset::new("Soybean Large", data, labels)
+}
+
+/// Shared recipe: latent Gaussian clusters -> random linear map -> tanh.
+fn latent_nonlinear(
+    name: &str,
+    n: usize,
+    m: usize,
+    k: usize,
+    latent: usize,
+    ir: f64,
+    noise: f64,
+    seed: u64,
+) -> Dataset {
+    let mut r = seeded(seed);
+    let centers = Matrix::from_fn(k, latent, |_, _| r.gen_range(-3.0..3.0));
+    let map = Matrix::from_fn(latent, m, |_, _| rng::normal(&mut r) / (latent as f64).sqrt());
+    let sizes = rng::imbalanced_sizes(n, k, ir);
+    let mut data = Matrix::zeros(n, m);
+    let mut labels = Vec::with_capacity(n);
+    let mut z = vec![0.0; latent];
+    let mut row = 0;
+    for (c, &size) in sizes.iter().enumerate() {
+        for _ in 0..size {
+            for (zi, &mu) in z.iter_mut().zip(centers.row(c).iter()) {
+                *zi = mu + rng::normal(&mut r) * 0.4;
+            }
+            let out = data.row_mut(row);
+            for (j, v) in out.iter_mut().enumerate() {
+                let mut acc = 0.0;
+                for (zi, mp) in z.iter().zip(map.col_iter_at(j)) {
+                    acc += zi * mp;
+                }
+                *v = acc.tanh() + rng::normal(&mut r) * noise;
+            }
+            labels.push(c);
+            row += 1;
+        }
+    }
+    Dataset::new(name, data, labels)
+}
+
+/// Shared recipe for face-like image clusters: each cluster mean is a
+/// smooth random field; samples add smooth perturbations + pixel noise.
+fn face_fields(
+    name: &str,
+    n: usize,
+    h: usize,
+    w: usize,
+    k: usize,
+    ir: f64,
+    seed: u64,
+) -> Dataset {
+    let mut r = seeded(seed);
+    let m = h * w;
+    // Cluster mean = sum of a few low-frequency 2-D cosines.
+    let render_field = |r: &mut rand::rngs::StdRng| -> Vec<f64> {
+        let comps: Vec<(f64, f64, f64, f64)> = (0..4)
+            .map(|_| {
+                (
+                    r.gen_range(0.5..2.5),
+                    r.gen_range(0.5..2.5),
+                    r.gen_range(0.0..6.28),
+                    r.gen_range(0.3..1.0),
+                )
+            })
+            .collect();
+        let mut field = vec![0.0; m];
+        for y in 0..h {
+            for x in 0..w {
+                let (fy, fx) = (y as f64 / h as f64, x as f64 / w as f64);
+                let mut v = 0.0;
+                for &(ay, ax, ph, amp) in &comps {
+                    v += amp
+                        * (std::f64::consts::TAU * (ay * fy + ax * fx) + ph).cos();
+                }
+                field[y * w + x] = v;
+            }
+        }
+        field
+    };
+    let means: Vec<Vec<f64>> = (0..k).map(|_| render_field(&mut r)).collect();
+    let sizes = rng::imbalanced_sizes(n, k, ir);
+    let mut data = Matrix::zeros(n, m);
+    let mut labels = Vec::with_capacity(n);
+    let mut row = 0;
+    for (c, &size) in sizes.iter().enumerate() {
+        for _ in 0..size {
+            let out = data.row_mut(row);
+            for (v, &mu) in out.iter_mut().zip(means[c].iter()) {
+                *v = mu + rng::normal(&mut r) * 0.25;
+            }
+            labels.push(c);
+            row += 1;
+        }
+    }
+    Dataset::new(name, data, labels)
+}
+
+/// Column iterator helper on `Matrix` used by the latent map.
+trait ColIter {
+    fn col_iter_at(&self, j: usize) -> ColumnIter<'_>;
+}
+
+/// Iterator over one column of a row-major matrix.
+struct ColumnIter<'a> {
+    data: &'a [f64],
+    cols: usize,
+    pos: usize,
+}
+
+impl Iterator for ColumnIter<'_> {
+    type Item = f64;
+    fn next(&mut self) -> Option<f64> {
+        if self.pos < self.data.len() {
+            let v = self.data[self.pos];
+            self.pos += self.cols;
+            Some(v)
+        } else {
+            None
+        }
+    }
+}
+
+impl ColIter for Matrix {
+    fn col_iter_at(&self, j: usize) -> ColumnIter<'_> {
+        ColumnIter { data: self.as_slice(), cols: self.ncols(), pos: j }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn har_shape_and_imbalance() {
+        let ds = har_like(600, 56, 6, 0);
+        assert_eq!(ds.data.shape(), (600, 56));
+        assert_eq!(ds.n_clusters(), 6);
+        let ir = ds.imbalance_ratio();
+        assert!(ir > 0.6 && ir < 0.85, "ir {ir}");
+        assert!(ds.data.all_finite());
+    }
+
+    #[test]
+    fn olivetti_shape() {
+        let ds = olivetti_like(1);
+        assert_eq!(ds.data.shape(), (400, 4096));
+        assert_eq!(ds.n_clusters(), 40);
+        assert!((ds.imbalance_ratio() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cmu_shape() {
+        let ds = cmu_faces_like(2);
+        assert_eq!(ds.data.shape(), (624, 960));
+        assert_eq!(ds.n_clusters(), 20);
+        let ir = ds.imbalance_ratio();
+        assert!(ir > 0.75, "ir {ir}");
+    }
+
+    #[test]
+    fn symbols_shape() {
+        let ds = symbols_like(3);
+        assert_eq!(ds.data.shape(), (1020, 398));
+        assert_eq!(ds.n_clusters(), 6);
+    }
+
+    #[test]
+    fn soybean_shape_and_integer_codes() {
+        let ds = soybean_like(4);
+        assert_eq!(ds.data.shape(), (562, 35));
+        assert_eq!(ds.n_clusters(), 15);
+        let ir = ds.imbalance_ratio();
+        assert!(ir > 0.1 && ir < 0.4, "ir {ir}");
+        assert!(ds
+            .data
+            .as_slice()
+            .iter()
+            .all(|&v| v.fract() == 0.0 && (0.0..7.0).contains(&v)));
+    }
+
+    #[test]
+    fn clusters_are_learnable() {
+        // Nearest-prototype classification on cluster means should beat
+        // chance by a wide margin on every generator.
+        for ds in [har_like(300, 40, 6, 7), symbols_like(7), soybean_like(7)] {
+            let k = ds.n_clusters();
+            let m = ds.n_features();
+            let mut means = vec![vec![0.0; m]; k];
+            let mut counts = vec![0usize; k];
+            for (row, &l) in ds.data.rows_iter().zip(ds.labels.iter()) {
+                kr_linalg::ops::add_assign(&mut means[l], row);
+                counts[l] += 1;
+            }
+            for (mn, &c) in means.iter_mut().zip(counts.iter()) {
+                kr_linalg::ops::scale_assign(mn, 1.0 / c.max(1) as f64);
+            }
+            let mut correct = 0usize;
+            for (row, &l) in ds.data.rows_iter().zip(ds.labels.iter()) {
+                let mut best = 0;
+                let mut best_d = f64::INFINITY;
+                for (c, mn) in means.iter().enumerate() {
+                    let d = kr_linalg::ops::sqdist(row, mn);
+                    if d < best_d {
+                        best_d = d;
+                        best = c;
+                    }
+                }
+                if best == l {
+                    correct += 1;
+                }
+            }
+            let acc = correct as f64 / ds.n_samples() as f64;
+            assert!(acc > 2.0 / k as f64, "{}: acc {acc}", ds.name);
+        }
+    }
+
+    #[test]
+    fn determinism() {
+        assert_eq!(soybean_like(11).data, soybean_like(11).data);
+        assert_eq!(symbols_like(11).data, symbols_like(11).data);
+    }
+}

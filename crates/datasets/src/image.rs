@@ -1,0 +1,225 @@
+//! Image-flavored datasets: glyph-based MNIST-family stand-ins and the
+//! procedural RGB scene used by the color-quantization case study.
+
+use crate::glyphs;
+use crate::rng::{self, seeded};
+use crate::Dataset;
+use kr_linalg::Matrix;
+use rand::Rng;
+
+/// MNIST-like digits: `n` samples of 28x28 seven-segment glyphs with
+/// stroke jitter and pixel noise, 10 balanced classes, max-scaled to
+/// `[0, 1]` (the paper's MNIST preprocessing).
+pub fn mnist_like(n: usize, seed: u64) -> Dataset {
+    glyph_dataset("MNIST", n, 28, 10, seed)
+}
+
+/// Double-MNIST-like: pairs of 28x28 glyphs concatenated horizontally
+/// (28x56 = 1568 features); the label encodes the ordered digit pair,
+/// giving 100 clusters with **multiplicative product structure in the
+/// label space and additive structure in pixel space** (left and right
+/// halves occupy disjoint pixels), exactly as in the paper.
+pub fn double_mnist_like(n: usize, seed: u64) -> Dataset {
+    let mut r = seeded(seed);
+    let mut data = Matrix::zeros(n, 1568);
+    let mut labels = Vec::with_capacity(n);
+    for row in 0..n {
+        // Cycle through pairs for near-uniform coverage, then randomize.
+        let left = if row < 100 { row / 10 } else { r.gen_range(0..10) };
+        let right = if row < 100 { row % 10 } else { r.gen_range(0..10) };
+        let gl = glyphs::render_digit(left, 28, 0.7, &mut r);
+        let gr = glyphs::render_digit(right, 28, 0.7, &mut r);
+        let out = data.row_mut(row);
+        // Interleave rows: out row y = [left row y | right row y].
+        for y in 0..28 {
+            out[y * 56..y * 56 + 28].copy_from_slice(&gl[y * 28..(y + 1) * 28]);
+            out[y * 56 + 28..(y + 1) * 56].copy_from_slice(&gr[y * 28..(y + 1) * 28]);
+        }
+        for v in out.iter_mut() {
+            *v = (*v + rng::normal(&mut r) * 0.03).clamp(0.0, 1.0);
+        }
+        labels.push(left * 10 + right);
+        }
+    Dataset::new("Double MNIST", data, labels)
+}
+
+/// optdigits-like: 8x8 glyph digits (64 features), 10 nearly-balanced
+/// classes (IR ~= 0.97 per Table 1).
+pub fn optdigits_like(n: usize, seed: u64) -> Dataset {
+    let mut ds = glyph_dataset("optdigits", n, 8, 10, seed);
+    ds.name = "optdigits".into();
+    ds
+}
+
+/// FEMNIST-like federated data: 28x28 glyph digits plus a client
+/// assignment. Each of `clients` clients holds a non-IID shard dominated
+/// by a couple of digit classes (LEAF-style heterogeneity).
+pub fn femnist_like(n: usize, clients: usize, seed: u64) -> (Dataset, Vec<usize>) {
+    assert!(clients >= 1);
+    let mut r = seeded(seed);
+    let mut data = Matrix::zeros(n, 784);
+    let mut labels = Vec::with_capacity(n);
+    let mut client_of = Vec::with_capacity(n);
+    for row in 0..n {
+        let client = row % clients;
+        // Each client draws mostly from two "home" digits.
+        let digit = if r.gen_bool(0.7) {
+            (client * 2 + r.gen_range(0..2)) % 10
+        } else {
+            r.gen_range(0..10)
+        };
+        let glyph = glyphs::render_digit(digit, 28, 0.8, &mut r);
+        let out = data.row_mut(row);
+        out.copy_from_slice(&glyph);
+        for v in out.iter_mut() {
+            *v = (*v + rng::normal(&mut r) * 0.04).clamp(0.0, 1.0);
+        }
+        labels.push(digit);
+        client_of.push(client);
+    }
+    (Dataset::new("FEMNIST", data, labels), client_of)
+}
+
+fn glyph_dataset(name: &str, n: usize, size: usize, k: usize, seed: u64) -> Dataset {
+    let mut r = seeded(seed);
+    let mut data = Matrix::zeros(n, size * size);
+    let mut labels = Vec::with_capacity(n);
+    for row in 0..n {
+        let digit = row % k; // balanced classes
+        let jitter = if size >= 16 { 0.8 } else { 0.35 };
+        let glyph = glyphs::render_digit(digit, size, jitter, &mut r);
+        let out = data.row_mut(row);
+        out.copy_from_slice(&glyph);
+        for v in out.iter_mut() {
+            *v = (*v + rng::normal(&mut r) * 0.04).clamp(0.0, 1.0);
+        }
+        labels.push(digit);
+    }
+    Dataset::new(name, data, labels)
+}
+
+/// An RGB pixel cloud: `n x 3` matrix with channels in `[0, 1]`.
+///
+/// Procedural landscape in the spirit of the scikit-learn "Color
+/// Quantization using K-Means" photo: a blue-to-white sky gradient,
+/// green foliage bands, and a red pavilion region with many distinct red
+/// tones (the paper highlights reds as where Khatri-Rao quantization
+/// shines). Returns pixels sampled uniformly from the scene.
+pub fn quantization_pixels(n: usize, seed: u64) -> Matrix {
+    let mut r = seeded(seed);
+    let mut px = Matrix::zeros(n, 3);
+    for i in 0..n {
+        let region = r.gen_range(0.0..1.0f64);
+        let (rr, gg, bb) = if region < 0.4 {
+            // Sky: blue gradient toward white at the horizon.
+            let t = r.gen_range(0.0..1.0f64);
+            (0.35 + 0.5 * t, 0.55 + 0.4 * t, 0.85 + 0.15 * t)
+        } else if region < 0.7 {
+            // Foliage: dark to bright greens.
+            let t = r.gen_range(0.0..1.0f64);
+            (0.05 + 0.25 * t, 0.25 + 0.55 * t, 0.05 + 0.2 * t)
+        } else if region < 0.92 {
+            // Pavilion: a spread of reds/oranges/dark crimsons.
+            let t = r.gen_range(0.0..1.0f64);
+            (0.45 + 0.5 * t, 0.05 + 0.3 * t * t, 0.05 + 0.1 * t)
+        } else {
+            // Shadows / roof grays.
+            let t = r.gen_range(0.0..1.0f64);
+            (0.15 + 0.3 * t, 0.15 + 0.3 * t, 0.18 + 0.3 * t)
+        };
+        let noise = 0.03;
+        px.set(i, 0, (rr + rng::normal(&mut r) * noise).clamp(0.0, 1.0));
+        px.set(i, 1, (gg + rng::normal(&mut r) * noise).clamp(0.0, 1.0));
+        px.set(i, 2, (bb + rng::normal(&mut r) * noise).clamp(0.0, 1.0));
+    }
+    px
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mnist_like_shape() {
+        let ds = mnist_like(200, 0);
+        assert_eq!(ds.data.shape(), (200, 784));
+        assert_eq!(ds.n_clusters(), 10);
+        assert!(ds
+            .data
+            .as_slice()
+            .iter()
+            .all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn double_mnist_has_100_clusters() {
+        let ds = double_mnist_like(400, 1);
+        assert_eq!(ds.data.shape(), (400, 1568));
+        assert_eq!(ds.n_clusters(), 100);
+        assert!(ds.labels.iter().all(|&l| l < 100));
+    }
+
+    #[test]
+    fn double_mnist_halves_carry_digits() {
+        // Row 37 in the first deterministic block is pair (3, 7).
+        let ds = double_mnist_like(100, 2);
+        assert_eq!(ds.labels[37], 37);
+    }
+
+    #[test]
+    fn optdigits_shape() {
+        let ds = optdigits_like(100, 3);
+        assert_eq!(ds.data.shape(), (100, 64));
+        assert_eq!(ds.n_clusters(), 10);
+    }
+
+    #[test]
+    fn femnist_clients_partition() {
+        let (ds, clients) = femnist_like(300, 10, 4);
+        assert_eq!(ds.n_samples(), 300);
+        assert_eq!(clients.len(), 300);
+        assert!(clients.iter().all(|&c| c < 10));
+        // Every client holds some data.
+        let mut counts = vec![0usize; 10];
+        for &c in &clients {
+            counts[c] += 1;
+        }
+        assert!(counts.iter().all(|&c| c > 0));
+    }
+
+    #[test]
+    fn femnist_is_non_iid() {
+        let (ds, clients) = femnist_like(2000, 10, 5);
+        // Client 0's most frequent label should be one of its home digits
+        // (0 or 1) and clearly dominant vs. a uniform share.
+        let mut counts = vec![0usize; 10];
+        let mut total = 0usize;
+        for (&c, &l) in clients.iter().zip(ds.labels.iter()) {
+            if c == 0 {
+                counts[l] += 1;
+                total += 1;
+            }
+        }
+        let home: usize = counts[0] + counts[1];
+        assert!(home as f64 > 0.4 * total as f64, "home share {home}/{total}");
+    }
+
+    #[test]
+    fn quantization_pixels_in_gamut() {
+        let px = quantization_pixels(500, 6);
+        assert_eq!(px.shape(), (500, 3));
+        assert!(px.as_slice().iter().all(|&v| (0.0..=1.0).contains(&v)));
+        // Scene must actually contain strong reds (r >> g, b).
+        let reds = px
+            .rows_iter()
+            .filter(|p| p[0] > 0.5 && p[1] < 0.35 && p[2] < 0.25)
+            .count();
+        assert!(reds > 20, "only {reds} red pixels");
+    }
+
+    #[test]
+    fn generators_deterministic() {
+        assert_eq!(mnist_like(50, 7).data, mnist_like(50, 7).data);
+        assert_eq!(quantization_pixels(50, 7), quantization_pixels(50, 7));
+    }
+}

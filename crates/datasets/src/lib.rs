@@ -1,0 +1,129 @@
+//! # kr-datasets
+//!
+//! Seeded, fully-synthetic re-creations of every dataset in the paper's
+//! evaluation (Table 1), plus the assets needed by the case studies
+//! (a procedural RGB image for color quantization, a federated split for
+//! the FkM study).
+//!
+//! The offline environment has no access to MNIST, HAR, Olivetti Faces,
+//! etc., so each generator produces data with the *same shape*
+//! `(n, m, #labels, imbalance ratio)` and the same *structural character*
+//! (image-like glyphs, smooth fields, time series, categorical codes,
+//! 2-D point clouds). DESIGN.md §4 documents every substitution.
+//!
+//! All generators are deterministic in their `seed` argument.
+//!
+//! ```
+//! let ds = kr_datasets::synthetic::blobs(500, 2, 10, 1.0, 7);
+//! assert_eq!(ds.data.shape(), (500, 2));
+//! assert_eq!(ds.n_clusters(), 10);
+//! let again = kr_datasets::synthetic::blobs(500, 2, 10, 1.0, 7);
+//! assert_eq!(ds.data, again.data);
+//! ```
+
+pub mod glyphs;
+pub mod highdim;
+pub mod image;
+pub mod preprocess;
+pub mod rng;
+pub mod synthetic;
+pub mod table1;
+
+use kr_linalg::Matrix;
+
+/// A labeled dataset: an `n x m` feature matrix plus ground-truth labels.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// Feature matrix, one row per sample.
+    pub data: Matrix,
+    /// Ground-truth cluster labels, `0..n_clusters`.
+    pub labels: Vec<usize>,
+    /// Human-readable dataset name.
+    pub name: String,
+}
+
+impl Dataset {
+    /// Creates a dataset, checking that labels align with rows.
+    pub fn new(name: impl Into<String>, data: Matrix, labels: Vec<usize>) -> Self {
+        assert_eq!(data.nrows(), labels.len(), "one label per row required");
+        Dataset { data, labels, name: name.into() }
+    }
+
+    /// Number of samples.
+    pub fn n_samples(&self) -> usize {
+        self.data.nrows()
+    }
+
+    /// Number of features.
+    pub fn n_features(&self) -> usize {
+        self.data.ncols()
+    }
+
+    /// Number of distinct ground-truth clusters.
+    pub fn n_clusters(&self) -> usize {
+        let mut seen = std::collections::HashSet::new();
+        for &l in &self.labels {
+            seen.insert(l);
+        }
+        seen.len()
+    }
+
+    /// Imbalance ratio: smallest cluster size / largest cluster size
+    /// (Table 1's "IR" column).
+    pub fn imbalance_ratio(&self) -> f64 {
+        let mut counts = std::collections::HashMap::new();
+        for &l in &self.labels {
+            *counts.entry(l).or_insert(0usize) += 1;
+        }
+        let min = counts.values().copied().min().unwrap_or(0) as f64;
+        let max = counts.values().copied().max().unwrap_or(1) as f64;
+        if max == 0.0 {
+            0.0
+        } else {
+            min / max
+        }
+    }
+
+    /// Returns a copy with features standardized (zero mean, unit
+    /// variance; constant features untouched) — the preprocessing the
+    /// paper applies to most datasets.
+    pub fn standardized(&self) -> Dataset {
+        Dataset {
+            data: preprocess::standardize(&self.data),
+            labels: self.labels.clone(),
+            name: self.name.clone(),
+        }
+    }
+
+    /// Returns a copy with features divided by the global max absolute
+    /// value (the paper's preprocessing for pixel data).
+    pub fn max_scaled(&self) -> Dataset {
+        Dataset {
+            data: preprocess::max_scale(&self.data),
+            labels: self.labels.clone(),
+            name: self.name.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dataset_invariants() {
+        let data = Matrix::from_rows(&[vec![0.0], vec![1.0], vec![2.0]]).unwrap();
+        let ds = Dataset::new("toy", data, vec![0, 0, 1]);
+        assert_eq!(ds.n_samples(), 3);
+        assert_eq!(ds.n_features(), 1);
+        assert_eq!(ds.n_clusters(), 2);
+        assert!((ds.imbalance_ratio() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "one label per row")]
+    fn rejects_label_mismatch() {
+        let data = Matrix::zeros(2, 2);
+        let _ = Dataset::new("bad", data, vec![0]);
+    }
+}

@@ -1,0 +1,95 @@
+//! Feature preprocessing used by the paper (Appendix A).
+
+use kr_linalg::Matrix;
+
+/// Z-scores every feature: subtract column mean, divide by column
+/// standard deviation. Constant columns are centered but not scaled.
+pub fn standardize(data: &Matrix) -> Matrix {
+    let means = data.col_means();
+    let stds = data.col_stds();
+    let mut out = data.clone();
+    for i in 0..out.nrows() {
+        let row = out.row_mut(i);
+        for ((v, &m), &s) in row.iter_mut().zip(means.iter()).zip(stds.iter()) {
+            *v -= m;
+            if s > 0.0 {
+                *v /= s;
+            }
+        }
+    }
+    out
+}
+
+/// Divides every element by the global maximum absolute value (pixel
+/// rescaling). A zero matrix is returned unchanged.
+pub fn max_scale(data: &Matrix) -> Matrix {
+    let max = data.max_abs();
+    if max == 0.0 {
+        data.clone()
+    } else {
+        data.scale(1.0 / max)
+    }
+}
+
+/// Min-max scales each feature into `[0, 1]`; constant columns map to 0.
+pub fn min_max_scale(data: &Matrix) -> Matrix {
+    let mut mins = vec![f64::INFINITY; data.ncols()];
+    let mut maxs = vec![f64::NEG_INFINITY; data.ncols()];
+    for row in data.rows_iter() {
+        for ((mn, mx), &v) in mins.iter_mut().zip(maxs.iter_mut()).zip(row.iter()) {
+            if v < *mn {
+                *mn = v;
+            }
+            if v > *mx {
+                *mx = v;
+            }
+        }
+    }
+    let mut out = data.clone();
+    for i in 0..out.nrows() {
+        let row = out.row_mut(i);
+        for ((v, &mn), &mx) in row.iter_mut().zip(mins.iter()).zip(maxs.iter()) {
+            let range = mx - mn;
+            *v = if range > 0.0 { (*v - mn) / range } else { 0.0 };
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standardize_zero_mean_unit_var() {
+        let data = Matrix::from_rows(&[vec![1.0, 5.0], vec![3.0, 5.0], vec![5.0, 5.0]]).unwrap();
+        let s = standardize(&data);
+        let means = s.col_means();
+        assert!(means[0].abs() < 1e-12);
+        assert!(means[1].abs() < 1e-12); // constant column centered
+        let stds = s.col_stds();
+        assert!((stds[0] - 1.0).abs() < 1e-12);
+        assert_eq!(stds[1], 0.0); // constant column not scaled
+    }
+
+    #[test]
+    fn max_scale_bounds() {
+        let data = Matrix::from_rows(&[vec![0.0, -8.0], vec![4.0, 2.0]]).unwrap();
+        let s = max_scale(&data);
+        assert_eq!(s.max_abs(), 1.0);
+        assert_eq!(s.get(1, 0), 0.5);
+        // Zero matrix stays zero.
+        let z = Matrix::zeros(2, 2);
+        assert_eq!(max_scale(&z), z);
+    }
+
+    #[test]
+    fn min_max_range() {
+        let data = Matrix::from_rows(&[vec![2.0, 7.0], vec![4.0, 7.0], vec![6.0, 7.0]]).unwrap();
+        let s = min_max_scale(&data);
+        assert_eq!(s.get(0, 0), 0.0);
+        assert_eq!(s.get(2, 0), 1.0);
+        assert_eq!(s.get(1, 0), 0.5);
+        assert_eq!(s.get(0, 1), 0.0); // constant column
+    }
+}

@@ -1,0 +1,190 @@
+//! Random-sampling helpers on top of `rand`.
+//!
+//! `rand` 0.8 ships uniform sampling only; Gaussian and categorical
+//! draws are implemented here (Marsaglia polar method, cumulative
+//! search) so the workspace does not need `rand_distr`.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Creates the workspace-standard RNG from a `u64` seed.
+pub fn seeded(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// One standard-normal draw (Marsaglia polar method).
+pub fn normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    loop {
+        let u = rng.gen_range(-1.0..1.0f64);
+        let v = rng.gen_range(-1.0..1.0f64);
+        let s = u * u + v * v;
+        if s > 0.0 && s < 1.0 {
+            return u * (-2.0 * s.ln() / s).sqrt();
+        }
+    }
+}
+
+/// One `N(mean, std^2)` draw.
+pub fn normal_with<R: Rng + ?Sized>(rng: &mut R, mean: f64, std: f64) -> f64 {
+    mean + std * normal(rng)
+}
+
+/// Fills a slice with i.i.d. `N(mean, std^2)` draws.
+pub fn fill_normal(rng: &mut impl Rng, out: &mut [f64], mean: f64, std: f64) {
+    for v in out {
+        *v = normal_with(rng, mean, std);
+    }
+}
+
+/// Samples an index from unnormalized non-negative weights.
+///
+/// Returns `None` if the weights sum to zero (or the slice is empty).
+pub fn weighted_index(rng: &mut impl Rng, weights: &[f64]) -> Option<usize> {
+    let total: f64 = weights.iter().sum();
+    if !(total > 0.0) {
+        return None;
+    }
+    let mut target = rng.gen_range(0.0..total);
+    for (i, &w) in weights.iter().enumerate() {
+        if target < w {
+            return Some(i);
+        }
+        target -= w;
+    }
+    // Floating-point slack: fall back to the last positive weight.
+    weights.iter().rposition(|&w| w > 0.0)
+}
+
+/// Samples `k` distinct indices from `0..n` (Floyd's algorithm); order is
+/// randomized. Panics if `k > n`.
+pub fn sample_without_replacement(rng: &mut impl Rng, n: usize, k: usize) -> Vec<usize> {
+    assert!(k <= n, "cannot sample {k} items from {n}");
+    let mut chosen = std::collections::HashSet::with_capacity(k);
+    let mut out = Vec::with_capacity(k);
+    for j in (n - k)..n {
+        let t = rng.gen_range(0..=j);
+        let pick = if chosen.contains(&t) { j } else { t };
+        chosen.insert(pick);
+        out.push(pick);
+    }
+    // Shuffle so position carries no bias.
+    for i in (1..out.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        out.swap(i, j);
+    }
+    out
+}
+
+/// Splits `n` samples into `k` cluster sizes whose min/max ratio is
+/// approximately `imbalance` (1.0 = perfectly balanced), summing to `n`.
+pub fn imbalanced_sizes(n: usize, k: usize, imbalance: f64) -> Vec<usize> {
+    assert!(k >= 1 && n >= k);
+    let imbalance = imbalance.clamp(1e-3, 1.0);
+    // Linear ramp from `imbalance` to 1.0, normalized to n.
+    let raw: Vec<f64> = (0..k)
+        .map(|i| {
+            if k == 1 {
+                1.0
+            } else {
+                imbalance + (1.0 - imbalance) * i as f64 / (k - 1) as f64
+            }
+        })
+        .collect();
+    let total: f64 = raw.iter().sum();
+    let mut sizes: Vec<usize> = raw.iter().map(|r| ((r / total) * n as f64) as usize).collect();
+    // Ensure every cluster has at least one sample, then fix the sum.
+    for s in sizes.iter_mut() {
+        if *s == 0 {
+            *s = 1;
+        }
+    }
+    let mut diff = n as i64 - sizes.iter().sum::<usize>() as i64;
+    let mut i = k - 1;
+    while diff != 0 {
+        if diff > 0 {
+            sizes[i] += 1;
+            diff -= 1;
+        } else if sizes[i] > 1 {
+            sizes[i] -= 1;
+            diff += 1;
+        }
+        i = if i == 0 { k - 1 } else { i - 1 };
+    }
+    sizes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = seeded(1);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| normal(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn weighted_index_respects_weights() {
+        let mut rng = seeded(2);
+        let weights = [0.0, 3.0, 1.0];
+        let mut counts = [0usize; 3];
+        for _ in 0..4000 {
+            counts[weighted_index(&mut rng, &weights).unwrap()] += 1;
+        }
+        assert_eq!(counts[0], 0);
+        let ratio = counts[1] as f64 / counts[2] as f64;
+        assert!((ratio - 3.0).abs() < 0.5, "ratio {ratio}");
+    }
+
+    #[test]
+    fn weighted_index_zero_weights() {
+        let mut rng = seeded(3);
+        assert_eq!(weighted_index(&mut rng, &[0.0, 0.0]), None);
+        assert_eq!(weighted_index(&mut rng, &[]), None);
+    }
+
+    #[test]
+    fn sampling_without_replacement_distinct() {
+        let mut rng = seeded(4);
+        for _ in 0..50 {
+            let s = sample_without_replacement(&mut rng, 10, 7);
+            let set: std::collections::HashSet<_> = s.iter().collect();
+            assert_eq!(set.len(), 7);
+            assert!(s.iter().all(|&i| i < 10));
+        }
+        let all = sample_without_replacement(&mut rng, 5, 5);
+        let set: std::collections::HashSet<_> = all.iter().collect();
+        assert_eq!(set.len(), 5);
+    }
+
+    #[test]
+    fn imbalanced_sizes_sum_and_ratio() {
+        let sizes = imbalanced_sizes(1000, 10, 0.1);
+        assert_eq!(sizes.iter().sum::<usize>(), 1000);
+        let min = *sizes.iter().min().unwrap() as f64;
+        let max = *sizes.iter().max().unwrap() as f64;
+        let ir = min / max;
+        assert!((ir - 0.1).abs() < 0.06, "ir {ir}");
+        // Balanced case.
+        let sizes = imbalanced_sizes(100, 4, 1.0);
+        assert_eq!(sizes, vec![25, 25, 25, 25]);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a: Vec<f64> = {
+            let mut rng = seeded(99);
+            (0..10).map(|_| normal(&mut rng)).collect()
+        };
+        let b: Vec<f64> = {
+            let mut rng = seeded(99);
+            (0..10).map(|_| normal(&mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

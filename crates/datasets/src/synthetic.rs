@@ -1,0 +1,342 @@
+//! Low-dimensional synthetic generators: Blobs, Classification, R15,
+//! Chameleon-like, stickfigures, and explicitly Khatri-Rao-structured
+//! point clouds (Figure 4).
+
+use crate::glyphs;
+use crate::rng::{self, seeded};
+use crate::Dataset;
+use kr_linalg::Matrix;
+use rand::Rng;
+
+/// Isotropic Gaussian blobs (scikit-learn `make_blobs` semantics):
+/// `k` cluster centers sampled uniformly in `[-10, 10]^m`, each point
+/// `N(center, std^2 I)`. Cluster sizes are balanced.
+pub fn blobs(n: usize, m: usize, k: usize, std: f64, seed: u64) -> Dataset {
+    blobs_imbalanced(n, m, k, std, 1.0, seed)
+}
+
+/// [`blobs`] with a target imbalance ratio (smallest/largest cluster).
+pub fn blobs_imbalanced(n: usize, m: usize, k: usize, std: f64, ir: f64, seed: u64) -> Dataset {
+    assert!(k >= 1 && n >= k, "need at least one point per cluster");
+    let mut r = seeded(seed);
+    let centers = Matrix::from_fn(k, m, |_, _| r.gen_range(-10.0..10.0));
+    let sizes = rng::imbalanced_sizes(n, k, ir);
+    let mut data = Matrix::zeros(n, m);
+    let mut labels = Vec::with_capacity(n);
+    let mut row = 0;
+    for (c, &size) in sizes.iter().enumerate() {
+        for _ in 0..size {
+            let out = data.row_mut(row);
+            for (v, &mu) in out.iter_mut().zip(centers.row(c).iter()) {
+                *v = mu + rng::normal(&mut r) * std;
+            }
+            labels.push(c);
+            row += 1;
+        }
+    }
+    Dataset::new("Blobs", data, labels)
+}
+
+/// Simplified scikit-learn `make_classification`: class centroids placed
+/// near scaled hypercube vertices in an `m`-dimensional informative
+/// space (all features informative, one cluster per class), plus
+/// unit-variance Gaussian noise. Mild class imbalance as in Table 1.
+pub fn classification(n: usize, m: usize, k: usize, seed: u64) -> Dataset {
+    assert!(k >= 1 && n >= k);
+    let mut r = seeded(seed);
+    let class_sep = 1.0;
+    // Vertices of a hypercube in m dims would cap k at 2^m; like
+    // scikit-learn we draw random sign vertices and jitter them so any k
+    // works.
+    let centers = Matrix::from_fn(k, m, |_, _| {
+        let sign = if r.gen_bool(0.5) { 1.0 } else { -1.0 };
+        sign * class_sep * 2.0 + rng::normal(&mut r) * 0.5
+    });
+    let sizes = rng::imbalanced_sizes(n, k, 0.91);
+    let mut data = Matrix::zeros(n, m);
+    let mut labels = Vec::with_capacity(n);
+    let mut row = 0;
+    for (c, &size) in sizes.iter().enumerate() {
+        for _ in 0..size {
+            let out = data.row_mut(row);
+            for (v, &mu) in out.iter_mut().zip(centers.row(c).iter()) {
+                *v = mu + rng::normal(&mut r);
+            }
+            labels.push(c);
+            row += 1;
+        }
+    }
+    Dataset::new("Classification", data, labels)
+}
+
+/// The R15 benchmark layout: 15 tight Gaussian clusters in 2-D — one
+/// central cluster, an inner hexagon, and an outer ring of eight — with
+/// 40 points each (600 total), as in the clustbench version.
+pub fn r15(seed: u64) -> Dataset {
+    let mut r = seeded(seed);
+    let mut centers: Vec<[f64; 2]> = vec![[0.0, 0.0]];
+    for i in 0..6 {
+        let a = std::f64::consts::TAU * i as f64 / 6.0;
+        centers.push([3.0 * a.cos(), 3.0 * a.sin()]);
+    }
+    for i in 0..8 {
+        let a = std::f64::consts::TAU * i as f64 / 8.0 + 0.2;
+        centers.push([7.5 * a.cos(), 7.5 * a.sin()]);
+    }
+    let mut data = Matrix::zeros(600, 2);
+    let mut labels = Vec::with_capacity(600);
+    let mut row = 0;
+    for (c, center) in centers.iter().enumerate() {
+        for _ in 0..40 {
+            data.set(row, 0, center[0] + rng::normal(&mut r) * 0.3);
+            data.set(row, 1, center[1] + rng::normal(&mut r) * 0.3);
+            labels.push(c);
+            row += 1;
+        }
+    }
+    Dataset::new("R15", data, labels)
+}
+
+/// Chameleon-like 2-D data: nine nonconvex shaped clusters of varying
+/// density (arcs, bars, blobs) plus one large uniform background cluster,
+/// 10 labels total with imbalance ratio near 0.10 (Table 1).
+pub fn chameleon_like(n: usize, seed: u64) -> Dataset {
+    assert!(n >= 100);
+    let mut r = seeded(seed);
+    // Background takes the lion's share to force the low IR.
+    let background = n * 55 / 100;
+    let per_shape = (n - background) / 9;
+    let mut rows: Vec<Vec<f64>> = Vec::with_capacity(n);
+    let mut labels: Vec<usize> = Vec::with_capacity(n);
+
+    // Shapes live in [0, 100]^2.
+    for shape in 0..9 {
+        for _ in 0..per_shape {
+            let p = match shape {
+                // Three arcs.
+                0..=2 => {
+                    let t = r.gen_range(0.0..std::f64::consts::PI);
+                    let cx = 20.0 + 30.0 * shape as f64;
+                    let rad = 12.0;
+                    [
+                        cx + rad * t.cos() + rng::normal(&mut r) * 0.8,
+                        70.0 + rad * t.sin() + rng::normal(&mut r) * 0.8,
+                    ]
+                }
+                // Three horizontal bars of differing density.
+                3..=5 => {
+                    let y0 = 15.0 + 12.0 * (shape - 3) as f64;
+                    [r.gen_range(10.0..55.0), y0 + rng::normal(&mut r) * 1.2]
+                }
+                // Three compact blobs.
+                _ => {
+                    let cx = 70.0 + 10.0 * (shape - 6) as f64;
+                    let cy = 20.0 + 9.0 * (shape - 6) as f64;
+                    [
+                        cx + rng::normal(&mut r) * 2.0,
+                        cy + rng::normal(&mut r) * 2.0,
+                    ]
+                }
+            };
+            rows.push(p.to_vec());
+            labels.push(shape);
+        }
+    }
+    while rows.len() < n {
+        rows.push(vec![r.gen_range(0.0..100.0), r.gen_range(0.0..100.0)]);
+        labels.push(9);
+    }
+    Dataset::new("Chameleon", Matrix::from_rows(&rows).unwrap(), labels)
+}
+
+/// The `stickfigures` dataset (Figure 1): 900 images of 20x20 stick
+/// figures, 9 clusters = 3 arm poses x 3 leg poses, 100 noisy samples
+/// each. By construction the cluster means have **additive Khatri-Rao
+/// structure** with two sets of three protocentroids.
+pub fn stickfigures(seed: u64) -> Dataset {
+    stickfigures_sized(100, 0.05, seed)
+}
+
+/// [`stickfigures`] with configurable per-cluster size and noise.
+pub fn stickfigures_sized(per_cluster: usize, noise: f64, seed: u64) -> Dataset {
+    let mut r = seeded(seed);
+    let n = 9 * per_cluster;
+    let mut data = Matrix::zeros(n, 400);
+    let mut labels = Vec::with_capacity(n);
+    let mut row = 0;
+    for (ai, &arms) in glyphs::ARM_POSES.iter().enumerate() {
+        for (li, &legs) in glyphs::LEG_POSES.iter().enumerate() {
+            let proto = glyphs::render_stickfigure(arms, legs);
+            for _ in 0..per_cluster {
+                let out = data.row_mut(row);
+                for (v, &p) in out.iter_mut().zip(proto.iter()) {
+                    *v = (p + rng::normal(&mut r) * noise).clamp(0.0, 1.0);
+                }
+                labels.push(ai * 3 + li);
+                row += 1;
+            }
+        }
+    }
+    Dataset::new("stickfigures", data, labels)
+}
+
+/// Which Khatri-Rao aggregator generated a synthetic structured dataset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StructureKind {
+    /// Centroids are sums of protocentroid pairs.
+    Additive,
+    /// Centroids are Hadamard products of protocentroid pairs.
+    Multiplicative,
+}
+
+/// Generates 2-D data whose `h1 * h2` true cluster centroids are exact
+/// Khatri-Rao aggregations of two random protocentroid sets (Figure 4,
+/// top row). Returns the dataset together with the generating
+/// protocentroid sets, so tests can check recovery.
+pub fn kr_structured(
+    h1: usize,
+    h2: usize,
+    per_cluster: usize,
+    std: f64,
+    kind: StructureKind,
+    seed: u64,
+) -> (Dataset, Matrix, Matrix) {
+    let mut r = seeded(seed);
+    let m = 2;
+    let sample_set = |r: &mut rand::rngs::StdRng, h: usize| -> Matrix {
+        Matrix::from_fn(h, m, |_, _| match kind {
+            StructureKind::Additive => r.gen_range(-8.0..8.0),
+            // Positive, away from zero, so products stay well-behaved.
+            StructureKind::Multiplicative => r.gen_range(0.5..3.0),
+        })
+    };
+    let theta1 = sample_set(&mut r, h1);
+    let theta2 = sample_set(&mut r, h2);
+    let n = h1 * h2 * per_cluster;
+    let mut data = Matrix::zeros(n, m);
+    let mut labels = Vec::with_capacity(n);
+    let mut row = 0;
+    for i in 0..h1 {
+        for j in 0..h2 {
+            let centroid: Vec<f64> = theta1
+                .row(i)
+                .iter()
+                .zip(theta2.row(j).iter())
+                .map(|(&a, &b)| match kind {
+                    StructureKind::Additive => a + b,
+                    StructureKind::Multiplicative => a * b,
+                })
+                .collect();
+            for _ in 0..per_cluster {
+                let out = data.row_mut(row);
+                for (v, &mu) in out.iter_mut().zip(centroid.iter()) {
+                    *v = mu + rng::normal(&mut r) * std;
+                }
+                labels.push(i * h2 + j);
+                row += 1;
+            }
+        }
+    }
+    (Dataset::new("KRStructured", data, labels), theta1, theta2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blobs_shape_and_balance() {
+        let ds = blobs(100, 3, 4, 1.0, 0);
+        assert_eq!(ds.data.shape(), (100, 3));
+        assert_eq!(ds.n_clusters(), 4);
+        assert!((ds.imbalance_ratio() - 1.0).abs() < 1e-12);
+        assert!(ds.data.all_finite());
+    }
+
+    #[test]
+    fn blobs_deterministic() {
+        let a = blobs(50, 2, 5, 1.0, 123);
+        let b = blobs(50, 2, 5, 1.0, 123);
+        assert_eq!(a.data, b.data);
+        assert_eq!(a.labels, b.labels);
+        let c = blobs(50, 2, 5, 1.0, 124);
+        assert_ne!(a.data, c.data);
+    }
+
+    #[test]
+    fn blobs_clusters_are_separated_at_low_std() {
+        // With tiny std, within-cluster spread is far below between-cluster.
+        let ds = blobs(200, 2, 4, 0.01, 5);
+        let mut means = vec![vec![0.0; 2]; 4];
+        let mut counts = vec![0usize; 4];
+        for (row, &l) in ds.data.rows_iter().zip(ds.labels.iter()) {
+            for (m, &v) in means[l].iter_mut().zip(row) {
+                *m += v;
+            }
+            counts[l] += 1;
+        }
+        for (m, &c) in means.iter_mut().zip(counts.iter()) {
+            for v in m.iter_mut() {
+                *v /= c as f64;
+            }
+        }
+        for (row, &l) in ds.data.rows_iter().zip(ds.labels.iter()) {
+            let own = kr_linalg::ops::sqdist(row, &means[l]);
+            assert!(own < 0.01, "point far from its cluster mean");
+        }
+    }
+
+    #[test]
+    fn classification_shape() {
+        let ds = classification(500, 10, 20, 3);
+        assert_eq!(ds.data.shape(), (500, 10));
+        assert_eq!(ds.n_clusters(), 20);
+        let ir = ds.imbalance_ratio();
+        assert!(ir > 0.7 && ir <= 1.0, "ir {ir}");
+    }
+
+    #[test]
+    fn r15_layout() {
+        let ds = r15(1);
+        assert_eq!(ds.data.shape(), (600, 2));
+        assert_eq!(ds.n_clusters(), 15);
+        assert!((ds.imbalance_ratio() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn chameleon_counts() {
+        let ds = chameleon_like(1000, 2);
+        assert_eq!(ds.n_samples(), 1000);
+        assert_eq!(ds.n_clusters(), 10);
+        let ir = ds.imbalance_ratio();
+        assert!(ir < 0.2, "ir {ir} should be strongly imbalanced");
+    }
+
+    #[test]
+    fn stickfigures_structure() {
+        let ds = stickfigures_sized(10, 0.02, 4);
+        assert_eq!(ds.data.shape(), (90, 400));
+        assert_eq!(ds.n_clusters(), 9);
+        // All intensities in [0, 1].
+        assert!(ds.data.as_slice().iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn kr_structured_centroids_match_aggregation() {
+        for kind in [StructureKind::Additive, StructureKind::Multiplicative] {
+            let (ds, t1, t2) = kr_structured(3, 2, 5, 0.0, kind, 9);
+            assert_eq!(ds.n_samples(), 30);
+            // With zero noise every point *is* its centroid.
+            for (row, &label) in ds.data.rows_iter().zip(ds.labels.iter()) {
+                let (i, j) = (label / 2, label % 2);
+                for ((&x, &a), &b) in row.iter().zip(t1.row(i)).zip(t2.row(j)) {
+                    let expect = match kind {
+                        StructureKind::Additive => a + b,
+                        StructureKind::Multiplicative => a * b,
+                    };
+                    assert!((x - expect).abs() < 1e-12);
+                }
+            }
+        }
+    }
+}

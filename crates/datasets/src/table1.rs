@@ -1,0 +1,251 @@
+//! Registry of the paper's Table 1 datasets.
+//!
+//! Each entry knows its paper-scale shape `(n, m, #labels, IR)`, its
+//! preprocessing (standardize vs. max-scale, Appendix A), and how to
+//! generate itself at full or reduced scale. The bench harnesses and
+//! integration tests iterate over this registry so every experiment
+//! covers the same 13 datasets the paper does.
+
+use crate::{highdim, image, synthetic, Dataset};
+
+/// Scale at which to materialize a dataset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Full paper-scale `n`.
+    Paper,
+    /// Reduced sample count for fast benches/tests (features, cluster
+    /// count, and imbalance are preserved; only `n` shrinks, floored so
+    /// every cluster keeps several samples).
+    Reduced,
+}
+
+/// The thirteen datasets of Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Table1 {
+    /// MNIST-like glyph digits (25000 x 784, 10 clusters).
+    Mnist,
+    /// Double-MNIST digit pairs (10000 x 1568, 100 clusters).
+    DoubleMnist,
+    /// HAR-like sensor data (10299 x 561, 6 clusters).
+    Har,
+    /// Olivetti-Faces-like fields (400 x 4096, 40 clusters).
+    OlivettiFaces,
+    /// CMU-Faces-like fields (624 x 960, 20 clusters).
+    CmuFaces,
+    /// Symbols-like time series (1020 x 398, 6 clusters).
+    Symbols,
+    /// stickfigures (900 x 400, 9 clusters) — additive KR structure.
+    Stickfigures,
+    /// optdigits-like 8x8 digits (5620 x 64, 10 clusters).
+    Optdigits,
+    /// make_classification-style (5000 x 10, 100 clusters).
+    Classification,
+    /// Chameleon-like shapes + noise (10000 x 2, 10 clusters).
+    Chameleon,
+    /// Soybean-Large-like categorical (562 x 35, 15 clusters).
+    SoybeanLarge,
+    /// Gaussian blobs (5000 x 2, 100 clusters).
+    Blobs,
+    /// R15 (600 x 2, 15 clusters).
+    R15,
+}
+
+impl Table1 {
+    /// Every dataset, in the paper's table order.
+    pub const ALL: [Table1; 13] = [
+        Table1::Mnist,
+        Table1::DoubleMnist,
+        Table1::Har,
+        Table1::OlivettiFaces,
+        Table1::CmuFaces,
+        Table1::Symbols,
+        Table1::Stickfigures,
+        Table1::Optdigits,
+        Table1::Classification,
+        Table1::Chameleon,
+        Table1::SoybeanLarge,
+        Table1::Blobs,
+        Table1::R15,
+    ];
+
+    /// The paper's `(n, m, #labels, IR)` row for this dataset.
+    pub fn paper_shape(self) -> (usize, usize, usize, f64) {
+        match self {
+            Table1::Mnist => (25000, 784, 10, 1.00),
+            Table1::DoubleMnist => (10000, 1568, 100, 1.00),
+            Table1::Har => (10299, 561, 6, 0.72),
+            Table1::OlivettiFaces => (400, 4096, 40, 1.00),
+            Table1::CmuFaces => (624, 960, 20, 0.88),
+            Table1::Symbols => (1020, 398, 6, 0.90),
+            Table1::Stickfigures => (900, 400, 9, 1.00),
+            Table1::Optdigits => (5620, 64, 10, 0.97),
+            Table1::Classification => (5000, 10, 100, 0.91),
+            Table1::Chameleon => (10000, 2, 10, 0.10),
+            Table1::SoybeanLarge => (562, 35, 15, 0.22),
+            Table1::Blobs => (5000, 2, 100, 1.00),
+            Table1::R15 => (600, 2, 15, 1.00),
+        }
+    }
+
+    /// Ground-truth number of clusters (the `k` given to all algorithms).
+    pub fn n_clusters(self) -> usize {
+        self.paper_shape().2
+    }
+
+    /// The balanced factor pair `(h1, h2)` with `h1 * h2 = k` and the
+    /// factors as close as possible (paper §9.1 parameter settings).
+    pub fn factor_pair(self) -> (usize, usize) {
+        balanced_factor_pair(self.n_clusters())
+    }
+
+    /// Display name matching the paper.
+    pub fn name(self) -> &'static str {
+        match self {
+            Table1::Mnist => "MNIST",
+            Table1::DoubleMnist => "Double MNIST",
+            Table1::Har => "HAR",
+            Table1::OlivettiFaces => "Olivetti Faces",
+            Table1::CmuFaces => "CMU Faces",
+            Table1::Symbols => "Symbols",
+            Table1::Stickfigures => "stickfigures",
+            Table1::Optdigits => "optdigits",
+            Table1::Classification => "Classification",
+            Table1::Chameleon => "Chameleon",
+            Table1::SoybeanLarge => "Soybean Large",
+            Table1::Blobs => "Blobs",
+            Table1::R15 => "R15",
+        }
+    }
+
+    /// Materializes the dataset at the requested scale with the paper's
+    /// preprocessing already applied.
+    pub fn load(self, scale: Scale, seed: u64) -> Dataset {
+        let (paper_n, m, k, _) = self.paper_shape();
+        let n = match scale {
+            Scale::Paper => paper_n,
+            // Keep >= 20 samples per cluster, cap for fast iteration.
+            Scale::Reduced => (paper_n / 10).max(20 * k).min(paper_n),
+        };
+        match self {
+            Table1::Mnist => image::mnist_like(n, seed).max_scaled(),
+            Table1::DoubleMnist => image::double_mnist_like(n, seed).max_scaled(),
+            Table1::Har => highdim::har_like(n, m, k, seed).standardized(),
+            Table1::OlivettiFaces => highdim::olivetti_like(seed).standardized(),
+            Table1::CmuFaces => highdim::cmu_faces_like(seed).standardized(),
+            Table1::Symbols => highdim::symbols_like(seed).standardized(),
+            Table1::Stickfigures => {
+                synthetic::stickfigures_sized(n / 9, 0.05, seed).max_scaled()
+            }
+            Table1::Optdigits => image::optdigits_like(n, seed).standardized(),
+            Table1::Classification => synthetic::classification(n, m, k, seed).standardized(),
+            Table1::Chameleon => synthetic::chameleon_like(n, seed).standardized(),
+            Table1::SoybeanLarge => highdim::soybean_like(seed).standardized(),
+            Table1::Blobs => synthetic::blobs(n, m, k, 1.0, seed).standardized(),
+            Table1::R15 => synthetic::r15(seed).standardized(),
+        }
+    }
+}
+
+/// Splits `k` into the factor pair `(h1, h2)`, `h1 >= h2`, `h1 * h2 = k`,
+/// with the factors as close in value as possible (e.g. 40 -> (8, 5)).
+///
+/// For prime `k` this degenerates to `(k, 1)`; the paper's datasets all
+/// have composite `k`.
+pub fn balanced_factor_pair(k: usize) -> (usize, usize) {
+    assert!(k >= 1);
+    let mut h2 = (k as f64).sqrt() as usize;
+    while h2 >= 1 {
+        if k % h2 == 0 {
+            return (k / h2, h2);
+        }
+        h2 -= 1;
+    }
+    (k, 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn factor_pairs_match_paper() {
+        assert_eq!(balanced_factor_pair(10), (5, 2));
+        assert_eq!(balanced_factor_pair(100), (10, 10));
+        assert_eq!(balanced_factor_pair(6), (3, 2));
+        assert_eq!(balanced_factor_pair(40), (8, 5));
+        assert_eq!(balanced_factor_pair(20), (5, 4));
+        assert_eq!(balanced_factor_pair(9), (3, 3));
+        assert_eq!(balanced_factor_pair(15), (5, 3));
+        assert_eq!(balanced_factor_pair(7), (7, 1)); // prime fallback
+        assert_eq!(balanced_factor_pair(1), (1, 1));
+    }
+
+    #[test]
+    fn params_ratio_column_matches_paper() {
+        // The "Params" column of Table 2 is (h1 + h2) / k.
+        let expect = [
+            (Table1::Mnist, 0.70),
+            (Table1::DoubleMnist, 0.20),
+            (Table1::Har, 0.83),
+            (Table1::OlivettiFaces, 0.33),
+            (Table1::CmuFaces, 0.45),
+            (Table1::Symbols, 0.83),
+            (Table1::Stickfigures, 0.67),
+            (Table1::Optdigits, 0.70),
+            (Table1::Classification, 0.20),
+            (Table1::Chameleon, 0.70),
+            (Table1::SoybeanLarge, 0.53),
+            (Table1::Blobs, 0.20),
+            (Table1::R15, 0.53),
+        ];
+        for (ds, ratio) in expect {
+            let (h1, h2) = ds.factor_pair();
+            let got = (h1 + h2) as f64 / ds.n_clusters() as f64;
+            // The paper rounds to two decimals (0.325 -> 0.33).
+            assert!((got - ratio).abs() <= 0.005 + 1e-12, "{}: {got} vs {ratio}", ds.name());
+        }
+    }
+
+    #[test]
+    fn reduced_scale_preserves_structure() {
+        for ds in [Table1::Optdigits, Table1::Blobs, Table1::SoybeanLarge] {
+            let loaded = ds.load(Scale::Reduced, 0);
+            let (_, m, k, _) = ds.paper_shape();
+            assert_eq!(loaded.n_features(), m, "{}", ds.name());
+            assert_eq!(loaded.n_clusters(), k, "{}", ds.name());
+            assert!(loaded.data.all_finite());
+        }
+    }
+
+    #[test]
+    fn fixed_size_datasets_ignore_reduction() {
+        // Olivetti / CMU / Soybean / R15 have small fixed n.
+        let o = Table1::OlivettiFaces.load(Scale::Reduced, 0);
+        assert_eq!(o.n_samples(), 400);
+        let r = Table1::R15.load(Scale::Reduced, 0);
+        assert_eq!(r.n_samples(), 600);
+    }
+
+    #[test]
+    fn imbalance_ratios_close_to_table() {
+        for ds in [Table1::Har, Table1::SoybeanLarge, Table1::Chameleon] {
+            let loaded = ds.load(Scale::Reduced, 1);
+            let (_, _, _, ir) = ds.paper_shape();
+            let got = loaded.imbalance_ratio();
+            assert!(
+                (got - ir).abs() < 0.15,
+                "{}: got IR {got}, paper {ir}",
+                ds.name()
+            );
+        }
+    }
+
+    #[test]
+    fn all_names_unique() {
+        let mut names = std::collections::HashSet::new();
+        for ds in Table1::ALL {
+            assert!(names.insert(ds.name()));
+        }
+        assert_eq!(names.len(), 13);
+    }
+}

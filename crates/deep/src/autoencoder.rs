@@ -1,0 +1,361 @@
+//! Fully-connected autoencoders with optional Hadamard-compressed
+//! hidden layers, pretraining, and the rank-escalation schedule.
+
+use crate::layers::{Activation, Layer};
+use crate::{DeepError, Result};
+use kr_autodiff::optim::{Adam, ParamStore};
+use kr_autodiff::{Graph, VarId};
+use kr_linalg::Matrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// How hidden layers are parameterized.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Compression {
+    /// Full dense weights everywhere (standard DKM/IDEC autoencoder).
+    None,
+    /// Hadamard-decomposed hidden weights with the given per-factor rank
+    /// (`q` factors of equal rank, Eq. 6). Input and output layers stay
+    /// dense, which the paper found important (Section 9.1).
+    Hadamard {
+        /// Number of factors `q` (paper default: 2).
+        q: usize,
+        /// Shared rank of every factor.
+        rank: usize,
+    },
+}
+
+/// A symmetric autoencoder: encoder `dims[0] -> … -> dims.last()`,
+/// decoder mirrored. Hidden activations are ReLU, the embedding and the
+/// reconstruction are linear (ClustPy convention).
+#[derive(Debug, Clone)]
+pub struct Autoencoder {
+    /// Encoder layers.
+    pub encoder: Vec<Layer>,
+    /// Decoder layers.
+    pub decoder: Vec<Layer>,
+    /// Parameter store holding all weights.
+    pub store: ParamStore,
+    /// Layer widths `[input, …, latent]`.
+    pub dims: Vec<usize>,
+    /// Compression scheme used.
+    pub compression: Compression,
+}
+
+impl Autoencoder {
+    /// Builds an autoencoder with widths `dims = [input, …, latent]`.
+    pub fn new(dims: &[usize], compression: Compression, seed: u64) -> Result<Autoencoder> {
+        if dims.len() < 2 {
+            return Err(DeepError::InvalidConfig("need at least input and latent dims".into()));
+        }
+        if dims.iter().any(|&d| d == 0) {
+            return Err(DeepError::InvalidConfig("zero-width layer".into()));
+        }
+        if let Compression::Hadamard { q, rank } = compression {
+            if q == 0 || rank == 0 {
+                return Err(DeepError::InvalidConfig("Hadamard q and rank must be >= 1".into()));
+            }
+        }
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n_enc = dims.len() - 1;
+        let mut encoder = Vec::with_capacity(n_enc);
+        for (idx, w) in dims.windows(2).enumerate() {
+            let last = idx == n_enc - 1;
+            let act = if last { Activation::Linear } else { Activation::Relu };
+            encoder.push(Self::make_layer(
+                &mut store,
+                &mut rng,
+                w[0],
+                w[1],
+                act,
+                &compression,
+                // Only the input-facing layer stays dense (Section 9.1).
+                idx == 0,
+            ));
+        }
+        let mut decoder = Vec::with_capacity(n_enc);
+        let rev: Vec<usize> = dims.iter().rev().copied().collect();
+        for (idx, w) in rev.windows(2).enumerate() {
+            let last = idx == n_enc - 1;
+            let act = if last { Activation::Linear } else { Activation::Relu };
+            decoder.push(Self::make_layer(
+                &mut store,
+                &mut rng,
+                w[0],
+                w[1],
+                act,
+                &compression,
+                // Only the output-facing layer stays dense (Section 9.1).
+                last,
+            ));
+        }
+        Ok(Autoencoder { encoder, decoder, store, dims: dims.to_vec(), compression })
+    }
+
+    fn make_layer(
+        store: &mut ParamStore,
+        rng: &mut StdRng,
+        in_dim: usize,
+        out_dim: usize,
+        act: Activation,
+        compression: &Compression,
+        force_dense: bool,
+    ) -> Layer {
+        match compression {
+            Compression::Hadamard { q, rank } if !force_dense => {
+                // Rank beyond min(in, out) adds parameters with no
+                // representational gain; clamp like the paper's init.
+                let r = (*rank).min(in_dim.min(out_dim));
+                let ranks = vec![r; *q];
+                Layer::hadamard(store, rng, in_dim, out_dim, &ranks, act)
+            }
+            _ => Layer::dense(store, rng, in_dim, out_dim, act),
+        }
+    }
+
+    /// Latent dimensionality.
+    pub fn latent_dim(&self) -> usize {
+        *self.dims.last().expect("validated dims")
+    }
+
+    /// Input dimensionality.
+    pub fn input_dim(&self) -> usize {
+        self.dims[0]
+    }
+
+    /// Total stored parameters (weights + biases).
+    pub fn n_parameters(&self) -> usize {
+        self.encoder
+            .iter()
+            .chain(self.decoder.iter())
+            .map(|l| l.n_parameters_with(&self.store))
+            .sum()
+    }
+
+    /// Builds the encoder forward pass on a tape.
+    pub fn encode_on(&self, g: &mut Graph, x: VarId) -> VarId {
+        let mut h = x;
+        for layer in &self.encoder {
+            h = layer.forward(g, &self.store, h);
+        }
+        h
+    }
+
+    /// Builds the decoder forward pass on a tape.
+    pub fn decode_on(&self, g: &mut Graph, z: VarId) -> VarId {
+        let mut h = z;
+        for layer in &self.decoder {
+            h = layer.forward(g, &self.store, h);
+        }
+        h
+    }
+
+    /// Encodes a data matrix (no gradients retained).
+    pub fn encode(&self, data: &Matrix) -> Matrix {
+        let mut g = Graph::new();
+        let x = g.input(data.clone());
+        let z = self.encode_on(&mut g, x);
+        g.value(z).clone()
+    }
+
+    /// Reconstructs a data matrix through the bottleneck.
+    pub fn reconstruct(&self, data: &Matrix) -> Matrix {
+        let mut g = Graph::new();
+        let x = g.input(data.clone());
+        let z = self.encode_on(&mut g, x);
+        let xhat = self.decode_on(&mut g, z);
+        g.value(xhat).clone()
+    }
+
+    /// Mean squared reconstruction error over `data`.
+    pub fn reconstruction_loss(&self, data: &Matrix) -> f64 {
+        let mut g = Graph::new();
+        let x = g.input(data.clone());
+        let z = self.encode_on(&mut g, x);
+        let xhat = self.decode_on(&mut g, z);
+        let loss = g.mse(xhat, x);
+        g.value(loss).get(0, 0)
+    }
+
+    /// Pretrains the autoencoder on reconstruction (Adam, MSE), returning
+    /// the per-epoch training losses.
+    pub fn pretrain(
+        &mut self,
+        data: &Matrix,
+        epochs: usize,
+        batch_size: usize,
+        lr: f64,
+        seed: u64,
+    ) -> Vec<f64> {
+        let mut adam = Adam::new(&self.store, lr);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = data.nrows();
+        let bs = batch_size.max(1).min(n);
+        let mut order: Vec<usize> = (0..n).collect();
+        let mut losses = Vec::with_capacity(epochs);
+        for _ in 0..epochs {
+            shuffle(&mut order, &mut rng);
+            let mut epoch_loss = 0.0;
+            let mut batches = 0usize;
+            for chunk in order.chunks(bs) {
+                let batch = data.select_rows(chunk);
+                let mut g = Graph::new();
+                let x = g.input(batch);
+                let z = self.encode_on(&mut g, x);
+                let xhat = self.decode_on(&mut g, z);
+                let loss = g.mse(xhat, x);
+                epoch_loss += g.value(loss).get(0, 0);
+                batches += 1;
+                g.backward(loss);
+                let grads = g.param_grads();
+                adam.step(&mut self.store, &grads);
+            }
+            losses.push(epoch_loss / batches.max(1) as f64);
+        }
+        losses
+    }
+}
+
+/// Builds a *compressed* autoencoder whose pretrain reconstruction loss
+/// matches a full reference, escalating the Hadamard rank (x2, x3, …)
+/// until it does — the schedule of Section 9.1. Returns the compressed
+/// autoencoder and the rank that sufficed.
+#[allow(clippy::too_many_arguments)]
+pub fn pretrain_compressed_matching(
+    data: &Matrix,
+    dims: &[usize],
+    q: usize,
+    initial_rank: usize,
+    full_loss: f64,
+    epochs: usize,
+    batch_size: usize,
+    lr: f64,
+    max_escalations: usize,
+    seed: u64,
+) -> Result<(Autoencoder, usize)> {
+    let mut multiplier = 1usize;
+    let mut best: Option<(Autoencoder, usize)> = None;
+    for attempt in 0..=max_escalations {
+        let rank = initial_rank * multiplier;
+        let mut ae = Autoencoder::new(dims, Compression::Hadamard { q, rank }, seed + attempt as u64)?;
+        // Paper: extra epochs after each escalation.
+        let extra = if attempt == 0 { 0 } else { epochs / 2 };
+        ae.pretrain(data, epochs + extra, batch_size, lr, seed + 100 + attempt as u64);
+        let loss = ae.reconstruction_loss(data);
+        let keep = match &best {
+            None => true,
+            Some((prev, _)) => loss < prev.reconstruction_loss(data),
+        };
+        if keep {
+            best = Some((ae, rank));
+        }
+        if loss <= full_loss {
+            break;
+        }
+        multiplier += 1;
+    }
+    Ok(best.expect("at least one attempt"))
+}
+
+pub(crate) fn shuffle(order: &mut [usize], rng: &mut StdRng) {
+    for i in (1..order.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        order.swap(i, j);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_data(n: usize, m: usize, seed: u64) -> Matrix {
+        let mut rng = StdRng::seed_from_u64(seed);
+        // Low-dimensional structure: data lies near a 2-D subspace.
+        let basis = Matrix::from_fn(2, m, |_, _| rng.gen_range(-1.0..1.0));
+        Matrix::from_fn(n, m, |i, j| {
+            let a = ((i * 7 + 3) % 11) as f64 / 11.0 - 0.5;
+            let b = ((i * 13 + 5) % 17) as f64 / 17.0 - 0.5;
+            a * basis.get(0, j) + b * basis.get(1, j)
+        })
+    }
+
+    #[test]
+    fn construction_validates() {
+        assert!(Autoencoder::new(&[8], Compression::None, 0).is_err());
+        assert!(Autoencoder::new(&[8, 0, 2], Compression::None, 0).is_err());
+        assert!(Autoencoder::new(&[8, 4], Compression::Hadamard { q: 0, rank: 2 }, 0).is_err());
+        assert!(Autoencoder::new(&[8, 4, 2], Compression::None, 0).is_ok());
+    }
+
+    #[test]
+    fn shapes_roundtrip() {
+        let ae = Autoencoder::new(&[10, 6, 3], Compression::None, 1).unwrap();
+        assert_eq!(ae.latent_dim(), 3);
+        assert_eq!(ae.input_dim(), 10);
+        let data = toy_data(7, 10, 2);
+        let z = ae.encode(&data);
+        assert_eq!(z.shape(), (7, 3));
+        let xhat = ae.reconstruct(&data);
+        assert_eq!(xhat.shape(), (7, 10));
+    }
+
+    #[test]
+    fn pretraining_reduces_loss() {
+        let data = toy_data(60, 8, 3);
+        let mut ae = Autoencoder::new(&[8, 6, 2], Compression::None, 4).unwrap();
+        let before = ae.reconstruction_loss(&data);
+        let losses = ae.pretrain(&data, 60, 16, 1e-2, 5);
+        let after = ae.reconstruction_loss(&data);
+        assert!(after < before * 0.5, "before {before}, after {after}");
+        assert!(losses.last().unwrap() < losses.first().unwrap());
+    }
+
+    #[test]
+    fn compressed_autoencoder_has_fewer_params() {
+        let full = Autoencoder::new(&[64, 32, 16, 4], Compression::None, 6).unwrap();
+        let comp =
+            Autoencoder::new(&[64, 32, 16, 4], Compression::Hadamard { q: 2, rank: 3 }, 6)
+                .unwrap();
+        assert!(
+            comp.n_parameters() < full.n_parameters(),
+            "{} !< {}",
+            comp.n_parameters(),
+            full.n_parameters()
+        );
+    }
+
+    #[test]
+    fn compressed_autoencoder_trains() {
+        let data = toy_data(60, 12, 7);
+        let mut ae =
+            Autoencoder::new(&[12, 8, 2], Compression::Hadamard { q: 2, rank: 2 }, 8).unwrap();
+        let before = ae.reconstruction_loss(&data);
+        ae.pretrain(&data, 80, 16, 1e-2, 9);
+        let after = ae.reconstruction_loss(&data);
+        assert!(after < before, "before {before}, after {after}");
+        assert!(after.is_finite());
+    }
+
+    #[test]
+    fn rank_escalation_terminates() {
+        let data = toy_data(40, 10, 10);
+        // Target loss impossible to reach -> runs out of escalations but
+        // still returns the best attempt.
+        let (ae, rank) = pretrain_compressed_matching(
+            &data,
+            &[10, 6, 2],
+            2,
+            1,
+            0.0,
+            10,
+            16,
+            1e-2,
+            2,
+            11,
+        )
+        .unwrap();
+        assert!(rank >= 1);
+        assert!(ae.reconstruction_loss(&data).is_finite());
+    }
+}

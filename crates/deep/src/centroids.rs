@@ -1,0 +1,179 @@
+//! Latent-space centroid parameterizations.
+//!
+//! Standard deep clustering stores a free `k x d` centroid matrix;
+//! Khatri-Rao deep clustering stores `p` protocentroid sets and
+//! materializes the `∏ h_l x d` grid on the tape with tiling ops, so
+//! gradients flow into the protocentroids (paper Section 7,
+//! "Reparameterization").
+
+use kr_autodiff::optim::ParamStore;
+use kr_autodiff::{Graph, ParamId, VarId};
+use kr_core::aggregator::Aggregator;
+use kr_linalg::Matrix;
+
+/// Centroid parameterization.
+#[derive(Debug, Clone)]
+pub enum CentroidParam {
+    /// Free `k x d` centroid matrix.
+    Full {
+        /// The centroid parameter.
+        pid: ParamId,
+        /// Number of centroids.
+        k: usize,
+    },
+    /// Khatri-Rao protocentroid sets (set `l` is `h_l x d`).
+    KhatriRao {
+        /// One parameter per protocentroid set.
+        pids: Vec<ParamId>,
+        /// Set cardinalities.
+        hs: Vec<usize>,
+        /// Aggregator combining the sets.
+        aggregator: Aggregator,
+    },
+}
+
+impl CentroidParam {
+    /// Registers a free centroid matrix.
+    pub fn full(store: &mut ParamStore, centroids: Matrix) -> CentroidParam {
+        let k = centroids.nrows();
+        CentroidParam::Full { pid: store.add(centroids), k }
+    }
+
+    /// Registers protocentroid sets.
+    pub fn khatri_rao(
+        store: &mut ParamStore,
+        sets: Vec<Matrix>,
+        aggregator: Aggregator,
+    ) -> CentroidParam {
+        assert!(!sets.is_empty());
+        let hs: Vec<usize> = sets.iter().map(|s| s.nrows()).collect();
+        let pids = sets.into_iter().map(|s| store.add(s)).collect();
+        CentroidParam::KhatriRao { pids, hs, aggregator }
+    }
+
+    /// Number of represented centroids.
+    pub fn n_centroids(&self) -> usize {
+        match self {
+            CentroidParam::Full { k, .. } => *k,
+            CentroidParam::KhatriRao { hs, .. } => hs.iter().product(),
+        }
+    }
+
+    /// Number of stored scalar parameters.
+    pub fn n_parameters(&self, store: &ParamStore) -> usize {
+        match self {
+            CentroidParam::Full { pid, .. } => store.get(*pid).len(),
+            CentroidParam::KhatriRao { pids, .. } => {
+                pids.iter().map(|&p| store.get(p).len()).sum()
+            }
+        }
+    }
+
+    /// Materializes the centroid grid on the tape.
+    ///
+    /// For Khatri-Rao parameters the grid is built with
+    /// `repeat_interleave`/`tile` compositions: with sets `S_0, …, S_p`
+    /// the invariant is `grid_l = agg(repeat(grid_{l-1}), tile(S_l))`,
+    /// preserving the row-major flat-index convention of
+    /// [`kr_core::operator::CentroidIndexer`].
+    pub fn materialize(&self, g: &mut Graph, store: &ParamStore) -> VarId {
+        match self {
+            CentroidParam::Full { pid, .. } => g.param(store, *pid),
+            CentroidParam::KhatriRao { pids, hs, aggregator } => {
+                let mut grid = g.param(store, pids[0]);
+                let mut rows = hs[0];
+                for (l, &pid) in pids.iter().enumerate().skip(1) {
+                    let set = g.param(store, pid);
+                    let left = g.repeat_interleave(grid, hs[l]);
+                    let right = g.tile(set, rows);
+                    grid = match aggregator {
+                        Aggregator::Sum => g.add(left, right),
+                        Aggregator::Product => g.mul(left, right),
+                    };
+                    rows *= hs[l];
+                }
+                grid
+            }
+        }
+    }
+
+    /// Current centroid values (off-tape).
+    pub fn values(&self, store: &ParamStore) -> Matrix {
+        match self {
+            CentroidParam::Full { pid, .. } => store.get(*pid).clone(),
+            CentroidParam::KhatriRao { pids, aggregator, .. } => {
+                let sets: Vec<Matrix> = pids.iter().map(|&p| store.get(p).clone()).collect();
+                kr_core::operator::khatri_rao(&sets, *aggregator).expect("validated sets")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_roundtrip() {
+        let mut store = ParamStore::new();
+        let c = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        let cp = CentroidParam::full(&mut store, c.clone());
+        assert_eq!(cp.n_centroids(), 2);
+        assert_eq!(cp.n_parameters(&store), 4);
+        assert_eq!(cp.values(&store), c);
+        let mut g = Graph::new();
+        let v = cp.materialize(&mut g, &store);
+        assert_eq!(g.value(v), &c);
+    }
+
+    #[test]
+    fn kr_materialization_matches_operator() {
+        for agg in [Aggregator::Sum, Aggregator::Product] {
+            let s1 = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+            let s2 =
+                Matrix::from_rows(&[vec![0.5, -1.0], vec![2.0, 0.25], vec![1.5, 3.0]]).unwrap();
+            let expect =
+                kr_core::operator::khatri_rao(&[s1.clone(), s2.clone()], agg).unwrap();
+            let mut store = ParamStore::new();
+            let cp = CentroidParam::khatri_rao(&mut store, vec![s1, s2], agg);
+            assert_eq!(cp.n_centroids(), 6);
+            assert_eq!(cp.n_parameters(&store), (2 + 3) * 2);
+            let mut g = Graph::new();
+            let v = cp.materialize(&mut g, &store);
+            assert!(g.value(v).sub(&expect).unwrap().max_abs() < 1e-12);
+            assert!(cp.values(&store).sub(&expect).unwrap().max_abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn kr_three_sets_materialization() {
+        let s = |vals: &[f64]| {
+            Matrix::from_rows(&vals.iter().map(|&v| vec![v]).collect::<Vec<_>>()).unwrap()
+        };
+        let sets = vec![s(&[1.0, 2.0]), s(&[10.0, 20.0]), s(&[100.0, 200.0, 300.0])];
+        let expect = kr_core::operator::khatri_rao(&sets, Aggregator::Sum).unwrap();
+        let mut store = ParamStore::new();
+        let cp = CentroidParam::khatri_rao(&mut store, sets, Aggregator::Sum);
+        let mut g = Graph::new();
+        let v = cp.materialize(&mut g, &store);
+        assert_eq!(g.value(v), &expect);
+        assert_eq!(cp.n_centroids(), 12);
+    }
+
+    #[test]
+    fn gradients_flow_to_protocentroids() {
+        let mut store = ParamStore::new();
+        let s1 = Matrix::filled(2, 2, 1.0);
+        let s2 = Matrix::filled(2, 2, 2.0);
+        let cp = CentroidParam::khatri_rao(&mut store, vec![s1, s2], Aggregator::Sum);
+        let mut g = Graph::new();
+        let grid = cp.materialize(&mut g, &store);
+        let loss = g.mean_sq(grid);
+        g.backward(loss);
+        let grads = g.param_grads();
+        assert_eq!(grads.len(), 2);
+        for (_, grad) in grads {
+            assert!(grad.max_abs() > 0.0, "protocentroid got zero gradient");
+        }
+    }
+}

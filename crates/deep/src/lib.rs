@@ -1,0 +1,58 @@
+//! # kr-deep
+//!
+//! Autoencoder-based deep clustering (paper Sections 3 and 7):
+//!
+//! * [`layers`] — dense layers and **Hadamard-factored** layers
+//!   `W = (A₁B₁) ⊙ (A₂B₂) ⊙ …` (Eq. 6), the autoencoder compression
+//!   mechanism of Khatri-Rao deep clustering.
+//! * [`autoencoder`] — fully-connected encoder/decoder stacks,
+//!   pretraining, and the rank-escalation schedule of Section 9.1.
+//! * [`losses`] — the DKM (Eq. 3) and IDEC (Eq. 4) clustering losses as
+//!   tape compositions, including the detached IDEC target distribution.
+//! * [`centroids`] — latent centroids as free parameters or as
+//!   Khatri-Rao aggregations of protocentroid sets (gradients flow into
+//!   the protocentroids through tiling ops).
+//! * [`trainer`] — the four algorithms of Table 3: `DKM`, `IDEC`,
+//!   `KR-DKM`, `KR-IDEC`, sharing one joint-training loop.
+//!
+//! Everything runs on the from-scratch [`kr_autodiff`] engine; CPU-only,
+//! f64. The paper's GPU-scale encoder (`m-1024-512-256-10`) is supported
+//! but tests and benches use smaller stacks (documented in DESIGN.md §7).
+
+pub mod autoencoder;
+pub mod centroids;
+pub mod layers;
+pub mod losses;
+pub mod trainer;
+
+pub use autoencoder::Autoencoder;
+pub use trainer::{DeepClustering, DeepModel, LossKind};
+
+/// Errors from deep-clustering entry points.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DeepError {
+    /// Input/architecture mismatch or invalid hyperparameter.
+    InvalidConfig(String),
+    /// Underlying clustering initialization failed.
+    Core(kr_core::CoreError),
+}
+
+impl std::fmt::Display for DeepError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DeepError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            DeepError::Core(e) => write!(f, "clustering initialization failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DeepError {}
+
+impl From<kr_core::CoreError> for DeepError {
+    fn from(e: kr_core::CoreError) -> Self {
+        DeepError::Core(e)
+    }
+}
+
+/// Result alias for this crate.
+pub type Result<T> = std::result::Result<T, DeepError>;

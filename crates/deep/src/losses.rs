@@ -1,0 +1,189 @@
+//! The DKM (Eq. 3) and IDEC (Eq. 4) clustering losses as tape
+//! compositions.
+
+use kr_autodiff::{Graph, VarId};
+use kr_linalg::Matrix;
+
+/// DKM loss (Fard et al. 2020, paper Eq. 3):
+/// `L = (1/n) Σ_l Σ_i ||z_l - μ_i||² softmax_i(-a ||z_l - μ_i||²)`.
+///
+/// `z` is the latent batch (`n x d`), `centroids` the (materialized)
+/// centroid grid (`k x d`), `alpha` the sharpness parameter (paper: 1000).
+pub fn dkm_loss(g: &mut Graph, z: VarId, centroids: VarId, alpha: f64) -> VarId {
+    let n = g.value(z).nrows() as f64;
+    let d2 = g.sq_dist(z, centroids);
+    let scaled = g.scale(d2, -alpha);
+    let weights = g.row_softmax(scaled);
+    let weighted = g.mul(d2, weights);
+    let total = g.sum(weighted);
+    g.scale(total, 1.0 / n)
+}
+
+/// Student-t soft assignments `q_{l,i}` of DEC/IDEC (paper Eq. 4):
+/// `q = rownorm((1 + ||z - μ||²)^(-(a+1)/2))` with `a = alpha`.
+pub fn idec_soft_assignment(g: &mut Graph, z: VarId, centroids: VarId, alpha: f64) -> VarId {
+    let d2 = g.sq_dist(z, centroids);
+    let one_plus = g.add_scalar(d2, 1.0);
+    let powed = g.pow_const(one_plus, -(alpha + 1.0) / 2.0);
+    g.row_normalize(powed)
+}
+
+/// IDEC target distribution `p_{l,i} = (q²/f_i) / Σ_j (q²/f_j)` with
+/// `f_i = Σ_l q_{l,i}`, computed **off-tape** (the target is treated as a
+/// constant during backpropagation, as in DEC/IDEC).
+pub fn idec_target_distribution(q: &Matrix) -> Matrix {
+    let (n, k) = q.shape();
+    let mut f = vec![0.0f64; k];
+    for row in q.rows_iter() {
+        for (fi, &qi) in f.iter_mut().zip(row) {
+            *fi += qi;
+        }
+    }
+    let mut p = Matrix::zeros(n, k);
+    for i in 0..n {
+        let qrow = q.row(i);
+        let prow = p.row_mut(i);
+        let mut sum = 0.0;
+        for ((pv, &qv), &fv) in prow.iter_mut().zip(qrow).zip(f.iter()) {
+            *pv = if fv > 0.0 { qv * qv / fv } else { 0.0 };
+            sum += *pv;
+        }
+        if sum > 0.0 {
+            for pv in prow.iter_mut() {
+                *pv /= sum;
+            }
+        }
+    }
+    p
+}
+
+/// IDEC loss: `KL(P || Q) / n = (1/n) Σ p log(p/q)` with detached target
+/// `p` (passed as a plain matrix) and on-tape `q`.
+pub fn idec_loss(g: &mut Graph, q: VarId, target_p: &Matrix) -> VarId {
+    let n = target_p.nrows() as f64;
+    // Precompute p ⊙ log p off-tape (constant) and subtract p ⊙ log q.
+    let p_log_p: f64 = target_p
+        .as_slice()
+        .iter()
+        .map(|&p| if p > 0.0 { p * p.ln() } else { 0.0 })
+        .sum();
+    let p_const = g.input(target_p.clone());
+    let log_q = g.ln(q);
+    let cross = g.mul(p_const, log_q);
+    let cross_sum = g.sum(cross);
+    // KL = Σ p log p - Σ p log q; the first term is constant but kept so
+    // the reported loss value matches the definition.
+    let neg_cross = g.scale(cross_sum, -1.0 / n);
+    g.add_scalar(neg_cross, p_log_p / n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_z_and_centroids() -> (Matrix, Matrix) {
+        let z = Matrix::from_rows(&[
+            vec![0.0, 0.0],
+            vec![0.1, 0.0],
+            vec![5.0, 5.0],
+            vec![5.1, 5.0],
+        ])
+        .unwrap();
+        let c = Matrix::from_rows(&[vec![0.0, 0.0], vec![5.0, 5.0]]).unwrap();
+        (z, c)
+    }
+
+    #[test]
+    fn dkm_loss_near_zero_for_tight_clusters() {
+        let (z, c) = toy_z_and_centroids();
+        let mut g = Graph::new();
+        let zv = g.input(z);
+        let cv = g.input(c);
+        let loss = dkm_loss(&mut g, zv, cv, 1000.0);
+        let v = g.value(loss).get(0, 0);
+        assert!(v < 0.01, "loss {v}");
+        assert!(v >= 0.0);
+    }
+
+    #[test]
+    fn dkm_loss_larger_for_bad_centroids() {
+        let (z, c) = toy_z_and_centroids();
+        let bad = Matrix::from_rows(&[vec![10.0, 10.0], vec![-10.0, -10.0]]).unwrap();
+        let mut g = Graph::new();
+        let zv = g.input(z.clone());
+        let cv = g.input(c);
+        let bv = g.input(bad);
+        let good = dkm_loss(&mut g, zv, cv, 1.0);
+        let good_loss = g.value(good).get(0, 0);
+        let bad_mat = g.value(bv).clone();
+        let mut g2 = Graph::new();
+        let zv2 = g2.input(z);
+        let bv2 = g2.input(bad_mat);
+        let bad = dkm_loss(&mut g2, zv2, bv2, 1.0);
+        let bad_loss = g2.value(bad).get(0, 0);
+        assert!(bad_loss > good_loss);
+    }
+
+    #[test]
+    fn soft_assignments_are_distributions() {
+        let (z, c) = toy_z_and_centroids();
+        let mut g = Graph::new();
+        let zv = g.input(z);
+        let cv = g.input(c);
+        let q = idec_soft_assignment(&mut g, zv, cv, 1.0);
+        let qm = g.value(q);
+        for i in 0..qm.nrows() {
+            let s: f64 = qm.row(i).iter().sum();
+            assert!((s - 1.0).abs() < 1e-9);
+        }
+        // Points near centroid 0 prefer it.
+        assert!(qm.get(0, 0) > 0.9);
+        assert!(qm.get(2, 1) > 0.9);
+    }
+
+    #[test]
+    fn target_distribution_sharpens_q() {
+        // Balanced cluster frequencies isolate the squaring effect: the
+        // dominant entry of each row must grow.
+        let q = Matrix::from_rows(&[vec![0.7, 0.3], vec![0.3, 0.7]]).unwrap();
+        let p = idec_target_distribution(&q);
+        for i in 0..2 {
+            let s: f64 = p.row(i).iter().sum();
+            assert!((s - 1.0).abs() < 1e-9);
+        }
+        assert!(p.get(0, 0) > q.get(0, 0));
+        assert!(p.get(1, 1) > q.get(1, 1));
+        // With unbalanced frequencies, the f_i correction re-weights
+        // toward rare clusters (DEC's bias correction) — row sums stay 1.
+        let q2 = Matrix::from_rows(&[vec![0.9, 0.1], vec![0.8, 0.2]]).unwrap();
+        let p2 = idec_target_distribution(&q2);
+        for i in 0..2 {
+            let s: f64 = p2.row(i).iter().sum();
+            assert!((s - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn idec_loss_zero_when_q_equals_p() {
+        let (z, c) = toy_z_and_centroids();
+        let mut g = Graph::new();
+        let zv = g.input(z);
+        let cv = g.input(c);
+        let q = idec_soft_assignment(&mut g, zv, cv, 1.0);
+        let qm = g.value(q).clone();
+        let loss_same = {
+            let mut g2 = Graph::new();
+            let q2 = g2.input(qm.clone());
+            let l = idec_loss(&mut g2, q2, &qm);
+            g2.value(l).get(0, 0)
+        };
+        assert!(loss_same.abs() < 1e-9, "KL(q||q) = {loss_same}");
+        // KL against the sharpened target is positive.
+        let p = idec_target_distribution(&qm);
+        let mut g3 = Graph::new();
+        let q3 = g3.input(qm);
+        let lp = idec_loss(&mut g3, q3, &p);
+        let loss_p = g3.value(lp).get(0, 0);
+        assert!(loss_p > 0.0);
+    }
+}

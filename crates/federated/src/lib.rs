@@ -1,0 +1,462 @@
+//! # kr-federated
+//!
+//! Federated k-Means (`FkM`, after Garst & Reinders 2024) and its
+//! Khatri-Rao extension `KR-FkM` (paper Section 9.4, Figure 10), with
+//! byte-accurate accounting of server→client communication.
+//!
+//! Protocol (both algorithms, per round):
+//!
+//! 1. **Broadcast** — the server sends the current summary to every
+//!    client: `k·m` floats for `FkM`, `(Σ h_l)·m` floats for `KR-FkM`.
+//!    This is the *downlink* cost plotted in Figure 10.
+//! 2. **Local statistics** — each client assigns its points to the
+//!    nearest (aggregated) centroid and uploads per-cluster coordinate
+//!    sums and counts.
+//! 3. **Server update** — aggregated statistics drive the exact k-Means
+//!    mean update, or the Proposition 6.1 closed forms
+//!    ([`kr_core::kr_kmeans::prop61_update_from_stats`]) for `KR-FkM`.
+//!
+//! Because the closed forms need only sufficient statistics, one
+//! federated round is mathematically identical to one centralized Lloyd /
+//! KR-k-Means iteration — verified by the equivalence tests below.
+
+use kr_core::aggregator::Aggregator;
+use kr_core::kr_kmeans::prop61_update_from_stats;
+use kr_core::operator::khatri_rao;
+use kr_core::{CoreError, Result};
+use kr_linalg::{ops, Matrix};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Bytes per f64 on the wire (plain little-endian framing).
+pub const BYTES_PER_F64: usize = 8;
+
+/// A client's private data shard.
+#[derive(Debug, Clone)]
+pub struct Client {
+    /// The shard (never leaves the client).
+    pub data: Matrix,
+}
+
+/// Per-round telemetry shared by both algorithms.
+#[derive(Debug, Clone)]
+pub struct RoundStats {
+    /// Round index (0-based).
+    pub round: usize,
+    /// Cumulative server→client bytes after this round's broadcast.
+    pub downlink_bytes: usize,
+    /// Cumulative client→server bytes after this round's upload.
+    pub uplink_bytes: usize,
+    /// Global inertia of the model *after* this round's update.
+    pub inertia: f64,
+}
+
+/// Result of a federated run.
+#[derive(Debug, Clone)]
+pub struct FederatedModel {
+    /// Final centroid grid.
+    pub centroids: Matrix,
+    /// Telemetry per round.
+    pub history: Vec<RoundStats>,
+}
+
+/// Federated k-Means.
+#[derive(Debug, Clone)]
+pub struct FkM {
+    /// Number of centroids.
+    pub k: usize,
+    /// Communication rounds.
+    pub rounds: usize,
+    /// RNG seed (drives initialization).
+    pub seed: u64,
+}
+
+/// Federated Khatri-Rao k-Means.
+#[derive(Debug, Clone)]
+pub struct KrFkM {
+    /// Protocentroid set sizes.
+    pub hs: Vec<usize>,
+    /// Aggregator.
+    pub aggregator: Aggregator,
+    /// Communication rounds.
+    pub rounds: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl FkM {
+    /// Runs the protocol over the clients.
+    pub fn run(&self, clients: &[Client]) -> Result<FederatedModel> {
+        let m = check_clients(clients)?;
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut centroids = dsq_sample_across_clients(clients, self.k, &mut rng)?;
+        let mut history = Vec::with_capacity(self.rounds);
+        let (mut down, mut up) = (0usize, 0usize);
+        for round in 0..self.rounds {
+            down += clients.len() * self.k * m * BYTES_PER_F64;
+            let (sums, counts) = gather_stats(clients, &centroids);
+            up += clients.len() * (self.k * m + self.k) * BYTES_PER_F64;
+            for c in 0..self.k {
+                if counts[c] == 0 {
+                    continue; // keep stale centroid; no raw data server-side
+                }
+                let inv = 1.0 / counts[c] as f64;
+                let src = sums.row(c);
+                for (dst, &s) in centroids.row_mut(c).iter_mut().zip(src) {
+                    *dst = s * inv;
+                }
+            }
+            history.push(RoundStats {
+                round,
+                downlink_bytes: down,
+                uplink_bytes: up,
+                inertia: global_inertia(clients, &centroids),
+            });
+        }
+        Ok(FederatedModel { centroids, history })
+    }
+}
+
+impl KrFkM {
+    /// Runs the protocol over the clients.
+    pub fn run(&self, clients: &[Client]) -> Result<FederatedModel> {
+        let m = check_clients(clients)?;
+        if self.hs.is_empty() || self.hs.iter().any(|&h| h == 0) {
+            return Err(CoreError::InvalidConfig("set sizes must be >= 1".into()));
+        }
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        // Anchored kr++-style initialization executed with a one-off
+        // sampling round (not counted: identical bookkeeping for both
+        // algorithms): D²-spread client points per set; sets beyond the
+        // first are converted to deviations from the global mean so the
+        // initial aggregations sit on the data manifold.
+        let mean = global_mean(clients, m);
+        let mut sets: Vec<Matrix> = Vec::with_capacity(self.hs.len());
+        for (l, &h) in self.hs.iter().enumerate() {
+            let mut set = dsq_sample_across_clients(clients, h, &mut rng)?;
+            if l > 0 {
+                for j in 0..set.nrows() {
+                    let row = set.row_mut(j);
+                    for (v, &g) in row.iter_mut().zip(mean.iter()) {
+                        match self.aggregator {
+                            Aggregator::Sum => *v -= g,
+                            Aggregator::Product => {
+                                if g.abs() > 1e-9 {
+                                    *v /= g;
+                                } else {
+                                    *v = 1.0;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            sets.push(set);
+        }
+        let k: usize = self.hs.iter().product();
+        let params: usize = self.hs.iter().sum::<usize>() * m;
+        let mut history = Vec::with_capacity(self.rounds);
+        let (mut down, mut up) = (0usize, 0usize);
+        let mut centroids = khatri_rao(&sets, self.aggregator).expect("validated sets");
+        for round in 0..self.rounds {
+            // Downlink: only the protocentroids travel.
+            down += clients.len() * params * BYTES_PER_F64;
+            let (sums, counts) = gather_stats(clients, &centroids);
+            up += clients.len() * (k * m + k) * BYTES_PER_F64;
+            prop61_update_from_stats(&sums, &counts, &mut sets, self.aggregator);
+            centroids = khatri_rao(&sets, self.aggregator).expect("validated sets");
+            history.push(RoundStats {
+                round,
+                downlink_bytes: down,
+                uplink_bytes: up,
+                inertia: global_inertia(clients, &centroids),
+            });
+        }
+        Ok(FederatedModel { centroids, history })
+    }
+}
+
+fn check_clients(clients: &[Client]) -> Result<usize> {
+    if clients.is_empty() || clients.iter().all(|c| c.data.nrows() == 0) {
+        return Err(CoreError::EmptyInput);
+    }
+    let m = clients
+        .iter()
+        .find(|c| c.data.nrows() > 0)
+        .map(|c| c.data.ncols())
+        .expect("non-empty");
+    for c in clients {
+        if c.data.nrows() > 0 && c.data.ncols() != m {
+            return Err(CoreError::InvalidConfig("client dimension mismatch".into()));
+        }
+        if !c.data.all_finite() {
+            return Err(CoreError::NonFiniteInput);
+        }
+    }
+    Ok(m)
+}
+
+/// D²-weighted (k-means++-style) seeding across client shards: clients
+/// report their points' squared distances to the chosen seeds; the
+/// server samples the next seed proportionally.
+fn dsq_sample_across_clients(
+    clients: &[Client],
+    count: usize,
+    rng: &mut StdRng,
+) -> Result<Matrix> {
+    let total: usize = clients.iter().map(|c| c.data.nrows()).sum();
+    if total < count {
+        return Err(CoreError::TooFewPoints { available: total, required: count });
+    }
+    let m = check_clients(clients)?;
+    let mut seeds = Matrix::zeros(count, m);
+    // First seed uniform.
+    let mut pick = rng.gen_range(0..total);
+    for c in clients {
+        if pick < c.data.nrows() {
+            seeds.row_mut(0).copy_from_slice(c.data.row(pick));
+            break;
+        }
+        pick -= c.data.nrows();
+    }
+    // Running min squared distance per (client-local) point.
+    let mut d2: Vec<Vec<f64>> = clients
+        .iter()
+        .map(|c| {
+            c.data
+                .rows_iter()
+                .map(|x| ops::sqdist(x, seeds.row(0)))
+                .collect()
+        })
+        .collect();
+    for s in 1..count {
+        let grand: f64 = d2.iter().flat_map(|v| v.iter()).sum();
+        let mut target = if grand > 0.0 { rng.gen_range(0.0..grand) } else { 0.0 };
+        let mut chosen: Option<(usize, usize)> = None;
+        'outer: for (ci, dists) in d2.iter().enumerate() {
+            for (pi, &w) in dists.iter().enumerate() {
+                if grand <= 0.0 || target < w {
+                    chosen = Some((ci, pi));
+                    break 'outer;
+                }
+                target -= w;
+            }
+        }
+        let (ci, pi) = chosen.unwrap_or((0, 0));
+        seeds.row_mut(s).copy_from_slice(clients[ci].data.row(pi));
+        for (c, dists) in clients.iter().zip(d2.iter_mut()) {
+            for (x, d) in c.data.rows_iter().zip(dists.iter_mut()) {
+                let nd = ops::sqdist(x, seeds.row(s));
+                if nd < *d {
+                    *d = nd;
+                }
+            }
+        }
+    }
+    Ok(seeds)
+}
+
+/// Global feature mean aggregated from client sums/counts.
+fn global_mean(clients: &[Client], m: usize) -> Vec<f64> {
+    let mut sum = vec![0.0f64; m];
+    let mut n = 0usize;
+    for c in clients {
+        for x in c.data.rows_iter() {
+            ops::add_assign(&mut sum, x);
+        }
+        n += c.data.nrows();
+    }
+    if n > 0 {
+        ops::scale_assign(&mut sum, 1.0 / n as f64);
+    }
+    sum
+}
+
+/// Each client computes per-cluster sums and counts locally; the server
+/// aggregates them.
+fn gather_stats(clients: &[Client], centroids: &Matrix) -> (Matrix, Vec<usize>) {
+    let k = centroids.nrows();
+    let m = centroids.ncols();
+    let mut sums = Matrix::zeros(k, m);
+    let mut counts = vec![0usize; k];
+    for client in clients {
+        for x in client.data.rows_iter() {
+            let mut best = 0usize;
+            let mut best_d = f64::INFINITY;
+            for (c, crow) in centroids.rows_iter().enumerate() {
+                let d = ops::sqdist(x, crow);
+                if d < best_d {
+                    best_d = d;
+                    best = c;
+                }
+            }
+            ops::add_assign(sums.row_mut(best), x);
+            counts[best] += 1;
+        }
+    }
+    (sums, counts)
+}
+
+/// Inertia over all client shards (evaluation only; in a real deployment
+/// this is assembled from client-reported partial inertias).
+pub fn global_inertia(clients: &[Client], centroids: &Matrix) -> f64 {
+    clients
+        .iter()
+        .map(|c| {
+            if c.data.nrows() == 0 {
+                0.0
+            } else {
+                kr_metrics_inertia(&c.data, centroids)
+            }
+        })
+        .sum()
+}
+
+fn kr_metrics_inertia(data: &Matrix, centroids: &Matrix) -> f64 {
+    data.rows_iter()
+        .map(|x| {
+            centroids
+                .rows_iter()
+                .map(|c| ops::sqdist(x, c))
+                .fold(f64::INFINITY, f64::min)
+        })
+        .sum()
+}
+
+/// Splits a dataset into `n_clients` shards according to a client
+/// assignment vector (e.g. from `kr_datasets::image::femnist_like`).
+pub fn shard_by_assignment(data: &Matrix, client_of: &[usize], n_clients: usize) -> Vec<Client> {
+    assert_eq!(data.nrows(), client_of.len());
+    let mut buckets: Vec<Vec<usize>> = vec![Vec::new(); n_clients];
+    for (i, &c) in client_of.iter().enumerate() {
+        buckets[c].push(i);
+    }
+    buckets
+        .into_iter()
+        .map(|idx| Client { data: data.select_rows(&idx) })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn make_clients(n_clients: usize, seed: u64) -> (Vec<Client>, Matrix) {
+        let ds = kr_datasets::synthetic::blobs(200, 2, 4, 0.4, seed);
+        let client_of: Vec<usize> = (0..ds.data.nrows()).map(|i| i % n_clients).collect();
+        let clients = shard_by_assignment(&ds.data, &client_of, n_clients);
+        (clients, ds.data)
+    }
+
+    #[test]
+    fn fkm_converges_on_blobs() {
+        let (clients, data) = make_clients(5, 1);
+        let model = FkM { k: 4, rounds: 15, seed: 2 }.run(&clients).unwrap();
+        let first = model.history.first().unwrap().inertia;
+        let last = model.history.last().unwrap().inertia;
+        assert!(last <= first);
+        // Inertia should be near the centralized solution's ballpark.
+        let central = kr_core::kmeans::KMeans::new(4)
+            .with_n_init(10)
+            .with_seed(3)
+            .fit(&data)
+            .unwrap();
+        assert!(last < central.inertia * 5.0, "federated {last} vs central {}", central.inertia);
+    }
+
+    #[test]
+    fn fkm_single_client_matches_lloyd_iteration_count() {
+        // With one client, a round is exactly one Lloyd iteration: the
+        // inertia sequence must be monotone.
+        let (clients, _) = make_clients(1, 4);
+        let model = FkM { k: 4, rounds: 10, seed: 5 }.run(&clients).unwrap();
+        for w in model.history.windows(2) {
+            assert!(w[1].inertia <= w[0].inertia + 1e-9);
+        }
+    }
+
+    #[test]
+    fn kr_fkm_runs_and_improves() {
+        let (clients, _) = make_clients(5, 6);
+        let model = KrFkM {
+            hs: vec![2, 2],
+            aggregator: Aggregator::Sum,
+            rounds: 15,
+            seed: 7,
+        }
+        .run(&clients)
+        .unwrap();
+        let first = model.history.first().unwrap().inertia;
+        let last = model.history.last().unwrap().inertia;
+        assert!(last <= first * 1.001, "{first} -> {last}");
+        assert_eq!(model.centroids.nrows(), 4);
+    }
+
+    #[test]
+    fn downlink_cost_favors_kr() {
+        let (clients, _) = make_clients(4, 8);
+        let fkm = FkM { k: 9, rounds: 5, seed: 9 }.run(&clients).unwrap();
+        let kr = KrFkM {
+            hs: vec![3, 3],
+            aggregator: Aggregator::Product,
+            rounds: 5,
+            seed: 9,
+        }
+        .run(&clients)
+        .unwrap();
+        let f_down = fkm.history.last().unwrap().downlink_bytes;
+        let k_down = kr.history.last().unwrap().downlink_bytes;
+        // 6 vectors vs 9 vectors per broadcast: exactly 2/3 the bytes.
+        assert_eq!(k_down * 9, f_down * 6, "kr {k_down} vs fkm {f_down}");
+    }
+
+    #[test]
+    fn sharding_is_lossless() {
+        let ds = kr_datasets::synthetic::blobs(50, 3, 2, 1.0, 10);
+        let client_of: Vec<usize> = (0..50).map(|i| i % 3).collect();
+        let clients = shard_by_assignment(&ds.data, &client_of, 3);
+        let total: usize = clients.iter().map(|c| c.data.nrows()).sum();
+        assert_eq!(total, 50);
+        assert_eq!(clients.len(), 3);
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        assert!(FkM { k: 2, rounds: 1, seed: 0 }.run(&[]).is_err());
+        let tiny = vec![Client { data: Matrix::zeros(1, 2) }];
+        assert!(matches!(
+            FkM { k: 5, rounds: 1, seed: 0 }.run(&tiny),
+            Err(CoreError::TooFewPoints { .. })
+        ));
+        let mismatched = vec![
+            Client { data: Matrix::zeros(3, 2) },
+            Client { data: Matrix::zeros(3, 3) },
+        ];
+        assert!(FkM { k: 2, rounds: 1, seed: 0 }.run(&mismatched).is_err());
+    }
+
+    #[test]
+    fn federated_stats_update_matches_centralized_pass() {
+        // One KR-FkM round from a fixed state == one centralized
+        // Prop. 6.1 pass with the same assignments.
+        let ds = kr_datasets::synthetic::blobs(80, 2, 4, 0.5, 11);
+        let client_of: Vec<usize> = (0..80).map(|i| i % 4).collect();
+        let clients = shard_by_assignment(&ds.data, &client_of, 4);
+        let sets = vec![
+            Matrix::from_rows(&[vec![1.0, 0.0], vec![-1.0, 2.0]]).unwrap(),
+            Matrix::from_rows(&[vec![0.5, 0.5], vec![2.0, -2.0]]).unwrap(),
+        ];
+        let centroids = khatri_rao(&sets, Aggregator::Sum).unwrap();
+        // Centralized: labels + prop61 pass over the pooled data.
+        let labels = kr_metrics::internal::nearest_assignments(&ds.data, &centroids);
+        let mut central = sets.clone();
+        kr_core::kr_kmeans::prop61_update_pass(&ds.data, &labels, &mut central, Aggregator::Sum, 0);
+        // Federated: aggregate client stats, update from stats.
+        let (sums, counts) = gather_stats(&clients, &centroids);
+        let mut fed = sets.clone();
+        prop61_update_from_stats(&sums, &counts, &mut fed, Aggregator::Sum);
+        for (a, b) in central.iter().zip(fed.iter()) {
+            assert!(a.sub(b).unwrap().max_abs() < 1e-9, "central != federated");
+        }
+    }
+}

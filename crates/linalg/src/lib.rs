@@ -1,0 +1,61 @@
+//! # kr-linalg
+//!
+//! Dense row-major matrix and vector kernels used throughout the
+//! Khatri-Rao clustering workspace.
+//!
+//! The approved offline crate set for this reproduction does not include
+//! `ndarray` or `nalgebra`, so the numeric substrate is hand-rolled. The
+//! design goals, in order:
+//!
+//! 1. **Correctness** — every kernel has unit tests and the algebraic
+//!    identities are property-tested.
+//! 2. **Cache-friendliness on the hot paths** — clustering spends almost
+//!    all of its time in pairwise squared-distance evaluation and
+//!    accumulation loops, so those are written over contiguous row slices
+//!    (`ikj` matmul ordering, fused distance kernels).
+//! 3. **Zero `unsafe`** — bounds checks are avoided structurally (slices
+//!    hoisted out of loops) rather than with `get_unchecked`.
+//!
+//! The central type is [`Matrix`], a dense row-major `f64` matrix. Free
+//! functions over `&[f64]` slices live in [`ops`]. A tiny chunked
+//! thread-parallel helper lives in [`parallel`].
+
+pub mod matrix;
+pub mod ops;
+pub mod parallel;
+
+pub use matrix::Matrix;
+
+/// Errors produced by shape-checked linear-algebra entry points.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LinalgError {
+    /// Operand shapes are incompatible for the requested operation.
+    ShapeMismatch {
+        /// Human-readable description of the operation.
+        op: &'static str,
+        /// Shape of the left/first operand.
+        lhs: (usize, usize),
+        /// Shape of the right/second operand.
+        rhs: (usize, usize),
+    },
+    /// A dimension that must be non-zero was zero.
+    EmptyDimension(&'static str),
+}
+
+impl std::fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LinalgError::ShapeMismatch { op, lhs, rhs } => write!(
+                f,
+                "shape mismatch in {op}: lhs {}x{}, rhs {}x{}",
+                lhs.0, lhs.1, rhs.0, rhs.1
+            ),
+            LinalgError::EmptyDimension(what) => write!(f, "dimension must be non-zero: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}
+
+/// Convenience alias for results in this crate.
+pub type Result<T> = std::result::Result<T, LinalgError>;

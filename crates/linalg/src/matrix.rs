@@ -1,0 +1,684 @@
+//! Dense row-major `f64` matrix.
+
+use crate::{LinalgError, Result};
+
+/// A dense, row-major matrix of `f64`.
+///
+/// Rows are stored contiguously, so [`Matrix::row`] returns a plain slice
+/// and the hot clustering kernels iterate over contiguous memory.
+///
+/// ```
+/// use kr_linalg::Matrix;
+/// let m = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+/// assert_eq!(m.shape(), (2, 2));
+/// assert_eq!(m.get(1, 0), 3.0);
+/// assert_eq!(m.row(0), &[1.0, 2.0]);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates a `rows x cols` matrix filled with zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Creates a `rows x cols` matrix filled with `value`.
+    pub fn filled(rows: usize, cols: usize, value: f64) -> Self {
+        Matrix { rows, cols, data: vec![value; rows * cols] }
+    }
+
+    /// Creates the `n x n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m.set(i, i, 1.0);
+        }
+        m
+    }
+
+    /// Builds a matrix from a flat row-major buffer.
+    ///
+    /// Returns an error if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Result<Self> {
+        if data.len() != rows * cols {
+            return Err(LinalgError::ShapeMismatch {
+                op: "from_vec",
+                lhs: (rows, cols),
+                rhs: (data.len(), 1),
+            });
+        }
+        Ok(Matrix { rows, cols, data })
+    }
+
+    /// Builds a matrix from a slice of equal-length rows.
+    pub fn from_rows(rows: &[Vec<f64>]) -> Result<Self> {
+        if rows.is_empty() {
+            return Err(LinalgError::EmptyDimension("from_rows: no rows"));
+        }
+        let cols = rows[0].len();
+        if cols == 0 {
+            return Err(LinalgError::EmptyDimension("from_rows: zero-width rows"));
+        }
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for r in rows {
+            if r.len() != cols {
+                return Err(LinalgError::ShapeMismatch {
+                    op: "from_rows",
+                    lhs: (rows.len(), cols),
+                    rhs: (1, r.len()),
+                });
+            }
+            data.extend_from_slice(r);
+        }
+        Ok(Matrix { rows: rows.len(), cols, data })
+    }
+
+    /// Builds a matrix by evaluating `f(row, col)` at every position.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                data.push(f(i, j));
+            }
+        }
+        Matrix { rows, cols, data }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn nrows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn ncols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)` pair.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Total number of stored elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the matrix stores zero elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Element at `(i, j)`. Panics if out of bounds.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        self.data[i * self.cols + j]
+    }
+
+    /// Sets element at `(i, j)`. Panics if out of bounds.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, v: f64) {
+        debug_assert!(i < self.rows && j < self.cols);
+        self.data[i * self.cols + j] = v;
+    }
+
+    /// Row `i` as a contiguous slice.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f64] {
+        let c = self.cols;
+        &self.data[i * c..(i + 1) * c]
+    }
+
+    /// Row `i` as a mutable contiguous slice.
+    #[inline]
+    pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
+        let c = self.cols;
+        &mut self.data[i * c..(i + 1) * c]
+    }
+
+    /// Iterator over row slices.
+    pub fn rows_iter(&self) -> impl Iterator<Item = &[f64]> {
+        self.data.chunks_exact(self.cols)
+    }
+
+    /// The flat row-major buffer.
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// The flat row-major buffer, mutable.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Consumes the matrix, returning its buffer.
+    pub fn into_vec(self) -> Vec<f64> {
+        self.data
+    }
+
+    /// Copies column `j` into a new vector.
+    pub fn col(&self, j: usize) -> Vec<f64> {
+        (0..self.rows).map(|i| self.get(i, j)).collect()
+    }
+
+    /// Returns a new matrix containing the listed rows (in order).
+    pub fn select_rows(&self, indices: &[usize]) -> Matrix {
+        let mut out = Matrix::zeros(indices.len(), self.cols);
+        for (dst, &src) in indices.iter().enumerate() {
+            out.row_mut(dst).copy_from_slice(self.row(src));
+        }
+        out
+    }
+
+    /// Vertically stacks `self` on top of `other`.
+    pub fn vstack(&self, other: &Matrix) -> Result<Matrix> {
+        if self.cols != other.cols {
+            return Err(LinalgError::ShapeMismatch {
+                op: "vstack",
+                lhs: self.shape(),
+                rhs: other.shape(),
+            });
+        }
+        let mut data = Vec::with_capacity((self.rows + other.rows) * self.cols);
+        data.extend_from_slice(&self.data);
+        data.extend_from_slice(&other.data);
+        Ok(Matrix { rows: self.rows + other.rows, cols: self.cols, data })
+    }
+
+    /// Horizontally concatenates `self` with `other` (row-wise concat).
+    pub fn hstack(&self, other: &Matrix) -> Result<Matrix> {
+        if self.rows != other.rows {
+            return Err(LinalgError::ShapeMismatch {
+                op: "hstack",
+                lhs: self.shape(),
+                rhs: other.shape(),
+            });
+        }
+        let cols = self.cols + other.cols;
+        let mut out = Matrix::zeros(self.rows, cols);
+        for i in 0..self.rows {
+            out.row_mut(i)[..self.cols].copy_from_slice(self.row(i));
+            out.row_mut(i)[self.cols..].copy_from_slice(other.row(i));
+        }
+        Ok(out)
+    }
+
+    /// Transposed copy.
+    pub fn transpose(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            let src = self.row(i);
+            for (j, &v) in src.iter().enumerate() {
+                out.data[j * self.rows + i] = v;
+            }
+        }
+        out
+    }
+
+    /// Matrix product `self * rhs` using the cache-friendly `ikj` loop
+    /// ordering (the inner loop walks contiguous rows of both the output
+    /// and `rhs`).
+    pub fn matmul(&self, rhs: &Matrix) -> Result<Matrix> {
+        if self.cols != rhs.rows {
+            return Err(LinalgError::ShapeMismatch {
+                op: "matmul",
+                lhs: self.shape(),
+                rhs: rhs.shape(),
+            });
+        }
+        let (m, k, n) = (self.rows, self.cols, rhs.cols);
+        let mut out = Matrix::zeros(m, n);
+        for i in 0..m {
+            let a_row = self.row(i);
+            let out_row = &mut out.data[i * n..(i + 1) * n];
+            for (p, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let b_row = &rhs.data[p * n..(p + 1) * n];
+                for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
+                    *o += a * b;
+                }
+            }
+        }
+        let _ = k;
+        Ok(out)
+    }
+
+    /// Matrix product `self * rhs.transpose()` without materializing the
+    /// transpose: both operands are walked along contiguous rows, which is
+    /// the natural layout for `X * C^T` pairwise-dot computations.
+    pub fn matmul_transpose_b(&self, rhs: &Matrix) -> Result<Matrix> {
+        if self.cols != rhs.cols {
+            return Err(LinalgError::ShapeMismatch {
+                op: "matmul_transpose_b",
+                lhs: self.shape(),
+                rhs: rhs.shape(),
+            });
+        }
+        let (m, n) = (self.rows, rhs.rows);
+        let mut out = Matrix::zeros(m, n);
+        for i in 0..m {
+            let a_row = self.row(i);
+            let out_row = out.row_mut(i);
+            for (j, o) in out_row.iter_mut().enumerate() {
+                *o = crate::ops::dot(a_row, rhs.row(j));
+            }
+        }
+        Ok(out)
+    }
+
+    /// Matrix product `self.transpose() * rhs` without materializing the
+    /// transpose.
+    pub fn matmul_transpose_a(&self, rhs: &Matrix) -> Result<Matrix> {
+        if self.rows != rhs.rows {
+            return Err(LinalgError::ShapeMismatch {
+                op: "matmul_transpose_a",
+                lhs: self.shape(),
+                rhs: rhs.shape(),
+            });
+        }
+        let (m, n) = (self.cols, rhs.cols);
+        let mut out = Matrix::zeros(m, n);
+        for p in 0..self.rows {
+            let a_row = self.row(p);
+            let b_row = rhs.row(p);
+            for (i, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let out_row = &mut out.data[i * n..(i + 1) * n];
+                for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
+                    *o += a * b;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Elementwise (Hadamard) product.
+    pub fn hadamard(&self, rhs: &Matrix) -> Result<Matrix> {
+        self.zip_with(rhs, "hadamard", |a, b| a * b)
+    }
+
+    /// Elementwise sum.
+    pub fn add(&self, rhs: &Matrix) -> Result<Matrix> {
+        self.zip_with(rhs, "add", |a, b| a + b)
+    }
+
+    /// Elementwise difference.
+    pub fn sub(&self, rhs: &Matrix) -> Result<Matrix> {
+        self.zip_with(rhs, "sub", |a, b| a - b)
+    }
+
+    /// Elementwise combination with a custom op.
+    pub fn zip_with(
+        &self,
+        rhs: &Matrix,
+        op: &'static str,
+        mut f: impl FnMut(f64, f64) -> f64,
+    ) -> Result<Matrix> {
+        if self.shape() != rhs.shape() {
+            return Err(LinalgError::ShapeMismatch { op, lhs: self.shape(), rhs: rhs.shape() });
+        }
+        let data = self
+            .data
+            .iter()
+            .zip(rhs.data.iter())
+            .map(|(&a, &b)| f(a, b))
+            .collect();
+        Ok(Matrix { rows: self.rows, cols: self.cols, data })
+    }
+
+    /// Elementwise map producing a new matrix.
+    pub fn map(&self, mut f: impl FnMut(f64) -> f64) -> Matrix {
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&v| f(v)).collect(),
+        }
+    }
+
+    /// Elementwise map in place.
+    pub fn map_inplace(&mut self, mut f: impl FnMut(f64) -> f64) {
+        for v in &mut self.data {
+            *v = f(*v);
+        }
+    }
+
+    /// Scales every element by `s`.
+    pub fn scale(&self, s: f64) -> Matrix {
+        self.map(|v| v * s)
+    }
+
+    /// `self += alpha * rhs` in place.
+    pub fn axpy_inplace(&mut self, alpha: f64, rhs: &Matrix) -> Result<()> {
+        if self.shape() != rhs.shape() {
+            return Err(LinalgError::ShapeMismatch {
+                op: "axpy",
+                lhs: self.shape(),
+                rhs: rhs.shape(),
+            });
+        }
+        for (a, &b) in self.data.iter_mut().zip(rhs.data.iter()) {
+            *a += alpha * b;
+        }
+        Ok(())
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f64 {
+        self.data.iter().sum()
+    }
+
+    /// Mean of all elements (0 for an empty matrix).
+    pub fn mean(&self) -> f64 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.data.len() as f64
+        }
+    }
+
+    /// Squared Frobenius norm.
+    pub fn frobenius_sq(&self) -> f64 {
+        self.data.iter().map(|&v| v * v).sum()
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius(&self) -> f64 {
+        self.frobenius_sq().sqrt()
+    }
+
+    /// Per-column means (length `cols`).
+    pub fn col_means(&self) -> Vec<f64> {
+        let mut means = vec![0.0; self.cols];
+        for r in self.rows_iter() {
+            for (m, &v) in means.iter_mut().zip(r.iter()) {
+                *m += v;
+            }
+        }
+        if self.rows > 0 {
+            let inv = 1.0 / self.rows as f64;
+            for m in &mut means {
+                *m *= inv;
+            }
+        }
+        means
+    }
+
+    /// Per-column population standard deviations (length `cols`).
+    pub fn col_stds(&self) -> Vec<f64> {
+        let means = self.col_means();
+        let mut vars = vec![0.0; self.cols];
+        for r in self.rows_iter() {
+            for ((v, &x), &m) in vars.iter_mut().zip(r.iter()).zip(means.iter()) {
+                let d = x - m;
+                *v += d * d;
+            }
+        }
+        if self.rows > 0 {
+            let inv = 1.0 / self.rows as f64;
+            for v in &mut vars {
+                *v = (*v * inv).sqrt();
+            }
+        }
+        vars
+    }
+
+    /// Per-row sums (length `rows`).
+    pub fn row_sums(&self) -> Vec<f64> {
+        self.rows_iter().map(|r| r.iter().sum()).collect()
+    }
+
+    /// Per-row squared Euclidean norms (length `rows`).
+    pub fn row_sq_norms(&self) -> Vec<f64> {
+        self.rows_iter().map(|r| crate::ops::dot(r, r)).collect()
+    }
+
+    /// Maximum absolute element (0 for an empty matrix).
+    pub fn max_abs(&self) -> f64 {
+        self.data.iter().fold(0.0_f64, |acc, &v| acc.max(v.abs()))
+    }
+
+    /// True iff every element is finite.
+    pub fn all_finite(&self) -> bool {
+        self.data.iter().all(|v| v.is_finite())
+    }
+
+    /// Pairwise squared Euclidean distances between the rows of `self`
+    /// (`n x m`) and the rows of `other` (`k x m`), returned as `n x k`.
+    ///
+    /// Uses the expansion `||x - c||^2 = ||x||^2 + ||c||^2 - 2 x.c` with a
+    /// clamp at zero to absorb rounding; this is the dominant kernel of
+    /// every Lloyd-style algorithm in the workspace.
+    pub fn pairwise_sqdist(&self, other: &Matrix) -> Result<Matrix> {
+        if self.cols != other.cols {
+            return Err(LinalgError::ShapeMismatch {
+                op: "pairwise_sqdist",
+                lhs: self.shape(),
+                rhs: other.shape(),
+            });
+        }
+        let x_norms = self.row_sq_norms();
+        let c_norms = other.row_sq_norms();
+        let mut dots = self.matmul_transpose_b(other)?;
+        for i in 0..self.rows {
+            let row = dots.row_mut(i);
+            let xn = x_norms[i];
+            for (d, &cn) in row.iter_mut().zip(c_norms.iter()) {
+                *d = (xn + cn - 2.0 * *d).max(0.0);
+            }
+        }
+        Ok(dots)
+    }
+}
+
+impl std::fmt::Display for Matrix {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        for r in self.rows_iter().take(8) {
+            write!(f, "  [")?;
+            for (j, v) in r.iter().take(8).enumerate() {
+                if j > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{v:.4}")?;
+            }
+            if self.cols > 8 {
+                write!(f, ", ...")?;
+            }
+            writeln!(f, "]")?;
+        }
+        if self.rows > 8 {
+            writeln!(f, "  ...")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m22(a: f64, b: f64, c: f64, d: f64) -> Matrix {
+        Matrix::from_vec(2, 2, vec![a, b, c, d]).unwrap()
+    }
+
+    #[test]
+    fn zeros_and_shape() {
+        let m = Matrix::zeros(3, 4);
+        assert_eq!(m.shape(), (3, 4));
+        assert_eq!(m.len(), 12);
+        assert!(m.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn identity_diag() {
+        let i = Matrix::identity(3);
+        for r in 0..3 {
+            for c in 0..3 {
+                assert_eq!(i.get(r, c), if r == c { 1.0 } else { 0.0 });
+            }
+        }
+    }
+
+    #[test]
+    fn from_vec_rejects_bad_len() {
+        assert!(Matrix::from_vec(2, 2, vec![1.0; 3]).is_err());
+    }
+
+    #[test]
+    fn from_rows_rejects_ragged() {
+        assert!(Matrix::from_rows(&[vec![1.0], vec![1.0, 2.0]]).is_err());
+        assert!(Matrix::from_rows(&[]).is_err());
+    }
+
+    #[test]
+    fn row_access() {
+        let m = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        assert_eq!(m.row(1), &[3.0, 4.0]);
+        assert_eq!(m.col(1), vec![2.0, 4.0]);
+    }
+
+    #[test]
+    fn matmul_small() {
+        let a = m22(1.0, 2.0, 3.0, 4.0);
+        let b = m22(5.0, 6.0, 7.0, 8.0);
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c, m22(19.0, 22.0, 43.0, 50.0));
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let a = m22(1.0, 2.0, 3.0, 4.0);
+        let i = Matrix::identity(2);
+        assert_eq!(a.matmul(&i).unwrap(), a);
+        assert_eq!(i.matmul(&a).unwrap(), a);
+    }
+
+    #[test]
+    fn matmul_shape_error() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        assert!(a.matmul(&b).is_err());
+    }
+
+    #[test]
+    fn matmul_transpose_b_matches_explicit() {
+        let a = Matrix::from_fn(3, 4, |i, j| (i * 4 + j) as f64);
+        let b = Matrix::from_fn(5, 4, |i, j| (i + j) as f64 * 0.5);
+        let direct = a.matmul_transpose_b(&b).unwrap();
+        let explicit = a.matmul(&b.transpose()).unwrap();
+        assert_eq!(direct, explicit);
+    }
+
+    #[test]
+    fn matmul_transpose_a_matches_explicit() {
+        let a = Matrix::from_fn(4, 3, |i, j| (i * 3 + j) as f64);
+        let b = Matrix::from_fn(4, 5, |i, j| (i + 2 * j) as f64);
+        let direct = a.matmul_transpose_a(&b).unwrap();
+        let explicit = a.transpose().matmul(&b).unwrap();
+        assert_eq!(direct, explicit);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = Matrix::from_fn(3, 5, |i, j| (i * 7 + j) as f64);
+        assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn hadamard_and_addsub() {
+        let a = m22(1.0, 2.0, 3.0, 4.0);
+        let b = m22(2.0, 2.0, 2.0, 2.0);
+        assert_eq!(a.hadamard(&b).unwrap(), m22(2.0, 4.0, 6.0, 8.0));
+        assert_eq!(a.add(&b).unwrap(), m22(3.0, 4.0, 5.0, 6.0));
+        assert_eq!(a.sub(&b).unwrap(), m22(-1.0, 0.0, 1.0, 2.0));
+    }
+
+    #[test]
+    fn stats() {
+        let m = Matrix::from_rows(&[vec![1.0, 10.0], vec![3.0, 10.0]]).unwrap();
+        assert_eq!(m.col_means(), vec![2.0, 10.0]);
+        assert_eq!(m.col_stds(), vec![1.0, 0.0]);
+        assert_eq!(m.row_sums(), vec![11.0, 13.0]);
+        assert_eq!(m.sum(), 24.0);
+        assert_eq!(m.mean(), 6.0);
+    }
+
+    #[test]
+    fn pairwise_sqdist_exact() {
+        let x = Matrix::from_rows(&[vec![0.0, 0.0], vec![3.0, 4.0]]).unwrap();
+        let c = Matrix::from_rows(&[vec![0.0, 0.0], vec![0.0, 4.0]]).unwrap();
+        let d = x.pairwise_sqdist(&c).unwrap();
+        assert_eq!(d.get(0, 0), 0.0);
+        assert_eq!(d.get(0, 1), 16.0);
+        assert_eq!(d.get(1, 0), 25.0);
+        assert_eq!(d.get(1, 1), 9.0);
+    }
+
+    #[test]
+    fn pairwise_sqdist_nonnegative_under_rounding() {
+        // Nearly-identical rows can go negative without the clamp.
+        let x = Matrix::from_rows(&[vec![1.0e8, 1.0e8]]).unwrap();
+        let d = x.pairwise_sqdist(&x).unwrap();
+        assert!(d.get(0, 0) >= 0.0);
+    }
+
+    #[test]
+    fn stacking() {
+        let a = m22(1.0, 2.0, 3.0, 4.0);
+        let b = m22(5.0, 6.0, 7.0, 8.0);
+        let v = a.vstack(&b).unwrap();
+        assert_eq!(v.shape(), (4, 2));
+        assert_eq!(v.row(2), &[5.0, 6.0]);
+        let h = a.hstack(&b).unwrap();
+        assert_eq!(h.shape(), (2, 4));
+        assert_eq!(h.row(0), &[1.0, 2.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    fn select_rows_orders() {
+        let a = Matrix::from_fn(4, 2, |i, _| i as f64);
+        let s = a.select_rows(&[3, 0]);
+        assert_eq!(s.row(0), &[3.0, 3.0]);
+        assert_eq!(s.row(1), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn axpy() {
+        let mut a = m22(1.0, 1.0, 1.0, 1.0);
+        let b = m22(1.0, 2.0, 3.0, 4.0);
+        a.axpy_inplace(0.5, &b).unwrap();
+        assert_eq!(a, m22(1.5, 2.0, 2.5, 3.0));
+    }
+
+    #[test]
+    fn all_finite_detects_nan() {
+        let mut a = Matrix::zeros(2, 2);
+        assert!(a.all_finite());
+        a.set(0, 1, f64::NAN);
+        assert!(!a.all_finite());
+    }
+
+    #[test]
+    fn display_does_not_panic() {
+        let a = Matrix::from_fn(10, 10, |i, j| (i + j) as f64);
+        let s = format!("{a}");
+        assert!(s.contains("Matrix 10x10"));
+    }
+}

@@ -1,0 +1,111 @@
+//! Minimal chunked thread-parallelism over index ranges.
+//!
+//! The clustering assignment step is embarrassingly parallel over data
+//! points. Rather than pulling in a full work-stealing runtime, this
+//! module provides a scoped fork-join over contiguous index chunks using
+//! `std::thread::scope`, which is all the workspace needs.
+
+/// Splits `0..n` into at most `threads` contiguous chunks and runs `f`
+/// on each chunk, possibly in parallel.
+///
+/// `f` receives `(start, end)` half-open ranges. With `threads <= 1` (or
+/// `n` small) everything runs on the caller's thread, which keeps
+/// single-threaded determinism and makes the parallel path easy to
+/// compare against in tests.
+pub fn for_each_chunk<F>(n: usize, threads: usize, f: F)
+where
+    F: Fn(usize, usize) + Sync,
+{
+    if n == 0 {
+        return;
+    }
+    let threads = threads.max(1).min(n);
+    if threads == 1 {
+        f(0, n);
+        return;
+    }
+    let chunk = n.div_ceil(threads);
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let start = t * chunk;
+            if start >= n {
+                break;
+            }
+            let end = (start + chunk).min(n);
+            let f = &f;
+            scope.spawn(move || f(start, end));
+        }
+    });
+}
+
+/// Maps `0..n` in parallel chunks into a pre-allocated output buffer.
+///
+/// `f` fills `out[start..end]` for its chunk. This is the pattern used by
+/// the assignment kernels: each chunk owns a disjoint slice of the output.
+pub fn map_chunks_into<T, F>(out: &mut [T], threads: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    let n = out.len();
+    if n == 0 {
+        return;
+    }
+    let threads = threads.max(1).min(n);
+    if threads == 1 {
+        f(0, out);
+        return;
+    }
+    let chunk = n.div_ceil(threads);
+    std::thread::scope(|scope| {
+        let mut rest = out;
+        let mut start = 0;
+        while !rest.is_empty() {
+            let take = chunk.min(rest.len());
+            let (head, tail) = rest.split_at_mut(take);
+            let f = &f;
+            scope.spawn(move || f(start, head));
+            start += take;
+            rest = tail;
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn covers_all_indices_exactly_once() {
+        for threads in [1, 2, 3, 7, 100] {
+            for n in [0usize, 1, 5, 17, 64] {
+                let counter = AtomicUsize::new(0);
+                for_each_chunk(n, threads, |s, e| {
+                    counter.fetch_add(e - s, Ordering::SeqCst);
+                });
+                assert_eq!(counter.load(Ordering::SeqCst), n, "n={n} threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn map_chunks_fills_buffer() {
+        for threads in [1, 2, 4, 9] {
+            let mut out = vec![0usize; 23];
+            map_chunks_into(&mut out, threads, |start, slice| {
+                for (i, v) in slice.iter_mut().enumerate() {
+                    *v = start + i;
+                }
+            });
+            let expect: Vec<usize> = (0..23).collect();
+            assert_eq!(out, expect, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn empty_buffer_is_noop() {
+        let mut out: Vec<usize> = vec![];
+        map_chunks_into(&mut out, 4, |_, _| panic!("should not be called"));
+    }
+}

@@ -1,0 +1,137 @@
+//! Property-based tests for the linear-algebra kernels.
+
+use kr_linalg::{ops, Matrix};
+use proptest::prelude::*;
+
+fn small_matrix(max_dim: usize) -> impl Strategy<Value = Matrix> {
+    (1..=max_dim, 1..=max_dim).prop_flat_map(|(r, c)| {
+        proptest::collection::vec(-100.0..100.0f64, r * c)
+            .prop_map(move |data| Matrix::from_vec(r, c, data).unwrap())
+    })
+}
+
+fn matrix_pair_same_shape(max_dim: usize) -> impl Strategy<Value = (Matrix, Matrix)> {
+    (1..=max_dim, 1..=max_dim).prop_flat_map(|(r, c)| {
+        let a = proptest::collection::vec(-100.0..100.0f64, r * c);
+        let b = proptest::collection::vec(-100.0..100.0f64, r * c);
+        (a, b).prop_map(move |(a, b)| {
+            (
+                Matrix::from_vec(r, c, a).unwrap(),
+                Matrix::from_vec(r, c, b).unwrap(),
+            )
+        })
+    })
+}
+
+fn approx_eq(a: &Matrix, b: &Matrix, tol: f64) -> bool {
+    a.shape() == b.shape()
+        && a.as_slice()
+            .iter()
+            .zip(b.as_slice())
+            .all(|(&x, &y)| (x - y).abs() <= tol * (1.0 + x.abs().max(y.abs())))
+}
+
+proptest! {
+    #[test]
+    fn transpose_is_involution(m in small_matrix(8)) {
+        prop_assert_eq!(m.transpose().transpose(), m);
+    }
+
+    #[test]
+    fn matmul_identity_left_right(m in small_matrix(6)) {
+        let il = Matrix::identity(m.nrows());
+        let ir = Matrix::identity(m.ncols());
+        prop_assert!(approx_eq(&il.matmul(&m).unwrap(), &m, 1e-12));
+        prop_assert!(approx_eq(&m.matmul(&ir).unwrap(), &m, 1e-12));
+    }
+
+    #[test]
+    fn matmul_transpose_identities(m in small_matrix(6), n in small_matrix(6)) {
+        // (A B^T) with matching inner dims, checked against explicit transpose.
+        if m.ncols() == n.ncols() {
+            let fast = m.matmul_transpose_b(&n).unwrap();
+            let slow = m.matmul(&n.transpose()).unwrap();
+            prop_assert!(approx_eq(&fast, &slow, 1e-9));
+        }
+        if m.nrows() == n.nrows() {
+            let fast = m.matmul_transpose_a(&n).unwrap();
+            let slow = m.transpose().matmul(&n).unwrap();
+            prop_assert!(approx_eq(&fast, &slow, 1e-9));
+        }
+    }
+
+    #[test]
+    fn hadamard_commutes((a, b) in matrix_pair_same_shape(8)) {
+        prop_assert_eq!(a.hadamard(&b).unwrap(), b.hadamard(&a).unwrap());
+    }
+
+    #[test]
+    fn add_sub_roundtrip((a, b) in matrix_pair_same_shape(8)) {
+        let sum = a.add(&b).unwrap();
+        let back = sum.sub(&b).unwrap();
+        prop_assert!(approx_eq(&back, &a, 1e-9));
+    }
+
+    #[test]
+    fn pairwise_sqdist_matches_naive((a, b) in matrix_pair_same_shape(6)) {
+        let d = a.pairwise_sqdist(&b).unwrap();
+        for i in 0..a.nrows() {
+            for j in 0..b.nrows() {
+                let naive = ops::sqdist(a.row(i), b.row(j));
+                let fast = d.get(i, j);
+                prop_assert!((naive - fast).abs() <= 1e-6 * (1.0 + naive), "i={i} j={j}");
+                prop_assert!(fast >= 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn self_distance_diag_is_small(m in small_matrix(6)) {
+        let d = m.pairwise_sqdist(&m).unwrap();
+        for i in 0..m.nrows() {
+            prop_assert!(d.get(i, i).abs() <= 1e-6 * (1.0 + ops::sq_norm(m.row(i))));
+        }
+    }
+
+    #[test]
+    fn dot_cauchy_schwarz(v in proptest::collection::vec(-50.0..50.0f64, 1..32),
+                          w in proptest::collection::vec(-50.0..50.0f64, 1..32)) {
+        let n = v.len().min(w.len());
+        let (v, w) = (&v[..n], &w[..n]);
+        let lhs = ops::dot(v, w).abs();
+        let rhs = (ops::sq_norm(v) * ops::sq_norm(w)).sqrt();
+        prop_assert!(lhs <= rhs + 1e-6 * (1.0 + rhs));
+    }
+
+    #[test]
+    fn softmax_is_distribution(mut v in proptest::collection::vec(-500.0..500.0f64, 1..16)) {
+        ops::softmax_inplace(&mut v);
+        let s: f64 = v.iter().sum();
+        prop_assert!((s - 1.0).abs() < 1e-9);
+        prop_assert!(v.iter().all(|&x| (0.0..=1.0).contains(&x)));
+    }
+
+    #[test]
+    fn col_means_bounded_by_extremes(m in small_matrix(8)) {
+        let means = m.col_means();
+        for (j, &mu) in means.iter().enumerate() {
+            let col = m.col(j);
+            let lo = col.iter().cloned().fold(f64::INFINITY, f64::min);
+            let hi = col.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            prop_assert!(mu >= lo - 1e-9 && mu <= hi + 1e-9);
+        }
+    }
+
+    #[test]
+    fn parallel_matches_serial(n in 0usize..200, threads in 1usize..8) {
+        let mut serial = vec![0u64; n];
+        kr_linalg::parallel::map_chunks_into(&mut serial, 1, |start, s| {
+            for (i, v) in s.iter_mut().enumerate() { *v = ((start + i) * 7) as u64; }
+        });
+        let mut par = vec![0u64; n];
+        kr_linalg::parallel::map_chunks_into(&mut par, threads, |start, s| {
+            for (i, v) in s.iter_mut().enumerate() { *v = ((start + i) * 7) as u64; }
+        });
+        prop_assert_eq!(serial, par);
+    }
+}

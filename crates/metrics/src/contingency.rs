@@ -1,0 +1,113 @@
+//! Contingency tables between two labelings.
+
+use crate::{MetricsError, Result};
+
+/// A contingency table between predicted and ground-truth labelings.
+///
+/// `counts[i][j]` is the number of samples with predicted cluster id
+/// `pred_ids[i]` and true class id `true_ids[j]`. Cluster/class ids may be
+/// arbitrary `usize` values; they are compacted into dense indices.
+#[derive(Debug, Clone)]
+pub struct Contingency {
+    /// Dense count matrix, `n_pred x n_true`.
+    pub counts: Vec<Vec<usize>>,
+    /// Row (predicted-cluster) marginal sums.
+    pub row_sums: Vec<usize>,
+    /// Column (true-class) marginal sums.
+    pub col_sums: Vec<usize>,
+    /// Total number of samples.
+    pub n: usize,
+}
+
+impl Contingency {
+    /// Builds the contingency table for two equal-length labelings.
+    pub fn build(predicted: &[usize], truth: &[usize]) -> Result<Self> {
+        if predicted.len() != truth.len() {
+            return Err(MetricsError::LengthMismatch {
+                predicted: predicted.len(),
+                truth: truth.len(),
+            });
+        }
+        if predicted.is_empty() {
+            return Err(MetricsError::Empty);
+        }
+        let pred_index = compact_ids(predicted);
+        let true_index = compact_ids(truth);
+        let (np, nt) = (pred_index.len(), true_index.len());
+        let mut counts = vec![vec![0usize; nt]; np];
+        for (&p, &t) in predicted.iter().zip(truth.iter()) {
+            counts[pred_index[&p]][true_index[&t]] += 1;
+        }
+        let row_sums: Vec<usize> = counts.iter().map(|r| r.iter().sum()).collect();
+        let mut col_sums = vec![0usize; nt];
+        for row in &counts {
+            for (c, &v) in col_sums.iter_mut().zip(row.iter()) {
+                *c += v;
+            }
+        }
+        Ok(Contingency { counts, row_sums, col_sums, n: predicted.len() })
+    }
+
+    /// Number of distinct predicted clusters.
+    pub fn n_pred(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Number of distinct true classes.
+    pub fn n_true(&self) -> usize {
+        self.col_sums.len()
+    }
+}
+
+/// Maps arbitrary ids to dense `0..k` indices in first-appearance order.
+fn compact_ids(labels: &[usize]) -> std::collections::HashMap<usize, usize> {
+    let mut map = std::collections::HashMap::new();
+    for &l in labels {
+        let next = map.len();
+        map.entry(l).or_insert(next);
+    }
+    map
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_table() {
+        let pred = [0, 0, 1, 1, 1];
+        let truth = [5, 5, 5, 9, 9];
+        let c = Contingency::build(&pred, &truth).unwrap();
+        assert_eq!(c.n, 5);
+        assert_eq!(c.n_pred(), 2);
+        assert_eq!(c.n_true(), 2);
+        assert_eq!(c.counts[0], vec![2, 0]);
+        assert_eq!(c.counts[1], vec![1, 2]);
+        assert_eq!(c.row_sums, vec![2, 3]);
+        assert_eq!(c.col_sums, vec![3, 2]);
+    }
+
+    #[test]
+    fn rejects_mismatched_lengths() {
+        assert!(matches!(
+            Contingency::build(&[0], &[0, 1]),
+            Err(MetricsError::LengthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_empty() {
+        assert!(matches!(Contingency::build(&[], &[]), Err(MetricsError::Empty)));
+    }
+
+    #[test]
+    fn noncontiguous_ids_are_compacted() {
+        let pred = [100, 7, 100];
+        let truth = [3, 3, 42];
+        let c = Contingency::build(&pred, &truth).unwrap();
+        assert_eq!(c.n_pred(), 2);
+        assert_eq!(c.n_true(), 2);
+        let total: usize = c.row_sums.iter().sum();
+        assert_eq!(total, 3);
+    }
+}

@@ -1,0 +1,232 @@
+//! External (ground-truth-based) clustering metrics: ARI, NMI, ACC, purity.
+
+use crate::contingency::Contingency;
+use crate::hungarian;
+use crate::Result;
+
+/// Adjusted Rand index (Hubert & Arabie, 1985).
+///
+/// Measures pair-counting agreement between two labelings, corrected for
+/// chance. `1.0` means identical partitions, `~0.0` means chance-level
+/// agreement; negative values are possible.
+///
+/// ```
+/// let ari = kr_metrics::adjusted_rand_index(&[0, 0, 1, 1], &[1, 1, 0, 0]).unwrap();
+/// assert!((ari - 1.0).abs() < 1e-12);
+/// ```
+pub fn adjusted_rand_index(predicted: &[usize], truth: &[usize]) -> Result<f64> {
+    let c = Contingency::build(predicted, truth)?;
+    let comb2 = |x: usize| -> f64 {
+        let x = x as f64;
+        x * (x - 1.0) / 2.0
+    };
+    let sum_ij: f64 = c
+        .counts
+        .iter()
+        .flat_map(|row| row.iter())
+        .map(|&v| comb2(v))
+        .sum();
+    let sum_a: f64 = c.row_sums.iter().map(|&v| comb2(v)).sum();
+    let sum_b: f64 = c.col_sums.iter().map(|&v| comb2(v)).sum();
+    let total_pairs = comb2(c.n);
+    if total_pairs == 0.0 {
+        return Ok(1.0); // single sample: partitions trivially agree
+    }
+    let expected = sum_a * sum_b / total_pairs;
+    let max_index = 0.5 * (sum_a + sum_b);
+    if (max_index - expected).abs() < 1e-15 {
+        // Both partitions are all-singletons or all-one-cluster: define
+        // ARI = 1 when identical structure, matching scikit-learn.
+        return Ok(1.0);
+    }
+    Ok((sum_ij - expected) / (max_index - expected))
+}
+
+/// How the normalized mutual information is normalized.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum NmiNormalization {
+    /// `I / ((H(U) + H(V)) / 2)` — scikit-learn's default.
+    #[default]
+    Arithmetic,
+    /// `I / sqrt(H(U) * H(V))`.
+    Geometric,
+    /// `I / min(H(U), H(V))`.
+    Min,
+    /// `I / max(H(U), H(V))`.
+    Max,
+}
+
+/// Normalized mutual information with the arithmetic-mean normalization
+/// (scikit-learn default, as used in the paper's tables).
+pub fn normalized_mutual_information(predicted: &[usize], truth: &[usize]) -> Result<f64> {
+    nmi_with(predicted, truth, NmiNormalization::Arithmetic)
+}
+
+/// Normalized mutual information with a selectable normalization.
+pub fn nmi_with(
+    predicted: &[usize],
+    truth: &[usize],
+    norm: NmiNormalization,
+) -> Result<f64> {
+    let c = Contingency::build(predicted, truth)?;
+    let n = c.n as f64;
+    let mut mi = 0.0;
+    for (i, row) in c.counts.iter().enumerate() {
+        for (j, &nij) in row.iter().enumerate() {
+            if nij == 0 {
+                continue;
+            }
+            let nij = nij as f64;
+            let pij = nij / n;
+            let pi = c.row_sums[i] as f64 / n;
+            let pj = c.col_sums[j] as f64 / n;
+            mi += pij * (pij / (pi * pj)).ln();
+        }
+    }
+    let entropy = |sums: &[usize]| -> f64 {
+        sums.iter()
+            .filter(|&&s| s > 0)
+            .map(|&s| {
+                let p = s as f64 / n;
+                -p * p.ln()
+            })
+            .sum()
+    };
+    let hu = entropy(&c.row_sums);
+    let hv = entropy(&c.col_sums);
+    let denom = match norm {
+        NmiNormalization::Arithmetic => 0.5 * (hu + hv),
+        NmiNormalization::Geometric => (hu * hv).sqrt(),
+        NmiNormalization::Min => hu.min(hv),
+        NmiNormalization::Max => hu.max(hv),
+    };
+    if denom <= 0.0 {
+        // Both labelings constant: identical trivial partitions.
+        return Ok(1.0);
+    }
+    Ok((mi / denom).clamp(0.0, 1.0))
+}
+
+/// Unsupervised clustering accuracy (ACC).
+///
+/// The fraction of correctly labeled samples under the *best* one-to-one
+/// mapping between predicted clusters and true classes, found with the
+/// Hungarian algorithm on the contingency table.
+pub fn unsupervised_clustering_accuracy(predicted: &[usize], truth: &[usize]) -> Result<f64> {
+    let c = Contingency::build(predicted, truth)?;
+    let (_, matched) = hungarian::solve_max_rectangular(&c.counts);
+    Ok(matched as f64 / c.n as f64)
+}
+
+/// Clustering purity: each predicted cluster votes for its majority true
+/// class (multiple clusters may vote for the same class).
+pub fn purity(predicted: &[usize], truth: &[usize]) -> Result<f64> {
+    let c = Contingency::build(predicted, truth)?;
+    let correct: usize = c
+        .counts
+        .iter()
+        .map(|row| row.iter().copied().max().unwrap_or(0))
+        .sum();
+    Ok(correct as f64 / c.n as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_agreement() {
+        let a = [0, 0, 1, 1, 2, 2];
+        assert!((adjusted_rand_index(&a, &a).unwrap() - 1.0).abs() < 1e-12);
+        assert!((normalized_mutual_information(&a, &a).unwrap() - 1.0).abs() < 1e-12);
+        assert!((unsupervised_clustering_accuracy(&a, &a).unwrap() - 1.0).abs() < 1e-12);
+        assert!((purity(&a, &a).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn permuted_labels_are_perfect() {
+        let a = [0, 0, 1, 1, 2, 2];
+        let b = [2, 2, 0, 0, 1, 1];
+        assert!((adjusted_rand_index(&a, &b).unwrap() - 1.0).abs() < 1e-12);
+        assert!((normalized_mutual_information(&a, &b).unwrap() - 1.0).abs() < 1e-12);
+        assert!((unsupervised_clustering_accuracy(&a, &b).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ari_known_value() {
+        // scikit-learn docs example: ARI([0,0,1,1],[0,0,1,2]) = 0.5714...
+        let ari = adjusted_rand_index(&[0, 0, 1, 1], &[0, 0, 1, 2]).unwrap();
+        assert!((ari - 0.5714285714285714).abs() < 1e-9, "{ari}");
+    }
+
+    #[test]
+    fn ari_chance_level_near_zero() {
+        // Independent alternating pattern vs block pattern.
+        let pred = [0, 1, 0, 1, 0, 1, 0, 1];
+        let truth = [0, 0, 0, 0, 1, 1, 1, 1];
+        let ari = adjusted_rand_index(&pred, &truth).unwrap();
+        assert!(ari.abs() < 0.3, "{ari}");
+    }
+
+    #[test]
+    fn nmi_independent_is_zero() {
+        let pred = [0, 1, 0, 1];
+        let truth = [0, 0, 1, 1];
+        let nmi = normalized_mutual_information(&pred, &truth).unwrap();
+        assert!(nmi.abs() < 1e-12, "{nmi}");
+    }
+
+    #[test]
+    fn nmi_normalizations_ordered() {
+        let pred = [0, 0, 1, 1, 1, 2];
+        let truth = [0, 0, 0, 1, 1, 1];
+        let by_min = nmi_with(&pred, &truth, NmiNormalization::Min).unwrap();
+        let by_geo = nmi_with(&pred, &truth, NmiNormalization::Geometric).unwrap();
+        let by_ari = nmi_with(&pred, &truth, NmiNormalization::Arithmetic).unwrap();
+        let by_max = nmi_with(&pred, &truth, NmiNormalization::Max).unwrap();
+        assert!(by_min >= by_geo - 1e-12);
+        assert!(by_geo >= by_ari - 1e-12 || by_ari >= 0.0); // geo <= arith only if hu=hv
+        assert!(by_ari >= by_max - 1e-12);
+    }
+
+    #[test]
+    fn acc_example() {
+        // 2 predicted clusters vs 2 classes with one mistake.
+        let pred = [0, 0, 0, 1, 1, 1];
+        let truth = [1, 1, 0, 0, 0, 0];
+        // Best mapping: pred 0 -> class 1 (2 right), pred 1 -> class 0 (3 right).
+        let acc = unsupervised_clustering_accuracy(&pred, &truth).unwrap();
+        assert!((acc - 5.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn acc_more_clusters_than_classes() {
+        let pred = [0, 1, 2, 3];
+        let truth = [0, 0, 1, 1];
+        let acc = unsupervised_clustering_accuracy(&pred, &truth).unwrap();
+        // Each class can be claimed by exactly one cluster: 2/4.
+        assert!((acc - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn purity_can_exceed_acc() {
+        // Purity lets several clusters vote the same class; ACC cannot.
+        let pred = [0, 1, 2, 3];
+        let truth = [0, 0, 0, 0];
+        assert!((purity(&pred, &truth).unwrap() - 1.0).abs() < 1e-12);
+        let acc = unsupervised_clustering_accuracy(&pred, &truth).unwrap();
+        assert!(acc < 1.0);
+    }
+
+    #[test]
+    fn single_sample() {
+        assert!((adjusted_rand_index(&[3], &[9]).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constant_labelings() {
+        let a = [0, 0, 0];
+        assert!((normalized_mutual_information(&a, &a).unwrap() - 1.0).abs() < 1e-12);
+        assert!((adjusted_rand_index(&a, &a).unwrap() - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,258 @@
+//! Hungarian (Kuhn-Munkres) assignment solver.
+//!
+//! Implemented from scratch as the shortest-augmenting-path variant
+//! (Jonker-Volgenant style) in `O(n^3)`. Used by unsupervised clustering
+//! accuracy (ACC), which requires the *optimal* one-to-one matching
+//! between predicted clusters and true classes.
+
+/// Solves the square minimum-cost assignment problem.
+///
+/// `cost` is an `n x n` row-major matrix; returns `(assignment, total)`
+/// where `assignment[row] = col` and `total` is the minimized cost.
+///
+/// ```
+/// let cost = vec![
+///     vec![4.0, 1.0, 3.0],
+///     vec![2.0, 0.0, 5.0],
+///     vec![3.0, 2.0, 2.0],
+/// ];
+/// let (asg, total) = kr_metrics::hungarian::solve(&cost);
+/// assert_eq!(total, 5.0); // 1 + 2 + 2
+/// assert_eq!(asg, vec![1, 0, 2]);
+/// ```
+pub fn solve(cost: &[Vec<f64>]) -> (Vec<usize>, f64) {
+    let n = cost.len();
+    if n == 0 {
+        return (vec![], 0.0);
+    }
+    debug_assert!(cost.iter().all(|r| r.len() == n), "cost matrix must be square");
+
+    // Potentials and matching arrays are 1-indexed internally with a
+    // virtual 0 row/column, per the classic JV formulation.
+    let inf = f64::INFINITY;
+    let mut u = vec![0.0; n + 1];
+    let mut v = vec![0.0; n + 1];
+    let mut p = vec![0usize; n + 1]; // p[col] = row matched to col (0 = none)
+    let mut way = vec![0usize; n + 1];
+
+    for i in 1..=n {
+        p[0] = i;
+        let mut j0 = 0usize;
+        let mut minv = vec![inf; n + 1];
+        let mut used = vec![false; n + 1];
+        loop {
+            used[j0] = true;
+            let i0 = p[j0];
+            let mut delta = inf;
+            let mut j1 = 0usize;
+            for j in 1..=n {
+                if used[j] {
+                    continue;
+                }
+                let cur = cost[i0 - 1][j - 1] - u[i0] - v[j];
+                if cur < minv[j] {
+                    minv[j] = cur;
+                    way[j] = j0;
+                }
+                if minv[j] < delta {
+                    delta = minv[j];
+                    j1 = j;
+                }
+            }
+            for j in 0..=n {
+                if used[j] {
+                    u[p[j]] += delta;
+                    v[j] -= delta;
+                } else {
+                    minv[j] -= delta;
+                }
+            }
+            j0 = j1;
+            if p[j0] == 0 {
+                break;
+            }
+        }
+        loop {
+            let j1 = way[j0];
+            p[j0] = p[j1];
+            j0 = j1;
+            if j0 == 0 {
+                break;
+            }
+        }
+    }
+
+    let mut assignment = vec![0usize; n];
+    for j in 1..=n {
+        if p[j] > 0 {
+            assignment[p[j] - 1] = j - 1;
+        }
+    }
+    let total: f64 = assignment
+        .iter()
+        .enumerate()
+        .map(|(r, &c)| cost[r][c])
+        .sum();
+    (assignment, total)
+}
+
+/// Solves the (possibly rectangular) maximum-weight assignment problem.
+///
+/// `weight` is `r x c`; the matrix is padded to square with zeros and
+/// converted to costs. Returns `assignment[row] = Some(col)` for real
+/// matches (rows matched to padding columns yield `None`) and the total
+/// matched weight.
+pub fn solve_max_rectangular(weight: &[Vec<usize>]) -> (Vec<Option<usize>>, usize) {
+    let r = weight.len();
+    if r == 0 {
+        return (vec![], 0);
+    }
+    let c = weight[0].len();
+    let n = r.max(c);
+    let max_w = weight
+        .iter()
+        .flat_map(|row| row.iter())
+        .copied()
+        .max()
+        .unwrap_or(0) as f64;
+    // cost = max_w - weight; padding entries cost max_w (weight 0).
+    let cost: Vec<Vec<f64>> = (0..n)
+        .map(|i| {
+            (0..n)
+                .map(|j| {
+                    if i < r && j < c {
+                        max_w - weight[i][j] as f64
+                    } else {
+                        max_w
+                    }
+                })
+                .collect()
+        })
+        .collect();
+    let (asg, _) = solve(&cost);
+    let mut out = vec![None; r];
+    let mut total = 0usize;
+    for i in 0..r {
+        let j = asg[i];
+        if j < c {
+            out[i] = Some(j);
+            total += weight[i][j];
+        }
+    }
+    (out, total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn brute_force_min(cost: &[Vec<f64>]) -> f64 {
+        let n = cost.len();
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut best = f64::INFINITY;
+        permute(&mut perm, 0, &mut |p| {
+            let total: f64 = p.iter().enumerate().map(|(i, &j)| cost[i][j]).sum();
+            if total < best {
+                best = total;
+            }
+        });
+        best
+    }
+
+    fn permute(arr: &mut Vec<usize>, k: usize, f: &mut impl FnMut(&[usize])) {
+        if k == arr.len() {
+            f(arr);
+            return;
+        }
+        for i in k..arr.len() {
+            arr.swap(k, i);
+            permute(arr, k + 1, f);
+            arr.swap(k, i);
+        }
+    }
+
+    #[test]
+    fn trivial_sizes() {
+        assert_eq!(solve(&[]).1, 0.0);
+        let (asg, t) = solve(&[vec![7.0]]);
+        assert_eq!(asg, vec![0]);
+        assert_eq!(t, 7.0);
+    }
+
+    #[test]
+    fn classic_example() {
+        let cost = vec![
+            vec![9.0, 2.0, 7.0, 8.0],
+            vec![6.0, 4.0, 3.0, 7.0],
+            vec![5.0, 8.0, 1.0, 8.0],
+            vec![7.0, 6.0, 9.0, 4.0],
+        ];
+        let (_, total) = solve(&cost);
+        assert_eq!(total, 13.0); // 2 + 6 + 1 + 4
+    }
+
+    #[test]
+    fn matches_brute_force_on_random() {
+        // Deterministic pseudo-random matrices; brute force up to 6x6.
+        let mut state = 0x1234_5678_u64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as f64) / (u32::MAX as f64) * 10.0
+        };
+        for n in 1..=6 {
+            for _ in 0..10 {
+                let cost: Vec<Vec<f64>> =
+                    (0..n).map(|_| (0..n).map(|_| next()).collect()).collect();
+                let (_, total) = solve(&cost);
+                let best = brute_force_min(&cost);
+                assert!(
+                    (total - best).abs() < 1e-9,
+                    "n={n}: hungarian {total} vs brute {best}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn assignment_is_permutation() {
+        let cost = vec![
+            vec![1.0, 2.0, 3.0],
+            vec![1.0, 2.0, 3.0],
+            vec![1.0, 2.0, 3.0],
+        ];
+        let (asg, total) = solve(&cost);
+        let mut seen = vec![false; 3];
+        for &j in &asg {
+            assert!(!seen[j]);
+            seen[j] = true;
+        }
+        assert_eq!(total, 6.0);
+    }
+
+    #[test]
+    fn rectangular_max_tall() {
+        // 3 rows, 2 cols: one row must stay unmatched.
+        let w = vec![vec![10, 1], vec![1, 10], vec![5, 5]];
+        let (asg, total) = solve_max_rectangular(&w);
+        assert_eq!(total, 20);
+        assert_eq!(asg[0], Some(0));
+        assert_eq!(asg[1], Some(1));
+        assert_eq!(asg[2], None);
+    }
+
+    #[test]
+    fn rectangular_max_wide() {
+        let w = vec![vec![1, 9, 2]];
+        let (asg, total) = solve_max_rectangular(&w);
+        assert_eq!(total, 9);
+        assert_eq!(asg, vec![Some(1)]);
+    }
+
+    #[test]
+    fn negative_costs_ok() {
+        let cost = vec![vec![-5.0, 0.0], vec![0.0, -5.0]];
+        let (asg, total) = solve(&cost);
+        assert_eq!(total, -10.0);
+        assert_eq!(asg, vec![0, 1]);
+    }
+}

@@ -1,0 +1,151 @@
+//! Internal (label-free) clustering quality: inertia and friends.
+
+use kr_linalg::{ops, Matrix};
+
+/// Inertia: total squared Euclidean distance from each point to its
+/// nearest centroid — the k-Means objective (Eq. 1 of the paper).
+///
+/// `data` is `n x m`, `centroids` is `k x m`.
+pub fn inertia(data: &Matrix, centroids: &Matrix) -> f64 {
+    assert_eq!(data.ncols(), centroids.ncols(), "dimension mismatch");
+    let mut total = 0.0;
+    for x in data.rows_iter() {
+        let mut best = f64::INFINITY;
+        for c in centroids.rows_iter() {
+            let d = ops::sqdist(x, c);
+            if d < best {
+                best = d;
+            }
+        }
+        total += best;
+    }
+    total
+}
+
+/// Inertia under a *given* assignment (not necessarily the nearest one).
+///
+/// Useful for evaluating the objective of constrained algorithms at their
+/// own assignments.
+pub fn inertia_with_assignments(data: &Matrix, centroids: &Matrix, assignments: &[usize]) -> f64 {
+    assert_eq!(data.nrows(), assignments.len(), "assignment length mismatch");
+    assert_eq!(data.ncols(), centroids.ncols(), "dimension mismatch");
+    data.rows_iter()
+        .zip(assignments.iter())
+        .map(|(x, &a)| ops::sqdist(x, centroids.row(a)))
+        .sum()
+}
+
+/// Assigns every row of `data` to its nearest row of `centroids`.
+pub fn nearest_assignments(data: &Matrix, centroids: &Matrix) -> Vec<usize> {
+    assert_eq!(data.ncols(), centroids.ncols(), "dimension mismatch");
+    data.rows_iter()
+        .map(|x| {
+            let mut best = 0;
+            let mut best_d = f64::INFINITY;
+            for (i, c) in centroids.rows_iter().enumerate() {
+                let d = ops::sqdist(x, c);
+                if d < best_d {
+                    best_d = d;
+                    best = i;
+                }
+            }
+            best
+        })
+        .collect()
+}
+
+/// Bayesian Information Criterion for a spherical-Gaussian k-Means model
+/// (as used by X-Means, Pelleg & Moore 2000). Higher is better.
+///
+/// Used by the design-choice helpers when estimating the number of
+/// clusters (paper §8, "Choosing the number of centroids").
+pub fn bic_spherical(data: &Matrix, centroids: &Matrix, assignments: &[usize]) -> f64 {
+    let n = data.nrows() as f64;
+    let m = data.ncols() as f64;
+    let k = centroids.nrows() as f64;
+    if n <= k {
+        return f64::NEG_INFINITY;
+    }
+    let rss = inertia_with_assignments(data, centroids, assignments);
+    // MLE of the shared spherical variance.
+    let variance = (rss / (m * (n - k))).max(1e-300);
+    let mut counts = vec![0usize; centroids.nrows()];
+    for &a in assignments {
+        counts[a] += 1;
+    }
+    let mut ll = 0.0;
+    for &c in &counts {
+        if c == 0 {
+            continue;
+        }
+        let cn = c as f64;
+        ll += cn * cn.ln() - cn * n.ln() - cn * m / 2.0 * (2.0 * std::f64::consts::PI * variance).ln()
+            - (cn - 1.0) * m / 2.0;
+    }
+    let free_params = k * (m + 1.0);
+    ll - free_params / 2.0 * n.ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> (Matrix, Matrix) {
+        let data = Matrix::from_rows(&[
+            vec![0.0, 0.0],
+            vec![0.0, 1.0],
+            vec![10.0, 10.0],
+            vec![10.0, 11.0],
+        ])
+        .unwrap();
+        let centroids = Matrix::from_rows(&[vec![0.0, 0.5], vec![10.0, 10.5]]).unwrap();
+        (data, centroids)
+    }
+
+    #[test]
+    fn inertia_exact() {
+        let (data, centroids) = toy();
+        // Each point is 0.5 away from its centroid: 4 * 0.25 = 1.0.
+        assert!((inertia(&data, &centroids) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inertia_with_fixed_assignment() {
+        let (data, centroids) = toy();
+        let good = inertia_with_assignments(&data, &centroids, &[0, 0, 1, 1]);
+        assert!((good - 1.0).abs() < 1e-12);
+        let bad = inertia_with_assignments(&data, &centroids, &[1, 1, 0, 0]);
+        assert!(bad > good);
+        // Nearest assignment is optimal among all assignments.
+        assert!(inertia(&data, &centroids) <= bad);
+    }
+
+    #[test]
+    fn nearest_assignment_correct() {
+        let (data, centroids) = toy();
+        assert_eq!(nearest_assignments(&data, &centroids), vec![0, 0, 1, 1]);
+    }
+
+    #[test]
+    fn zero_inertia_when_centroids_are_points() {
+        let data = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        assert_eq!(inertia(&data, &data), 0.0);
+    }
+
+    #[test]
+    fn bic_prefers_true_structure() {
+        // Two well-separated blobs: k=2 should beat k=1.
+        let mut rows = Vec::new();
+        for i in 0..20 {
+            let jitter = (i as f64 % 5.0) * 0.01;
+            rows.push(vec![0.0 + jitter, jitter]);
+            rows.push(vec![50.0 + jitter, 50.0 - jitter]);
+        }
+        let data = Matrix::from_rows(&rows).unwrap();
+        let c1 = Matrix::from_rows(&[vec![25.0, 25.0]]).unwrap();
+        let a1 = nearest_assignments(&data, &c1);
+        let c2 = Matrix::from_rows(&[vec![0.0, 0.0], vec![50.0, 50.0]]).unwrap();
+        let a2 = nearest_assignments(&data, &c2);
+        assert!(bic_spherical(&data, &c2, &a2) > bic_spherical(&data, &c1, &a1));
+    }
+}

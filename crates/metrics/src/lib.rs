@@ -1,0 +1,56 @@
+//! # kr-metrics
+//!
+//! Clustering-evaluation metrics used throughout the paper's experiments:
+//!
+//! * [`external::adjusted_rand_index`] (ARI, Hubert & Arabie 1985),
+//! * [`external::normalized_mutual_information`] (NMI),
+//! * [`external::unsupervised_clustering_accuracy`] (ACC, Yang et al. 2010 —
+//!   optimal label matching via a from-scratch Hungarian solver),
+//! * [`external::purity`],
+//! * [`internal::inertia`] (the k-Means objective),
+//! * [`params`] — parameter-count accounting used for every
+//!   "compression ratio" column in Tables 2 and 3.
+//!
+//! All external metrics take predicted and ground-truth labels as
+//! `&[usize]` and are permutation-invariant in the cluster ids.
+
+pub mod contingency;
+pub mod external;
+pub mod hungarian;
+pub mod internal;
+pub mod params;
+
+pub use external::{
+    adjusted_rand_index, normalized_mutual_information, purity, unsupervised_clustering_accuracy,
+};
+pub use internal::{inertia, inertia_with_assignments};
+
+/// Errors from metric computations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MetricsError {
+    /// Label slices have different lengths.
+    LengthMismatch {
+        /// Length of the predicted-label slice.
+        predicted: usize,
+        /// Length of the true-label slice.
+        truth: usize,
+    },
+    /// Label slices are empty.
+    Empty,
+}
+
+impl std::fmt::Display for MetricsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MetricsError::LengthMismatch { predicted, truth } => {
+                write!(f, "label length mismatch: predicted={predicted}, truth={truth}")
+            }
+            MetricsError::Empty => write!(f, "label slices are empty"),
+        }
+    }
+}
+
+impl std::error::Error for MetricsError {}
+
+/// Result alias for this crate.
+pub type Result<T> = std::result::Result<T, MetricsError>;

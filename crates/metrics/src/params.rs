@@ -1,0 +1,90 @@
+//! Parameter-count accounting.
+//!
+//! Every compression claim in the paper ("Params" columns of Tables 2 and
+//! 3, Figure 2's parameter axis) is a ratio of *stored summary
+//! parameters*. This module centralizes those counts so the library,
+//! tests, and bench harnesses all agree on the bookkeeping.
+
+/// Parameters stored by plain k-Means with `k` centroids in `m` dims.
+pub fn kmeans_params(k: usize, m: usize) -> usize {
+    k * m
+}
+
+/// Parameters stored by Khatri-Rao k-Means with protocentroid set sizes
+/// `hs` in `m` dims: `(h_1 + ... + h_p) * m`.
+pub fn kr_kmeans_params(hs: &[usize], m: usize) -> usize {
+    hs.iter().sum::<usize>() * m
+}
+
+/// Parameters of one dense layer `W in R^{d x m}` plus bias.
+pub fn dense_layer_params(d: usize, m: usize) -> usize {
+    d * m + m
+}
+
+/// Parameters of one Hadamard-factored layer (Eq. 6):
+/// `q` factor pairs `A_i in R^{d x r_i}`, `B_i in R^{r_i x m}`, plus bias.
+pub fn hadamard_layer_params(d: usize, m: usize, ranks: &[usize]) -> usize {
+    ranks.iter().map(|&r| d * r + r * m).sum::<usize>() + m
+}
+
+/// Total parameters of a fully-connected autoencoder given layer widths
+/// `dims = [m, a, b, ..., latent]`: the decoder mirrors the encoder.
+pub fn autoencoder_params(dims: &[usize]) -> usize {
+    let enc: usize = dims.windows(2).map(|w| dense_layer_params(w[0], w[1])).sum();
+    let dec: usize = dims.windows(2).rev().map(|w| dense_layer_params(w[1], w[0])).sum();
+    enc + dec
+}
+
+/// Ratio `compressed / baseline` as used in the "Params" columns.
+pub fn ratio(compressed: usize, baseline: usize) -> f64 {
+    if baseline == 0 {
+        return f64::NAN;
+    }
+    compressed as f64 / baseline as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kmeans_counts() {
+        assert_eq!(kmeans_params(40, 10), 400);
+        assert_eq!(kr_kmeans_params(&[8, 5], 10), 130);
+        // Table 2 "Params" column for k=40, h1=8, h2=5: 13/40 = 0.325 ≈ 0.33.
+        let r = ratio(kr_kmeans_params(&[8, 5], 10), kmeans_params(40, 10));
+        assert!((r - 0.325).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paper_params_column_examples() {
+        // Table 2 reports 0.70 for MNIST (k = 10 = 5*2, h1+h2 = 7).
+        let r = ratio(kr_kmeans_params(&[5, 2], 784), kmeans_params(10, 784));
+        assert!((r - 0.7).abs() < 1e-12);
+        // Double MNIST: k = 100 = 10*10, h1+h2 = 20 -> 0.20.
+        let r = ratio(kr_kmeans_params(&[10, 10], 1568), kmeans_params(100, 1568));
+        assert!((r - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hadamard_layer_compresses_when_ranks_small() {
+        let full = dense_layer_params(1024, 512);
+        let had = hadamard_layer_params(1024, 512, &[10, 10]);
+        assert!(had < full);
+        // rank so large it stops compressing
+        let had_big = hadamard_layer_params(1024, 512, &[512, 512]);
+        assert!(had_big > full);
+    }
+
+    #[test]
+    fn autoencoder_mirror() {
+        // dims [4, 3, 2]: enc = (4*3+3) + (3*2+2) = 15 + 8 = 23
+        // dec  = (2*3+3) + (3*4+4) = 9 + 16 = 25
+        assert_eq!(autoencoder_params(&[4, 3, 2]), 48);
+    }
+
+    #[test]
+    fn ratio_zero_baseline_is_nan() {
+        assert!(ratio(5, 0).is_nan());
+    }
+}

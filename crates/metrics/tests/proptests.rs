@@ -1,0 +1,127 @@
+//! Property-based tests for clustering metrics.
+
+use kr_metrics::external::{nmi_with, NmiNormalization};
+use kr_metrics::{
+    adjusted_rand_index, hungarian, normalized_mutual_information, purity,
+    unsupervised_clustering_accuracy,
+};
+use proptest::prelude::*;
+
+fn labels(max_k: usize, len: std::ops::Range<usize>) -> impl Strategy<Value = Vec<usize>> {
+    proptest::collection::vec(0..max_k, len)
+}
+
+fn label_pair() -> impl Strategy<Value = (Vec<usize>, Vec<usize>)> {
+    (1usize..60).prop_flat_map(|n| {
+        (
+            proptest::collection::vec(0usize..6, n),
+            proptest::collection::vec(0usize..6, n),
+        )
+    })
+}
+
+/// Applies a fixed permutation to label ids.
+fn permute_ids(labels: &[usize], perm: &[usize]) -> Vec<usize> {
+    labels.iter().map(|&l| perm[l % perm.len()]).collect()
+}
+
+proptest! {
+    #[test]
+    fn self_agreement_is_perfect(l in labels(5, 1..50)) {
+        prop_assert!((adjusted_rand_index(&l, &l).unwrap() - 1.0).abs() < 1e-9);
+        prop_assert!((normalized_mutual_information(&l, &l).unwrap() - 1.0).abs() < 1e-9);
+        prop_assert!((unsupervised_clustering_accuracy(&l, &l).unwrap() - 1.0).abs() < 1e-9);
+        prop_assert!((purity(&l, &l).unwrap() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn metrics_bounded((a, b) in label_pair()) {
+        let ari = adjusted_rand_index(&a, &b).unwrap();
+        prop_assert!(ari <= 1.0 + 1e-12);
+        let nmi = normalized_mutual_information(&a, &b).unwrap();
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&nmi));
+        let acc = unsupervised_clustering_accuracy(&a, &b).unwrap();
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&acc));
+        let p = purity(&a, &b).unwrap();
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&p));
+        // Purity dominates ACC (ACC restricts to one-to-one matching).
+        prop_assert!(p + 1e-12 >= acc);
+    }
+
+    #[test]
+    fn symmetric_in_arguments((a, b) in label_pair()) {
+        let ari_ab = adjusted_rand_index(&a, &b).unwrap();
+        let ari_ba = adjusted_rand_index(&b, &a).unwrap();
+        prop_assert!((ari_ab - ari_ba).abs() < 1e-9);
+        let nmi_ab = normalized_mutual_information(&a, &b).unwrap();
+        let nmi_ba = normalized_mutual_information(&b, &a).unwrap();
+        prop_assert!((nmi_ab - nmi_ba).abs() < 1e-9);
+        let acc_ab = unsupervised_clustering_accuracy(&a, &b).unwrap();
+        let acc_ba = unsupervised_clustering_accuracy(&b, &a).unwrap();
+        prop_assert!((acc_ab - acc_ba).abs() < 1e-9);
+    }
+
+    #[test]
+    fn invariant_under_label_permutation((a, b) in label_pair()) {
+        let perm = [3usize, 0, 5, 1, 4, 2];
+        let a2 = permute_ids(&a, &perm);
+        let ari1 = adjusted_rand_index(&a, &b).unwrap();
+        let ari2 = adjusted_rand_index(&a2, &b).unwrap();
+        prop_assert!((ari1 - ari2).abs() < 1e-9);
+        let nmi1 = normalized_mutual_information(&a, &b).unwrap();
+        let nmi2 = normalized_mutual_information(&a2, &b).unwrap();
+        prop_assert!((nmi1 - nmi2).abs() < 1e-9);
+        let acc1 = unsupervised_clustering_accuracy(&a, &b).unwrap();
+        let acc2 = unsupervised_clustering_accuracy(&a2, &b).unwrap();
+        prop_assert!((acc1 - acc2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn nmi_max_is_smallest_normalization((a, b) in label_pair()) {
+        let by_max = nmi_with(&a, &b, NmiNormalization::Max).unwrap();
+        for norm in [NmiNormalization::Arithmetic, NmiNormalization::Geometric, NmiNormalization::Min] {
+            let v = nmi_with(&a, &b, norm).unwrap();
+            prop_assert!(by_max <= v + 1e-9);
+        }
+    }
+
+    #[test]
+    fn hungarian_never_beaten_by_greedy(n in 1usize..7, seed in 0u64..500) {
+        // Deterministic cost matrix from seed.
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state % 1000) as f64 / 100.0
+        };
+        let cost: Vec<Vec<f64>> = (0..n).map(|_| (0..n).map(|_| next()).collect()).collect();
+        let (asg, total) = hungarian::solve(&cost);
+        // assignment must be a permutation
+        let mut seen = vec![false; n];
+        for &j in &asg { prop_assert!(!seen[j]); seen[j] = true; }
+        // greedy row-by-row must not be cheaper
+        let mut used = vec![false; n];
+        let mut greedy = 0.0;
+        for i in 0..n {
+            let mut best = None;
+            for j in 0..n {
+                if !used[j] && best.map_or(true, |(_, c)| cost[i][j] < c) {
+                    best = Some((j, cost[i][j]));
+                }
+            }
+            let (j, c) = best.unwrap();
+            used[j] = true;
+            greedy += c;
+        }
+        prop_assert!(total <= greedy + 1e-9);
+    }
+
+    #[test]
+    fn acc_at_least_one_over_k((a, b) in label_pair()) {
+        // With optimal matching, accuracy is at least that of matching the
+        // largest true class to the largest cluster overlap — always > 0.
+        let acc = unsupervised_clustering_accuracy(&a, &b).unwrap();
+        prop_assert!(acc > 0.0);
+    }
+}

@@ -1,0 +1,55 @@
+//! Khatri-Rao deep clustering end to end (paper Section 7): pretrain a
+//! Hadamard-compressed autoencoder, initialize latent protocentroids
+//! with KR-k-Means, and jointly train with the DKM loss — then compare
+//! parameter counts against the uncompressed DKM pipeline.
+//!
+//! Run with: `cargo run --release --example deep_clustering`
+//! (a couple of minutes on one CPU core; sizes are scaled down from the
+//! paper's GPU configuration, see DESIGN.md §7)
+
+use kr_core::aggregator::Aggregator;
+use kr_deep::autoencoder::{Autoencoder, Compression};
+use kr_deep::DeepClustering;
+use kr_metrics::unsupervised_clustering_accuracy;
+
+fn main() {
+    // optdigits-like glyph digits, reduced for CPU speed.
+    let ds = kr_datasets::image::optdigits_like(600, 4).standardized();
+    let dims = [64usize, 48, 24, 6];
+    println!("optdigits-like: {} x {}, 10 clusters", ds.n_samples(), ds.n_features());
+
+    // --- Standard DKM: full autoencoder + 10 free centroids.
+    let mut full_ae = Autoencoder::new(&dims, Compression::None, 0).unwrap();
+    full_ae.pretrain(&ds.data, 40, 128, 1e-3, 1);
+    let full_rec = full_ae.reconstruction_loss(&ds.data);
+    let dkm = DeepClustering::dkm(10)
+        .with_epochs(25)
+        .with_batch_size(128)
+        .with_lr(1e-3)
+        .with_seed(2)
+        .fit(full_ae, &ds.data)
+        .unwrap();
+
+    // --- Khatri-Rao DKM: compressed autoencoder + 5 + 2 protocentroids.
+    let (comp_ae, rank) = kr_deep::autoencoder::pretrain_compressed_matching(
+        &ds.data, &dims, 2, 4, full_rec, 40, 128, 1e-3, 2, 3,
+    )
+    .unwrap();
+    let kr_dkm = DeepClustering::kr_dkm(vec![5, 2], Aggregator::Sum)
+        .with_epochs(25)
+        .with_batch_size(128)
+        .with_lr(1e-3)
+        .with_seed(2)
+        .fit(comp_ae, &ds.data)
+        .unwrap();
+
+    println!("\n{:<16}{:>12}{:>10}", "algorithm", "params", "ACC");
+    for (name, model) in [("DKM", &dkm), ("KR-DKM", &kr_dkm)] {
+        let acc = unsupervised_clustering_accuracy(&model.labels, &ds.labels).unwrap();
+        println!("{name:<16}{:>12}{acc:>10.3}", model.n_parameters());
+    }
+    println!(
+        "\nKR-DKM params ratio: {:.2} (Hadamard rank {rank}, 7 protocentroids for 10 centroids)",
+        kr_dkm.n_parameters() as f64 / dkm.n_parameters() as f64
+    );
+}

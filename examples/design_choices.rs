@@ -1,0 +1,60 @@
+//! The design-choice toolbox of paper Section 8: budget arithmetic,
+//! Propositions 8.1 / 8.2, aggregator selection, and BIC-driven growth
+//! of the protocentroid sets.
+//!
+//! Run with: `cargo run --release --example design_choices`
+
+use kr_core::aggregator::Aggregator;
+use kr_core::design;
+use kr_core::model_select;
+use kr_core::operator::khatri_rao;
+use kr_linalg::Matrix;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    // --- Budget arithmetic (Prop. 8.1).
+    println!("Budget b -> optimal #sets p and representable centroids (b/p)^p");
+    for b in [6usize, 12, 16, 24, 30] {
+        let p = design::optimal_num_sets(b);
+        let split = design::balanced_budget_split(b, p);
+        println!(
+            "  b = {b:>2}: p* = {p} (candidates near b/e: {:?}), representable = {}",
+            design::prop81_candidates(b),
+            design::max_representable(&split)
+        );
+    }
+
+    // --- Bounds on the number of sets (Prop. 8.2).
+    println!("\nBounds on #sets guaranteed to represent k centroids (h_min = 3):");
+    for k in [9usize, 27, 100] {
+        let (lo, hi) = design::prop82_bounds(k, 3);
+        println!("  k = {k:>3}: {lo} <= p* <= {hi}");
+    }
+
+    // --- Aggregator selection heuristic.
+    let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+    let t1 = Matrix::from_fn(3, 5, |_, _| rng.gen_range(0.5..3.0));
+    let t2 = Matrix::from_fn(3, 5, |_, _| rng.gen_range(0.5..3.0));
+    for (name, agg) in [("additive", Aggregator::Sum), ("multiplicative", Aggregator::Product)] {
+        let grid = khatri_rao(&[t1.clone(), t2.clone()], agg).unwrap();
+        let suggestion = design::suggest_aggregator(&grid, 3, 3);
+        println!("\n{name} centroid grid -> suggested aggregator: {suggestion}");
+    }
+
+    // --- BIC-driven growth of the protocentroid sets (X-Means flavor).
+    let (ds, _, _) = kr_datasets::synthetic::kr_structured(
+        3,
+        3,
+        40,
+        0.15,
+        kr_datasets::synthetic::StructureKind::Additive,
+        5,
+    );
+    let (model, visited) =
+        model_select::grow_kr_kmeans(&ds.data, Aggregator::Sum, 10, 5, 6).unwrap();
+    println!("\nBIC growth on 3x3-structured data (true k = 9):");
+    for c in &visited {
+        println!("  hs = {:?} -> k = {:>2}, BIC = {:.1}", c.hs, c.k, c.bic);
+    }
+    println!("selected grid: {} centroids", model.centroids().nrows());
+}

@@ -1,0 +1,43 @@
+//! # khatri-rao-clustering
+//!
+//! Umbrella crate for the Khatri-Rao clustering reproduction ("Khatri-Rao
+//! Clustering for Data Summarization", EDBT 2026). Re-exports the public
+//! API of every workspace crate so examples, integration tests, and
+//! downstream users need a single dependency.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use khatri_rao_clustering::prelude::*;
+//!
+//! // A dataset whose 9 clusters have additive Khatri-Rao structure.
+//! let ds = kr_datasets::synthetic::blobs(300, 2, 9, 0.5, 42);
+//! // Summarize with 3 + 3 protocentroids instead of 9 centroids.
+//! let model = KrKMeans::new(vec![3, 3])
+//!     .with_seed(7)
+//!     .with_n_init(5)
+//!     .fit(&ds.data)
+//!     .unwrap();
+//! assert_eq!(model.centroids().nrows(), 9);
+//! ```
+
+pub use kr_autodiff as autodiff;
+pub use kr_core as core;
+pub use kr_datasets as datasets;
+pub use kr_deep as deep;
+pub use kr_federated as federated;
+pub use kr_linalg as linalg;
+pub use kr_metrics as metrics;
+
+/// Common imports for library users.
+pub mod prelude {
+    pub use kr_core::aggregator::Aggregator;
+    pub use kr_core::kmeans::KMeans;
+    pub use kr_core::kr_kmeans::KrKMeans;
+    pub use kr_datasets as kr_datasets;
+    pub use kr_linalg::Matrix;
+    pub use kr_metrics::{
+        adjusted_rand_index, inertia, normalized_mutual_information,
+        unsupervised_clustering_accuracy,
+    };
+}

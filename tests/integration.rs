@@ -1,0 +1,219 @@
+//! Cross-crate integration tests: end-to-end pipelines exercising the
+//! public API the way the paper's experiments (and the examples) do.
+
+use khatri_rao_clustering::prelude::*;
+use kr_core::kmeans::{KMeans, KMeansInit};
+use kr_core::kr_kmeans::KrVariant;
+use kr_core::naive::NaiveKr;
+use kr_datasets::synthetic::{kr_structured, StructureKind};
+use kr_datasets::table1::{balanced_factor_pair, Scale, Table1};
+
+#[test]
+fn exact_recovery_on_kr_structured_data() {
+    // The headline capability: data whose clusters have Khatri-Rao
+    // structure is recovered perfectly from Σh vectors.
+    // Additive 3x3 grid: the paradigm's flagship case.
+    let (ds, _, _) = kr_structured(3, 3, 40, 0.05, StructureKind::Additive, 17);
+    let model = KrKMeans::new(vec![3, 3])
+        .with_aggregator(Aggregator::Sum)
+        .with_n_init(20)
+        .with_seed(5)
+        .fit(&ds.data)
+        .unwrap();
+    let ari = adjusted_rand_index(&model.labels, &ds.labels).unwrap();
+    assert!(ari > 0.95, "Sum: ari {ari}");
+    assert_eq!(model.n_parameters(), 6 * 2);
+
+    // Multiplicative grid: random products can make distinct cells
+    // near-coincident, so a smaller grid with tighter noise is used and
+    // the bar is slightly lower than for the additive case.
+    let (ds, _, _) = kr_structured(3, 2, 50, 0.03, StructureKind::Multiplicative, 17);
+    let model = KrKMeans::new(vec![3, 2])
+        .with_aggregator(Aggregator::Product)
+        .with_n_init(20)
+        .with_seed(5)
+        .fit(&ds.data)
+        .unwrap();
+    let ari = adjusted_rand_index(&model.labels, &ds.labels).unwrap();
+    assert!(ari > 0.85, "Product: ari {ari}");
+}
+
+#[test]
+fn stickfigures_table2_row() {
+    // Paper Table 2 reports perfect scores for KR-+ on stickfigures.
+    let ds = Table1::Stickfigures.load(Scale::Reduced, 3);
+    let model = KrKMeans::new(vec![3, 3])
+        .with_aggregator(Aggregator::Sum)
+        .with_n_init(20)
+        .with_seed(9)
+        .fit(&ds.data)
+        .unwrap();
+    let ari = adjusted_rand_index(&model.labels, &ds.labels).unwrap();
+    let acc = unsupervised_clustering_accuracy(&model.labels, &ds.labels).unwrap();
+    let nmi = normalized_mutual_information(&model.labels, &ds.labels).unwrap();
+    assert!(ari > 0.99 && acc > 0.99 && nmi > 0.99, "ari {ari} acc {acc} nmi {nmi}");
+}
+
+#[test]
+fn naive_two_phase_is_dominated_by_joint_optimization() {
+    // Section 5's motivation: on data that is NOT KR-structured, the
+    // two-phase approach destroys accuracy that the joint optimizer
+    // retains. Compare fixed-assignment objectives (inertia).
+    let ds = kr_datasets::synthetic::blobs(600, 2, 25, 0.5, 23).standardized();
+    let naive = NaiveKr::new(vec![5, 5])
+        .with_aggregator(Aggregator::Sum)
+        .with_seed(2)
+        .fit(&ds.data)
+        .unwrap();
+    let joint = KrKMeans::new(vec![5, 5])
+        .with_aggregator(Aggregator::Sum)
+        .with_n_init(20)
+        .with_seed(2)
+        .fit(&ds.data)
+        .unwrap();
+    assert!(
+        joint.inertia <= naive.inertia * 1.05,
+        "joint {} vs naive {}",
+        joint.inertia,
+        naive.inertia
+    );
+}
+
+#[test]
+fn kr_beats_same_budget_kmeans_on_structured_grid() {
+    // Figure 6's qualitative claim at one grid point.
+    let (ds, _, _) = kr_structured(4, 4, 25, 0.2, StructureKind::Additive, 31);
+    let kr = KrKMeans::new(vec![4, 4])
+        .with_n_init(20)
+        .with_seed(4)
+        .fit(&ds.data)
+        .unwrap();
+    let km_same_budget = KMeans::new(8).with_n_init(20).with_seed(4).fit(&ds.data).unwrap();
+    assert!(
+        kr.inertia < km_same_budget.inertia,
+        "kr {} !< km(8) {}",
+        kr.inertia,
+        km_same_budget.inertia
+    );
+}
+
+#[test]
+fn lloyd_refinement_of_kr_solution_never_loses() {
+    let ds = Table1::R15.load(Scale::Reduced, 5);
+    let (h1, h2) = balanced_factor_pair(15);
+    let kr = KrKMeans::new(vec![h1, h2]).with_n_init(10).with_seed(6).fit(&ds.data).unwrap();
+    let refined = KMeans::new(15)
+        .with_init(KMeansInit::FromCentroids(kr.centroids()))
+        .with_n_init(1)
+        .fit(&ds.data)
+        .unwrap();
+    assert!(refined.inertia <= kr.inertia + 1e-9);
+}
+
+#[test]
+fn memory_variant_agrees_on_real_shaped_data() {
+    let ds = Table1::Optdigits.load(Scale::Reduced, 7);
+    let base = KrKMeans::new(vec![5, 2]).with_n_init(2).with_max_iter(20).with_seed(8);
+    let t = base.clone().with_variant(KrVariant::TimeEfficient).fit(&ds.data).unwrap();
+    let m = base.with_variant(KrVariant::MemoryEfficient).fit(&ds.data).unwrap();
+    assert_eq!(t.labels, m.labels);
+    assert!((t.inertia - m.inertia).abs() < 1e-6);
+}
+
+#[test]
+fn all_table1_datasets_cluster_end_to_end() {
+    // Smoke coverage of the full Table 2 pipeline on every dataset.
+    for ds_id in Table1::ALL {
+        let ds = ds_id.load(Scale::Reduced, 11);
+        // Subsample for speed; structure is preserved.
+        let cap = 300.min(ds.n_samples());
+        let idx: Vec<usize> = (0..cap)
+            .map(|i| i * ds.n_samples() / cap)
+            .collect();
+        let data = ds.data.select_rows(&idx);
+        let truth: Vec<usize> = idx.iter().map(|&i| ds.labels[i]).collect();
+        let (h1, h2) = ds_id.factor_pair();
+        let model = KrKMeans::new(vec![h1, h2])
+            .with_n_init(2)
+            .with_max_iter(25)
+            .with_seed(12)
+            .fit(&data)
+            .unwrap();
+        assert!(model.inertia.is_finite(), "{}", ds_id.name());
+        assert_eq!(model.labels.len(), data.nrows(), "{}", ds_id.name());
+        let ari = adjusted_rand_index(&model.labels, &truth).unwrap();
+        assert!(ari > -0.2, "{}: pathological ARI {ari}", ds_id.name());
+    }
+}
+
+#[test]
+fn federated_pipeline_end_to_end() {
+    use kr_federated::{shard_by_assignment, FkM, KrFkM};
+    let (ds, client_of) = kr_datasets::image::femnist_like(400, 5, 13);
+    let clients = shard_by_assignment(&ds.data, &client_of, 5);
+    let fkm = FkM { k: 10, rounds: 5, seed: 1 }.run(&clients).unwrap();
+    let kr = KrFkM {
+        hs: vec![5, 2],
+        aggregator: Aggregator::Product,
+        rounds: 5,
+        seed: 1,
+    }
+    .run(&clients)
+    .unwrap();
+    // Downlink advantage is structural: 7 vs 10 vectors broadcast.
+    let f = fkm.history.last().unwrap();
+    let k = kr.history.last().unwrap();
+    assert_eq!(k.downlink_bytes * 10, f.downlink_bytes * 7);
+    assert!(k.inertia.is_finite() && f.inertia.is_finite());
+}
+
+#[test]
+fn deep_pipeline_improves_over_encoder_init() {
+    use kr_deep::autoencoder::{Autoencoder, Compression};
+    use kr_deep::DeepClustering;
+    let ds = kr_datasets::synthetic::blobs(150, 12, 4, 0.4, 41);
+    let mut ae = Autoencoder::new(&[12, 8, 2], Compression::None, 1).unwrap();
+    ae.pretrain(&ds.data, 30, 32, 1e-2, 2);
+    let model = DeepClustering::kr_dkm(vec![2, 2], Aggregator::Sum)
+        .with_epochs(15)
+        .with_batch_size(32)
+        .with_lr(1e-3)
+        .with_seed(3)
+        .fit(ae, &ds.data)
+        .unwrap();
+    let ari = adjusted_rand_index(&model.labels, &ds.labels).unwrap();
+    assert!(ari > 0.4, "ari {ari}");
+    assert_eq!(model.latent_centroids().nrows(), 4);
+}
+
+#[test]
+fn color_quantization_ordering_reproduces() {
+    use rand::{Rng, SeedableRng};
+    let pixels = kr_datasets::image::quantization_pixels(600, 5);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+    let rows: Vec<usize> = (0..12).map(|_| rng.gen_range(0..pixels.nrows())).collect();
+    let random_inertia = inertia(&pixels, &pixels.select_rows(&rows));
+    let km = KMeans::new(12).with_n_init(10).with_seed(1).fit(&pixels).unwrap();
+    let kr = KrKMeans::new(vec![6, 6])
+        .with_aggregator(Aggregator::Product)
+        .with_n_init(10)
+        .with_seed(1)
+        .fit(&pixels)
+        .unwrap();
+    assert!(
+        random_inertia > km.inertia && km.inertia > kr.inertia,
+        "ordering violated: random {random_inertia}, km {}, kr {}",
+        km.inertia,
+        kr.inertia
+    );
+}
+
+#[test]
+fn error_types_propagate_through_facade() {
+    let empty = Matrix::zeros(0, 0);
+    assert!(KrKMeans::new(vec![2, 2]).fit(&empty).is_err());
+    assert!(KMeans::new(3).fit(&empty).is_err());
+    let mut bad = Matrix::zeros(4, 2);
+    bad.set(0, 0, f64::INFINITY);
+    assert!(KrKMeans::new(vec![2, 2]).fit(&bad).is_err());
+}
