@@ -101,7 +101,12 @@ impl Graph {
     }
 
     fn push(&mut self, value: Matrix, op: Op) -> VarId {
-        self.nodes.push(Node { value, grad: None, op, param: None });
+        self.nodes.push(Node {
+            value,
+            grad: None,
+            op,
+            param: None,
+        });
         self.nodes.len() - 1
     }
 
@@ -141,25 +146,37 @@ impl Graph {
 
     /// Matrix product.
     pub fn matmul(&mut self, a: VarId, b: VarId) -> VarId {
-        let v = self.nodes[a].value.matmul(&self.nodes[b].value).expect("matmul shapes");
+        let v = self.nodes[a]
+            .value
+            .matmul(&self.nodes[b].value)
+            .expect("matmul shapes");
         self.push(v, Op::MatMul(a, b))
     }
 
     /// Elementwise sum (same shapes).
     pub fn add(&mut self, a: VarId, b: VarId) -> VarId {
-        let v = self.nodes[a].value.add(&self.nodes[b].value).expect("add shapes");
+        let v = self.nodes[a]
+            .value
+            .add(&self.nodes[b].value)
+            .expect("add shapes");
         self.push(v, Op::Add(a, b))
     }
 
     /// Elementwise difference.
     pub fn sub(&mut self, a: VarId, b: VarId) -> VarId {
-        let v = self.nodes[a].value.sub(&self.nodes[b].value).expect("sub shapes");
+        let v = self.nodes[a]
+            .value
+            .sub(&self.nodes[b].value)
+            .expect("sub shapes");
         self.push(v, Op::Sub(a, b))
     }
 
     /// Elementwise (Hadamard) product.
     pub fn mul(&mut self, a: VarId, b: VarId) -> VarId {
-        let v = self.nodes[a].value.hadamard(&self.nodes[b].value).expect("mul shapes");
+        let v = self.nodes[a]
+            .value
+            .hadamard(&self.nodes[b].value)
+            .expect("mul shapes");
         self.push(v, Op::Mul(a, b))
     }
 
@@ -370,12 +387,16 @@ impl Graph {
                 }
                 Op::Tanh(a) => {
                     let t = &self.nodes[id].value;
-                    let da = grad.zip_with(t, "tanh-bwd", |g, y| g * (1.0 - y * y)).unwrap();
+                    let da = grad
+                        .zip_with(t, "tanh-bwd", |g, y| g * (1.0 - y * y))
+                        .unwrap();
                     self.accumulate(a, da);
                 }
                 Op::Sigmoid(a) => {
                     let s = &self.nodes[id].value;
-                    let da = grad.zip_with(s, "sig-bwd", |g, y| g * y * (1.0 - y)).unwrap();
+                    let da = grad
+                        .zip_with(s, "sig-bwd", |g, y| g * y * (1.0 - y))
+                        .unwrap();
                     self.accumulate(a, da);
                 }
                 Op::Scale(a, s) => self.accumulate(a, grad.scale(s)),
@@ -420,8 +441,7 @@ impl Graph {
                 Op::RowNormalize(a, sums) => {
                     let y = &self.nodes[id].value;
                     let mut da = Matrix::zeros(y.nrows(), y.ncols());
-                    for i in 0..y.nrows() {
-                        let s = sums[i];
+                    for (i, &s) in sums.iter().enumerate() {
                         if s == 0.0 {
                             continue;
                         }
@@ -449,19 +469,19 @@ impl Graph {
                     // dX = 2 (diag(row_g) X - G C)
                     let gc = grad.matmul(&cv).unwrap();
                     let mut dx = Matrix::zeros(xv.nrows(), xv.ncols());
-                    for i in 0..xv.nrows() {
+                    for (i, &rg) in row_g.iter().enumerate() {
                         let dst = dx.row_mut(i);
                         for ((d, &xvv), &gcv) in dst.iter_mut().zip(xv.row(i)).zip(gc.row(i)) {
-                            *d = 2.0 * (row_g[i] * xvv - gcv);
+                            *d = 2.0 * (rg * xvv - gcv);
                         }
                     }
                     // dC = 2 (diag(col_g) C - G^T X)
                     let gtx = grad.matmul_transpose_a(&xv).unwrap();
                     let mut dc = Matrix::zeros(cv.nrows(), cv.ncols());
-                    for j in 0..cv.nrows() {
+                    for (j, &cg) in col_g.iter().enumerate() {
                         let dst = dc.row_mut(j);
                         for ((d, &cvv), &gtv) in dst.iter_mut().zip(cv.row(j)).zip(gtx.row(j)) {
-                            *d = 2.0 * (col_g[j] * cvv - gtv);
+                            *d = 2.0 * (cg * cvv - gtv);
                         }
                     }
                     self.accumulate(x, dx);
@@ -608,10 +628,7 @@ mod tests {
         let t1r = g.repeat_interleave(t1, 3);
         let t2t = g.tile(t2, 2);
         let m = g.add(t1r, t2t);
-        assert_eq!(
-            g.value(m).col(0),
-            vec![11.0, 21.0, 31.0, 12.0, 22.0, 32.0]
-        );
+        assert_eq!(g.value(m).col(0), vec![11.0, 21.0, 31.0, 12.0, 22.0, 32.0]);
     }
 
     #[test]

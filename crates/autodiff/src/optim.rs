@@ -74,7 +74,15 @@ impl Adam {
             .map(|i| Matrix::zeros(store.get(i).nrows(), store.get(i).ncols()))
             .collect::<Vec<_>>();
         let v = m.clone();
-        Adam { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, t: 0, m, v }
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 0,
+            m,
+            v,
+        }
     }
 
     /// Changes the learning rate (the paper drops from 1e-3 for

@@ -175,7 +175,9 @@ fn tile_repeat_grad() {
 
 #[test]
 fn mse_grad() {
-    grad_check(&[mat(3, 3, 21), mat(3, 3, 22)], |g, ids| g.mse(ids[0], ids[1]));
+    grad_check(&[mat(3, 3, 21), mat(3, 3, 22)], |g, ids| {
+        g.mse(ids[0], ids[1])
+    });
 }
 
 #[test]
@@ -196,17 +198,20 @@ fn dkm_loss_composition_grad() {
 fn idec_q_composition_grad() {
     // Student-t soft assignment q (Eq. 4 machinery): row-normalized
     // (1 + D)^(-(a+1)/2) with a = 1.
-    grad_check(&[mat(4, 2, 25), mat(2, 2, 26), positive_mat(4, 2, 27)], |g, ids| {
-        let d = g.sq_dist(ids[0], ids[1]);
-        let one_plus = g.add_scalar(d, 1.0);
-        let pw = g.pow_const(one_plus, -1.0);
-        let q = g.row_normalize(pw);
-        let lq = g.ln(q);
-        let p = g.row_normalize(ids[2]); // fixed target-ish weights
-        let klish = g.mul(p, lq);
-        let s = g.sum(klish);
-        g.scale(s, -1.0)
-    });
+    grad_check(
+        &[mat(4, 2, 25), mat(2, 2, 26), positive_mat(4, 2, 27)],
+        |g, ids| {
+            let d = g.sq_dist(ids[0], ids[1]);
+            let one_plus = g.add_scalar(d, 1.0);
+            let pw = g.pow_const(one_plus, -1.0);
+            let q = g.row_normalize(pw);
+            let lq = g.ln(q);
+            let p = g.row_normalize(ids[2]); // fixed target-ish weights
+            let klish = g.mul(p, lq);
+            let s = g.sum(klish);
+            g.scale(s, -1.0)
+        },
+    );
 }
 
 #[test]

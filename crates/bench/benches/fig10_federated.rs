@@ -24,7 +24,13 @@ fn main() {
     let clients: Vec<Client> = shard_by_assignment(&ds.data, &client_of, 10);
 
     let rounds = 8;
-    let fkm = FkM { k: 20, rounds, seed: 1 }.run(&clients).unwrap();
+    let fkm = FkM {
+        k: 20,
+        rounds,
+        seed: 1,
+    }
+    .run(&clients)
+    .unwrap();
     let kr = KrFkM {
         hs: vec![10, 10],
         aggregator: Aggregator::Sum,

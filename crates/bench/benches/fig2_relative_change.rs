@@ -42,8 +42,15 @@ fn main() {
         let budget: usize = hs.iter().sum();
 
         // --- k-Means vs KR-k-Means.
-        let km = KMeans::new(k).with_n_init(3).with_max_iter(40).with_seed(4).fit(&ds.data).unwrap();
+        let km = KMeans::new(k)
+            .with_n_init(3)
+            .with_max_iter(40)
+            .with_seed(4)
+            .fit(&ds.data)
+            .unwrap();
         let kr = KrKMeans::new(hs.clone())
+            // Reproduce the paper's Algorithm 1: no warm-start candidate.
+            .with_warm_start(false)
             .with_n_init(3)
             .with_max_iter(40)
             .with_seed(4)

@@ -48,6 +48,8 @@ fn main() {
                 .fit(&ds.data)
                 .unwrap();
             let kr_sum = KrKMeans::new(vec![h, h])
+                // Reproduce the paper's Algorithm 1: no warm-start candidate.
+                .with_warm_start(false)
                 .with_aggregator(Aggregator::Sum)
                 .with_n_init(n_init)
                 .with_max_iter(max_iter)
@@ -55,6 +57,8 @@ fn main() {
                 .fit(&ds.data)
                 .unwrap();
             let kr_prod = KrKMeans::new(vec![h, h])
+                // Reproduce the paper's Algorithm 1: no warm-start candidate.
+                .with_warm_start(false)
                 .with_aggregator(Aggregator::Product)
                 .with_n_init(n_init)
                 .with_max_iter(max_iter)

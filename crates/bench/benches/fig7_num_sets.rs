@@ -27,8 +27,16 @@ fn main() {
             .with_seed(2)
             .fit(&ds.data)
             .unwrap();
-        let km_small = KMeans::new(12).with_n_init(n_init).with_seed(2).fit(&ds.data).unwrap();
-        let km_full = KMeans::new(36).with_n_init(n_init).with_seed(2).fit(&ds.data).unwrap();
+        let km_small = KMeans::new(12)
+            .with_n_init(n_init)
+            .with_seed(2)
+            .fit(&ds.data)
+            .unwrap();
+        let km_full = KMeans::new(36)
+            .with_n_init(n_init)
+            .with_seed(2)
+            .fit(&ds.data)
+            .unwrap();
         println!(
             "  baselines: Naive-x {:.1} | kM(12) {:.1} | kM(36) {:.1}",
             naive.inertia, km_small.inertia, km_full.inertia
@@ -38,6 +46,8 @@ fn main() {
             let k: usize = hs.iter().product();
             for agg in [Aggregator::Sum, Aggregator::Product] {
                 let kr = KrKMeans::new(hs.clone())
+                    // Reproduce the paper's Algorithm 1: no warm-start candidate.
+                    .with_warm_start(false)
                     .with_aggregator(agg)
                     .with_n_init(n_init)
                     .with_seed(2)

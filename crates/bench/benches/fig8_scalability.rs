@@ -9,6 +9,9 @@
 //! The sweep grid is scaled down for the single-core environment; the
 //! axes' growth directions and the crossovers are the target.
 
+// Peak-memory reporting: without this, kr_bench::measure sees no heap.
+kr_bench::install_counting_allocator!();
+
 use kr_bench::{measure, mib};
 use kr_core::aggregator::Aggregator;
 use kr_core::kmeans::KMeans;
@@ -29,19 +32,30 @@ fn run_all(data: &Matrix, h: usize, label: &str) {
     std::hint::black_box(&m1);
     results.push(("Naive-x", t, p));
     let (m2, t, p) = measure(|| {
-        KMeans::new(2 * h).with_n_init(1).with_max_iter(max_iter).fit(data).unwrap()
+        KMeans::new(2 * h)
+            .with_n_init(1)
+            .with_max_iter(max_iter)
+            .fit(data)
+            .unwrap()
     });
     std::hint::black_box(&m2);
     results.push(("kM(h1+h2)", t, p));
     let (m3, t, p) = measure(|| {
-        KMeans::new(h * h).with_n_init(1).with_max_iter(max_iter).fit(data).unwrap()
+        KMeans::new(h * h)
+            .with_n_init(1)
+            .with_max_iter(max_iter)
+            .fit(data)
+            .unwrap()
     });
     std::hint::black_box(&m3);
     results.push(("kM(h1h2)", t, p));
     let (m4, t, p) = measure(|| {
+        // Warm start would materialize the full grid and mask the
+        // O((n + 2h) m) space bound this figure measures.
         KrKMeans::new(vec![h, h])
             .with_aggregator(Aggregator::Sum)
             .with_variant(KrVariant::MemoryEfficient)
+            .with_warm_start(false)
             .with_n_init(1)
             .with_max_iter(max_iter)
             .fit(data)
@@ -53,6 +67,7 @@ fn run_all(data: &Matrix, h: usize, label: &str) {
         KrKMeans::new(vec![h, h])
             .with_aggregator(Aggregator::Product)
             .with_variant(KrVariant::MemoryEfficient)
+            .with_warm_start(false)
             .with_n_init(1)
             .with_max_iter(max_iter)
             .fit(data)
@@ -75,8 +90,17 @@ fn main() {
     println!("=== Figure 8: scalability (runtime seconds | peak heap MiB) ===");
     println!(
         "{:<24}{:>10}{:>10}{:>10}{:>10}{:>10}   |{:>9}{:>9}{:>9}{:>9}{:>9}",
-        "sweep", "Naive-x", "kM(h+h)", "kM(hh)", "KR-+", "KR-x", "Naive-x", "kM(h+h)", "kM(hh)",
-        "KR-+", "KR-x"
+        "sweep",
+        "Naive-x",
+        "kM(h+h)",
+        "kM(hh)",
+        "KR-+",
+        "KR-x",
+        "Naive-x",
+        "kM(h+h)",
+        "kM(hh)",
+        "KR-+",
+        "KR-x"
     );
 
     // --- Vary number of data points (k = 100, m = 20).

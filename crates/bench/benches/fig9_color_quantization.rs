@@ -16,8 +16,14 @@ fn main() {
     let mut rng = rand::rngs::StdRng::seed_from_u64(9);
     let random_rows: Vec<usize> = (0..12).map(|_| rng.gen_range(0..pixels.nrows())).collect();
     let random_inertia = inertia(&pixels, &pixels.select_rows(&random_rows));
-    let km = KMeans::new(12).with_n_init(20).with_seed(1).fit(&pixels).unwrap();
+    let km = KMeans::new(12)
+        .with_n_init(20)
+        .with_seed(1)
+        .fit(&pixels)
+        .unwrap();
     let kr = KrKMeans::new(vec![6, 6])
+        // Reproduce the paper's Algorithm 1: no warm-start candidate.
+        .with_warm_start(false)
         .with_aggregator(Aggregator::Product)
         .with_n_init(20)
         .with_seed(1)
@@ -27,15 +33,33 @@ fn main() {
     // Report in the paper's 0-255 RGB units.
     let to_255 = 255.0 * 255.0;
     println!("=== Figure 9: color quantization (1000 pixels, 12-vector budget) ===");
-    println!("{:<26}{:>9}{:>9}{:>14}{:>14}", "method", "vectors", "colors", "inertia", "paper");
     println!(
-        "{:<26}{:>9}{:>9}{:>14.0}{:>14}",
-        "random pixels", 12, 12, random_inertia * to_255, 4686
+        "{:<26}{:>9}{:>9}{:>14}{:>14}",
+        "method", "vectors", "colors", "inertia", "paper"
     );
-    println!("{:<26}{:>9}{:>9}{:>14.0}{:>14}", "k-Means", 12, 12, km.inertia * to_255, 2009);
     println!(
         "{:<26}{:>9}{:>9}{:>14.0}{:>14}",
-        "Khatri-Rao-k-Means-x", 12, 36, kr.inertia * to_255, 1144
+        "random pixels",
+        12,
+        12,
+        random_inertia * to_255,
+        4686
+    );
+    println!(
+        "{:<26}{:>9}{:>9}{:>14.0}{:>14}",
+        "k-Means",
+        12,
+        12,
+        km.inertia * to_255,
+        2009
+    );
+    println!(
+        "{:<26}{:>9}{:>9}{:>14.0}{:>14}",
+        "Khatri-Rao-k-Means-x",
+        12,
+        36,
+        kr.inertia * to_255,
+        1144
     );
     let ratio_km = km.inertia / kr.inertia;
     println!(

@@ -14,9 +14,13 @@ fn bench_pairwise_sqdist(c: &mut Criterion) {
     for &(n, k, m) in &[(500usize, 50usize, 32usize), (1000, 100, 32)] {
         let x = Matrix::from_fn(n, m, |i, j| ((i * 31 + j * 7) % 97) as f64 * 0.01);
         let cmat = Matrix::from_fn(k, m, |i, j| ((i * 13 + j * 3) % 89) as f64 * 0.02);
-        group.bench_with_input(BenchmarkId::from_parameter(format!("{n}x{k}x{m}")), &(), |b, _| {
-            b.iter(|| black_box(x.pairwise_sqdist(&cmat).unwrap()));
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{n}x{k}x{m}")),
+            &(),
+            |b, _| {
+                b.iter(|| black_box(x.pairwise_sqdist(&cmat).unwrap()));
+            },
+        );
     }
     group.finish();
 }
@@ -33,6 +37,8 @@ fn bench_kr_assignment_variants(c: &mut Criterion) {
             b.iter(|| {
                 black_box(
                     KrKMeans::new(vec![8, 8])
+                        // Reproduce the paper's Algorithm 1: no warm-start candidate.
+                        .with_warm_start(false)
                         .with_variant(variant)
                         .with_n_init(1)
                         .with_max_iter(2)

@@ -25,7 +25,10 @@ fn cap_rows(data: &Matrix, labels: &[usize], cap: usize) -> (Matrix, Vec<usize>)
     }
     let stride = data.nrows() as f64 / cap as f64;
     let idx: Vec<usize> = (0..cap).map(|i| (i as f64 * stride) as usize).collect();
-    (data.select_rows(&idx), idx.iter().map(|&i| labels[i]).collect())
+    (
+        data.select_rows(&idx),
+        idx.iter().map(|&i| labels[i]).collect(),
+    )
 }
 
 fn metrics(labels: &[usize], truth: &[usize]) -> (f64, f64, f64) {
@@ -44,8 +47,20 @@ fn main() {
     println!("(reduced scale: n <= {cap}, encoder m-128-64-8, {pre_epochs}+{epochs} epochs)\n");
     println!(
         "{:<16} {:>6}{:>6}{:>6} {:>6}{:>6}{:>6} {:>6}{:>6}{:>6} {:>6}{:>6}{:>6} {:>7}",
-        "dataset", "ARI", "ACC", "NMI", "ARI", "ACC", "NMI", "ARI", "ACC", "NMI", "ARI", "ACC",
-        "NMI", "Params"
+        "dataset",
+        "ARI",
+        "ACC",
+        "NMI",
+        "ARI",
+        "ACC",
+        "NMI",
+        "ARI",
+        "ACC",
+        "NMI",
+        "ARI",
+        "ACC",
+        "NMI",
+        "Params"
     );
     println!(
         "{:<16} {:^18} {:^18} {:^18} {:^18}",
@@ -82,9 +97,15 @@ fn main() {
                 .unwrap()
         };
         let idec = fit_full(DeepClustering::idec(k), &full_ae);
-        let kr_idec = fit_full(DeepClustering::kr_idec(vec![h1, h2], Aggregator::Sum), &comp_ae);
+        let kr_idec = fit_full(
+            DeepClustering::kr_idec(vec![h1, h2], Aggregator::Sum),
+            &comp_ae,
+        );
         let dkm = fit_full(DeepClustering::dkm(k), &full_ae);
-        let kr_dkm = fit_full(DeepClustering::kr_dkm(vec![h1, h2], Aggregator::Sum), &comp_ae);
+        let kr_dkm = fit_full(
+            DeepClustering::kr_dkm(vec![h1, h2], Aggregator::Sum),
+            &comp_ae,
+        );
 
         let ratio = (kr_idec.n_parameters() + kr_dkm.n_parameters()) as f64
             / (idec.n_parameters() + dkm.n_parameters()) as f64;

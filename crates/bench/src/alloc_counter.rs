@@ -1,15 +1,32 @@
 //! Counting global allocator for peak-memory measurement (Figure 8).
 //!
 //! Wraps the system allocator with atomic counters for live and peak
-//! bytes. Installed for every binary that links `kr-bench`; the per-call
-//! overhead is two relaxed atomic ops, negligible next to the clustering
-//! kernels being measured.
+//! bytes. The wrapper only counts when it is registered as the binary's
+//! `#[global_allocator]`, which a library cannot do on a binary's behalf
+//! without forcing the choice on every dependent. Each bench binary must
+//! therefore install it explicitly:
+//!
+//! ```ignore
+//! kr_bench::install_counting_allocator!();
+//! ```
+//!
+//! Binaries that skip this still run, but [`crate::measure`] reports 0
+//! peak bytes (and prints a one-time warning). The per-call overhead is a
+//! few relaxed atomic ops, negligible next to the clustering kernels
+//! being measured.
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 static LIVE: AtomicUsize = AtomicUsize::new(0);
 static PEAK: AtomicUsize = AtomicUsize::new(0);
+/// Monotonic count of `alloc` calls; unlike `LIVE` it can never be
+/// driven back down by concurrent frees, so installation probing is
+/// race-free.
+static ALLOC_CALLS: AtomicUsize = AtomicUsize::new(0);
+/// Live byte level captured by the last [`reset_peak`], so peaks are
+/// reported relative to the measurement start rather than process start.
+static RESET_LEVEL: AtomicUsize = AtomicUsize::new(0);
 
 /// System allocator wrapper that tracks live and peak bytes.
 pub struct CountingAllocator;
@@ -19,6 +36,7 @@ unsafe impl GlobalAlloc for CountingAllocator {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         let p = unsafe { System.alloc(layout) };
         if !p.is_null() {
+            ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
             let live = LIVE.fetch_add(layout.size(), Ordering::Relaxed) + layout.size();
             PEAK.fetch_max(live, Ordering::Relaxed);
         }
@@ -34,9 +52,8 @@ unsafe impl GlobalAlloc for CountingAllocator {
         let p = unsafe { System.realloc(ptr, layout, new_size) };
         if !p.is_null() {
             if new_size >= layout.size() {
-                let live =
-                    LIVE.fetch_add(new_size - layout.size(), Ordering::Relaxed) + new_size
-                        - layout.size();
+                let live = LIVE.fetch_add(new_size - layout.size(), Ordering::Relaxed) + new_size
+                    - layout.size();
                 PEAK.fetch_max(live, Ordering::Relaxed);
             } else {
                 LIVE.fetch_sub(layout.size() - new_size, Ordering::Relaxed);
@@ -46,24 +63,60 @@ unsafe impl GlobalAlloc for CountingAllocator {
     }
 }
 
+// The lib's own unit tests measure through the counter, so the test
+// binary installs it here; real bench binaries use
+// `kr_bench::install_counting_allocator!()`.
+#[cfg(test)]
 #[global_allocator]
 static ALLOCATOR: CountingAllocator = CountingAllocator;
 
-/// Currently live heap bytes.
+/// Registers [`CountingAllocator`](crate::alloc_counter::CountingAllocator)
+/// as the calling binary's `#[global_allocator]`. Invoke once at module
+/// scope in every bench binary that reports peak memory.
+#[macro_export]
+macro_rules! install_counting_allocator {
+    () => {
+        #[global_allocator]
+        static KR_BENCH_COUNTING_ALLOCATOR: $crate::alloc_counter::CountingAllocator =
+            $crate::alloc_counter::CountingAllocator;
+    };
+}
+
+/// Currently live heap bytes (0 unless the allocator is installed).
 pub fn live_bytes() -> usize {
     LIVE.load(Ordering::Relaxed)
 }
 
+/// True if the counting allocator is observing this binary's heap.
+pub fn is_installed() -> bool {
+    // The call counter is monotonic, so concurrent frees on other
+    // threads cannot mask the probe allocation (unlike a `LIVE` delta).
+    let calls = ALLOC_CALLS.load(Ordering::Relaxed);
+    let probe = std::hint::black_box(vec![0u8; 1024]);
+    let grew = ALLOC_CALLS.load(Ordering::Relaxed) > calls;
+    drop(probe);
+    grew
+}
+
 /// Resets the peak to the current live byte count.
 pub fn reset_peak() {
-    PEAK.store(LIVE.load(Ordering::Relaxed), Ordering::Relaxed);
+    let live = LIVE.load(Ordering::Relaxed);
+    RESET_LEVEL.store(live, Ordering::Relaxed);
+    PEAK.store(live, Ordering::Relaxed);
 }
 
 /// Peak live bytes since the last [`reset_peak`], relative to the level
 /// at reset time (saturating at zero).
 pub fn peak_since_reset() -> usize {
     PEAK.load(Ordering::Relaxed)
+        .saturating_sub(RESET_LEVEL.load(Ordering::Relaxed))
 }
+
+/// Serializes tests that assert on the process-global counters; without
+/// it, a concurrent test's frees can drag `LIVE` below `RESET_LEVEL`
+/// and saturate another test's relative peak to zero.
+#[cfg(test)]
+pub(crate) static COUNTER_TEST_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
 
 #[cfg(test)]
 mod tests {
@@ -71,6 +124,7 @@ mod tests {
 
     #[test]
     fn peak_tracks_allocations() {
+        let _guard = COUNTER_TEST_LOCK.lock().unwrap();
         reset_peak();
         let before = peak_since_reset();
         let v = vec![0u8; 4 * 1024 * 1024];

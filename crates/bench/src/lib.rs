@@ -6,22 +6,46 @@
 //! rows/series the paper reports, alongside the paper's own numbers
 //! where applicable (EXPERIMENTS.md records the comparison).
 //!
-//! The [`alloc_counter`] module installs a counting global allocator so
+//! The [`alloc_counter`] module provides a counting global allocator so
 //! the Figure 8 harness can report *peak memory* per algorithm run, the
-//! quantity the paper plots.
+//! quantity the paper plots. Each bench binary registers it with
+//! `kr_bench::install_counting_allocator!()`; without that, [`measure`]
+//! has no way to observe the heap and reports 0 peak bytes (with a
+//! one-time warning on stderr).
 
 pub mod alloc_counter;
 
+use std::sync::Once;
 use std::time::Instant;
 
 /// Runs `f`, returning `(result, seconds, peak_bytes_during_f)`.
+///
+/// Peak bytes are relative to the heap level at entry and require the
+/// calling binary to have run `kr_bench::install_counting_allocator!()`.
 pub fn measure<T>(f: impl FnOnce() -> T) -> (T, f64, usize) {
+    warn_if_not_installed();
     alloc_counter::reset_peak();
     let start = Instant::now();
     let out = f();
     let secs = start.elapsed().as_secs_f64();
     let peak = alloc_counter::peak_since_reset();
     (out, secs, peak)
+}
+
+// Non-generic so the state is truly process-wide; inside the generic
+// `measure` it would be duplicated per monomorphization. Installation
+// status cannot change at runtime, so the probe runs exactly once.
+fn warn_if_not_installed() {
+    static CHECK: Once = Once::new();
+    CHECK.call_once(|| {
+        if !alloc_counter::is_installed() {
+            eprintln!(
+                "kr_bench::measure: counting allocator not installed; peak-memory \
+                 figures will read 0. Add `kr_bench::install_counting_allocator!();` \
+                 to this binary."
+            );
+        }
+    });
 }
 
 /// Scale factor for experiments: `KR_BENCH_SCALE=0.2` shrinks sample
@@ -56,6 +80,7 @@ mod tests {
 
     #[test]
     fn measure_reports_time_and_peak() {
+        let _guard = alloc_counter::COUNTER_TEST_LOCK.lock().unwrap();
         let (sum, secs, peak) = measure(|| {
             let v: Vec<u64> = (0..200_000).collect();
             v.iter().sum::<u64>()

@@ -76,7 +76,7 @@ fn representable_for(b: usize, p: usize) -> f64 {
 }
 
 fn divisors(b: usize) -> Vec<usize> {
-    (1..=b).filter(|d| b % d == 0).collect()
+    (1..=b).filter(|&d| b.is_multiple_of(d)).collect()
 }
 
 /// Proposition 8.2: bounds on the number `p*` of protocentroid sets
@@ -217,7 +217,10 @@ mod tests {
         let additive = khatri_rao(&[t1.clone(), t2.clone()], Aggregator::Sum).unwrap();
         assert_eq!(suggest_aggregator(&additive, 3, 3), Aggregator::Sum);
         let multiplicative = khatri_rao(&[t1, t2], Aggregator::Product).unwrap();
-        assert_eq!(suggest_aggregator(&multiplicative, 3, 3), Aggregator::Product);
+        assert_eq!(
+            suggest_aggregator(&multiplicative, 3, 3),
+            Aggregator::Product
+        );
     }
 
     #[test]

@@ -125,7 +125,7 @@ impl KMeans {
         let mut best: Option<KMeansModel> = None;
         for _ in 0..self.n_init {
             let model = self.fit_once(data, &mut rng)?;
-            if best.as_ref().map_or(true, |b| model.inertia < b.inertia) {
+            if best.as_ref().is_none_or(|b| model.inertia < b.inertia) {
                 best = Some(model);
             }
         }
@@ -159,8 +159,8 @@ impl KMeans {
                 counts[l] += 1;
             }
             let mut movement = 0.0;
-            for c in 0..self.k {
-                if counts[c] == 0 {
+            for (c, &count) in counts.iter().enumerate() {
+                if count == 0 {
                     // Empty cluster: reseed to a random data point
                     // (Appendix B's policy, shared with KR-k-Means).
                     let pick = rng.gen_range(0..n);
@@ -169,7 +169,7 @@ impl KMeans {
                     centroids.row_mut(c).copy_from_slice(&new_row);
                     continue;
                 }
-                let inv = 1.0 / counts[c] as f64;
+                let inv = 1.0 / count as f64;
                 let sum_row = sums.row(c);
                 let cen_row = centroids.row_mut(c);
                 let mut delta = 0.0;
@@ -188,7 +188,12 @@ impl KMeans {
         // Final assignment against the converged centroids.
         assign(data, &centroids, &mut labels, &mut dmin, self.threads);
         inertia = dmin.iter().sum::<f64>().min(inertia);
-        Ok(KMeansModel { centroids, labels, inertia, n_iter })
+        Ok(KMeansModel {
+            centroids,
+            labels,
+            inertia,
+            n_iter,
+        })
     }
 }
 
@@ -357,7 +362,10 @@ mod tests {
     #[test]
     fn rejects_bad_inputs() {
         let data = Matrix::zeros(0, 0);
-        assert!(matches!(KMeans::new(2).fit(&data), Err(CoreError::EmptyInput)));
+        assert!(matches!(
+            KMeans::new(2).fit(&data),
+            Err(CoreError::EmptyInput)
+        ));
         let data = Matrix::zeros(3, 2);
         assert!(matches!(
             KMeans::new(5).fit(&data),
@@ -365,9 +373,15 @@ mod tests {
         ));
         let mut data = Matrix::zeros(5, 2);
         data.set(0, 0, f64::NAN);
-        assert!(matches!(KMeans::new(2).fit(&data), Err(CoreError::NonFiniteInput)));
+        assert!(matches!(
+            KMeans::new(2).fit(&data),
+            Err(CoreError::NonFiniteInput)
+        ));
         let data = Matrix::zeros(5, 2);
-        assert!(matches!(KMeans::new(0).fit(&data), Err(CoreError::InvalidConfig(_))));
+        assert!(matches!(
+            KMeans::new(0).fit(&data),
+            Err(CoreError::InvalidConfig(_))
+        ));
     }
 
     #[test]
@@ -382,8 +396,16 @@ mod tests {
     #[test]
     fn threads_do_not_change_result() {
         let data = two_blobs();
-        let a = KMeans::new(2).with_seed(7).with_threads(1).fit(&data).unwrap();
-        let b = KMeans::new(2).with_seed(7).with_threads(4).fit(&data).unwrap();
+        let a = KMeans::new(2)
+            .with_seed(7)
+            .with_threads(1)
+            .fit(&data)
+            .unwrap();
+        let b = KMeans::new(2)
+            .with_seed(7)
+            .with_threads(4)
+            .fit(&data)
+            .unwrap();
         assert_eq!(a.labels, b.labels);
         assert!((a.inertia - b.inertia).abs() < 1e-9);
     }
@@ -405,7 +427,11 @@ mod tests {
         let data = two_blobs();
         let mut last = f64::INFINITY;
         for k in [1, 2, 4, 8] {
-            let model = KMeans::new(k).with_seed(5).with_n_init(10).fit(&data).unwrap();
+            let model = KMeans::new(k)
+                .with_seed(5)
+                .with_n_init(10)
+                .fit(&data)
+                .unwrap();
             assert!(model.inertia <= last + 1e-9, "k={k}");
             last = model.inertia;
         }

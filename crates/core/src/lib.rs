@@ -74,7 +74,10 @@ impl std::fmt::Display for CoreError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             CoreError::EmptyInput => write!(f, "input dataset is empty"),
-            CoreError::TooFewPoints { available, required } => {
+            CoreError::TooFewPoints {
+                available,
+                required,
+            } => {
                 write!(f, "need at least {required} points, got {available}")
             }
             CoreError::NonFiniteInput => write!(f, "input contains NaN or infinite values"),

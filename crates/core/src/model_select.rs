@@ -37,9 +37,17 @@ pub fn select_k_kmeans(
 ) -> Result<(usize, Vec<Candidate>)> {
     let mut cands = Vec::with_capacity(ks.len());
     for &k in ks {
-        let model = KMeans::new(k).with_n_init(n_init).with_seed(seed).fit(data)?;
+        let model = KMeans::new(k)
+            .with_n_init(n_init)
+            .with_seed(seed)
+            .fit(data)?;
         let bic = bic_spherical(data, &model.centroids, &model.labels);
-        cands.push(Candidate { k, hs: vec![k], bic, inertia: model.inertia });
+        cands.push(Candidate {
+            k,
+            hs: vec![k],
+            bic,
+            inertia: model.inertia,
+        });
     }
     Ok((best_index(&cands), cands))
 }

@@ -101,7 +101,7 @@ impl NaiveKr {
 
     /// Runs both phases.
     pub fn fit(&self, data: &Matrix) -> Result<NaiveKrModel> {
-        if self.hs.is_empty() || self.hs.iter().any(|&h| h == 0) {
+        if self.hs.is_empty() || self.hs.contains(&0) {
             return Err(CoreError::InvalidConfig("set sizes must be >= 1".into()));
         }
         let indexer = CentroidIndexer::new(self.hs.clone());
@@ -151,7 +151,11 @@ pub fn decompose_centroids(
     seed: u64,
 ) -> (Vec<Matrix>, f64) {
     let indexer = CentroidIndexer::new(hs.to_vec());
-    assert_eq!(indexer.n_centroids(), centroids.nrows(), "grid size mismatch");
+    assert_eq!(
+        indexer.n_centroids(),
+        centroids.nrows(),
+        "grid size mismatch"
+    );
     let m = centroids.ncols();
     let mut rng = StdRng::seed_from_u64(seed);
     // Initialize each protocentroid from a random centroid row, scaled so
@@ -222,10 +226,10 @@ fn update_decomposition_set(
             }
         }
     });
-    for j in 0..h_q {
+    for (j, &count) in counts.iter().enumerate() {
         match agg {
             Aggregator::Sum => {
-                let inv = 1.0 / counts[j].max(1) as f64;
+                let inv = 1.0 / count.max(1) as f64;
                 let dst = sets[q].row_mut(j);
                 for (t, &nv) in dst.iter_mut().zip(num.row(j).iter()) {
                     *t = nv * inv;
@@ -295,8 +299,7 @@ mod tests {
         let grid = Matrix::from_fn(12, 3, |_, _| rng.gen_range(0.1..4.0));
         let mut last = f64::INFINITY;
         for iters in [1usize, 5, 25, 125] {
-            let (_, sse) =
-                decompose_centroids(&grid, &[4, 3], Aggregator::Product, iters, 0.0, 3);
+            let (_, sse) = decompose_centroids(&grid, &[4, 3], Aggregator::Product, iters, 0.0, 3);
             assert!(sse <= last + 1e-9, "iters={iters}: {sse} > {last}");
             last = sse;
         }
@@ -305,10 +308,7 @@ mod tests {
     #[test]
     fn naive_end_to_end_on_structured_data() {
         let (ds, _, _) = kr_structured(3, 2, 30, 0.05, StructureKind::Multiplicative, 4);
-        let model = NaiveKr::new(vec![3, 2])
-            .with_seed(5)
-            .fit(&ds.data)
-            .unwrap();
+        let model = NaiveKr::new(vec![3, 2]).with_seed(5).fit(&ds.data).unwrap();
         assert!(model.inertia.is_finite());
         assert_eq!(model.labels.len(), ds.data.nrows());
         // Phase-1 inertia is an unconstrained lower bound here.

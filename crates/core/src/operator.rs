@@ -28,7 +28,10 @@ pub struct CentroidIndexer {
 impl CentroidIndexer {
     /// Creates an indexer for set cardinalities `hs` (all must be >= 1).
     pub fn new(hs: Vec<usize>) -> Self {
-        assert!(!hs.is_empty() && hs.iter().all(|&h| h >= 1), "set sizes must be >= 1");
+        assert!(
+            !hs.is_empty() && hs.iter().all(|&h| h >= 1),
+            "set sizes must be >= 1"
+        );
         CentroidIndexer { hs }
     }
 
@@ -103,7 +106,9 @@ pub fn check_sets(sets: &[Matrix]) -> Result<usize> {
     let m = sets[0].ncols();
     for (l, s) in sets.iter().enumerate() {
         if s.nrows() == 0 || s.ncols() == 0 {
-            return Err(CoreError::InvalidConfig(format!("protocentroid set {l} is empty")));
+            return Err(CoreError::InvalidConfig(format!(
+                "protocentroid set {l} is empty"
+            )));
         }
         if s.ncols() != m {
             return Err(CoreError::InvalidConfig(format!(
@@ -199,8 +204,8 @@ mod tests {
         for i in 0..2 {
             for j in 0..2 {
                 let row = k.row(i * 2 + j);
-                for c in 0..2 {
-                    assert_eq!(row[c], s1.get(i, c) * s2.get(j, c));
+                for (c, &v) in row.iter().enumerate() {
+                    assert_eq!(v, s1.get(i, c) * s2.get(j, c));
                 }
             }
         }

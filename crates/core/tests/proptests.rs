@@ -111,9 +111,13 @@ proptest! {
     #[test]
     fn variants_agree(data in small_data(), seed in 0u64..20) {
         if data.nrows() >= 4 {
+            // Warm start pinned on for both variants so they search the
+            // same candidate set (it defaults off for MemoryEfficient).
             let t = KrKMeans::new(vec![2, 2]).with_n_init(2).with_seed(seed)
+                .with_warm_start(true)
                 .with_variant(KrVariant::TimeEfficient).fit(&data).unwrap();
             let m = KrKMeans::new(vec![2, 2]).with_n_init(2).with_seed(seed)
+                .with_warm_start(true)
                 .with_variant(KrVariant::MemoryEfficient).fit(&data).unwrap();
             prop_assert_eq!(&t.labels, &m.labels);
             prop_assert!((t.inertia - m.inertia).abs() < 1e-6);

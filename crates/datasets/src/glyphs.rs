@@ -22,7 +22,11 @@ pub struct Canvas {
 impl Canvas {
     /// Creates an all-black canvas.
     pub fn new(width: usize, height: usize) -> Self {
-        Canvas { width, height, pixels: vec![0.0; width * height] }
+        Canvas {
+            width,
+            height,
+            pixels: vec![0.0; width * height],
+        }
     }
 
     /// Sets pixel `(x, y)` to `max(current, v)`, ignoring out-of-bounds.
@@ -269,11 +273,15 @@ mod tests {
     #[test]
     fn digits_are_distinct() {
         let mut rng = seeded(0);
-        let glyphs: Vec<Vec<f64>> =
-            (0..10).map(|d| render_digit(d, 16, 0.0, &mut rng)).collect();
+        let glyphs: Vec<Vec<f64>> = (0..10)
+            .map(|d| render_digit(d, 16, 0.0, &mut rng))
+            .collect();
         for i in 0..10 {
             for j in (i + 1)..10 {
-                assert_ne!(glyphs[i], glyphs[j], "digits {i} and {j} render identically");
+                assert_ne!(
+                    glyphs[i], glyphs[j],
+                    "digits {i} and {j} render identically"
+                );
             }
         }
     }

@@ -40,9 +40,21 @@ pub fn symbols_like(seed: u64) -> Dataset {
     let protos: Vec<[(f64, f64, f64); 3]> = (0..k)
         .map(|_| {
             [
-                (r.gen_range(1.0..4.0), r.gen_range(0.5..1.5), r.gen_range(0.0..6.28)),
-                (r.gen_range(4.0..9.0), r.gen_range(0.2..0.8), r.gen_range(0.0..6.28)),
-                (r.gen_range(9.0..16.0), r.gen_range(0.05..0.3), r.gen_range(0.0..6.28)),
+                (
+                    r.gen_range(1.0..4.0),
+                    r.gen_range(0.5..1.5),
+                    r.gen_range(0.0..std::f64::consts::TAU),
+                ),
+                (
+                    r.gen_range(4.0..9.0),
+                    r.gen_range(0.2..0.8),
+                    r.gen_range(0.0..std::f64::consts::TAU),
+                ),
+                (
+                    r.gen_range(9.0..16.0),
+                    r.gen_range(0.05..0.3),
+                    r.gen_range(0.0..std::f64::consts::TAU),
+                ),
             ]
         })
         .collect();
@@ -105,6 +117,8 @@ pub fn soybean_like(seed: u64) -> Dataset {
 }
 
 /// Shared recipe: latent Gaussian clusters -> random linear map -> tanh.
+// A parameter struct would only rename the call sites' positional lists.
+#[allow(clippy::too_many_arguments)]
 fn latent_nonlinear(
     name: &str,
     n: usize,
@@ -117,7 +131,9 @@ fn latent_nonlinear(
 ) -> Dataset {
     let mut r = seeded(seed);
     let centers = Matrix::from_fn(k, latent, |_, _| r.gen_range(-3.0..3.0));
-    let map = Matrix::from_fn(latent, m, |_, _| rng::normal(&mut r) / (latent as f64).sqrt());
+    let map = Matrix::from_fn(latent, m, |_, _| {
+        rng::normal(&mut r) / (latent as f64).sqrt()
+    });
     let sizes = rng::imbalanced_sizes(n, k, ir);
     let mut data = Matrix::zeros(n, m);
     let mut labels = Vec::with_capacity(n);
@@ -145,15 +161,7 @@ fn latent_nonlinear(
 
 /// Shared recipe for face-like image clusters: each cluster mean is a
 /// smooth random field; samples add smooth perturbations + pixel noise.
-fn face_fields(
-    name: &str,
-    n: usize,
-    h: usize,
-    w: usize,
-    k: usize,
-    ir: f64,
-    seed: u64,
-) -> Dataset {
+fn face_fields(name: &str, n: usize, h: usize, w: usize, k: usize, ir: f64, seed: u64) -> Dataset {
     let mut r = seeded(seed);
     let m = h * w;
     // Cluster mean = sum of a few low-frequency 2-D cosines.
@@ -163,7 +171,7 @@ fn face_fields(
                 (
                     r.gen_range(0.5..2.5),
                     r.gen_range(0.5..2.5),
-                    r.gen_range(0.0..6.28),
+                    r.gen_range(0.0..std::f64::consts::TAU),
                     r.gen_range(0.3..1.0),
                 )
             })
@@ -174,8 +182,7 @@ fn face_fields(
                 let (fy, fx) = (y as f64 / h as f64, x as f64 / w as f64);
                 let mut v = 0.0;
                 for &(ay, ax, ph, amp) in &comps {
-                    v += amp
-                        * (std::f64::consts::TAU * (ay * fy + ax * fx) + ph).cos();
+                    v += amp * (std::f64::consts::TAU * (ay * fy + ax * fx) + ph).cos();
                 }
                 field[y * w + x] = v;
             }
@@ -227,7 +234,11 @@ impl Iterator for ColumnIter<'_> {
 
 impl ColIter for Matrix {
     fn col_iter_at(&self, j: usize) -> ColumnIter<'_> {
-        ColumnIter { data: self.as_slice(), cols: self.ncols(), pos: j }
+        ColumnIter {
+            data: self.as_slice(),
+            cols: self.ncols(),
+            pos: j,
+        }
     }
 }
 

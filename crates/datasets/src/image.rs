@@ -25,8 +25,16 @@ pub fn double_mnist_like(n: usize, seed: u64) -> Dataset {
     let mut labels = Vec::with_capacity(n);
     for row in 0..n {
         // Cycle through pairs for near-uniform coverage, then randomize.
-        let left = if row < 100 { row / 10 } else { r.gen_range(0..10) };
-        let right = if row < 100 { row % 10 } else { r.gen_range(0..10) };
+        let left = if row < 100 {
+            row / 10
+        } else {
+            r.gen_range(0..10)
+        };
+        let right = if row < 100 {
+            row % 10
+        } else {
+            r.gen_range(0..10)
+        };
         let gl = glyphs::render_digit(left, 28, 0.7, &mut r);
         let gr = glyphs::render_digit(right, 28, 0.7, &mut r);
         let out = data.row_mut(row);
@@ -39,7 +47,7 @@ pub fn double_mnist_like(n: usize, seed: u64) -> Dataset {
             *v = (*v + rng::normal(&mut r) * 0.03).clamp(0.0, 1.0);
         }
         labels.push(left * 10 + right);
-        }
+    }
     Dataset::new("Double MNIST", data, labels)
 }
 
@@ -144,11 +152,7 @@ mod tests {
         let ds = mnist_like(200, 0);
         assert_eq!(ds.data.shape(), (200, 784));
         assert_eq!(ds.n_clusters(), 10);
-        assert!(ds
-            .data
-            .as_slice()
-            .iter()
-            .all(|&v| (0.0..=1.0).contains(&v)));
+        assert!(ds.data.as_slice().iter().all(|&v| (0.0..=1.0).contains(&v)));
     }
 
     #[test]
@@ -180,7 +184,7 @@ mod tests {
         assert_eq!(clients.len(), 300);
         assert!(clients.iter().all(|&c| c < 10));
         // Every client holds some data.
-        let mut counts = vec![0usize; 10];
+        let mut counts = [0usize; 10];
         for &c in &clients {
             counts[c] += 1;
         }
@@ -192,7 +196,7 @@ mod tests {
         let (ds, clients) = femnist_like(2000, 10, 5);
         // Client 0's most frequent label should be one of its home digits
         // (0 or 1) and clearly dominant vs. a uniform share.
-        let mut counts = vec![0usize; 10];
+        let mut counts = [0usize; 10];
         let mut total = 0usize;
         for (&c, &l) in clients.iter().zip(ds.labels.iter()) {
             if c == 0 {
@@ -201,7 +205,10 @@ mod tests {
             }
         }
         let home: usize = counts[0] + counts[1];
-        assert!(home as f64 > 0.4 * total as f64, "home share {home}/{total}");
+        assert!(
+            home as f64 > 0.4 * total as f64,
+            "home share {home}/{total}"
+        );
     }
 
     #[test]

@@ -46,7 +46,11 @@ impl Dataset {
     /// Creates a dataset, checking that labels align with rows.
     pub fn new(name: impl Into<String>, data: Matrix, labels: Vec<usize>) -> Self {
         assert_eq!(data.nrows(), labels.len(), "one label per row required");
-        Dataset { data, labels, name: name.into() }
+        Dataset {
+            data,
+            labels,
+            name: name.into(),
+        }
     }
 
     /// Number of samples.

@@ -41,7 +41,7 @@ pub fn fill_normal(rng: &mut impl Rng, out: &mut [f64], mean: f64, std: f64) {
 /// Returns `None` if the weights sum to zero (or the slice is empty).
 pub fn weighted_index(rng: &mut impl Rng, weights: &[f64]) -> Option<usize> {
     let total: f64 = weights.iter().sum();
-    if !(total > 0.0) {
+    if total <= 0.0 || total.is_nan() {
         return None;
     }
     let mut target = rng.gen_range(0.0..total);
@@ -91,7 +91,10 @@ pub fn imbalanced_sizes(n: usize, k: usize, imbalance: f64) -> Vec<usize> {
         })
         .collect();
     let total: f64 = raw.iter().sum();
-    let mut sizes: Vec<usize> = raw.iter().map(|r| ((r / total) * n as f64) as usize).collect();
+    let mut sizes: Vec<usize> = raw
+        .iter()
+        .map(|r| ((r / total) * n as f64) as usize)
+        .collect();
     // Ensure every cluster has at least one sample, then fix the sum.
     for s in sizes.iter_mut() {
         if *s == 0 {

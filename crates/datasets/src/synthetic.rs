@@ -268,7 +268,7 @@ mod tests {
         // With tiny std, within-cluster spread is far below between-cluster.
         let ds = blobs(200, 2, 4, 0.01, 5);
         let mut means = vec![vec![0.0; 2]; 4];
-        let mut counts = vec![0usize; 4];
+        let mut counts = [0usize; 4];
         for (row, &l) in ds.data.rows_iter().zip(ds.labels.iter()) {
             for (m, &v) in means[l].iter_mut().zip(row) {
                 *m += v;

@@ -133,9 +133,7 @@ impl Table1 {
             Table1::OlivettiFaces => highdim::olivetti_like(seed).standardized(),
             Table1::CmuFaces => highdim::cmu_faces_like(seed).standardized(),
             Table1::Symbols => highdim::symbols_like(seed).standardized(),
-            Table1::Stickfigures => {
-                synthetic::stickfigures_sized(n / 9, 0.05, seed).max_scaled()
-            }
+            Table1::Stickfigures => synthetic::stickfigures_sized(n / 9, 0.05, seed).max_scaled(),
             Table1::Optdigits => image::optdigits_like(n, seed).standardized(),
             Table1::Classification => synthetic::classification(n, m, k, seed).standardized(),
             Table1::Chameleon => synthetic::chameleon_like(n, seed).standardized(),
@@ -155,7 +153,7 @@ pub fn balanced_factor_pair(k: usize) -> (usize, usize) {
     assert!(k >= 1);
     let mut h2 = (k as f64).sqrt() as usize;
     while h2 >= 1 {
-        if k % h2 == 0 {
+        if k.is_multiple_of(h2) {
             return (k / h2, h2);
         }
         h2 -= 1;
@@ -202,7 +200,11 @@ mod tests {
             let (h1, h2) = ds.factor_pair();
             let got = (h1 + h2) as f64 / ds.n_clusters() as f64;
             // The paper rounds to two decimals (0.325 -> 0.33).
-            assert!((got - ratio).abs() <= 0.005 + 1e-12, "{}: {got} vs {ratio}", ds.name());
+            assert!(
+                (got - ratio).abs() <= 0.005 + 1e-12,
+                "{}: {got} vs {ratio}",
+                ds.name()
+            );
         }
     }
 

@@ -46,14 +46,18 @@ impl Autoencoder {
     /// Builds an autoencoder with widths `dims = [input, …, latent]`.
     pub fn new(dims: &[usize], compression: Compression, seed: u64) -> Result<Autoencoder> {
         if dims.len() < 2 {
-            return Err(DeepError::InvalidConfig("need at least input and latent dims".into()));
+            return Err(DeepError::InvalidConfig(
+                "need at least input and latent dims".into(),
+            ));
         }
-        if dims.iter().any(|&d| d == 0) {
+        if dims.contains(&0) {
             return Err(DeepError::InvalidConfig("zero-width layer".into()));
         }
         if let Compression::Hadamard { q, rank } = compression {
             if q == 0 || rank == 0 {
-                return Err(DeepError::InvalidConfig("Hadamard q and rank must be >= 1".into()));
+                return Err(DeepError::InvalidConfig(
+                    "Hadamard q and rank must be >= 1".into(),
+                ));
             }
         }
         let mut store = ParamStore::new();
@@ -62,7 +66,11 @@ impl Autoencoder {
         let mut encoder = Vec::with_capacity(n_enc);
         for (idx, w) in dims.windows(2).enumerate() {
             let last = idx == n_enc - 1;
-            let act = if last { Activation::Linear } else { Activation::Relu };
+            let act = if last {
+                Activation::Linear
+            } else {
+                Activation::Relu
+            };
             encoder.push(Self::make_layer(
                 &mut store,
                 &mut rng,
@@ -78,7 +86,11 @@ impl Autoencoder {
         let rev: Vec<usize> = dims.iter().rev().copied().collect();
         for (idx, w) in rev.windows(2).enumerate() {
             let last = idx == n_enc - 1;
-            let act = if last { Activation::Linear } else { Activation::Relu };
+            let act = if last {
+                Activation::Linear
+            } else {
+                Activation::Relu
+            };
             decoder.push(Self::make_layer(
                 &mut store,
                 &mut rng,
@@ -90,7 +102,13 @@ impl Autoencoder {
                 last,
             ));
         }
-        Ok(Autoencoder { encoder, decoder, store, dims: dims.to_vec(), compression })
+        Ok(Autoencoder {
+            encoder,
+            decoder,
+            store,
+            dims: dims.to_vec(),
+            compression,
+        })
     }
 
     fn make_layer(
@@ -234,28 +252,35 @@ pub fn pretrain_compressed_matching(
     max_escalations: usize,
     seed: u64,
 ) -> Result<(Autoencoder, usize)> {
-    let mut multiplier = 1usize;
-    let mut best: Option<(Autoencoder, usize)> = None;
+    // Best model so far with its cached loss (recomputing it would cost
+    // a full-dataset forward pass per escalation attempt).
+    let mut best: Option<(Autoencoder, usize, f64)> = None;
     for attempt in 0..=max_escalations {
-        let rank = initial_rank * multiplier;
-        let mut ae = Autoencoder::new(dims, Compression::Hadamard { q, rank }, seed + attempt as u64)?;
+        let rank = initial_rank * (attempt + 1);
+        let mut ae = Autoencoder::new(
+            dims,
+            Compression::Hadamard { q, rank },
+            seed + attempt as u64,
+        )?;
         // Paper: extra epochs after each escalation.
         let extra = if attempt == 0 { 0 } else { epochs / 2 };
-        ae.pretrain(data, epochs + extra, batch_size, lr, seed + 100 + attempt as u64);
+        ae.pretrain(
+            data,
+            epochs + extra,
+            batch_size,
+            lr,
+            seed + 100 + attempt as u64,
+        );
         let loss = ae.reconstruction_loss(data);
-        let keep = match &best {
-            None => true,
-            Some((prev, _)) => loss < prev.reconstruction_loss(data),
-        };
-        if keep {
-            best = Some((ae, rank));
+        if best.as_ref().is_none_or(|&(_, _, prev)| loss < prev) {
+            best = Some((ae, rank, loss));
         }
         if loss <= full_loss {
             break;
         }
-        multiplier += 1;
     }
-    Ok(best.expect("at least one attempt"))
+    let (ae, rank, _) = best.expect("at least one attempt");
+    Ok((ae, rank))
 }
 
 pub(crate) fn shuffle(order: &mut [usize], rng: &mut StdRng) {
@@ -315,8 +340,7 @@ mod tests {
     fn compressed_autoencoder_has_fewer_params() {
         let full = Autoencoder::new(&[64, 32, 16, 4], Compression::None, 6).unwrap();
         let comp =
-            Autoencoder::new(&[64, 32, 16, 4], Compression::Hadamard { q: 2, rank: 3 }, 6)
-                .unwrap();
+            Autoencoder::new(&[64, 32, 16, 4], Compression::Hadamard { q: 2, rank: 3 }, 6).unwrap();
         assert!(
             comp.n_parameters() < full.n_parameters(),
             "{} !< {}",
@@ -342,19 +366,9 @@ mod tests {
         let data = toy_data(40, 10, 10);
         // Target loss impossible to reach -> runs out of escalations but
         // still returns the best attempt.
-        let (ae, rank) = pretrain_compressed_matching(
-            &data,
-            &[10, 6, 2],
-            2,
-            1,
-            0.0,
-            10,
-            16,
-            1e-2,
-            2,
-            11,
-        )
-        .unwrap();
+        let (ae, rank) =
+            pretrain_compressed_matching(&data, &[10, 6, 2], 2, 1, 0.0, 10, 16, 1e-2, 2, 11)
+                .unwrap();
         assert!(rank >= 1);
         assert!(ae.reconstruction_loss(&data).is_finite());
     }

@@ -36,7 +36,10 @@ impl CentroidParam {
     /// Registers a free centroid matrix.
     pub fn full(store: &mut ParamStore, centroids: Matrix) -> CentroidParam {
         let k = centroids.nrows();
-        CentroidParam::Full { pid: store.add(centroids), k }
+        CentroidParam::Full {
+            pid: store.add(centroids),
+            k,
+        }
     }
 
     /// Registers protocentroid sets.
@@ -48,7 +51,11 @@ impl CentroidParam {
         assert!(!sets.is_empty());
         let hs: Vec<usize> = sets.iter().map(|s| s.nrows()).collect();
         let pids = sets.into_iter().map(|s| store.add(s)).collect();
-        CentroidParam::KhatriRao { pids, hs, aggregator }
+        CentroidParam::KhatriRao {
+            pids,
+            hs,
+            aggregator,
+        }
     }
 
     /// Number of represented centroids.
@@ -63,9 +70,7 @@ impl CentroidParam {
     pub fn n_parameters(&self, store: &ParamStore) -> usize {
         match self {
             CentroidParam::Full { pid, .. } => store.get(*pid).len(),
-            CentroidParam::KhatriRao { pids, .. } => {
-                pids.iter().map(|&p| store.get(p).len()).sum()
-            }
+            CentroidParam::KhatriRao { pids, .. } => pids.iter().map(|&p| store.get(p).len()).sum(),
         }
     }
 
@@ -79,7 +84,11 @@ impl CentroidParam {
     pub fn materialize(&self, g: &mut Graph, store: &ParamStore) -> VarId {
         match self {
             CentroidParam::Full { pid, .. } => g.param(store, *pid),
-            CentroidParam::KhatriRao { pids, hs, aggregator } => {
+            CentroidParam::KhatriRao {
+                pids,
+                hs,
+                aggregator,
+            } => {
                 let mut grid = g.param(store, pids[0]);
                 let mut rows = hs[0];
                 for (l, &pid) in pids.iter().enumerate().skip(1) {
@@ -101,7 +110,9 @@ impl CentroidParam {
     pub fn values(&self, store: &ParamStore) -> Matrix {
         match self {
             CentroidParam::Full { pid, .. } => store.get(*pid).clone(),
-            CentroidParam::KhatriRao { pids, aggregator, .. } => {
+            CentroidParam::KhatriRao {
+                pids, aggregator, ..
+            } => {
                 let sets: Vec<Matrix> = pids.iter().map(|&p| store.get(p).clone()).collect();
                 kr_core::operator::khatri_rao(&sets, *aggregator).expect("validated sets")
             }
@@ -132,8 +143,7 @@ mod tests {
             let s1 = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
             let s2 =
                 Matrix::from_rows(&[vec![0.5, -1.0], vec![2.0, 0.25], vec![1.5, 3.0]]).unwrap();
-            let expect =
-                kr_core::operator::khatri_rao(&[s1.clone(), s2.clone()], agg).unwrap();
+            let expect = kr_core::operator::khatri_rao(&[s1.clone(), s2.clone()], agg).unwrap();
             let mut store = ParamStore::new();
             let cp = CentroidParam::khatri_rao(&mut store, vec![s1, s2], agg);
             assert_eq!(cp.n_centroids(), 6);

@@ -65,7 +65,13 @@ impl Layer {
         let std = (2.0 / in_dim as f64).sqrt();
         let w = store.add(random_matrix(rng, in_dim, out_dim, std));
         let b = store.add(Matrix::zeros(1, out_dim));
-        Layer { weight: WeightParam::Dense(w), bias: b, activation, in_dim, out_dim }
+        Layer {
+            weight: WeightParam::Dense(w),
+            bias: b,
+            activation,
+            in_dim,
+            out_dim,
+        }
     }
 
     /// Creates a Hadamard-factored layer (Eq. 6) with `ranks.len()`
@@ -94,7 +100,13 @@ impl Layer {
             factors.push((a, b));
         }
         let bias = store.add(Matrix::zeros(1, out_dim));
-        Layer { weight: WeightParam::Hadamard(factors), bias, activation, in_dim, out_dim }
+        Layer {
+            weight: WeightParam::Hadamard(factors),
+            bias,
+            activation,
+            in_dim,
+            out_dim,
+        }
     }
 
     /// Builds the layer's forward pass on the tape.
@@ -173,7 +185,9 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let layer = Layer::hadamard(&mut store, &mut rng, 4, 3, &[2, 2], Activation::Linear);
         // Explicit W = (A1 B1) ⊙ (A2 B2).
-        let WeightParam::Hadamard(f) = &layer.weight else { panic!() };
+        let WeightParam::Hadamard(f) = &layer.weight else {
+            panic!()
+        };
         let w1 = store.get(f[0].0).matmul(store.get(f[0].1)).unwrap();
         let w2 = store.get(f[1].0).matmul(store.get(f[1].1)).unwrap();
         let w = w1.hadamard(&w2).unwrap();

@@ -38,8 +38,13 @@ pub enum LossKind {
 /// Centroid structure: free or Khatri-Rao.
 #[derive(Debug, Clone)]
 enum CentroidKind {
-    Full { k: usize },
-    KhatriRao { hs: Vec<usize>, aggregator: Aggregator },
+    Full {
+        k: usize,
+    },
+    KhatriRao {
+        hs: Vec<usize>,
+        aggregator: Aggregator,
+    },
 }
 
 /// Configurable deep-clustering trainer.
@@ -229,7 +234,10 @@ impl DeepClustering {
                     LossKind::Dkm { alpha } => dkm_loss(&mut g, z, c, alpha),
                     LossKind::Idec { alpha } => {
                         let q = idec_soft_assignment(&mut g, z, c, alpha);
-                        let p = target_p.as_ref().expect("computed above").select_rows(chunk);
+                        let p = target_p
+                            .as_ref()
+                            .expect("computed above")
+                            .select_rows(chunk);
                         idec_loss(&mut g, q, &p)
                     }
                 };
@@ -249,7 +257,13 @@ impl DeepClustering {
         // ---- Final hard assignment by nearest latent centroid.
         let z = ae.encode(data);
         let labels = kr_metrics::internal::nearest_assignments(&z, &centroids.values(&ae.store));
-        Ok(DeepModel { autoencoder: ae, centroids, labels, epoch_losses, loss: self.loss })
+        Ok(DeepModel {
+            autoencoder: ae,
+            centroids,
+            labels,
+            epoch_losses,
+            loss: self.loss,
+        })
     }
 }
 
@@ -328,8 +342,7 @@ mod tests {
         // autoencoder + protocentroid grid + IDEC loss.
         let ds = kr_datasets::synthetic::blobs(120, 32, 4, 0.3, 21);
         let mut ae =
-            Autoencoder::new(&[32, 24, 16, 2], Compression::Hadamard { q: 2, rank: 2 }, 8)
-                .unwrap();
+            Autoencoder::new(&[32, 24, 16, 2], Compression::Hadamard { q: 2, rank: 2 }, 8).unwrap();
         ae.pretrain(&ds.data, 60, 32, 1e-2, 9);
         let model = DeepClustering::kr_idec(vec![2, 2], Aggregator::Sum)
             .with_epochs(20)

@@ -96,11 +96,11 @@ impl FkM {
             down += clients.len() * self.k * m * BYTES_PER_F64;
             let (sums, counts) = gather_stats(clients, &centroids);
             up += clients.len() * (self.k * m + self.k) * BYTES_PER_F64;
-            for c in 0..self.k {
-                if counts[c] == 0 {
+            for (c, &count) in counts.iter().enumerate() {
+                if count == 0 {
                     continue; // keep stale centroid; no raw data server-side
                 }
-                let inv = 1.0 / counts[c] as f64;
+                let inv = 1.0 / count as f64;
                 let src = sums.row(c);
                 for (dst, &s) in centroids.row_mut(c).iter_mut().zip(src) {
                     *dst = s * inv;
@@ -121,7 +121,7 @@ impl KrFkM {
     /// Runs the protocol over the clients.
     pub fn run(&self, clients: &[Client]) -> Result<FederatedModel> {
         let m = check_clients(clients)?;
-        if self.hs.is_empty() || self.hs.iter().any(|&h| h == 0) {
+        if self.hs.is_empty() || self.hs.contains(&0) {
             return Err(CoreError::InvalidConfig("set sizes must be >= 1".into()));
         }
         let mut rng = StdRng::seed_from_u64(self.seed);
@@ -199,14 +199,13 @@ fn check_clients(clients: &[Client]) -> Result<usize> {
 /// D²-weighted (k-means++-style) seeding across client shards: clients
 /// report their points' squared distances to the chosen seeds; the
 /// server samples the next seed proportionally.
-fn dsq_sample_across_clients(
-    clients: &[Client],
-    count: usize,
-    rng: &mut StdRng,
-) -> Result<Matrix> {
+fn dsq_sample_across_clients(clients: &[Client], count: usize, rng: &mut StdRng) -> Result<Matrix> {
     let total: usize = clients.iter().map(|c| c.data.nrows()).sum();
     if total < count {
-        return Err(CoreError::TooFewPoints { available: total, required: count });
+        return Err(CoreError::TooFewPoints {
+            available: total,
+            required: count,
+        });
     }
     let m = check_clients(clients)?;
     let mut seeds = Matrix::zeros(count, m);
@@ -231,7 +230,11 @@ fn dsq_sample_across_clients(
         .collect();
     for s in 1..count {
         let grand: f64 = d2.iter().flat_map(|v| v.iter()).sum();
-        let mut target = if grand > 0.0 { rng.gen_range(0.0..grand) } else { 0.0 };
+        let mut target = if grand > 0.0 {
+            rng.gen_range(0.0..grand)
+        } else {
+            0.0
+        };
         let mut chosen: Option<(usize, usize)> = None;
         'outer: for (ci, dists) in d2.iter().enumerate() {
             for (pi, &w) in dists.iter().enumerate() {
@@ -333,7 +336,9 @@ pub fn shard_by_assignment(data: &Matrix, client_of: &[usize], n_clients: usize)
     }
     buckets
         .into_iter()
-        .map(|idx| Client { data: data.select_rows(&idx) })
+        .map(|idx| Client {
+            data: data.select_rows(&idx),
+        })
         .collect()
 }
 
@@ -351,7 +356,13 @@ mod tests {
     #[test]
     fn fkm_converges_on_blobs() {
         let (clients, data) = make_clients(5, 1);
-        let model = FkM { k: 4, rounds: 15, seed: 2 }.run(&clients).unwrap();
+        let model = FkM {
+            k: 4,
+            rounds: 15,
+            seed: 2,
+        }
+        .run(&clients)
+        .unwrap();
         let first = model.history.first().unwrap().inertia;
         let last = model.history.last().unwrap().inertia;
         assert!(last <= first);
@@ -361,7 +372,11 @@ mod tests {
             .with_seed(3)
             .fit(&data)
             .unwrap();
-        assert!(last < central.inertia * 5.0, "federated {last} vs central {}", central.inertia);
+        assert!(
+            last < central.inertia * 5.0,
+            "federated {last} vs central {}",
+            central.inertia
+        );
     }
 
     #[test]
@@ -369,7 +384,13 @@ mod tests {
         // With one client, a round is exactly one Lloyd iteration: the
         // inertia sequence must be monotone.
         let (clients, _) = make_clients(1, 4);
-        let model = FkM { k: 4, rounds: 10, seed: 5 }.run(&clients).unwrap();
+        let model = FkM {
+            k: 4,
+            rounds: 10,
+            seed: 5,
+        }
+        .run(&clients)
+        .unwrap();
         for w in model.history.windows(2) {
             assert!(w[1].inertia <= w[0].inertia + 1e-9);
         }
@@ -395,7 +416,13 @@ mod tests {
     #[test]
     fn downlink_cost_favors_kr() {
         let (clients, _) = make_clients(4, 8);
-        let fkm = FkM { k: 9, rounds: 5, seed: 9 }.run(&clients).unwrap();
+        let fkm = FkM {
+            k: 9,
+            rounds: 5,
+            seed: 9,
+        }
+        .run(&clients)
+        .unwrap();
         let kr = KrFkM {
             hs: vec![3, 3],
             aggregator: Aggregator::Product,
@@ -422,17 +449,40 @@ mod tests {
 
     #[test]
     fn rejects_bad_inputs() {
-        assert!(FkM { k: 2, rounds: 1, seed: 0 }.run(&[]).is_err());
-        let tiny = vec![Client { data: Matrix::zeros(1, 2) }];
+        assert!(FkM {
+            k: 2,
+            rounds: 1,
+            seed: 0
+        }
+        .run(&[])
+        .is_err());
+        let tiny = vec![Client {
+            data: Matrix::zeros(1, 2),
+        }];
         assert!(matches!(
-            FkM { k: 5, rounds: 1, seed: 0 }.run(&tiny),
+            FkM {
+                k: 5,
+                rounds: 1,
+                seed: 0
+            }
+            .run(&tiny),
             Err(CoreError::TooFewPoints { .. })
         ));
         let mismatched = vec![
-            Client { data: Matrix::zeros(3, 2) },
-            Client { data: Matrix::zeros(3, 3) },
+            Client {
+                data: Matrix::zeros(3, 2),
+            },
+            Client {
+                data: Matrix::zeros(3, 3),
+            },
         ];
-        assert!(FkM { k: 2, rounds: 1, seed: 0 }.run(&mismatched).is_err());
+        assert!(FkM {
+            k: 2,
+            rounds: 1,
+            seed: 0
+        }
+        .run(&mismatched)
+        .is_err());
     }
 
     #[test]

@@ -24,12 +24,20 @@ pub struct Matrix {
 impl Matrix {
     /// Creates a `rows x cols` matrix filled with zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Creates a `rows x cols` matrix filled with `value`.
     pub fn filled(rows: usize, cols: usize, value: f64) -> Self {
-        Matrix { rows, cols, data: vec![value; rows * cols] }
+        Matrix {
+            rows,
+            cols,
+            data: vec![value; rows * cols],
+        }
     }
 
     /// Creates the `n x n` identity matrix.
@@ -75,7 +83,11 @@ impl Matrix {
             }
             data.extend_from_slice(r);
         }
-        Ok(Matrix { rows: rows.len(), cols, data })
+        Ok(Matrix {
+            rows: rows.len(),
+            cols,
+            data,
+        })
     }
 
     /// Builds a matrix by evaluating `f(row, col)` at every position.
@@ -195,7 +207,11 @@ impl Matrix {
         let mut data = Vec::with_capacity((self.rows + other.rows) * self.cols);
         data.extend_from_slice(&self.data);
         data.extend_from_slice(&other.data);
-        Ok(Matrix { rows: self.rows + other.rows, cols: self.cols, data })
+        Ok(Matrix {
+            rows: self.rows + other.rows,
+            cols: self.cols,
+            data,
+        })
     }
 
     /// Horizontally concatenates `self` with `other` (row-wise concat).
@@ -332,7 +348,11 @@ impl Matrix {
         mut f: impl FnMut(f64, f64) -> f64,
     ) -> Result<Matrix> {
         if self.shape() != rhs.shape() {
-            return Err(LinalgError::ShapeMismatch { op, lhs: self.shape(), rhs: rhs.shape() });
+            return Err(LinalgError::ShapeMismatch {
+                op,
+                lhs: self.shape(),
+                rhs: rhs.shape(),
+            });
         }
         let data = self
             .data
@@ -340,7 +360,11 @@ impl Matrix {
             .zip(rhs.data.iter())
             .map(|(&a, &b)| f(a, b))
             .collect();
-        Ok(Matrix { rows: self.rows, cols: self.cols, data })
+        Ok(Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        })
     }
 
     /// Elementwise map producing a new matrix.
@@ -476,9 +500,8 @@ impl Matrix {
         let x_norms = self.row_sq_norms();
         let c_norms = other.row_sq_norms();
         let mut dots = self.matmul_transpose_b(other)?;
-        for i in 0..self.rows {
+        for (i, &xn) in x_norms.iter().enumerate() {
             let row = dots.row_mut(i);
-            let xn = x_norms[i];
             for (d, &cn) in row.iter_mut().zip(c_norms.iter()) {
                 *d = (xn + cn - 2.0 * *d).max(0.0);
             }

@@ -45,7 +45,12 @@ impl Contingency {
                 *c += v;
             }
         }
-        Ok(Contingency { counts, row_sums, col_sums, n: predicted.len() })
+        Ok(Contingency {
+            counts,
+            row_sums,
+            col_sums,
+            n: predicted.len(),
+        })
     }
 
     /// Number of distinct predicted clusters.
@@ -97,7 +102,10 @@ mod tests {
 
     #[test]
     fn rejects_empty() {
-        assert!(matches!(Contingency::build(&[], &[]), Err(MetricsError::Empty)));
+        assert!(matches!(
+            Contingency::build(&[], &[]),
+            Err(MetricsError::Empty)
+        ));
     }
 
     #[test]

@@ -63,11 +63,7 @@ pub fn normalized_mutual_information(predicted: &[usize], truth: &[usize]) -> Re
 }
 
 /// Normalized mutual information with a selectable normalization.
-pub fn nmi_with(
-    predicted: &[usize],
-    truth: &[usize],
-    norm: NmiNormalization,
-) -> Result<f64> {
+pub fn nmi_with(predicted: &[usize], truth: &[usize], norm: NmiNormalization) -> Result<f64> {
     let c = Contingency::build(predicted, truth)?;
     let n = c.n as f64;
     let mut mi = 0.0;

@@ -25,7 +25,10 @@ pub fn solve(cost: &[Vec<f64>]) -> (Vec<usize>, f64) {
     if n == 0 {
         return (vec![], 0.0);
     }
-    debug_assert!(cost.iter().all(|r| r.len() == n), "cost matrix must be square");
+    debug_assert!(
+        cost.iter().all(|r| r.len() == n),
+        "cost matrix must be square"
+    );
 
     // Potentials and matching arrays are 1-indexed internally with a
     // virtual 0 row/column, per the classic JV formulation.
@@ -196,7 +199,9 @@ mod tests {
         // Deterministic pseudo-random matrices; brute force up to 6x6.
         let mut state = 0x1234_5678_u64;
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 33) as f64) / (u32::MAX as f64) * 10.0
         };
         for n in 1..=6 {
@@ -221,7 +226,7 @@ mod tests {
             vec![1.0, 2.0, 3.0],
         ];
         let (asg, total) = solve(&cost);
-        let mut seen = vec![false; 3];
+        let mut seen = [false; 3];
         for &j in &asg {
             assert!(!seen[j]);
             seen[j] = true;

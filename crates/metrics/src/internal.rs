@@ -27,7 +27,11 @@ pub fn inertia(data: &Matrix, centroids: &Matrix) -> f64 {
 /// Useful for evaluating the objective of constrained algorithms at their
 /// own assignments.
 pub fn inertia_with_assignments(data: &Matrix, centroids: &Matrix, assignments: &[usize]) -> f64 {
-    assert_eq!(data.nrows(), assignments.len(), "assignment length mismatch");
+    assert_eq!(
+        data.nrows(),
+        assignments.len(),
+        "assignment length mismatch"
+    );
     assert_eq!(data.ncols(), centroids.ncols(), "dimension mismatch");
     data.rows_iter()
         .zip(assignments.iter())
@@ -79,7 +83,9 @@ pub fn bic_spherical(data: &Matrix, centroids: &Matrix, assignments: &[usize]) -
             continue;
         }
         let cn = c as f64;
-        ll += cn * cn.ln() - cn * n.ln() - cn * m / 2.0 * (2.0 * std::f64::consts::PI * variance).ln()
+        ll += cn * cn.ln()
+            - cn * n.ln()
+            - cn * m / 2.0 * (2.0 * std::f64::consts::PI * variance).ln()
             - (cn - 1.0) * m / 2.0;
     }
     let free_params = k * (m + 1.0);

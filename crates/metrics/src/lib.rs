@@ -43,7 +43,10 @@ impl std::fmt::Display for MetricsError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             MetricsError::LengthMismatch { predicted, truth } => {
-                write!(f, "label length mismatch: predicted={predicted}, truth={truth}")
+                write!(
+                    f,
+                    "label length mismatch: predicted={predicted}, truth={truth}"
+                )
             }
             MetricsError::Empty => write!(f, "label slices are empty"),
         }

@@ -30,8 +30,15 @@ pub fn hadamard_layer_params(d: usize, m: usize, ranks: &[usize]) -> usize {
 /// Total parameters of a fully-connected autoencoder given layer widths
 /// `dims = [m, a, b, ..., latent]`: the decoder mirrors the encoder.
 pub fn autoencoder_params(dims: &[usize]) -> usize {
-    let enc: usize = dims.windows(2).map(|w| dense_layer_params(w[0], w[1])).sum();
-    let dec: usize = dims.windows(2).rev().map(|w| dense_layer_params(w[1], w[0])).sum();
+    let enc: usize = dims
+        .windows(2)
+        .map(|w| dense_layer_params(w[0], w[1]))
+        .sum();
+    let dec: usize = dims
+        .windows(2)
+        .rev()
+        .map(|w| dense_layer_params(w[1], w[0]))
+        .sum();
     enc + dec
 }
 

@@ -103,11 +103,11 @@ proptest! {
         // greedy row-by-row must not be cheaper
         let mut used = vec![false; n];
         let mut greedy = 0.0;
-        for i in 0..n {
+        for cost_row in &cost {
             let mut best = None;
-            for j in 0..n {
-                if !used[j] && best.map_or(true, |(_, c)| cost[i][j] < c) {
-                    best = Some((j, cost[i][j]));
+            for (j, &cij) in cost_row.iter().enumerate() {
+                if !used[j] && best.is_none_or(|(_, c)| cij < c) {
+                    best = Some((j, cij));
                 }
             }
             let (j, c) = best.unwrap();

@@ -23,7 +23,11 @@ fn main() {
     let random_inertia = inertia(&pixels, &random_codebook);
 
     // k-Means codebook: 12 centroids.
-    let km = KMeans::new(12).with_n_init(20).with_seed(1).fit(&pixels).unwrap();
+    let km = KMeans::new(12)
+        .with_n_init(20)
+        .with_seed(1)
+        .fit(&pixels)
+        .unwrap();
 
     // Khatri-Rao codebook: 6 + 6 protocentroids -> 36 colors.
     let kr = KrKMeans::new(vec![6, 6])
@@ -34,9 +38,24 @@ fn main() {
         .unwrap();
 
     println!("Color quantization with a 12-vector codebook budget");
-    println!("{:<28}{:>8}{:>10}{:>12}", "method", "vectors", "colors", "inertia");
-    println!("{:<28}{:>8}{:>10}{:>12.1}", "random pixels", 12, 12, random_inertia * 255.0 * 255.0);
-    println!("{:<28}{:>8}{:>10}{:>12.1}", "k-Means", 12, 12, km.inertia * 255.0 * 255.0);
+    println!(
+        "{:<28}{:>8}{:>10}{:>12}",
+        "method", "vectors", "colors", "inertia"
+    );
+    println!(
+        "{:<28}{:>8}{:>10}{:>12.1}",
+        "random pixels",
+        12,
+        12,
+        random_inertia * 255.0 * 255.0
+    );
+    println!(
+        "{:<28}{:>8}{:>10}{:>12.1}",
+        "k-Means",
+        12,
+        12,
+        km.inertia * 255.0 * 255.0
+    );
     println!(
         "{:<28}{:>8}{:>10}{:>12.1}",
         "Khatri-Rao-k-Means-x",

@@ -16,7 +16,11 @@ fn main() {
     // optdigits-like glyph digits, reduced for CPU speed.
     let ds = kr_datasets::image::optdigits_like(600, 4).standardized();
     let dims = [64usize, 48, 24, 6];
-    println!("optdigits-like: {} x {}, 10 clusters", ds.n_samples(), ds.n_features());
+    println!(
+        "optdigits-like: {} x {}, 10 clusters",
+        ds.n_samples(),
+        ds.n_features()
+    );
 
     // --- Standard DKM: full autoencoder + 10 free centroids.
     let mut full_ae = Autoencoder::new(&dims, Compression::None, 0).unwrap();

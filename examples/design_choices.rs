@@ -35,7 +35,10 @@ fn main() {
     let mut rng = rand::rngs::StdRng::seed_from_u64(4);
     let t1 = Matrix::from_fn(3, 5, |_, _| rng.gen_range(0.5..3.0));
     let t2 = Matrix::from_fn(3, 5, |_, _| rng.gen_range(0.5..3.0));
-    for (name, agg) in [("additive", Aggregator::Sum), ("multiplicative", Aggregator::Product)] {
+    for (name, agg) in [
+        ("additive", Aggregator::Sum),
+        ("multiplicative", Aggregator::Product),
+    ] {
         let grid = khatri_rao(&[t1.clone(), t2.clone()], agg).unwrap();
         let suggestion = design::suggest_aggregator(&grid, 3, 3);
         println!("\n{name} centroid grid -> suggested aggregator: {suggestion}");

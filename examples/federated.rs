@@ -14,10 +14,21 @@ fn main() {
     let clients = shard_by_assignment(&ds.data, &client_of, 10);
 
     let rounds = 8;
-    let fkm = FkM { k: 10, rounds, seed: 1 }.run(&clients).unwrap();
-    let kr = KrFkM { hs: vec![5, 2], aggregator: Aggregator::Product, rounds, seed: 1 }
-        .run(&clients)
-        .unwrap();
+    let fkm = FkM {
+        k: 10,
+        rounds,
+        seed: 1,
+    }
+    .run(&clients)
+    .unwrap();
+    let kr = KrFkM {
+        hs: vec![5, 2],
+        aggregator: Aggregator::Product,
+        rounds,
+        seed: 1,
+    }
+    .run(&clients)
+    .unwrap();
 
     println!("Federated k-Means vs Khatri-Rao FkM (10 clients, k = 10)");
     println!(

@@ -20,14 +20,30 @@ fn main() {
         .expect("valid input");
 
     // Same parameter budget for plain k-Means: h1 + h2 = 20 centroids.
-    let small = KMeans::new(h1 + h2).with_n_init(10).with_seed(7).fit(&ds.data).unwrap();
+    let small = KMeans::new(h1 + h2)
+        .with_n_init(10)
+        .with_seed(7)
+        .fit(&ds.data)
+        .unwrap();
     // The optimistic bound: k-Means with all 100 centroids.
-    let full = KMeans::new(100).with_n_init(10).with_seed(7).fit(&ds.data).unwrap();
+    let full = KMeans::new(100)
+        .with_n_init(10)
+        .with_seed(7)
+        .fit(&ds.data)
+        .unwrap();
 
     println!("Blobs (n=2000, m=2, 100 ground-truth clusters)");
-    println!("{:<34}{:>10}{:>12}{:>8}", "algorithm", "vectors", "inertia", "ACC");
+    println!(
+        "{:<34}{:>10}{:>12}{:>8}",
+        "algorithm", "vectors", "inertia", "ACC"
+    );
     for (name, vectors, inertia, labels) in [
-        ("Khatri-Rao-k-Means-+ (h1+h2)", h1 + h2, kr.inertia, &kr.labels),
+        (
+            "Khatri-Rao-k-Means-+ (h1+h2)",
+            h1 + h2,
+            kr.inertia,
+            &kr.labels,
+        ),
         ("k-Means (h1+h2)", h1 + h2, small.inertia, &small.labels),
         ("k-Means (h1*h2)", 100, full.inertia, &full.labels),
     ] {

@@ -30,13 +30,21 @@ pub use kr_linalg as linalg;
 pub use kr_metrics as metrics;
 
 /// Common imports for library users.
+///
+/// Brings the main entry points into scope and re-exports every workspace
+/// crate under its canonical `kr_*` name, so downstream code (and the
+/// quickstart above) can write `kr_datasets::synthetic::blobs(..)` with
+/// only `khatri_rao_clustering` as a dependency.
 pub mod prelude {
-    pub use kr_core::aggregator::Aggregator;
-    pub use kr_core::kmeans::KMeans;
-    pub use kr_core::kr_kmeans::KrKMeans;
-    pub use kr_datasets as kr_datasets;
-    pub use kr_linalg::Matrix;
-    pub use kr_metrics::{
+    pub use crate::{
+        autodiff as kr_autodiff, core as kr_core, datasets as kr_datasets, deep as kr_deep,
+        federated as kr_federated, linalg as kr_linalg, metrics as kr_metrics,
+    };
+    pub use ::kr_core::aggregator::Aggregator;
+    pub use ::kr_core::kmeans::KMeans;
+    pub use ::kr_core::kr_kmeans::KrKMeans;
+    pub use ::kr_linalg::Matrix;
+    pub use ::kr_metrics::{
         adjusted_rand_index, inertia, normalized_mutual_information,
         unsupervised_clustering_accuracy,
     };

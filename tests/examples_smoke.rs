@@ -1,0 +1,114 @@
+//! Keeps the `examples/` directory honest: every example must stay
+//! compiling (enforced here by `cargo build --examples` in CI and by the
+//! doc-comment contract below), and the quickstart logic must keep
+//! working end-to-end. The logic lives here as a real test because
+//! examples themselves are only compiled, never executed, by CI.
+
+use khatri_rao_clustering::prelude::*;
+
+/// End-to-end quickstart flow on a tiny blob dataset: fit KR-k-Means,
+/// compare with same-budget and full-budget k-Means, check the numbers
+/// that the `quickstart` example prints are well-formed and ordered.
+#[test]
+fn quickstart_flow_on_tiny_blobs() {
+    // 9 well-separated Gaussian clusters with additive KR structure in
+    // their count (3 x 3), small enough to run in debug mode.
+    let ds = kr_datasets::synthetic::blobs(180, 2, 9, 0.3, 42).standardized();
+
+    let kr = KrKMeans::new(vec![3, 3])
+        .with_aggregator(Aggregator::Sum)
+        .with_n_init(5)
+        .with_seed(7)
+        .fit(&ds.data)
+        .expect("valid input");
+    let small = KMeans::new(6)
+        .with_n_init(5)
+        .with_seed(7)
+        .fit(&ds.data)
+        .unwrap();
+    let full = KMeans::new(9)
+        .with_n_init(5)
+        .with_seed(7)
+        .fit(&ds.data)
+        .unwrap();
+
+    // The KR summary stores 6 vectors but represents 9 centroids.
+    assert_eq!(kr.n_parameters(), 6 * ds.data.ncols());
+    assert_eq!(kr.centroids().nrows(), 9);
+
+    // All three summaries produce finite, positive inertia and a full
+    // assignment vector.
+    for (name, inertia, labels) in [
+        ("kr", kr.inertia, &kr.labels),
+        ("small", small.inertia, &small.labels),
+        ("full", full.inertia, &full.labels),
+    ] {
+        assert!(
+            inertia.is_finite() && inertia >= 0.0,
+            "{name}: inertia {inertia}"
+        );
+        assert_eq!(labels.len(), ds.data.nrows(), "{name}");
+    }
+
+    // Lloyd refinement from the KR centroids is a true invariant (both
+    // solvers are local searches, so comparing two independent fits is
+    // not): dropping the constraint and iterating cannot lose.
+    let refined = KMeans::new(9)
+        .with_init(kr_core::kmeans::KMeansInit::FromCentroids(kr.centroids()))
+        .with_n_init(1)
+        .fit(&ds.data)
+        .unwrap();
+    assert!(
+        refined.inertia <= kr.inertia + 1e-9,
+        "refined {} > kr {}",
+        refined.inertia,
+        kr.inertia
+    );
+
+    // The quickstart's metric line must be computable and meaningful.
+    // Random blob centers carry no Khatri-Rao structure, so the
+    // constrained summary only needs substantial (not perfect) agreement.
+    let acc = unsupervised_clustering_accuracy(&kr.labels, &ds.labels).unwrap();
+    assert!((0.0..=1.0).contains(&acc), "acc {acc}");
+    let ari = adjusted_rand_index(&kr.labels, &ds.labels).unwrap();
+    assert!(
+        ari > 0.5,
+        "KR summary lost the blob layout entirely: ari {ari}"
+    );
+
+    // On data that IS KR-structured, recovery must be essentially exact
+    // (the library's headline claim, exercised the way the README
+    // quickstart describes it).
+    let (ds, _, _) = kr_datasets::synthetic::kr_structured(
+        3,
+        3,
+        20,
+        0.1,
+        kr_datasets::synthetic::StructureKind::Additive,
+        42,
+    );
+    let model = KrKMeans::new(vec![3, 3])
+        .with_n_init(5)
+        .with_seed(7)
+        .fit(&ds.data)
+        .unwrap();
+    let ari = adjusted_rand_index(&model.labels, &ds.labels).unwrap();
+    assert!(ari > 0.95, "structured grid not recovered: ari {ari}");
+}
+
+/// The prelude must expose everything the examples import through it:
+/// this test is a compile-time contract for `use prelude::*` users.
+#[test]
+fn prelude_surface_is_complete() {
+    // Crate re-exports under canonical names.
+    let _ = kr_datasets::synthetic::blobs(9, 2, 3, 0.1, 0);
+    let _ = kr_linalg::Matrix::zeros(2, 2);
+    let _: fn(&[usize], &[usize]) -> _ = adjusted_rand_index;
+    let _: fn(&[usize], &[usize]) -> _ = normalized_mutual_information;
+    // Main entry points are in scope.
+    let _ = KrKMeans::new(vec![2, 2]);
+    let _ = KMeans::new(2);
+    let _ = Aggregator::Sum;
+    let m = Matrix::zeros(3, 3);
+    let _ = inertia(&m, &m);
+}

@@ -51,7 +51,10 @@ fn stickfigures_table2_row() {
     let ari = adjusted_rand_index(&model.labels, &ds.labels).unwrap();
     let acc = unsupervised_clustering_accuracy(&model.labels, &ds.labels).unwrap();
     let nmi = normalized_mutual_information(&model.labels, &ds.labels).unwrap();
-    assert!(ari > 0.99 && acc > 0.99 && nmi > 0.99, "ari {ari} acc {acc} nmi {nmi}");
+    assert!(
+        ari > 0.99 && acc > 0.99 && nmi > 0.99,
+        "ari {ari} acc {acc} nmi {nmi}"
+    );
 }
 
 #[test]
@@ -88,7 +91,11 @@ fn kr_beats_same_budget_kmeans_on_structured_grid() {
         .with_seed(4)
         .fit(&ds.data)
         .unwrap();
-    let km_same_budget = KMeans::new(8).with_n_init(20).with_seed(4).fit(&ds.data).unwrap();
+    let km_same_budget = KMeans::new(8)
+        .with_n_init(20)
+        .with_seed(4)
+        .fit(&ds.data)
+        .unwrap();
     assert!(
         kr.inertia < km_same_budget.inertia,
         "kr {} !< km(8) {}",
@@ -101,7 +108,11 @@ fn kr_beats_same_budget_kmeans_on_structured_grid() {
 fn lloyd_refinement_of_kr_solution_never_loses() {
     let ds = Table1::R15.load(Scale::Reduced, 5);
     let (h1, h2) = balanced_factor_pair(15);
-    let kr = KrKMeans::new(vec![h1, h2]).with_n_init(10).with_seed(6).fit(&ds.data).unwrap();
+    let kr = KrKMeans::new(vec![h1, h2])
+        .with_n_init(10)
+        .with_seed(6)
+        .fit(&ds.data)
+        .unwrap();
     let refined = KMeans::new(15)
         .with_init(KMeansInit::FromCentroids(kr.centroids()))
         .with_n_init(1)
@@ -113,9 +124,22 @@ fn lloyd_refinement_of_kr_solution_never_loses() {
 #[test]
 fn memory_variant_agrees_on_real_shaped_data() {
     let ds = Table1::Optdigits.load(Scale::Reduced, 7);
-    let base = KrKMeans::new(vec![5, 2]).with_n_init(2).with_max_iter(20).with_seed(8);
-    let t = base.clone().with_variant(KrVariant::TimeEfficient).fit(&ds.data).unwrap();
-    let m = base.with_variant(KrVariant::MemoryEfficient).fit(&ds.data).unwrap();
+    // Warm start pinned on for both variants: the test compares the two
+    // assignment kernels, so both must see the same candidate set.
+    let base = KrKMeans::new(vec![5, 2])
+        .with_warm_start(true)
+        .with_n_init(2)
+        .with_max_iter(20)
+        .with_seed(8);
+    let t = base
+        .clone()
+        .with_variant(KrVariant::TimeEfficient)
+        .fit(&ds.data)
+        .unwrap();
+    let m = base
+        .with_variant(KrVariant::MemoryEfficient)
+        .fit(&ds.data)
+        .unwrap();
     assert_eq!(t.labels, m.labels);
     assert!((t.inertia - m.inertia).abs() < 1e-6);
 }
@@ -127,9 +151,7 @@ fn all_table1_datasets_cluster_end_to_end() {
         let ds = ds_id.load(Scale::Reduced, 11);
         // Subsample for speed; structure is preserved.
         let cap = 300.min(ds.n_samples());
-        let idx: Vec<usize> = (0..cap)
-            .map(|i| i * ds.n_samples() / cap)
-            .collect();
+        let idx: Vec<usize> = (0..cap).map(|i| i * ds.n_samples() / cap).collect();
         let data = ds.data.select_rows(&idx);
         let truth: Vec<usize> = idx.iter().map(|&i| ds.labels[i]).collect();
         let (h1, h2) = ds_id.factor_pair();
@@ -151,7 +173,13 @@ fn federated_pipeline_end_to_end() {
     use kr_federated::{shard_by_assignment, FkM, KrFkM};
     let (ds, client_of) = kr_datasets::image::femnist_like(400, 5, 13);
     let clients = shard_by_assignment(&ds.data, &client_of, 5);
-    let fkm = FkM { k: 10, rounds: 5, seed: 1 }.run(&clients).unwrap();
+    let fkm = FkM {
+        k: 10,
+        rounds: 5,
+        seed: 1,
+    }
+    .run(&clients)
+    .unwrap();
     let kr = KrFkM {
         hs: vec![5, 2],
         aggregator: Aggregator::Product,
@@ -193,7 +221,11 @@ fn color_quantization_ordering_reproduces() {
     let mut rng = rand::rngs::StdRng::seed_from_u64(9);
     let rows: Vec<usize> = (0..12).map(|_| rng.gen_range(0..pixels.nrows())).collect();
     let random_inertia = inertia(&pixels, &pixels.select_rows(&rows));
-    let km = KMeans::new(12).with_n_init(10).with_seed(1).fit(&pixels).unwrap();
+    let km = KMeans::new(12)
+        .with_n_init(10)
+        .with_seed(1)
+        .fit(&pixels)
+        .unwrap();
     let kr = KrKMeans::new(vec![6, 6])
         .with_aggregator(Aggregator::Product)
         .with_n_init(10)

@@ -1,0 +1,84 @@
+//! Test execution state: configuration, RNG, case errors.
+
+use std::fmt;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Per-test configuration (`ProptestConfig` in the prelude).
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Number of generated cases per test function.
+    pub cases: u32,
+}
+
+impl Config {
+    /// A config identical to the default except for the case count.
+    pub fn with_cases(cases: u32) -> Self {
+        Config { cases }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config { cases: 256 }
+    }
+}
+
+/// Why a single generated case failed.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// A `prop_assert!`-family assertion failed.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// Builds the failure variant.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError::Fail(message.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestCaseError::Fail(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// Drives the case loop for one test function.
+///
+/// The RNG is seeded with a fixed constant so every run of the suite
+/// generates the same cases — failures reproduce exactly without any
+/// persisted regression files.
+#[derive(Debug)]
+pub struct TestRunner {
+    config: Config,
+    rng: StdRng,
+}
+
+/// Fixed seed for case generation ("PROPTEST" hashed down to 64 bits).
+const CASE_SEED: u64 = 0x5052_4F50_5445_5354;
+
+impl TestRunner {
+    /// Creates a runner for one test function.
+    pub fn new(config: Config) -> Self {
+        TestRunner {
+            config,
+            rng: StdRng::seed_from_u64(CASE_SEED),
+        }
+    }
+
+    /// Number of cases to run.
+    pub fn cases(&self) -> u32 {
+        self.config.cases
+    }
+
+    /// The RNG strategies draw from.
+    pub fn rng_mut(&mut self) -> &mut StdRng {
+        &mut self.rng
+    }
+}
