@@ -5,8 +5,86 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use kr_core::aggregator::Aggregator;
 use kr_core::kr_kmeans::{prop61_update_pass, KrKMeans, KrVariant};
-use kr_linalg::Matrix;
+use kr_linalg::{ops, ExecCtx, Matrix};
 use std::hint::black_box;
+
+/// The seed's naive `ikj` matmul, kept verbatim as the regression
+/// baseline the blocked kernel must beat.
+fn seed_naive_matmul(a: &Matrix, b: &Matrix) -> Matrix {
+    let (m, n) = (a.nrows(), b.ncols());
+    let mut out = Matrix::zeros(m, n);
+    for i in 0..m {
+        for p in 0..a.ncols() {
+            let av = a.get(i, p);
+            if av == 0.0 {
+                continue;
+            }
+            let brow = b.row(p);
+            for (o, &bv) in out.row_mut(i).iter_mut().zip(brow) {
+                *o += av * bv;
+            }
+        }
+    }
+    out
+}
+
+/// The seed's pairwise kernel: materialize the full dot matrix row by
+/// row, then a second pass applying the norm expansion.
+fn seed_naive_pairwise(x: &Matrix, c: &Matrix) -> Matrix {
+    let x_norms = x.row_sq_norms();
+    let c_norms = c.row_sq_norms();
+    let mut dots = Matrix::zeros(x.nrows(), c.nrows());
+    for i in 0..x.nrows() {
+        for j in 0..c.nrows() {
+            let d = ops::dot(x.row(i), c.row(j));
+            dots.set(i, j, d);
+        }
+    }
+    for (i, &xn) in x_norms.iter().enumerate() {
+        for (d, &cn) in dots.row_mut(i).iter_mut().zip(c_norms.iter()) {
+            *d = (xn + cn - 2.0 * *d).max(0.0);
+        }
+    }
+    dots
+}
+
+fn bench_matmul_blocked(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matmul_512x512x512");
+    group.sample_size(10);
+    let a = Matrix::from_fn(512, 512, |i, j| ((i * 31 + j * 7) % 97) as f64 * 0.01);
+    let b = Matrix::from_fn(512, 512, |i, j| ((i * 13 + j * 3) % 89) as f64 * 0.02);
+    group.bench_function("seed_naive", |bch| {
+        bch.iter(|| black_box(seed_naive_matmul(&a, &b)));
+    });
+    group.bench_function("blocked_serial", |bch| {
+        bch.iter(|| black_box(a.matmul(&b).unwrap()));
+    });
+    let threads = std::thread::available_parallelism().map_or(2, |n| n.get());
+    let exec = ExecCtx::threaded(threads);
+    group.bench_function(format!("blocked_{threads}_threads"), |bch| {
+        bch.iter(|| black_box(a.matmul_with(&b, &exec).unwrap()));
+    });
+    group.finish();
+}
+
+fn bench_pairwise_blocked(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pairwise_sqdist_20000x64x32");
+    group.sample_size(10);
+    let x = Matrix::from_fn(20_000, 32, |i, j| ((i * 31 + j * 7) % 97) as f64 * 0.01);
+    let cmat = Matrix::from_fn(64, 32, |i, j| ((i * 13 + j * 3) % 89) as f64 * 0.02);
+    group.bench_function("seed_naive", |bch| {
+        bch.iter(|| black_box(seed_naive_pairwise(&x, &cmat)));
+    });
+    group.bench_function("fused_blocked_serial", |bch| {
+        bch.iter(|| black_box(x.pairwise_sqdist(&cmat).unwrap()));
+    });
+    let threads = std::thread::available_parallelism().map_or(2, |n| n.get());
+    let exec = ExecCtx::threaded(threads);
+    group.bench_function(format!("fused_blocked_{threads}_threads"), |bch| {
+        bch.iter(|| black_box(x.pairwise_sqdist_with(&cmat, &exec).unwrap()));
+    });
+    group.finish();
+}
 
 fn bench_pairwise_sqdist(c: &mut Criterion) {
     let mut group = c.benchmark_group("pairwise_sqdist");
@@ -89,6 +167,8 @@ fn bench_hungarian(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_pairwise_sqdist,
+    bench_matmul_blocked,
+    bench_pairwise_blocked,
     bench_kr_assignment_variants,
     bench_prop61_update,
     bench_hungarian

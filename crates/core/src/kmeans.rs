@@ -6,9 +6,16 @@
 //! incidental implementation differences (paper Appendix B).
 
 use crate::{CoreError, Result};
-use kr_linalg::{ops, parallel, Matrix};
+use kr_linalg::{ops, parallel, ExecCtx, Matrix};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+
+/// Fixed chunk width for the parallel partial-sum reductions of the
+/// update step. A pure constant (never derived from the thread budget)
+/// so the partial merge order — and therefore every last bit of the
+/// result — is identical at any `ExecCtx` thread count. Inputs no larger
+/// than one chunk reduce serially in point order.
+pub(crate) const UPDATE_CHUNK: usize = 8192;
 
 /// Centroid initialization strategy for k-Means.
 #[derive(Debug, Clone, Default)]
@@ -40,7 +47,7 @@ pub struct KMeans {
     max_iter: usize,
     tol: f64,
     seed: u64,
-    threads: usize,
+    exec: ExecCtx,
 }
 
 /// A fitted k-Means model.
@@ -67,7 +74,7 @@ impl KMeans {
             max_iter: 200,
             tol: 1e-4,
             seed: 0,
-            threads: 1,
+            exec: ExecCtx::serial(),
         }
     }
 
@@ -101,9 +108,17 @@ impl KMeans {
         self
     }
 
-    /// Sets the number of worker threads for the assignment step.
-    pub fn with_threads(mut self, threads: usize) -> Self {
-        self.threads = threads.max(1);
+    /// Sets the thread budget (shorthand for an [`ExecCtx`] on the
+    /// global pool; results are identical at any thread count).
+    pub fn with_threads(self, threads: usize) -> Self {
+        let exec = self.exec.clone().with_threads(threads);
+        self.with_exec(exec)
+    }
+
+    /// Sets the execution context (thread budget, pool handle, tiling)
+    /// used by the assignment and update steps.
+    pub fn with_exec(mut self, exec: ExecCtx) -> Self {
+        self.exec = exec;
         self
     }
 
@@ -146,18 +161,20 @@ impl KMeans {
         let mut dmin = vec![0.0f64; n];
         let mut n_iter = 0;
         let mut inertia = f64::INFINITY;
+        // Do `labels`/`dmin` reflect the current centroids exactly? Set
+        // whenever an update pass leaves every centroid untouched, so the
+        // post-loop re-assignment can be skipped (it would recompute the
+        // identical labels).
+        let mut assignments_fresh = false;
         for it in 0..self.max_iter {
             n_iter = it + 1;
-            assign(data, &centroids, &mut labels, &mut dmin, self.threads);
+            assign(data, &centroids, &mut labels, &mut dmin, &self.exec);
             inertia = dmin.iter().sum();
 
-            // Update step: cluster means.
-            let mut sums = Matrix::zeros(self.k, m);
-            let mut counts = vec![0usize; self.k];
-            for (x, &l) in data.rows_iter().zip(labels.iter()) {
-                ops::add_assign(sums.row_mut(l), x);
-                counts[l] += 1;
-            }
+            // Update step: cluster means, accumulated as per-chunk
+            // partial sums on the pool and merged in ascending chunk
+            // order (fixed geometry => bitwise thread-invariant).
+            let (sums, counts) = cluster_sums(data, &labels, self.k, &self.exec);
             let mut movement = 0.0;
             for (c, &count) in counts.iter().enumerate() {
                 if count == 0 {
@@ -181,13 +198,19 @@ impl KMeans {
                 }
                 movement += delta;
             }
+            assignments_fresh = movement == 0.0;
             if movement < self.tol {
                 break;
             }
         }
-        // Final assignment against the converged centroids.
-        assign(data, &centroids, &mut labels, &mut dmin, self.threads);
-        inertia = dmin.iter().sum::<f64>().min(inertia);
+        // Final assignment against the converged centroids — skipped when
+        // the last update moved nothing, in which case the loop's own
+        // assignment is already exact (recomputing it was the seed's
+        // double-assignment inefficiency).
+        if !assignments_fresh {
+            assign(data, &centroids, &mut labels, &mut dmin, &self.exec);
+            inertia = dmin.iter().sum::<f64>().min(inertia);
+        }
         Ok(KMeansModel {
             centroids,
             labels,
@@ -198,13 +221,15 @@ impl KMeans {
 }
 
 /// Assigns each row of `data` to its nearest centroid, filling `labels`
-/// and the per-point squared distance `dmin`. Chunk-parallel over points.
+/// and the per-point squared distance `dmin`. Chunk-parallel over points
+/// on `exec`'s pool; per-point work is independent of the chunk split,
+/// so results are identical at any thread count.
 pub(crate) fn assign(
     data: &Matrix,
     centroids: &Matrix,
     labels: &mut [usize],
     dmin: &mut [f64],
-    threads: usize,
+    exec: &ExecCtx,
 ) {
     let n = data.nrows();
     debug_assert_eq!(labels.len(), n);
@@ -219,7 +244,7 @@ pub(crate) fn assign(
         d: f64,
     }
     let mut buf: Vec<Out> = (0..n).map(|_| Out { label: 0, d: 0.0 }).collect();
-    parallel::map_chunks_into(&mut buf, threads, |start, chunk| {
+    parallel::map_chunks_into(exec, &mut buf, |start, chunk| {
         for (off, out) in chunk.iter_mut().enumerate() {
             let x = data.row(start + off);
             let xn = ops::sq_norm(x);
@@ -240,6 +265,45 @@ pub(crate) fn assign(
         labels[i] = out.label;
         dmin[i] = out.d;
     }
+}
+
+/// Per-cluster coordinate sums (`k x m`) and member counts, accumulated
+/// in parallel as fixed-size chunk partials merged in ascending chunk
+/// order. The geometry ([`UPDATE_CHUNK`]) never depends on the thread
+/// budget, so the summation order — hence the result, bitwise — is the
+/// same for every `ExecCtx`; inputs within one chunk accumulate in plain
+/// point order exactly like the serial seed code.
+pub(crate) fn cluster_sums(
+    data: &Matrix,
+    labels: &[usize],
+    k: usize,
+    exec: &ExecCtx,
+) -> (Matrix, Vec<usize>) {
+    let m = data.ncols();
+    let n = data.nrows();
+    let partials = parallel::reduce_chunks(
+        exec,
+        n,
+        UPDATE_CHUNK,
+        || (Matrix::zeros(k, m), vec![0usize; k]),
+        |(sums, counts), start, end| {
+            for (off, &l) in labels[start..end].iter().enumerate() {
+                ops::add_assign(sums.row_mut(l), data.row(start + off));
+                counts[l] += 1;
+            }
+        },
+    );
+    let mut iter = partials.into_iter();
+    let (mut sums, mut counts) = iter
+        .next()
+        .unwrap_or_else(|| (Matrix::zeros(k, m), vec![0usize; k]));
+    for (psums, pcounts) in iter {
+        ops::add_assign(sums.as_mut_slice(), psums.as_slice());
+        for (c, p) in counts.iter_mut().zip(pcounts) {
+            *c += p;
+        }
+    }
+    (sums, counts)
 }
 
 /// Samples `k` distinct rows uniformly at random.
@@ -408,6 +472,71 @@ mod tests {
             .unwrap();
         assert_eq!(a.labels, b.labels);
         assert!((a.inertia - b.inertia).abs() < 1e-9);
+    }
+
+    #[test]
+    fn exec_determinism_pool_1_2_8_workers() {
+        use kr_linalg::ThreadPool;
+        use std::sync::Arc;
+        let data = two_blobs();
+        let reference = KMeans::new(2).with_seed(7).fit(&data).unwrap();
+        for workers in [1usize, 2, 8] {
+            let pool = Arc::new(ThreadPool::new(workers));
+            let exec = ExecCtx::threaded(workers + 1).with_pool(Arc::clone(&pool));
+            let model = KMeans::new(2)
+                .with_seed(7)
+                .with_exec(exec.clone())
+                .fit(&data)
+                .unwrap();
+            assert_eq!(model.labels, reference.labels, "workers={workers}");
+            assert_eq!(model.inertia.to_bits(), reference.inertia.to_bits());
+            assert_eq!(model.centroids, reference.centroids);
+            // The same pool backs a second fit (reuse across fits).
+            let again = KMeans::new(2)
+                .with_seed(7)
+                .with_exec(exec)
+                .fit(&data)
+                .unwrap();
+            assert_eq!(again.labels, reference.labels);
+            assert_eq!(pool.workers(), workers);
+        }
+    }
+
+    #[test]
+    fn exec_determinism_cluster_sums_chunked() {
+        // More points than one UPDATE_CHUNK so several partials merge.
+        let n = UPDATE_CHUNK + 1234;
+        let data = Matrix::from_fn(n, 3, |i, j| ((i * 7 + j) % 13) as f64 * 0.37);
+        let labels: Vec<usize> = (0..n).map(|i| i % 5).collect();
+        let (ref_sums, ref_counts) = cluster_sums(&data, &labels, 5, &ExecCtx::serial());
+        assert_eq!(ref_counts.iter().sum::<usize>(), n);
+        for threads in [2usize, 4, 8] {
+            let (sums, counts) = cluster_sums(&data, &labels, 5, &ExecCtx::threaded(threads));
+            assert_eq!(sums, ref_sums, "threads={threads}");
+            assert_eq!(counts, ref_counts, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn converged_fit_skips_redundant_final_assign() {
+        // A run that converges with zero movement must return the same
+        // model as the seed's recompute-always behavior.
+        let data = two_blobs();
+        let tight = KMeans::new(2)
+            .with_seed(3)
+            .with_max_iter(200)
+            .fit(&data)
+            .unwrap();
+        let loose = KMeans::new(2)
+            .with_seed(3)
+            .with_max_iter(200)
+            .with_tol(0.0)
+            .fit(&data)
+            .unwrap();
+        // tol = 0 forces iterations until movement == 0.0 exactly, the
+        // skip path; both runs land on the same fixed point.
+        assert_eq!(tight.labels, loose.labels);
+        assert!((tight.inertia - loose.inertia).abs() < 1e-9);
     }
 
     #[test]

@@ -34,9 +34,16 @@ use crate::aggregator::Aggregator;
 use crate::kmeans::{assign, validate_input, KMeans};
 use crate::operator::{aggregate_tuple_into, khatri_rao, CentroidIndexer};
 use crate::{CoreError, Result};
-use kr_linalg::{ops, parallel, Matrix};
+use kr_linalg::{ops, parallel, ExecCtx, Matrix};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+
+/// Fixed chunk width (in flat centroid indices) for the parallel
+/// Proposition 6.1 update reductions. Constant — never derived from the
+/// thread budget — so partial merge order and results are bitwise
+/// identical at any `ExecCtx` thread count; grids of at most one chunk
+/// reduce serially in flat-index order like the seed code.
+const TUPLE_CHUNK: usize = 64;
 
 /// Protocentroid initialization strategy.
 #[derive(Debug, Clone, Default)]
@@ -92,7 +99,7 @@ pub struct KrKMeans {
     max_iter: usize,
     tol: f64,
     seed: u64,
-    threads: usize,
+    exec: ExecCtx,
     variant: KrVariant,
     warm_start: Option<bool>,
 }
@@ -160,7 +167,7 @@ impl KrKMeans {
             max_iter: 200,
             tol: 1e-4,
             seed: 0,
-            threads: 1,
+            exec: ExecCtx::serial(),
             variant: KrVariant::TimeEfficient,
             warm_start: None,
         }
@@ -202,9 +209,17 @@ impl KrKMeans {
         self
     }
 
-    /// Sets the worker-thread count for the assignment step.
-    pub fn with_threads(mut self, threads: usize) -> Self {
-        self.threads = threads.max(1);
+    /// Sets the thread budget (shorthand for an [`ExecCtx`] on the
+    /// global pool; results are identical at any thread count).
+    pub fn with_threads(self, threads: usize) -> Self {
+        let exec = self.exec.clone().with_threads(threads);
+        self.with_exec(exec)
+    }
+
+    /// Sets the execution context (thread budget, pool handle, tiling)
+    /// used by the assignment and protocentroid-update steps.
+    pub fn with_exec(mut self, exec: ExecCtx) -> Self {
+        self.exec = exec;
         self
     }
 
@@ -290,7 +305,7 @@ impl KrKMeans {
             .with_n_init(2)
             .with_max_iter(self.max_iter)
             .with_tol(self.tol)
-            .with_threads(self.threads)
+            .with_exec(self.exec.clone())
             .with_seed(self.seed ^ WARM_START_SALT)
             .fit(data)?;
         // The decomposition inherits the configured tolerance (capped so
@@ -338,6 +353,7 @@ impl KrKMeans {
                     &indexer,
                     self.aggregator,
                     rng,
+                    &self.exec,
                 );
             }
 
@@ -420,7 +436,7 @@ impl KrKMeans {
         match self.variant {
             KrVariant::TimeEfficient => {
                 let centroids = khatri_rao(sets, self.aggregator).expect("validated sets");
-                assign(data, &centroids, labels, dmin, self.threads);
+                assign(data, &centroids, labels, dmin, &self.exec);
             }
             KrVariant::MemoryEfficient => {
                 assign_on_the_fly(
@@ -430,7 +446,7 @@ impl KrKMeans {
                     self.aggregator,
                     labels,
                     dmin,
-                    self.threads,
+                    &self.exec,
                 );
             }
         }
@@ -446,7 +462,7 @@ fn assign_on_the_fly(
     agg: Aggregator,
     labels: &mut [usize],
     dmin: &mut [f64],
-    threads: usize,
+    exec: &ExecCtx,
 ) {
     let n = data.nrows();
     let m = data.ncols();
@@ -458,7 +474,7 @@ fn assign_on_the_fly(
         let mu_norm = ops::sq_norm(&mu);
         let mu_ref = &mu;
         let x_norms_ref = &x_norms;
-        parallel::map_chunks_into(&mut state, threads, |start, chunk| {
+        parallel::map_chunks_into(exec, &mut state, |start, chunk| {
             for (off, slot) in chunk.iter_mut().enumerate() {
                 let i = start + off;
                 let d = (x_norms_ref[i] + mu_norm - 2.0 * ops::dot(data.row(i), mu_ref)).max(0.0);
@@ -489,12 +505,26 @@ pub fn prop61_update_pass(
     agg: Aggregator,
     seed: u64,
 ) {
+    prop61_update_pass_with(data, labels, sets, agg, seed, &ExecCtx::serial());
+}
+
+/// [`prop61_update_pass`] scheduled on an explicit execution context.
+/// Results are bitwise identical at any thread count (the update
+/// reductions use fixed chunk geometry).
+pub fn prop61_update_pass_with(
+    data: &Matrix,
+    labels: &[usize],
+    sets: &mut [Matrix],
+    agg: Aggregator,
+    seed: u64,
+    exec: &ExecCtx,
+) {
     assert_eq!(data.nrows(), labels.len(), "one label per point");
     let indexer = CentroidIndexer::new(sets.iter().map(|s| s.nrows()).collect());
     let clusters = bucket_by_label(labels, indexer.n_centroids());
     let mut rng = StdRng::seed_from_u64(seed);
     for q in 0..sets.len() {
-        update_set(data, sets, q, &clusters, &indexer, agg, &mut rng);
+        update_set(data, sets, q, &clusters, &indexer, agg, &mut rng, exec);
     }
 }
 
@@ -616,6 +646,12 @@ fn bucket_by_label(labels: &[usize], k: usize) -> Vec<Vec<usize>> {
 ///
 /// Protocentroids whose combinations are all empty are reseeded to a
 /// random data point (Appendix B).
+///
+/// The per-tuple accumulation runs as per-chunk partial sums over the
+/// flat centroid index on `exec`'s pool ([`TUPLE_CHUNK`]-sized chunks,
+/// merged in ascending order — bitwise thread-invariant); the closed-form
+/// division and the RNG-driven empty reseeds stay serial.
+#[allow(clippy::too_many_arguments)]
 fn update_set(
     data: &Matrix,
     sets: &mut [Matrix],
@@ -624,47 +660,86 @@ fn update_set(
     indexer: &CentroidIndexer,
     agg: Aggregator,
     rng: &mut StdRng,
+    exec: &ExecCtx,
 ) {
     let m = data.ncols();
     let h_q = sets[q].nrows();
-    let mut num = Matrix::zeros(h_q, m);
-    // For sum the denominator is a scalar count per protocentroid;
-    // for product it is elementwise. Keep both, use what's needed.
-    let mut den = Matrix::zeros(h_q, m);
-    let mut counts = vec![0usize; h_q];
-    let mut other = vec![0.0f64; m];
-
-    indexer.for_each_tuple(|flat, tuple| {
-        let members = &clusters[flat];
-        if members.is_empty() {
-            return;
-        }
-        let j = tuple[q];
-        counts[j] += members.len();
-        // Aggregate of all sets except q for this tuple.
-        agg.fill_identity(&mut other);
-        for (l, &jl) in tuple.iter().enumerate() {
-            if l != q {
-                agg.aggregate_assign(&mut other, sets[l].row(jl));
-            }
-        }
-        match agg {
-            Aggregator::Sum => {
-                let num_row = num.row_mut(j);
-                for &i in members {
-                    ops::add_assign(num_row, data.row(i));
+    let k = indexer.n_centroids();
+    let sets_ref: &[Matrix] = sets;
+    // For sum the denominator is a scalar count per protocentroid; for
+    // product it is elementwise. Only the product aggregator pays for
+    // the elementwise `den` accumulators (0 x 0 otherwise).
+    let den_rows = match agg {
+        Aggregator::Sum => 0,
+        Aggregator::Product => h_q,
+    };
+    let partials = parallel::reduce_chunks(
+        exec,
+        k,
+        TUPLE_CHUNK,
+        || {
+            (
+                Matrix::zeros(h_q, m),
+                Matrix::zeros(den_rows, m),
+                vec![0usize; h_q],
+            )
+        },
+        |(num, den, counts), start, end| {
+            let mut other = vec![0.0f64; m];
+            for (off, members) in clusters[start..end].iter().enumerate() {
+                if members.is_empty() {
+                    continue;
                 }
-                ops::axpy(num_row, -(members.len() as f64), &other);
-            }
-            Aggregator::Product => {
-                let num_row = num.row_mut(j);
-                for &i in members {
-                    ops::add_hadamard_assign(num_row, data.row(i), &other);
+                let flat = start + off;
+                let tuple = indexer.to_tuple(flat);
+                let j = tuple[q];
+                counts[j] += members.len();
+                // Aggregate of all sets except q for this tuple.
+                agg.fill_identity(&mut other);
+                for (l, &jl) in tuple.iter().enumerate() {
+                    if l != q {
+                        agg.aggregate_assign(&mut other, sets_ref[l].row(jl));
+                    }
                 }
-                ops::add_weighted_square_assign(den.row_mut(j), members.len() as f64, &other);
+                match agg {
+                    Aggregator::Sum => {
+                        let num_row = num.row_mut(j);
+                        for &i in members {
+                            ops::add_assign(num_row, data.row(i));
+                        }
+                        ops::axpy(num_row, -(members.len() as f64), &other);
+                    }
+                    Aggregator::Product => {
+                        let num_row = num.row_mut(j);
+                        for &i in members {
+                            ops::add_hadamard_assign(num_row, data.row(i), &other);
+                        }
+                        ops::add_weighted_square_assign(
+                            den.row_mut(j),
+                            members.len() as f64,
+                            &other,
+                        );
+                    }
+                }
             }
-        }
+        },
+    );
+    let mut iter = partials.into_iter();
+    let (mut num, mut den, mut counts) = iter.next().unwrap_or_else(|| {
+        (
+            Matrix::zeros(h_q, m),
+            Matrix::zeros(den_rows, m),
+            vec![0usize; h_q],
+        )
     });
+    for (pnum, pden, pcounts) in iter {
+        ops::add_assign(num.as_mut_slice(), pnum.as_slice());
+        ops::add_assign(den.as_mut_slice(), pden.as_slice());
+        for (c, p) in counts.iter_mut().zip(pcounts) {
+            *c += p;
+        }
+    }
+    let mut other = vec![0.0f64; m];
 
     for (j, &count) in counts.iter().enumerate() {
         if count == 0 {
@@ -883,6 +958,42 @@ mod tests {
             .unwrap();
         assert_eq!(a.labels, b.labels);
         assert!((a.inertia - b.inertia).abs() < 1e-9);
+    }
+
+    #[test]
+    fn exec_determinism_pool_1_2_8_workers() {
+        use kr_linalg::ThreadPool;
+        use std::sync::Arc;
+        let (ds, _, _) = kr_structured(2, 3, 20, 0.3, StructureKind::Additive, 9);
+        let fit_with = |exec: ExecCtx, variant: KrVariant| {
+            KrKMeans::new(vec![2, 3])
+                .with_seed(5)
+                .with_n_init(2)
+                .with_variant(variant)
+                .with_exec(exec)
+                .fit(&ds.data)
+                .unwrap()
+        };
+        for variant in [KrVariant::TimeEfficient, KrVariant::MemoryEfficient] {
+            let reference = fit_with(ExecCtx::serial(), variant);
+            for workers in [1usize, 2, 8] {
+                let pool = Arc::new(ThreadPool::new(workers));
+                let exec = ExecCtx::threaded(workers + 1).with_pool(Arc::clone(&pool));
+                let model = fit_with(exec.clone(), variant);
+                assert_eq!(model.labels, reference.labels, "workers={workers}");
+                assert_eq!(model.inertia.to_bits(), reference.inertia.to_bits());
+                for (a, b) in model
+                    .protocentroids
+                    .iter()
+                    .zip(reference.protocentroids.iter())
+                {
+                    assert_eq!(a, b, "workers={workers}");
+                }
+                // Same pool reused by a second fit.
+                let again = fit_with(exec, variant);
+                assert_eq!(again.labels, reference.labels);
+            }
+        }
     }
 
     #[test]

@@ -14,7 +14,7 @@ use crate::aggregator::Aggregator;
 use crate::kmeans::KMeans;
 use crate::operator::{aggregate_tuple_into, khatri_rao, CentroidIndexer};
 use crate::{CoreError, Result};
-use kr_linalg::{ops, Matrix};
+use kr_linalg::{ops, ExecCtx, Matrix};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -27,6 +27,7 @@ pub struct NaiveKr {
     decomp_max_iter: usize,
     decomp_tol: f64,
     seed: u64,
+    exec: ExecCtx,
 }
 
 /// A fitted naïve two-phase model.
@@ -66,6 +67,7 @@ impl NaiveKr {
             decomp_max_iter: 5000,
             decomp_tol: 1e-4,
             seed: 0,
+            exec: ExecCtx::serial(),
         }
     }
 
@@ -99,6 +101,13 @@ impl NaiveKr {
         self
     }
 
+    /// Sets the execution context used by phase 1 and the final
+    /// assignment (results are identical at any thread count).
+    pub fn with_exec(mut self, exec: ExecCtx) -> Self {
+        self.exec = exec;
+        self
+    }
+
     /// Runs both phases.
     pub fn fit(&self, data: &Matrix) -> Result<NaiveKrModel> {
         if self.hs.is_empty() || self.hs.contains(&0) {
@@ -110,6 +119,7 @@ impl NaiveKr {
         let km = KMeans::new(k)
             .with_n_init(self.kmeans_n_init)
             .with_seed(self.seed)
+            .with_exec(self.exec.clone())
             .fit(data)?;
         // Phase 2: factor the centroid grid.
         let (sets, sse) = decompose_centroids(
@@ -125,7 +135,7 @@ impl NaiveKr {
         let n = data.nrows();
         let mut labels = vec![0usize; n];
         let mut dmin = vec![0.0f64; n];
-        crate::kmeans::assign(data, &centroids, &mut labels, &mut dmin, 1);
+        crate::kmeans::assign(data, &centroids, &mut labels, &mut dmin, &self.exec);
         Ok(NaiveKrModel {
             protocentroids: sets,
             labels,

@@ -16,7 +16,7 @@ use kr_autodiff::Graph;
 use kr_core::aggregator::Aggregator;
 use kr_core::kmeans::KMeans;
 use kr_core::kr_kmeans::KrKMeans;
-use kr_linalg::Matrix;
+use kr_linalg::{ExecCtx, Matrix};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -58,6 +58,7 @@ pub struct DeepClustering {
     w_rec: f64,
     init_n_init: usize,
     seed: u64,
+    exec: ExecCtx,
 }
 
 /// A fitted deep-clustering model.
@@ -130,6 +131,7 @@ impl DeepClustering {
             w_rec: 1.0,
             init_n_init: 5,
             seed: 0,
+            exec: ExecCtx::serial(),
         }
     }
 
@@ -169,6 +171,13 @@ impl DeepClustering {
         self
     }
 
+    /// Sets the execution context used by the (KR-)k-Means latent-space
+    /// initialization (results are identical at any thread count).
+    pub fn with_exec(mut self, exec: ExecCtx) -> Self {
+        self.exec = exec;
+        self
+    }
+
     /// Jointly trains the (pretrained) autoencoder and the centroids on
     /// `data`, consuming the autoencoder.
     pub fn fit(&self, mut ae: Autoencoder, data: &Matrix) -> Result<DeepModel> {
@@ -187,6 +196,7 @@ impl DeepClustering {
                 let km = KMeans::new(*k)
                     .with_n_init(self.init_n_init)
                     .with_seed(self.seed)
+                    .with_exec(self.exec.clone())
                     .fit(&z0)?;
                 CentroidParam::full(&mut ae.store, km.centroids)
             }
@@ -195,6 +205,7 @@ impl DeepClustering {
                     .with_aggregator(*aggregator)
                     .with_n_init(self.init_n_init)
                     .with_seed(self.seed)
+                    .with_exec(self.exec.clone())
                     .fit(&z0)?;
                 CentroidParam::khatri_rao(&mut ae.store, kr.protocentroids, *aggregator)
             }

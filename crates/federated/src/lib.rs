@@ -24,7 +24,7 @@ use kr_core::aggregator::Aggregator;
 use kr_core::kr_kmeans::prop61_update_from_stats;
 use kr_core::operator::khatri_rao;
 use kr_core::{CoreError, Result};
-use kr_linalg::{ops, Matrix};
+use kr_linalg::{ops, parallel, ExecCtx, Matrix};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -85,8 +85,17 @@ pub struct KrFkM {
 }
 
 impl FkM {
-    /// Runs the protocol over the clients.
+    /// Runs the protocol over the clients (serially; see
+    /// [`FkM::run_with`]).
     pub fn run(&self, clients: &[Client]) -> Result<FederatedModel> {
+        self.run_with(clients, &ExecCtx::serial())
+    }
+
+    /// Runs the protocol over the clients, with each client's local
+    /// assignment step chunk-parallel on `exec`'s pool (modeling clients
+    /// that compute concurrently; results are identical at any thread
+    /// count).
+    pub fn run_with(&self, clients: &[Client], exec: &ExecCtx) -> Result<FederatedModel> {
         let m = check_clients(clients)?;
         let mut rng = StdRng::seed_from_u64(self.seed);
         let mut centroids = dsq_sample_across_clients(clients, self.k, &mut rng)?;
@@ -94,7 +103,7 @@ impl FkM {
         let (mut down, mut up) = (0usize, 0usize);
         for round in 0..self.rounds {
             down += clients.len() * self.k * m * BYTES_PER_F64;
-            let (sums, counts) = gather_stats(clients, &centroids);
+            let (sums, counts) = gather_stats(clients, &centroids, exec);
             up += clients.len() * (self.k * m + self.k) * BYTES_PER_F64;
             for (c, &count) in counts.iter().enumerate() {
                 if count == 0 {
@@ -118,8 +127,16 @@ impl FkM {
 }
 
 impl KrFkM {
-    /// Runs the protocol over the clients.
+    /// Runs the protocol over the clients (serially; see
+    /// [`KrFkM::run_with`]).
     pub fn run(&self, clients: &[Client]) -> Result<FederatedModel> {
+        self.run_with(clients, &ExecCtx::serial())
+    }
+
+    /// Runs the protocol over the clients, with each client's local
+    /// assignment step chunk-parallel on `exec`'s pool (results are
+    /// identical at any thread count).
+    pub fn run_with(&self, clients: &[Client], exec: &ExecCtx) -> Result<FederatedModel> {
         let m = check_clients(clients)?;
         if self.hs.is_empty() || self.hs.contains(&0) {
             return Err(CoreError::InvalidConfig("set sizes must be >= 1".into()));
@@ -161,7 +178,7 @@ impl KrFkM {
         for round in 0..self.rounds {
             // Downlink: only the protocentroids travel.
             down += clients.len() * params * BYTES_PER_F64;
-            let (sums, counts) = gather_stats(clients, &centroids);
+            let (sums, counts) = gather_stats(clients, &centroids, exec);
             up += clients.len() * (k * m + k) * BYTES_PER_F64;
             prop61_update_from_stats(&sums, &counts, &mut sets, self.aggregator);
             centroids = khatri_rao(&sets, self.aggregator).expect("validated sets");
@@ -276,23 +293,33 @@ fn global_mean(clients: &[Client], m: usize) -> Vec<f64> {
 }
 
 /// Each client computes per-cluster sums and counts locally; the server
-/// aggregates them.
-fn gather_stats(clients: &[Client], centroids: &Matrix) -> (Matrix, Vec<usize>) {
+/// aggregates them. The per-client nearest-centroid search runs
+/// chunk-parallel over the client's points; the accumulation stays in
+/// point order on the submitting thread, so results are bitwise
+/// identical at any thread count.
+fn gather_stats(clients: &[Client], centroids: &Matrix, exec: &ExecCtx) -> (Matrix, Vec<usize>) {
     let k = centroids.nrows();
     let m = centroids.ncols();
     let mut sums = Matrix::zeros(k, m);
     let mut counts = vec![0usize; k];
     for client in clients {
-        for x in client.data.rows_iter() {
-            let mut best = 0usize;
-            let mut best_d = f64::INFINITY;
-            for (c, crow) in centroids.rows_iter().enumerate() {
-                let d = ops::sqdist(x, crow);
-                if d < best_d {
-                    best_d = d;
-                    best = c;
+        let mut labels = vec![0usize; client.data.nrows()];
+        parallel::map_chunks_into(exec, &mut labels, |start, chunk| {
+            for (off, label) in chunk.iter_mut().enumerate() {
+                let x = client.data.row(start + off);
+                let mut best = 0usize;
+                let mut best_d = f64::INFINITY;
+                for (c, crow) in centroids.rows_iter().enumerate() {
+                    let d = ops::sqdist(x, crow);
+                    if d < best_d {
+                        best_d = d;
+                        best = c;
+                    }
                 }
+                *label = best;
             }
+        });
+        for (x, &best) in client.data.rows_iter().zip(labels.iter()) {
             ops::add_assign(sums.row_mut(best), x);
             counts[best] += 1;
         }
@@ -438,6 +465,38 @@ mod tests {
     }
 
     #[test]
+    fn exec_determinism_rounds_thread_invariant() {
+        // Every round's history (inertia and byte counters) must be
+        // bitwise identical at any thread budget.
+        let (clients, _) = make_clients(5, 12);
+        let reference = KrFkM {
+            hs: vec![2, 2],
+            aggregator: Aggregator::Sum,
+            rounds: 8,
+            seed: 13,
+        }
+        .run(&clients)
+        .unwrap();
+        for threads in [2usize, 4, 8] {
+            let exec = ExecCtx::threaded(threads);
+            let model = KrFkM {
+                hs: vec![2, 2],
+                aggregator: Aggregator::Sum,
+                rounds: 8,
+                seed: 13,
+            }
+            .run_with(&clients, &exec)
+            .unwrap();
+            assert_eq!(model.centroids, reference.centroids, "threads={threads}");
+            for (a, b) in model.history.iter().zip(reference.history.iter()) {
+                assert_eq!(a.inertia.to_bits(), b.inertia.to_bits());
+                assert_eq!(a.downlink_bytes, b.downlink_bytes);
+                assert_eq!(a.uplink_bytes, b.uplink_bytes);
+            }
+        }
+    }
+
+    #[test]
     fn sharding_is_lossless() {
         let ds = kr_datasets::synthetic::blobs(50, 3, 2, 1.0, 10);
         let client_of: Vec<usize> = (0..50).map(|i| i % 3).collect();
@@ -502,7 +561,7 @@ mod tests {
         let mut central = sets.clone();
         kr_core::kr_kmeans::prop61_update_pass(&ds.data, &labels, &mut central, Aggregator::Sum, 0);
         // Federated: aggregate client stats, update from stats.
-        let (sums, counts) = gather_stats(&clients, &centroids);
+        let (sums, counts) = gather_stats(&clients, &centroids, &ExecCtx::serial());
         let mut fed = sets.clone();
         prop61_update_from_stats(&sums, &counts, &mut fed, Aggregator::Sum);
         for (a, b) in central.iter().zip(fed.iter()) {

@@ -1,0 +1,227 @@
+//! Execution context: thread budget, pool handle, and tiling parameters.
+//!
+//! [`ExecCtx`] is the one knob object that flows builder-style through
+//! every hot path in the workspace (`KMeans`, `KrKMeans`, the deep
+//! trainer, the federated protocols, and the bench harnesses). It
+//! replaces the ad-hoc `threads: usize` fields the crates grew
+//! independently: a context names *how many* threads to use, *which*
+//! pool supplies them (the lazily-initialized process-global pool by
+//! default, or an explicit [`ThreadPool`] shared across fits), and the
+//! cache-tiling geometry the blocked kernels in [`crate::Matrix`] use.
+//!
+//! The default context is **serial** (`threads == 1`), so every API that
+//! takes or embeds an `ExecCtx` behaves exactly like the single-threaded
+//! seed code unless a caller opts in to parallelism.
+//!
+//! ```
+//! use kr_linalg::{ExecCtx, Matrix};
+//!
+//! let a = Matrix::from_fn(64, 32, |i, j| (i + j) as f64);
+//! let b = Matrix::from_fn(32, 48, |i, j| (i * j % 7) as f64);
+//! let serial = a.matmul(&b).unwrap();
+//! let parallel = a.matmul_with(&b, &ExecCtx::threaded(4)).unwrap();
+//! assert_eq!(serial, parallel); // chunk geometry is thread-invariant
+//! ```
+
+use crate::pool::{self, ThreadPool};
+use std::sync::Arc;
+
+/// Cache-blocking panel sizes for the blocked matrix kernels:
+/// `mc` rows of the output per panel, `kc` steps of the shared dimension
+/// per panel, `nc` columns per slab.
+///
+/// The defaults keep a `kc x nc` panel of the right-hand operand (256 KiB
+/// at f64) inside a typical L2 while an `mc`-row output panel stays hot.
+/// Accumulation order per output element is ascending in the shared
+/// dimension regardless of these values, so tiling never changes results
+/// bitwise.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Tiling {
+    /// Output rows per panel (also the parallel work unit).
+    pub mc: usize,
+    /// Shared-dimension steps per panel.
+    pub kc: usize,
+    /// Output columns per slab.
+    pub nc: usize,
+}
+
+impl Default for Tiling {
+    fn default() -> Self {
+        Tiling {
+            mc: 64,
+            kc: 256,
+            nc: 1024,
+        }
+    }
+}
+
+/// Which pool a context schedules on.
+#[derive(Debug, Clone, Default)]
+enum PoolHandle {
+    /// The lazily-initialized process-global pool ([`pool::global`]).
+    #[default]
+    Global,
+    /// An explicit pool, shared and reused across fits by the caller.
+    Explicit(Arc<ThreadPool>),
+}
+
+/// Thread budget + pool handle + tiling parameters for the parallel and
+/// blocked kernels. Cheap to clone; see the module docs.
+#[derive(Debug, Clone)]
+pub struct ExecCtx {
+    threads: usize,
+    pool: PoolHandle,
+    tiling: Tiling,
+}
+
+impl Default for ExecCtx {
+    fn default() -> Self {
+        Self::serial()
+    }
+}
+
+impl ExecCtx {
+    /// A serial context: every kernel runs on the calling thread.
+    pub fn serial() -> Self {
+        ExecCtx {
+            threads: 1,
+            pool: PoolHandle::Global,
+            tiling: Tiling::default(),
+        }
+    }
+
+    /// A context targeting `threads`-way parallelism on the global pool.
+    pub fn threaded(threads: usize) -> Self {
+        Self::serial().with_threads(threads)
+    }
+
+    /// Sets the thread budget (clamped to at least 1; the submitting
+    /// thread always participates, so `threads` counts it).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Schedules on an explicit pool instead of the global one. The pool
+    /// is reference-counted, so one pool can back any number of
+    /// concurrent fits.
+    pub fn with_pool(mut self, pool: Arc<ThreadPool>) -> Self {
+        self.pool = PoolHandle::Explicit(pool);
+        self
+    }
+
+    /// Overrides the cache-tiling geometry of the blocked kernels.
+    pub fn with_tiling(mut self, tiling: Tiling) -> Self {
+        self.tiling = Tiling {
+            mc: tiling.mc.max(1),
+            kc: tiling.kc.max(1),
+            nc: tiling.nc.max(1),
+        };
+        self
+    }
+
+    /// The configured thread budget.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// The configured tiling geometry.
+    pub fn tiling(&self) -> Tiling {
+        self.tiling
+    }
+
+    /// The pool this context schedules on (resolving `Global` lazily).
+    pub fn pool(&self) -> &ThreadPool {
+        match &self.pool {
+            PoolHandle::Global => pool::global(),
+            PoolHandle::Explicit(pool) => pool,
+        }
+    }
+
+    /// Runs `f` over `[0, n)` in contiguous `[start, end)` chunks sized
+    /// for the thread budget, but never smaller than `min_chunk` items
+    /// (so tiny inputs stay serial). Serial contexts call `f(0, n)`
+    /// directly.
+    ///
+    /// Per-index work must not depend on the chunk split; use
+    /// [`crate::parallel::reduce_chunks`] when accumulation order
+    /// matters.
+    pub fn run_chunks(&self, n: usize, min_chunk: usize, f: impl Fn(usize, usize) + Sync) {
+        if n == 0 {
+            return;
+        }
+        let jobs = self.threads.min(n.div_ceil(min_chunk.max(1))).max(1);
+        if jobs == 1 {
+            f(0, n);
+            return;
+        }
+        let chunk = n.div_ceil(jobs);
+        self.pool().scope_chunks(n, chunk, &f);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn serial_context_runs_once() {
+        let counter = AtomicUsize::new(0);
+        ExecCtx::serial().run_chunks(100, 1, |s, e| {
+            assert_eq!((s, e), (0, 100));
+            counter.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn threaded_context_covers_range() {
+        let counter = AtomicUsize::new(0);
+        ExecCtx::threaded(4).run_chunks(1000, 1, |s, e| {
+            counter.fetch_add(e - s, Ordering::SeqCst);
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 1000);
+    }
+
+    #[test]
+    fn min_chunk_keeps_small_inputs_serial() {
+        let calls = AtomicUsize::new(0);
+        ExecCtx::threaded(8).run_chunks(10, 64, |s, e| {
+            assert_eq!((s, e), (0, 10));
+            calls.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(calls.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn explicit_pool_is_used_and_reused() {
+        let pool = Arc::new(ThreadPool::new(2));
+        let ctx = ExecCtx::threaded(3).with_pool(Arc::clone(&pool));
+        for _ in 0..50 {
+            let counter = AtomicUsize::new(0);
+            ctx.run_chunks(128, 1, |s, e| {
+                counter.fetch_add(e - s, Ordering::SeqCst);
+            });
+            assert_eq!(counter.load(Ordering::SeqCst), 128);
+        }
+        assert_eq!(pool.workers(), 2);
+    }
+
+    #[test]
+    fn zero_threads_clamps_to_one() {
+        assert_eq!(ExecCtx::threaded(0).threads(), 1);
+    }
+
+    #[test]
+    fn tiling_clamps_to_one() {
+        let t = ExecCtx::serial()
+            .with_tiling(Tiling {
+                mc: 0,
+                kc: 0,
+                nc: 0,
+            })
+            .tiling();
+        assert_eq!((t.mc, t.kc, t.nc), (1, 1, 1));
+    }
+}

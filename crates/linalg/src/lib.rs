@@ -11,20 +11,34 @@
 //!    identities are property-tested.
 //! 2. **Cache-friendliness on the hot paths** — clustering spends almost
 //!    all of its time in pairwise squared-distance evaluation and
-//!    accumulation loops, so those are written over contiguous row slices
-//!    (`ikj` matmul ordering, fused distance kernels).
-//! 3. **Zero `unsafe`** — bounds checks are avoided structurally (slices
-//!    hoisted out of loops) rather than with `get_unchecked`.
+//!    accumulation loops, so those are blocked into `MC x KC x NC`
+//!    panels with register-tiled micro-kernels over contiguous row
+//!    slices (fused distance kernels, `chunks_exact` inner loops).
+//! 3. **Determinism under parallelism** — every parallel kernel maps
+//!    fixed chunk geometry (a pure function of the input size) onto
+//!    disjoint outputs or ordered partial merges, so results are bitwise
+//!    identical at any thread count.
+//! 4. **Minimal `unsafe`** — bounds checks are avoided structurally
+//!    (slices hoisted out of loops) rather than with `get_unchecked`.
+//!    The only `unsafe` is the execution layer's scoped lifetime erasure
+//!    and disjoint-chunk slicing ([`pool`], [`parallel`]), each guarded
+//!    by a completion latch and documented invariants.
 //!
 //! The central type is [`Matrix`], a dense row-major `f64` matrix. Free
-//! functions over `&[f64]` slices live in [`ops`]. A tiny chunked
-//! thread-parallel helper lives in [`parallel`].
+//! functions over `&[f64]` slices live in [`ops`]. The execution layer —
+//! a persistent work-stealing [`pool::ThreadPool`], the [`ExecCtx`]
+//! handle that flows through every algorithm in the workspace, and the
+//! chunk-parallel helpers in [`parallel`] — schedules the hot kernels.
 
+pub mod exec;
 pub mod matrix;
 pub mod ops;
 pub mod parallel;
+pub mod pool;
 
+pub use exec::{ExecCtx, Tiling};
 pub use matrix::Matrix;
+pub use pool::ThreadPool;
 
 /// Errors produced by shape-checked linear-algebra entry points.
 #[derive(Debug, Clone, PartialEq, Eq)]

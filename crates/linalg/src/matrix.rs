@@ -1,6 +1,16 @@
-//! Dense row-major `f64` matrix.
+//! Dense row-major `f64` matrix with cache-blocked hot kernels.
+//!
+//! The multiply/distance kernels come in two flavors: the plain methods
+//! (`matmul`, `pairwise_sqdist`, …) run serially with default tiling,
+//! and the `*_with` variants take an [`ExecCtx`] naming a thread budget,
+//! pool, and tiling geometry. Both flavors share one blocked
+//! implementation whose per-element accumulation order is ascending in
+//! the shared dimension regardless of tiling or thread count, so
+//! `a.matmul(&b)` and `a.matmul_with(&b, ctx)` are bitwise identical for
+//! every `ctx`.
 
-use crate::{LinalgError, Result};
+use crate::exec::{ExecCtx, Tiling};
+use crate::{parallel, LinalgError, Result};
 
 /// A dense, row-major matrix of `f64`.
 ///
@@ -182,6 +192,10 @@ impl Matrix {
     }
 
     /// Copies column `j` into a new vector.
+    ///
+    /// This is a strided gather; loops that touch many columns should
+    /// materialize [`Matrix::transpose`] once (blocked, cache-friendly)
+    /// and read its contiguous rows instead.
     pub fn col(&self, j: usize) -> Vec<f64> {
         (0..self.rows).map(|i| self.get(i, j)).collect()
     }
@@ -232,22 +246,42 @@ impl Matrix {
         Ok(out)
     }
 
-    /// Transposed copy.
+    /// Transposed copy, gathered in `32 x 32` tiles so both the source
+    /// rows and the destination rows of a tile stay in cache (a naive
+    /// row-by-row transpose strides through the whole destination per
+    /// source row).
     pub fn transpose(&self) -> Matrix {
-        let mut out = Matrix::zeros(self.cols, self.rows);
-        for i in 0..self.rows {
-            let src = self.row(i);
-            for (j, &v) in src.iter().enumerate() {
-                out.data[j * self.rows + i] = v;
+        const TB: usize = 32;
+        let (r, c) = (self.rows, self.cols);
+        let mut out = Matrix::zeros(c, r);
+        for ib in (0..r).step_by(TB) {
+            let ih = TB.min(r - ib);
+            for jb in (0..c).step_by(TB) {
+                let jw = TB.min(c - jb);
+                for i in ib..ib + ih {
+                    let src = &self.data[i * c + jb..i * c + jb + jw];
+                    for (jo, &v) in src.iter().enumerate() {
+                        out.data[(jb + jo) * r + i] = v;
+                    }
+                }
             }
         }
         out
     }
 
-    /// Matrix product `self * rhs` using the cache-friendly `ikj` loop
-    /// ordering (the inner loop walks contiguous rows of both the output
-    /// and `rhs`).
+    /// Matrix product `self * rhs` (serial; see [`Matrix::matmul_with`]).
     pub fn matmul(&self, rhs: &Matrix) -> Result<Matrix> {
+        self.matmul_with(rhs, &ExecCtx::serial())
+    }
+
+    /// Matrix product `self * rhs`, cache-blocked into `MC x KC x NC`
+    /// panels with a 4-row register-tiled micro-kernel, parallelized
+    /// over row panels on `exec`'s pool.
+    ///
+    /// Every output element accumulates its `k` terms in ascending
+    /// order regardless of tiling or thread count, so results are
+    /// bitwise identical to the serial naive `ikj` product.
+    pub fn matmul_with(&self, rhs: &Matrix, exec: &ExecCtx) -> Result<Matrix> {
         if self.cols != rhs.rows {
             return Err(LinalgError::ShapeMismatch {
                 op: "matmul",
@@ -257,27 +291,31 @@ impl Matrix {
         }
         let (m, k, n) = (self.rows, self.cols, rhs.cols);
         let mut out = Matrix::zeros(m, n);
-        for i in 0..m {
-            let a_row = self.row(i);
-            let out_row = &mut out.data[i * n..(i + 1) * n];
-            for (p, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let b_row = &rhs.data[p * n..(p + 1) * n];
-                for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
-                    *o += a * b;
-                }
-            }
+        if m == 0 || k == 0 || n == 0 {
+            return Ok(out);
         }
-        let _ = k;
+        let til = exec.tiling();
+        let a = &self.data;
+        let b = &rhs.data;
+        parallel::map_rows_into(exec, &mut out.data, n, til.mc, |i0, c_rows| {
+            matmul_panel(a, b, c_rows, i0, k, n, til);
+        });
         Ok(out)
     }
 
-    /// Matrix product `self * rhs.transpose()` without materializing the
-    /// transpose: both operands are walked along contiguous rows, which is
-    /// the natural layout for `X * C^T` pairwise-dot computations.
+    /// Matrix product `self * rhs.transpose()` (serial; see
+    /// [`Matrix::matmul_transpose_b_with`]).
     pub fn matmul_transpose_b(&self, rhs: &Matrix) -> Result<Matrix> {
+        self.matmul_transpose_b_with(rhs, &ExecCtx::serial())
+    }
+
+    /// Matrix product `self * rhs.transpose()` without materializing the
+    /// transpose: both operands are walked along contiguous rows, which
+    /// is the natural layout for `X * C^T` pairwise-dot computations.
+    /// Blocked over `rhs`-row panels (so a panel stays in cache across
+    /// many rows of `self`) with a 4-dot register tile, parallelized
+    /// over `self`-row panels on `exec`'s pool.
+    pub fn matmul_transpose_b_with(&self, rhs: &Matrix, exec: &ExecCtx) -> Result<Matrix> {
         if self.cols != rhs.cols {
             return Err(LinalgError::ShapeMismatch {
                 op: "matmul_transpose_b",
@@ -286,20 +324,39 @@ impl Matrix {
             });
         }
         let (m, n) = (self.rows, rhs.rows);
+        let d = self.cols;
         let mut out = Matrix::zeros(m, n);
-        for i in 0..m {
-            let a_row = self.row(i);
-            let out_row = out.row_mut(i);
-            for (j, o) in out_row.iter_mut().enumerate() {
-                *o = crate::ops::dot(a_row, rhs.row(j));
-            }
+        if m == 0 || n == 0 {
+            return Ok(out);
         }
+        let til = exec.tiling();
+        let a = &self.data;
+        let b = &rhs.data;
+        parallel::map_rows_into(exec, &mut out.data, n, til.mc, |i0, out_rows| {
+            let h = out_rows.len() / n;
+            for jb in (0..n).step_by(til.nc) {
+                let jw = til.nc.min(n - jb);
+                for ii in 0..h {
+                    let x = &a[(i0 + ii) * d..(i0 + ii + 1) * d];
+                    let drow = &mut out_rows[ii * n + jb..ii * n + jb + jw];
+                    dot_block(x, b, d, jb, drow);
+                }
+            }
+        });
         Ok(out)
     }
 
-    /// Matrix product `self.transpose() * rhs` without materializing the
-    /// transpose.
+    /// Matrix product `self.transpose() * rhs` (serial; see
+    /// [`Matrix::matmul_transpose_a_with`]).
     pub fn matmul_transpose_a(&self, rhs: &Matrix) -> Result<Matrix> {
+        self.matmul_transpose_a_with(rhs, &ExecCtx::serial())
+    }
+
+    /// Matrix product `self.transpose() * rhs` without materializing the
+    /// transpose, blocked over output-row panels (each panel stays hot
+    /// while the shared dimension streams past) and parallelized over
+    /// those panels on `exec`'s pool.
+    pub fn matmul_transpose_a_with(&self, rhs: &Matrix, exec: &ExecCtx) -> Result<Matrix> {
         if self.rows != rhs.rows {
             return Err(LinalgError::ShapeMismatch {
                 op: "matmul_transpose_a",
@@ -308,20 +365,28 @@ impl Matrix {
             });
         }
         let (m, n) = (self.cols, rhs.cols);
+        let shared = self.rows;
         let mut out = Matrix::zeros(m, n);
-        for p in 0..self.rows {
-            let a_row = self.row(p);
-            let b_row = rhs.row(p);
-            for (i, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let out_row = &mut out.data[i * n..(i + 1) * n];
-                for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
-                    *o += a * b;
+        if m == 0 || n == 0 {
+            return Ok(out);
+        }
+        let til = exec.tiling();
+        let a_cols = self.cols;
+        let a = &self.data;
+        let b = &rhs.data;
+        parallel::map_rows_into(exec, &mut out.data, n, til.mc, |i0, out_rows| {
+            let h = out_rows.len() / n;
+            for p in 0..shared {
+                let a_seg = &a[p * a_cols + i0..p * a_cols + i0 + h];
+                let b_row = &b[p * n..(p + 1) * n];
+                for (ii, &av) in a_seg.iter().enumerate() {
+                    if av == 0.0 {
+                        continue;
+                    }
+                    crate::ops::axpy(&mut out_rows[ii * n..(ii + 1) * n], av, b_row);
                 }
             }
-        }
+        });
         Ok(out)
     }
 
@@ -483,13 +548,23 @@ impl Matrix {
         self.data.iter().all(|v| v.is_finite())
     }
 
+    /// Pairwise squared Euclidean distances (serial; see
+    /// [`Matrix::pairwise_sqdist_with`]).
+    pub fn pairwise_sqdist(&self, other: &Matrix) -> Result<Matrix> {
+        self.pairwise_sqdist_with(other, &ExecCtx::serial())
+    }
+
     /// Pairwise squared Euclidean distances between the rows of `self`
     /// (`n x m`) and the rows of `other` (`k x m`), returned as `n x k`.
     ///
     /// Uses the expansion `||x - c||^2 = ||x||^2 + ||c||^2 - 2 x.c` with a
     /// clamp at zero to absorb rounding; this is the dominant kernel of
-    /// every Lloyd-style algorithm in the workspace.
-    pub fn pairwise_sqdist(&self, other: &Matrix) -> Result<Matrix> {
+    /// every Lloyd-style algorithm in the workspace. The dot products and
+    /// the norm expansion are fused into one pass (the seed implementation
+    /// materialized the full `n x k` dot matrix and re-traversed it),
+    /// blocked over `other`-row panels with a 4-dot register tile, and
+    /// parallelized over `self`-row panels on `exec`'s pool.
+    pub fn pairwise_sqdist_with(&self, other: &Matrix, exec: &ExecCtx) -> Result<Matrix> {
         if self.cols != other.cols {
             return Err(LinalgError::ShapeMismatch {
                 op: "pairwise_sqdist",
@@ -497,16 +572,123 @@ impl Matrix {
                 rhs: other.shape(),
             });
         }
+        let (n, d) = self.shape();
+        let k = other.nrows();
+        let mut out = Matrix::zeros(n, k);
+        if n == 0 || k == 0 {
+            return Ok(out);
+        }
         let x_norms = self.row_sq_norms();
         let c_norms = other.row_sq_norms();
-        let mut dots = self.matmul_transpose_b(other)?;
-        for (i, &xn) in x_norms.iter().enumerate() {
-            let row = dots.row_mut(i);
-            for (d, &cn) in row.iter_mut().zip(c_norms.iter()) {
-                *d = (xn + cn - 2.0 * *d).max(0.0);
+        let til = exec.tiling();
+        let x_data = &self.data;
+        let c_data = &other.data;
+        let (x_norms, c_norms) = (&x_norms, &c_norms);
+        parallel::map_rows_into(exec, &mut out.data, k, til.mc, |i0, out_rows| {
+            let h = out_rows.len() / k;
+            for jb in (0..k).step_by(til.nc) {
+                let jw = til.nc.min(k - jb);
+                for ii in 0..h {
+                    let x = &x_data[(i0 + ii) * d..(i0 + ii + 1) * d];
+                    let xn = x_norms[i0 + ii];
+                    let drow = &mut out_rows[ii * k + jb..ii * k + jb + jw];
+                    dot_block(x, c_data, d, jb, drow);
+                    for (slot, &cn) in drow.iter_mut().zip(&c_norms[jb..jb + jw]) {
+                        *slot = (xn + cn - 2.0 * *slot).max(0.0);
+                    }
+                }
+            }
+        });
+        Ok(out)
+    }
+}
+
+/// Blocked serial micro-kernel for [`Matrix::matmul_with`]: accumulates
+/// `C[i0.., :] += A[i0.., :] * B` where `c` holds the output rows
+/// starting at global row `i0`. Panels follow `jc -> pc -> 4-row tile`
+/// order, so each element still accumulates its `k` terms ascending.
+fn matmul_panel(a: &[f64], b: &[f64], c: &mut [f64], i0: usize, k: usize, n: usize, til: Tiling) {
+    let h = c.len() / n;
+    for jc in (0..n).step_by(til.nc) {
+        let jw = til.nc.min(n - jc);
+        for pc in (0..k).step_by(til.kc) {
+            let pw = til.kc.min(k - pc);
+            let mut ir = 0;
+            // 4-row register tile: each loaded element of B updates four
+            // output rows before leaving the registers.
+            while ir + 4 <= h {
+                let block = &mut c[ir * n..(ir + 4) * n];
+                let (r0, rest) = block.split_at_mut(n);
+                let (r1, rest) = rest.split_at_mut(n);
+                let (r2, r3) = rest.split_at_mut(n);
+                let (r0, r1, r2, r3) = (
+                    &mut r0[jc..jc + jw],
+                    &mut r1[jc..jc + jw],
+                    &mut r2[jc..jc + jw],
+                    &mut r3[jc..jc + jw],
+                );
+                let a_base = (i0 + ir) * k;
+                for p in pc..pc + pw {
+                    let a0 = a[a_base + p];
+                    let a1 = a[a_base + k + p];
+                    let a2 = a[a_base + 2 * k + p];
+                    let a3 = a[a_base + 3 * k + p];
+                    let b_row = &b[p * n + jc..p * n + jc + jw];
+                    crate::ops::axpy(r0, a0, b_row);
+                    crate::ops::axpy(r1, a1, b_row);
+                    crate::ops::axpy(r2, a2, b_row);
+                    crate::ops::axpy(r3, a3, b_row);
+                }
+                ir += 4;
+            }
+            // Remainder rows: plain axpy loop. No exact-zero multiplier
+            // skip here — the 4-row tile above has none, and which rows
+            // land in which path depends on the panel split, so skipping
+            // only here would make results (for non-finite operands)
+            // depend on tiling/thread count.
+            while ir < h {
+                let row = &mut c[ir * n + jc..ir * n + jc + jw];
+                let a_base = (i0 + ir) * k;
+                for p in pc..pc + pw {
+                    crate::ops::axpy(row, a[a_base + p], &b[p * n + jc..p * n + jc + jw]);
+                }
+                ir += 1;
             }
         }
-        Ok(dots)
+    }
+}
+
+/// Writes `out[j] = dot(x, y_row(jb + j))` for a block of rows of a
+/// row-major `(rows x d)` buffer `y`, four dots at a time so each loaded
+/// element of `x` feeds four accumulators. Every dot keeps its own
+/// single accumulator in ascending-`d` order (bitwise identical to
+/// [`crate::ops::dot`]).
+fn dot_block(x: &[f64], y: &[f64], d: usize, jb: usize, out: &mut [f64]) {
+    let jw = out.len();
+    let mut j = 0;
+    while j + 4 <= jw {
+        let base = (jb + j) * d;
+        let y0 = &y[base..base + d];
+        let y1 = &y[base + d..base + 2 * d];
+        let y2 = &y[base + 2 * d..base + 3 * d];
+        let y3 = &y[base + 3 * d..base + 4 * d];
+        let (mut d0, mut d1, mut d2, mut d3) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
+        for ((((&xv, &v0), &v1), &v2), &v3) in x.iter().zip(y0).zip(y1).zip(y2).zip(y3) {
+            d0 += xv * v0;
+            d1 += xv * v1;
+            d2 += xv * v2;
+            d3 += xv * v3;
+        }
+        out[j] = d0;
+        out[j + 1] = d1;
+        out[j + 2] = d2;
+        out[j + 3] = d3;
+        j += 4;
+    }
+    while j < jw {
+        let base = (jb + j) * d;
+        out[j] = crate::ops::dot(x, &y[base..base + d]);
+        j += 1;
     }
 }
 

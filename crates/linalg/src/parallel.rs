@@ -1,48 +1,60 @@
-//! Minimal chunked thread-parallelism over index ranges.
+//! Chunk-parallel helpers over the persistent [`crate::pool`].
 //!
-//! The clustering assignment step is embarrassingly parallel over data
-//! points. Rather than pulling in a full work-stealing runtime, this
-//! module provides a scoped fork-join over contiguous index chunks using
-//! `std::thread::scope`, which is all the workspace needs.
+//! Rewritten from the original `std::thread::scope` fork-join helpers:
+//! the same three access patterns the workspace's kernels need —
+//! side-effecting index ranges, disjoint output chunks, and ordered
+//! partial reductions — now schedule on the work-stealing pool named by
+//! an [`ExecCtx`] instead of spawning OS threads per call.
+//!
+//! Determinism contract (relied on by the `threads_do_not_change_result`
+//! tests): [`for_each_chunk`] and [`map_chunks_into`] require per-index
+//! work that is independent of the chunk split, and
+//! [`reduce_chunks`] fixes its chunk geometry from the *item count
+//! alone* — never the thread budget — and returns partials in ascending
+//! chunk order, so merged results are bitwise identical for any
+//! `ExecCtx` thread count, including 1.
 
-/// Splits `0..n` into at most `threads` contiguous chunks and runs `f`
-/// on each chunk, possibly in parallel.
+use crate::exec::ExecCtx;
+
+/// Splits `0..n` into contiguous chunks and runs `f` on each, possibly
+/// in parallel on `exec`'s pool.
 ///
-/// `f` receives `(start, end)` half-open ranges. With `threads <= 1` (or
-/// `n` small) everything runs on the caller's thread, which keeps
-/// single-threaded determinism and makes the parallel path easy to
-/// compare against in tests.
-pub fn for_each_chunk<F>(n: usize, threads: usize, f: F)
+/// `f` receives `(start, end)` half-open ranges. A serial context runs
+/// `f(0, n)` on the caller's thread, which keeps single-threaded
+/// determinism and makes the parallel path easy to compare against in
+/// tests.
+pub fn for_each_chunk<F>(exec: &ExecCtx, n: usize, f: F)
 where
     F: Fn(usize, usize) + Sync,
 {
-    if n == 0 {
-        return;
-    }
-    let threads = threads.max(1).min(n);
-    if threads == 1 {
-        f(0, n);
-        return;
-    }
-    let chunk = n.div_ceil(threads);
-    std::thread::scope(|scope| {
-        for t in 0..threads {
-            let start = t * chunk;
-            if start >= n {
-                break;
-            }
-            let end = (start + chunk).min(n);
-            let f = &f;
-            scope.spawn(move || f(start, end));
-        }
-    });
+    exec.run_chunks(n, 1, f);
 }
 
-/// Maps `0..n` in parallel chunks into a pre-allocated output buffer.
+/// Wraps a raw pointer so chunk closures can reconstruct disjoint
+/// subslices of one output buffer from worker threads.
+struct SendPtr<T>(*mut T);
+
+impl<T> SendPtr<T> {
+    /// Accessor (rather than direct field reads) so closures capture the
+    /// whole `Send + Sync` wrapper, not the bare `*mut T` field.
+    fn get(&self) -> *mut T {
+        self.0
+    }
+}
+
+// SAFETY: the pointer is only dereferenced for disjoint `[start, end)`
+// ranges handed out by the chunk scheduler, and the buffer outlives the
+// region (the scheduler blocks until every chunk completes).
+unsafe impl<T: Send> Send for SendPtr<T> {}
+unsafe impl<T: Send> Sync for SendPtr<T> {}
+
+/// Maps `0..out.len()` in parallel chunks into a pre-allocated output
+/// buffer.
 ///
-/// `f` fills `out[start..end]` for its chunk. This is the pattern used by
-/// the assignment kernels: each chunk owns a disjoint slice of the output.
-pub fn map_chunks_into<T, F>(out: &mut [T], threads: usize, f: F)
+/// `f(start, chunk)` fills `out[start..start + chunk.len()]` for its
+/// chunk. This is the pattern used by the assignment kernels: each chunk
+/// owns a disjoint slice of the output.
+pub fn map_chunks_into<T, F>(exec: &ExecCtx, out: &mut [T], f: F)
 where
     T: Send,
     F: Fn(usize, &mut [T]) + Sync,
@@ -51,24 +63,86 @@ where
     if n == 0 {
         return;
     }
-    let threads = threads.max(1).min(n);
-    if threads == 1 {
+    if exec.threads() == 1 {
         f(0, out);
         return;
     }
-    let chunk = n.div_ceil(threads);
-    std::thread::scope(|scope| {
-        let mut rest = out;
-        let mut start = 0;
-        while !rest.is_empty() {
-            let take = chunk.min(rest.len());
-            let (head, tail) = rest.split_at_mut(take);
-            let f = &f;
-            scope.spawn(move || f(start, head));
-            start += take;
-            rest = tail;
+    let base = SendPtr(out.as_mut_ptr());
+    exec.run_chunks(n, 1, move |start, end| {
+        // SAFETY: chunk ranges are disjoint and within `out`, and
+        // `run_chunks` returns only after every chunk completed, so the
+        // borrow of `out` is still live for the whole region.
+        let chunk = unsafe { std::slice::from_raw_parts_mut(base.get().add(start), end - start) };
+        f(start, chunk);
+    });
+}
+
+/// Like [`map_chunks_into`] for row-major buffers: chunks are aligned to
+/// multiples of `row_len`, and at least `min_rows` rows wide, so `f`
+/// always sees whole rows. `f(first_row, rows)` fills the rows starting
+/// at index `first_row`.
+///
+/// Used by the blocked matrix kernels to parallelize over row panels.
+pub fn map_rows_into<T, F>(exec: &ExecCtx, out: &mut [T], row_len: usize, min_rows: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    if out.is_empty() {
+        return;
+    }
+    assert_eq!(out.len() % row_len.max(1), 0, "buffer not row-aligned");
+    let rows = out.len() / row_len.max(1);
+    if exec.threads() == 1 {
+        f(0, out);
+        return;
+    }
+    let base = SendPtr(out.as_mut_ptr());
+    exec.run_chunks(rows, min_rows.max(1), move |start, end| {
+        // SAFETY: row ranges are disjoint and within `out`; see
+        // `map_chunks_into`.
+        let chunk = unsafe {
+            std::slice::from_raw_parts_mut(base.get().add(start * row_len), (end - start) * row_len)
+        };
+        f(start, chunk);
+    });
+}
+
+/// Folds `0..n` into per-chunk partial accumulators and returns them in
+/// ascending chunk order.
+///
+/// The chunk geometry is `ceil(n / chunk)` fixed-size chunks — a pure
+/// function of `n` and `chunk`, independent of `exec`'s thread budget —
+/// so merging the returned partials in order yields bitwise-identical
+/// results for any thread count. This is the building block for the
+/// parallel centroid-update steps: each chunk accumulates into its own
+/// `init()` state, and the caller merges serially.
+pub fn reduce_chunks<T, I, F>(exec: &ExecCtx, n: usize, chunk: usize, init: I, fold: F) -> Vec<T>
+where
+    T: Send,
+    I: Fn() -> T + Sync,
+    F: Fn(&mut T, usize, usize) + Sync,
+{
+    if n == 0 {
+        return Vec::new();
+    }
+    let chunk = chunk.max(1);
+    let n_chunks = n.div_ceil(chunk);
+    let mut partials: Vec<Option<T>> = (0..n_chunks).map(|_| None).collect();
+    map_chunks_into(exec, &mut partials, |first, slots| {
+        for (off, slot) in slots.iter_mut().enumerate() {
+            let ci = first + off;
+            let start = ci * chunk;
+            let end = (start + chunk).min(n);
+            let mut acc = init();
+            fold(&mut acc, start, end);
+            *slot = Some(acc);
         }
     });
+    partials
+        .into_iter()
+        .map(|slot| slot.expect("every chunk filled"))
+        .collect()
 }
 
 #[cfg(test)]
@@ -79,9 +153,10 @@ mod tests {
     #[test]
     fn covers_all_indices_exactly_once() {
         for threads in [1, 2, 3, 7, 100] {
+            let exec = ExecCtx::threaded(threads);
             for n in [0usize, 1, 5, 17, 64] {
                 let counter = AtomicUsize::new(0);
-                for_each_chunk(n, threads, |s, e| {
+                for_each_chunk(&exec, n, |s, e| {
                     counter.fetch_add(e - s, Ordering::SeqCst);
                 });
                 assert_eq!(counter.load(Ordering::SeqCst), n, "n={n} threads={threads}");
@@ -92,8 +167,9 @@ mod tests {
     #[test]
     fn map_chunks_fills_buffer() {
         for threads in [1, 2, 4, 9] {
+            let exec = ExecCtx::threaded(threads);
             let mut out = vec![0usize; 23];
-            map_chunks_into(&mut out, threads, |start, slice| {
+            map_chunks_into(&exec, &mut out, |start, slice| {
                 for (i, v) in slice.iter_mut().enumerate() {
                     *v = start + i;
                 }
@@ -104,8 +180,66 @@ mod tests {
     }
 
     #[test]
+    fn map_rows_chunks_are_row_aligned() {
+        for threads in [1, 2, 4] {
+            let exec = ExecCtx::threaded(threads);
+            let mut out = vec![0usize; 30];
+            map_rows_into(&exec, &mut out, 5, 1, |first_row, rows| {
+                assert_eq!(rows.len() % 5, 0, "chunk not row-aligned");
+                for (i, v) in rows.iter_mut().enumerate() {
+                    *v = first_row * 5 + i;
+                }
+            });
+            let expect: Vec<usize> = (0..30).collect();
+            assert_eq!(out, expect, "threads={threads}");
+        }
+    }
+
+    #[test]
     fn empty_buffer_is_noop() {
+        let exec = ExecCtx::threaded(4);
         let mut out: Vec<usize> = vec![];
-        map_chunks_into(&mut out, 4, |_, _| panic!("should not be called"));
+        map_chunks_into(&exec, &mut out, |_, _| panic!("should not be called"));
+        map_rows_into(&exec, &mut out, 4, 1, |_, _| panic!("should not be called"));
+    }
+
+    #[test]
+    fn reduce_chunks_partials_are_thread_invariant() {
+        // Same fixed chunk geometry at every thread budget → identical
+        // partials, hence identical merged sums.
+        let n = 1003;
+        let reference: Vec<u64> = reduce_chunks(
+            &ExecCtx::serial(),
+            n,
+            64,
+            || 0u64,
+            |acc, s, e| {
+                for i in s..e {
+                    *acc += (i * i) as u64;
+                }
+            },
+        );
+        for threads in [2, 4, 8] {
+            let partials: Vec<u64> = reduce_chunks(
+                &ExecCtx::threaded(threads),
+                n,
+                64,
+                || 0u64,
+                |acc, s, e| {
+                    for i in s..e {
+                        *acc += (i * i) as u64;
+                    }
+                },
+            );
+            assert_eq!(partials, reference, "threads={threads}");
+        }
+        assert_eq!(reference.len(), n.div_ceil(64));
+    }
+
+    #[test]
+    fn reduce_chunks_empty_input() {
+        let partials: Vec<u64> =
+            reduce_chunks(&ExecCtx::threaded(4), 0, 16, || 0u64, |_, _, _| panic!());
+        assert!(partials.is_empty());
     }
 }

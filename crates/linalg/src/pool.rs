@@ -1,0 +1,424 @@
+//! Persistent work-stealing thread pool.
+//!
+//! Replaces the per-call `std::thread::scope` fork-join the workspace
+//! started with: a Lloyd-style fit issues thousands of parallel regions,
+//! and spawning OS threads for each one dominated the regions themselves
+//! at small-to-medium problem sizes. Workers are spawned once (lazily for
+//! the [`global`] pool, eagerly for explicit [`ThreadPool`]s) and reused
+//! for every subsequent parallel region.
+//!
+//! The architecture is crossbeam-style, built from `std::sync` primitives
+//! only (the offline crate set has no crossbeam):
+//!
+//! * every worker owns a deque; it pops its own back (LIFO, cache-warm)
+//!   and steals from other workers' fronts (FIFO, oldest work first);
+//! * submitters distribute a region's chunk jobs round-robin across the
+//!   worker deques, which seeds an even split before stealing begins;
+//! * idle workers park on a condvar and are woken on submission;
+//! * the submitting thread *participates* — it drains jobs while waiting
+//!   for its region to complete — so nested regions and oversubscription
+//!   (`threads > cores`) cannot deadlock: a region always makes progress
+//!   on the thread that opened it, even on a pool with zero workers;
+//! * a panic inside a chunk is caught on the worker, the region still
+//!   runs to completion, and the payload is re-thrown on the submitting
+//!   thread (matching `std::thread::scope` semantics).
+//!
+//! Chunk geometry is always a pure function of the input size — never of
+//! worker count, scheduling, or steal order — and chunks map to disjoint
+//! output ranges, so every parallel kernel in the workspace remains
+//! bit-deterministic (the `threads_do_not_change_result` family of tests).
+//!
+//! # Safety
+//!
+//! This module contains the crate's only `unsafe` code: `scope_chunks`
+//! lends the caller's `&dyn Fn` to the workers by erasing its lifetime.
+//! This is sound because the call blocks until the completion latch
+//! reports that every chunk job has finished executing (panicked chunks
+//! included), so no worker can observe the closure after the borrow ends.
+
+use std::any::Any;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::thread::JoinHandle;
+
+/// A chunk closure with its lifetime erased (see module-level safety
+/// note). The `'static` here is a promise kept by the completion latch,
+/// not by the type system.
+struct RawFn(*const (dyn Fn(usize, usize) + Sync));
+
+// SAFETY: the pointee is `Sync` (shared calls from any thread are fine)
+// and `scope_chunks` guarantees it outlives every job that dereferences
+// it, so shipping the pointer across threads is sound.
+unsafe impl Send for RawFn {}
+unsafe impl Sync for RawFn {}
+
+/// Shared state of one parallel region: the erased closure plus the
+/// completion latch and the first captured panic.
+struct TaskState {
+    func: RawFn,
+    remaining: Mutex<usize>,
+    done: Condvar,
+    panic: Mutex<Option<Box<dyn Any + Send>>>,
+}
+
+/// One claimable unit of work: a `[start, end)` chunk of a region.
+struct Job {
+    task: Arc<TaskState>,
+    start: usize,
+    end: usize,
+}
+
+impl Job {
+    fn run(self) {
+        // SAFETY: the region that created `self.task` is still blocked in
+        // `scope_chunks` (it cannot return before `remaining` hits zero,
+        // which requires this job to finish), so the closure is alive.
+        let f = unsafe { &*self.task.func.0 };
+        if let Err(payload) = catch_unwind(AssertUnwindSafe(|| f(self.start, self.end))) {
+            let mut slot = self.task.panic.lock().unwrap();
+            if slot.is_none() {
+                *slot = Some(payload);
+            }
+        }
+        let mut remaining = self.task.remaining.lock().unwrap();
+        *remaining -= 1;
+        if *remaining == 0 {
+            drop(remaining);
+            self.task.done.notify_all();
+        }
+    }
+}
+
+struct Shared {
+    /// One deque per worker. Workers pop their own back, steal fronts.
+    queues: Vec<Mutex<VecDeque<Job>>>,
+    /// Overflow queue, also used by pools with zero workers.
+    injector: Mutex<VecDeque<Job>>,
+    /// Parking lot for idle workers. Lost wakeups are impossible by
+    /// protocol: submitters notify while *holding* this mutex (after
+    /// pushing their jobs), and a parking worker re-checks the queues
+    /// while holding it, keeping it until the wait begins.
+    idle: Mutex<()>,
+    wake: Condvar,
+    shutdown: AtomicBool,
+}
+
+impl Shared {
+    /// Claims a job: own deque back first (when a worker), then the
+    /// injector, then other deques' fronts (stealing).
+    fn find_job(&self, me: Option<usize>) -> Option<Job> {
+        if let Some(me) = me {
+            if let Some(job) = self.queues[me].lock().unwrap().pop_back() {
+                return Some(job);
+            }
+        }
+        if let Some(job) = self.injector.lock().unwrap().pop_front() {
+            return Some(job);
+        }
+        let n = self.queues.len();
+        let first = me.map_or(0, |m| (m + 1) % n.max(1));
+        for off in 0..n {
+            let victim = (first + off) % n;
+            if Some(victim) == me {
+                continue;
+            }
+            if let Some(job) = self.queues[victim].lock().unwrap().pop_front() {
+                return Some(job);
+            }
+        }
+        None
+    }
+}
+
+fn worker_loop(shared: Arc<Shared>, me: usize) {
+    loop {
+        if let Some(job) = shared.find_job(Some(me)) {
+            job.run();
+            continue;
+        }
+        // Park until the next submission. The re-check under the idle
+        // mutex plus notify-under-mutex on the submit side closes the
+        // submit-between-check-and-wait race, so idle workers sleep
+        // indefinitely instead of polling.
+        let guard = shared.idle.lock().unwrap();
+        if shared.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        if let Some(job) = shared.find_job(Some(me)) {
+            drop(guard);
+            job.run();
+            continue;
+        }
+        drop(shared.wake.wait(guard).unwrap());
+    }
+}
+
+/// A persistent pool of worker threads executing chunked parallel
+/// regions. See the module docs for the architecture.
+///
+/// ```
+/// use kr_linalg::pool::ThreadPool;
+/// use std::sync::atomic::{AtomicUsize, Ordering};
+///
+/// let pool = ThreadPool::new(4);
+/// let total = AtomicUsize::new(0);
+/// pool.scope_chunks(100, 7, &|start, end| {
+///     total.fetch_add(end - start, Ordering::SeqCst);
+/// });
+/// assert_eq!(total.load(Ordering::SeqCst), 100);
+/// ```
+pub struct ThreadPool {
+    shared: Arc<Shared>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for ThreadPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ThreadPool")
+            .field("workers", &self.handles.len())
+            .finish()
+    }
+}
+
+impl ThreadPool {
+    /// Spawns a pool with `workers` persistent worker threads.
+    ///
+    /// `workers == 0` is allowed: regions then run entirely on the
+    /// submitting thread (useful for tests and as a degenerate serial
+    /// pool).
+    pub fn new(workers: usize) -> Self {
+        let shared = Arc::new(Shared {
+            queues: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
+            injector: Mutex::new(VecDeque::new()),
+            idle: Mutex::new(()),
+            wake: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+        });
+        let handles = (0..workers)
+            .map(|me| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("kr-pool-{me}"))
+                    .spawn(move || worker_loop(shared, me))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        ThreadPool { shared, handles }
+    }
+
+    /// Number of worker threads (excluding submitting threads, which
+    /// always participate in their own regions).
+    pub fn workers(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// Runs `f` over `[0, n)` split into `ceil(n / chunk)` contiguous
+    /// `[start, end)` chunks, in parallel, blocking until every chunk has
+    /// finished. Chunk boundaries depend only on `n` and `chunk`, never
+    /// on scheduling, so writes keyed on the chunk range are
+    /// deterministic.
+    ///
+    /// If a chunk panics, the region still completes and the first panic
+    /// payload is re-thrown here.
+    pub fn scope_chunks(&self, n: usize, chunk: usize, f: &(dyn Fn(usize, usize) + Sync)) {
+        if n == 0 {
+            return;
+        }
+        let chunk = chunk.max(1);
+        let n_jobs = n.div_ceil(chunk);
+        if n_jobs == 1 || self.handles.is_empty() {
+            // Nothing to distribute (or nobody to distribute to): run the
+            // chunks inline in order.
+            let mut start = 0;
+            while start < n {
+                let end = (start + chunk).min(n);
+                f(start, end);
+                start = end;
+            }
+            return;
+        }
+
+        // SAFETY (lifetime erasure): see the module-level safety note —
+        // this function does not return until every `Job` holding this
+        // pointer has executed.
+        let raw = RawFn(unsafe {
+            std::mem::transmute::<
+                *const (dyn Fn(usize, usize) + Sync),
+                *const (dyn Fn(usize, usize) + Sync + 'static),
+            >(f as *const _)
+        });
+        let task = Arc::new(TaskState {
+            func: raw,
+            remaining: Mutex::new(n_jobs),
+            done: Condvar::new(),
+            panic: Mutex::new(None),
+        });
+
+        // Seed the worker deques round-robin (deterministic placement;
+        // stealing rebalances whatever the split gets wrong).
+        let workers = self.handles.len();
+        for idx in 0..n_jobs {
+            let start = idx * chunk;
+            let end = (start + chunk).min(n);
+            let job = Job {
+                task: Arc::clone(&task),
+                start,
+                end,
+            };
+            self.shared.queues[idx % workers]
+                .lock()
+                .unwrap()
+                .push_back(job);
+        }
+        {
+            // Notify while holding the idle mutex (see `Shared::idle`).
+            let _idle = self.shared.idle.lock().unwrap();
+            self.shared.wake.notify_all();
+        }
+
+        // Participate: drain claimable jobs (ours or other concurrent
+        // regions'), then wait on the completion latch. When the scan
+        // finds nothing, every remaining chunk of this region is already
+        // executing on a worker, which will decrement `remaining` and
+        // notify `done` — checked under the same mutex, so the wakeup
+        // cannot be lost.
+        'region: loop {
+            if let Some(job) = self.shared.find_job(None) {
+                job.run();
+                continue;
+            }
+            let mut remaining = task.remaining.lock().unwrap();
+            while *remaining != 0 {
+                remaining = task.done.wait(remaining).unwrap();
+            }
+            break 'region;
+        }
+
+        let payload = task.panic.lock().unwrap().take();
+        if let Some(payload) = payload {
+            resume_unwind(payload);
+        }
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        {
+            // Notify under the idle mutex so a worker between its
+            // shutdown check and its wait cannot miss the signal.
+            let _idle = self.shared.idle.lock().unwrap();
+            self.shared.wake.notify_all();
+        }
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// The lazily-initialized process-global pool, sized to the machine
+/// (`available_parallelism - 1` workers, minimum 1 — submitting threads
+/// participate, so total parallelism matches the core count).
+///
+/// Kernels reach this through [`crate::ExecCtx`]; it exists so that every
+/// fit in a process shares one set of worker threads instead of each
+/// spawning its own.
+pub fn global() -> &'static ThreadPool {
+    static GLOBAL: OnceLock<ThreadPool> = OnceLock::new();
+    GLOBAL.get_or_init(|| {
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        ThreadPool::new(cores.saturating_sub(1).max(1))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn covers_all_indices_exactly_once() {
+        let pool = ThreadPool::new(3);
+        for chunk in [1usize, 3, 7, 100] {
+            for n in [0usize, 1, 5, 17, 64, 257] {
+                let counter = AtomicUsize::new(0);
+                pool.scope_chunks(n, chunk, &|s, e| {
+                    counter.fetch_add(e - s, Ordering::SeqCst);
+                });
+                assert_eq!(counter.load(Ordering::SeqCst), n, "n={n} chunk={chunk}");
+            }
+        }
+    }
+
+    #[test]
+    fn zero_worker_pool_runs_inline() {
+        let pool = ThreadPool::new(0);
+        let counter = AtomicUsize::new(0);
+        pool.scope_chunks(10, 3, &|s, e| {
+            counter.fetch_add(e - s, Ordering::SeqCst);
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 10);
+    }
+
+    #[test]
+    fn reuse_across_many_regions() {
+        // The whole point of persistence: one pool, many regions.
+        let pool = ThreadPool::new(2);
+        for round in 0..200 {
+            let counter = AtomicUsize::new(0);
+            pool.scope_chunks(round + 1, 4, &|s, e| {
+                counter.fetch_add(e - s, Ordering::SeqCst);
+            });
+            assert_eq!(counter.load(Ordering::SeqCst), round + 1);
+        }
+    }
+
+    #[test]
+    fn worker_panic_propagates_and_pool_survives() {
+        let pool = ThreadPool::new(2);
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.scope_chunks(16, 1, &|s, _| {
+                if s == 7 {
+                    panic!("boom in chunk 7");
+                }
+            });
+        }));
+        assert!(result.is_err(), "panic must reach the submitter");
+        // The pool must remain usable after a panicked region.
+        let counter = AtomicUsize::new(0);
+        pool.scope_chunks(32, 4, &|s, e| {
+            counter.fetch_add(e - s, Ordering::SeqCst);
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 32);
+    }
+
+    #[test]
+    fn nested_regions_do_not_deadlock() {
+        let pool = ThreadPool::new(1);
+        let counter = AtomicUsize::new(0);
+        pool.scope_chunks(4, 1, &|_, _| {
+            // A region opened from inside a worker chunk: the opening
+            // thread drains its own jobs, so this completes even with a
+            // single worker.
+            pool.scope_chunks(8, 2, &|s, e| {
+                counter.fetch_add(e - s, Ordering::SeqCst);
+            });
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 32);
+    }
+
+    #[test]
+    fn oversubscribed_pool_completes() {
+        // Far more workers than this machine has cores.
+        let pool = ThreadPool::new(8);
+        let counter = AtomicUsize::new(0);
+        pool.scope_chunks(10_000, 13, &|s, e| {
+            counter.fetch_add(e - s, Ordering::SeqCst);
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 10_000);
+    }
+}

@@ -1,6 +1,6 @@
 //! Property-based tests for the linear-algebra kernels.
 
-use kr_linalg::{ops, Matrix};
+use kr_linalg::{ops, ExecCtx, Matrix};
 use proptest::prelude::*;
 
 fn small_matrix(max_dim: usize) -> impl Strategy<Value = Matrix> {
@@ -114,8 +114,13 @@ proptest! {
     #[test]
     fn col_means_bounded_by_extremes(m in small_matrix(8)) {
         let means = m.col_means();
+        // Col-heavy access goes through the blocked transpose: one
+        // gather, then contiguous row reads per column.
+        let mt = m.transpose();
         for (j, &mu) in means.iter().enumerate() {
-            let col = m.col(j);
+            let col = mt.row(j);
+            let gathered = m.col(j);
+            prop_assert_eq!(col, gathered.as_slice());
             let lo = col.iter().cloned().fold(f64::INFINITY, f64::min);
             let hi = col.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
             prop_assert!(mu >= lo - 1e-9 && mu <= hi + 1e-9);
@@ -124,14 +129,77 @@ proptest! {
 
     #[test]
     fn parallel_matches_serial(n in 0usize..200, threads in 1usize..8) {
+        let serial_ctx = ExecCtx::serial();
         let mut serial = vec![0u64; n];
-        kr_linalg::parallel::map_chunks_into(&mut serial, 1, |start, s| {
+        kr_linalg::parallel::map_chunks_into(&serial_ctx, &mut serial, |start, s| {
             for (i, v) in s.iter_mut().enumerate() { *v = ((start + i) * 7) as u64; }
         });
+        let par_ctx = ExecCtx::threaded(threads);
         let mut par = vec![0u64; n];
-        kr_linalg::parallel::map_chunks_into(&mut par, threads, |start, s| {
+        kr_linalg::parallel::map_chunks_into(&par_ctx, &mut par, |start, s| {
             for (i, v) in s.iter_mut().enumerate() { *v = ((start + i) * 7) as u64; }
         });
         prop_assert_eq!(serial, par);
+    }
+
+    #[test]
+    fn blocked_matmul_equals_naive(
+        (a, b) in (1usize..12, 1usize..12, 1usize..12).prop_flat_map(|(m, k, n)| {
+            let a = proptest::collection::vec(-100.0..100.0f64, m * k)
+                .prop_map(move |v| Matrix::from_vec(m, k, v).unwrap());
+            let b = proptest::collection::vec(-100.0..100.0f64, k * n)
+                .prop_map(move |v| Matrix::from_vec(k, n, v).unwrap());
+            (a, b)
+        }),
+        threads in 1usize..5,
+    ) {
+        // Reference: textbook triple loop, ascending-k accumulation per
+        // element — the order the blocked kernel guarantees bitwise.
+        let (m, k) = a.shape();
+        let n = b.ncols();
+        let mut naive = Matrix::zeros(m, n);
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0f64;
+                for p in 0..k {
+                    acc += a.get(i, p) * b.get(p, j);
+                }
+                naive.set(i, j, acc);
+            }
+        }
+        let blocked = a.matmul(&b).unwrap();
+        prop_assert_eq!(&blocked, &naive);
+        // Tiny tiles force every panel boundary; threads exercise the
+        // pool. Both must still be bitwise identical.
+        let ctx = ExecCtx::threaded(threads)
+            .with_tiling(kr_linalg::Tiling { mc: 3, kc: 2, nc: 5 });
+        prop_assert_eq!(&a.matmul_with(&b, &ctx).unwrap(), &naive);
+    }
+
+    #[test]
+    fn blocked_kernels_thread_and_tile_invariant(
+        (a, b) in (1usize..10, 1usize..10, 1usize..10).prop_flat_map(|(m, k, n)| {
+            let a = proptest::collection::vec(-50.0..50.0f64, m * k)
+                .prop_map(move |v| Matrix::from_vec(m, k, v).unwrap());
+            let b = proptest::collection::vec(-50.0..50.0f64, n * k)
+                .prop_map(move |v| Matrix::from_vec(n, k, v).unwrap());
+            (a, b)
+        }),
+        threads in 2usize..5,
+    ) {
+        let ctx = ExecCtx::threaded(threads)
+            .with_tiling(kr_linalg::Tiling { mc: 2, kc: 3, nc: 3 });
+        prop_assert_eq!(
+            a.matmul_transpose_b_with(&b, &ctx).unwrap(),
+            a.matmul_transpose_b(&b).unwrap()
+        );
+        prop_assert_eq!(
+            a.pairwise_sqdist_with(&b, &ctx).unwrap(),
+            a.pairwise_sqdist(&b).unwrap()
+        );
+        prop_assert_eq!(
+            a.matmul_transpose_a_with(&a, &ctx).unwrap(),
+            a.matmul_transpose_a(&a).unwrap()
+        );
     }
 }

@@ -241,6 +241,65 @@ fn color_quantization_ordering_reproduces() {
 }
 
 #[test]
+fn exec_determinism_shared_pool_across_whole_stack() {
+    // One explicit pool drives k-Means, KR-k-Means, the naive baseline,
+    // and the federated protocol through the prelude's ExecCtx; every
+    // result must be bitwise identical to the serial reference.
+    use std::sync::Arc;
+    let pool = Arc::new(ThreadPool::new(3));
+    let exec = ExecCtx::threaded(4).with_pool(Arc::clone(&pool));
+    let (ds, _, _) = kr_structured(3, 2, 30, 0.2, StructureKind::Additive, 41);
+
+    let km_serial = KMeans::new(6)
+        .with_seed(2)
+        .with_n_init(3)
+        .fit(&ds.data)
+        .unwrap();
+    let km_pool = KMeans::new(6)
+        .with_seed(2)
+        .with_n_init(3)
+        .with_exec(exec.clone())
+        .fit(&ds.data)
+        .unwrap();
+    assert_eq!(km_serial.labels, km_pool.labels);
+    assert_eq!(km_serial.centroids, km_pool.centroids);
+
+    let kr_serial = KrKMeans::new(vec![3, 2])
+        .with_seed(3)
+        .with_n_init(3)
+        .fit(&ds.data)
+        .unwrap();
+    let kr_pool = KrKMeans::new(vec![3, 2])
+        .with_seed(3)
+        .with_n_init(3)
+        .with_exec(exec.clone())
+        .fit(&ds.data)
+        .unwrap();
+    assert_eq!(kr_serial.labels, kr_pool.labels);
+    assert_eq!(kr_serial.inertia.to_bits(), kr_pool.inertia.to_bits());
+
+    let nv_serial = NaiveKr::new(vec![3, 2]).with_seed(4).fit(&ds.data).unwrap();
+    let nv_pool = NaiveKr::new(vec![3, 2])
+        .with_seed(4)
+        .with_exec(exec.clone())
+        .fit(&ds.data)
+        .unwrap();
+    assert_eq!(nv_serial.labels, nv_pool.labels);
+
+    let client_of: Vec<usize> = (0..ds.data.nrows()).map(|i| i % 3).collect();
+    let clients = kr_federated::shard_by_assignment(&ds.data, &client_of, 3);
+    let fkm = kr_federated::FkM {
+        k: 4,
+        rounds: 5,
+        seed: 5,
+    };
+    let fed_serial = fkm.run(&clients).unwrap();
+    let fed_pool = fkm.run_with(&clients, &exec).unwrap();
+    assert_eq!(fed_serial.centroids, fed_pool.centroids);
+    assert_eq!(pool.workers(), 3);
+}
+
+#[test]
 fn error_types_propagate_through_facade() {
     let empty = Matrix::zeros(0, 0);
     assert!(KrKMeans::new(vec![2, 2]).fit(&empty).is_err());
