@@ -33,6 +33,8 @@
 //! assert_eq!(g.grad(x).unwrap().row(0), &[-2.0, -3.0]);
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod optim;
 
 use kr_linalg::{ops, Matrix};

@@ -13,6 +13,8 @@
 //! has no way to observe the heap and reports 0 peak bytes (with a
 //! one-time warning on stderr).
 
+#![warn(missing_docs)]
+
 pub mod alloc_counter;
 
 use std::sync::Once;

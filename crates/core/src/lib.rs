@@ -14,6 +14,10 @@
 //!   sum/product aggregators, memory- and time-efficient variants.
 //! * [`naive`] — the naïve two-phase approach of Section 5 (cluster,
 //!   then factor the centroids by coordinate descent, Eq. 8).
+//! * [`baselines`] — external summarization baselines for the Table 2 /
+//!   Figure 6 comparisons: [`RkMeans`] (grid compression + weighted
+//!   Lloyd) and [`NnkMeans`] (non-negative kernel-regression dictionary
+//!   learning), both on the shared [`kr_linalg::ExecCtx`] substrate.
 //! * [`design`] — the design-choice helpers of Section 8
 //!   (Propositions 8.1 and 8.2, budget math, aggregator selection).
 //! * [`model_select`] — BIC-driven estimation of the number of clusters
@@ -40,7 +44,10 @@
 //! assert!(model.inertia.is_finite());
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod aggregator;
+pub mod baselines;
 pub mod design;
 pub mod kmeans;
 pub mod kr_kmeans;
@@ -49,6 +56,7 @@ pub mod naive;
 pub mod operator;
 
 pub use aggregator::Aggregator;
+pub use baselines::{NnkMeans, NnkMeansModel, RkMeans, RkMeansModel};
 pub use kmeans::{KMeans, KMeansModel};
 pub use kr_kmeans::{KrKMeans, KrKMeansModel};
 

@@ -1,6 +1,7 @@
 //! Property-based tests for the Khatri-Rao clustering core.
 
 use kr_core::aggregator::Aggregator;
+use kr_core::baselines::{NnkMeans, RkMeans, WeightedKMeans};
 use kr_core::design;
 use kr_core::kmeans::KMeans;
 use kr_core::kr_kmeans::{KrKMeans, KrVariant};
@@ -189,6 +190,62 @@ proptest! {
                 i += 1;
             }
             prop_assert!(design::max_representable(&alt) <= best);
+        }
+    }
+
+    #[test]
+    fn rkmeans_on_uncompressed_grid_matches_weighted_kmeans(data in small_data(), seed in 0u64..20) {
+        // Spread the first coordinate so every point owns its own grid
+        // cell: with bins >= n - 1, `floor(i * bins / (n - 1))` is
+        // strictly increasing in i, so the compression is lossless and
+        // Rk-means degenerates to weighted k-Means with unit weights —
+        // bitwise, not just approximately.
+        let mut data = data;
+        let n = data.nrows();
+        if n >= 4 {
+            for i in 0..n {
+                data.set(i, 0, i as f64);
+            }
+            let rk = RkMeans::new(2)
+                .with_bins(2048)
+                .with_n_init(3)
+                .with_max_iter(50)
+                .with_seed(seed)
+                .fit(&data)
+                .unwrap();
+            // The grid must be lossless for the equivalence to hold.
+            prop_assert_eq!(rk.n_representatives, n);
+            let weighted = WeightedKMeans::new(2)
+                .with_n_init(3)
+                .with_max_iter(50)
+                .with_seed(seed)
+                .fit(&data, &vec![1.0; n])
+                .unwrap();
+            prop_assert_eq!(&rk.centroids, &weighted.centroids);
+            prop_assert_eq!(&rk.labels, &weighted.labels);
+            prop_assert_eq!(rk.inertia.to_bits(), weighted.inertia.to_bits());
+            prop_assert_eq!(rk.compressed_inertia.to_bits(), weighted.inertia.to_bits());
+        }
+    }
+
+    #[test]
+    fn nnk_codes_nonnegative_and_reconstruction_bounded(data in small_data(), seed in 0u64..20) {
+        if data.nrows() >= 4 {
+            let model = NnkMeans::new(3)
+                .with_neighbors(2)
+                .with_max_iter(10)
+                .with_seed(seed)
+                .fit(&data)
+                .unwrap();
+            // Coordinate descent starts at w = 0 and first updates the
+            // nearest atom, so the final NNK reconstruction is never
+            // worse than snapping each point to its assigned atom.
+            prop_assert!(
+                model.reconstruction_error <= model.inertia + 1e-6 * (1.0 + model.inertia),
+                "recon {} > inertia {}", model.reconstruction_error, model.inertia
+            );
+            prop_assert!(model.avg_support <= 2.0 + 1e-12);
+            prop_assert!(model.labels.iter().all(|&l| l < 3));
         }
     }
 

@@ -1,0 +1,72 @@
+//! The weighted-point bridge between `kr_datasets` and the baselines:
+//! a [`WeightedDataset`] carries `(points, weights)` into
+//! [`WeightedKMeans`], and its `expand()` view ties the weighted
+//! objective back to the flat (row-repeated) one.
+
+use kr_core::baselines::rk_means::grid_compress;
+use kr_core::baselines::{RkMeans, WeightedKMeans};
+use kr_datasets::weighted::WeightedDataset;
+use kr_linalg::Matrix;
+use kr_metrics::inertia;
+
+#[test]
+fn weighted_fit_matches_flat_objective_through_expand() {
+    // Integer weights: the weighted objective of a fit must equal the
+    // plain k-Means objective on the row-repeated view, for the same
+    // centroids.
+    let points = Matrix::from_rows(&[
+        vec![0.0, 0.1],
+        vec![0.3, 0.0],
+        vec![8.0, 8.2],
+        vec![8.4, 7.9],
+    ])
+    .unwrap();
+    let ws = WeightedDataset::new("compressed", points, vec![3.0, 1.0, 2.0, 4.0]);
+    let model = WeightedKMeans::new(2)
+        .with_seed(5)
+        .fit(&ws.points, &ws.weights)
+        .unwrap();
+    let flat_inertia = inertia(&ws.expand(), &model.centroids);
+    assert!(
+        (model.inertia - flat_inertia).abs() <= 1e-9 * (1.0 + flat_inertia),
+        "weighted {} vs expanded {}",
+        model.inertia,
+        flat_inertia
+    );
+}
+
+#[test]
+fn grid_summary_through_weighted_dataset_reproduces_rkmeans() {
+    // GridSummary -> WeightedDataset -> WeightedKMeans is exactly the
+    // compressed phase RkMeans runs internally, bitwise.
+    let ds = kr_datasets::synthetic::blobs(300, 2, 4, 0.4, 9);
+    let bins = 16;
+    let summary = grid_compress(&ds.data, bins);
+    let ws = WeightedDataset::new(ds.name.clone(), summary.representatives, summary.weights);
+    let wfit = WeightedKMeans::new(4)
+        .with_seed(2)
+        .fit(&ws.points, &ws.weights)
+        .unwrap();
+    let rk = RkMeans::new(4)
+        .with_bins(bins)
+        .with_seed(2)
+        .fit(&ds.data)
+        .unwrap();
+    assert_eq!(rk.bins_used, bins, "grid must not have auto-refined");
+    assert_eq!(wfit.centroids, rk.centroids);
+    assert_eq!(wfit.inertia.to_bits(), rk.compressed_inertia.to_bits());
+    assert_eq!(ws.total_weight() as usize, 300);
+}
+
+#[test]
+fn unit_weights_embed_unweighted_data() {
+    let ds = kr_datasets::synthetic::blobs(60, 2, 2, 0.3, 3);
+    let ws = WeightedDataset::unit(&ds);
+    let weighted = WeightedKMeans::new(2)
+        .with_seed(1)
+        .fit(&ws.points, &ws.weights)
+        .unwrap();
+    // With unit weights the weighted objective IS the flat objective.
+    let flat = inertia(&ds.data, &weighted.centroids);
+    assert!((weighted.inertia - flat).abs() <= 1e-9 * (1.0 + flat));
+}

@@ -21,6 +21,8 @@
 //! assert_eq!(ds.data, again.data);
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod glyphs;
 pub mod highdim;
 pub mod image;
@@ -28,6 +30,7 @@ pub mod preprocess;
 pub mod rng;
 pub mod synthetic;
 pub mod table1;
+pub mod weighted;
 
 use kr_linalg::Matrix;
 

@@ -1,0 +1,159 @@
+//! Weighted point sets: data that arrives pre-aggregated.
+//!
+//! The Rk-means baseline (`kr_core::baselines` in the `kr-core` crate)
+//! and weighted Lloyd iterations consume a matrix of representative
+//! points plus one non-negative weight per row — the shape produced by
+//! grid quantization, coreset construction, or relational
+//! pre-aggregation. [`WeightedDataset`] is that pairing with the
+//! invariants checked once at construction, plus helpers to move between
+//! the weighted and the flat (row-repeated) views used by the
+//! unweighted solvers.
+//!
+//! ```
+//! use kr_datasets::weighted::WeightedDataset;
+//! use kr_linalg::Matrix;
+//!
+//! let points = Matrix::from_rows(&[vec![0.0, 0.0], vec![4.0, 4.0]]).unwrap();
+//! let ws = WeightedDataset::new("toy", points, vec![3.0, 1.0]);
+//! assert_eq!(ws.total_weight(), 4.0);
+//! // The weighted mean leans toward the heavy point.
+//! assert!((ws.weighted_mean()[0] - 1.0).abs() < 1e-12);
+//! // Integer weights expand back to one row per original point.
+//! assert_eq!(ws.expand().nrows(), 4);
+//! ```
+
+use crate::Dataset;
+use kr_linalg::Matrix;
+
+/// A set of representative points with one non-negative weight per row.
+#[derive(Debug, Clone)]
+pub struct WeightedDataset {
+    /// Representative points, one row each.
+    pub points: Matrix,
+    /// Non-negative weight (point mass) per representative.
+    pub weights: Vec<f64>,
+    /// Human-readable name.
+    pub name: String,
+}
+
+impl WeightedDataset {
+    /// Creates a weighted dataset, checking one finite non-negative
+    /// weight per row with positive total mass.
+    ///
+    /// # Panics
+    /// Panics when a weight is missing, negative, or non-finite, or the
+    /// total mass is zero — weighted data with those defects is a
+    /// construction bug, not a runtime condition.
+    pub fn new(name: impl Into<String>, points: Matrix, weights: Vec<f64>) -> Self {
+        assert_eq!(points.nrows(), weights.len(), "one weight per row required");
+        assert!(
+            weights.iter().all(|w| w.is_finite() && *w >= 0.0),
+            "weights must be finite and non-negative"
+        );
+        assert!(
+            weights.iter().sum::<f64>() > 0.0,
+            "total weight must be positive"
+        );
+        WeightedDataset {
+            points,
+            weights,
+            name: name.into(),
+        }
+    }
+
+    /// Wraps a [`Dataset`]'s features with unit weights — the neutral
+    /// embedding of unweighted data into the weighted world.
+    pub fn unit(dataset: &Dataset) -> Self {
+        WeightedDataset {
+            points: dataset.data.clone(),
+            weights: vec![1.0; dataset.data.nrows()],
+            name: dataset.name.clone(),
+        }
+    }
+
+    /// Number of representatives.
+    pub fn n_points(&self) -> usize {
+        self.points.nrows()
+    }
+
+    /// Total point mass.
+    pub fn total_weight(&self) -> f64 {
+        self.weights.iter().sum()
+    }
+
+    /// The weighted mean of the representatives — equal to the plain
+    /// mean of the original data when the weights are point counts.
+    pub fn weighted_mean(&self) -> Vec<f64> {
+        let m = self.points.ncols();
+        let mut mean = vec![0.0; m];
+        let total = self.total_weight();
+        for (row, &w) in self.points.rows_iter().zip(&self.weights) {
+            for (out, &v) in mean.iter_mut().zip(row) {
+                *out += v * w / total;
+            }
+        }
+        mean
+    }
+
+    /// Expands back to a flat matrix with each representative repeated
+    /// `round(weight)` times — the row-repeated view an *unweighted*
+    /// solver can consume to emulate the weighted objective. Intended
+    /// for integer (count) weights; fractional parts round to nearest.
+    pub fn expand(&self) -> Matrix {
+        let mut rows: Vec<Vec<f64>> = Vec::new();
+        for (row, &w) in self.points.rows_iter().zip(&self.weights) {
+            for _ in 0..(w.round() as usize) {
+                rows.push(row.to_vec());
+            }
+        }
+        Matrix::from_rows(&rows).unwrap_or_else(|_| Matrix::zeros(0, self.points.ncols()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_wrapping_preserves_shape() {
+        let ds = crate::synthetic::blobs(50, 3, 2, 0.5, 1);
+        let ws = WeightedDataset::unit(&ds);
+        assert_eq!(ws.n_points(), 50);
+        assert_eq!(ws.total_weight(), 50.0);
+        for (a, b) in ws.weighted_mean().iter().zip(ds.data.col_means()) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn expand_repeats_by_weight() {
+        let points = Matrix::from_rows(&[vec![1.0], vec![2.0]]).unwrap();
+        let ws = WeightedDataset::new("toy", points, vec![2.0, 3.0]);
+        let flat = ws.expand();
+        assert_eq!(flat.nrows(), 5);
+        assert_eq!(flat.col(0), vec![1.0, 1.0, 2.0, 2.0, 2.0]);
+        // Flat mean equals the weighted mean.
+        assert!((flat.col_means()[0] - ws.weighted_mean()[0]).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "one weight per row")]
+    fn rejects_weight_count_mismatch() {
+        let points = Matrix::zeros(2, 1);
+        let _ = WeightedDataset::new("bad", points, vec![1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn rejects_negative_weights() {
+        let points = Matrix::zeros(2, 1);
+        let _ = WeightedDataset::new("bad", points, vec![1.0, -1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "total weight must be positive")]
+    fn rejects_zero_total_mass() {
+        let points = Matrix::zeros(2, 1);
+        let _ = WeightedDataset::new("bad", points, vec![0.0, 0.0]);
+    }
+}

@@ -18,6 +18,20 @@
 //! Everything runs on the from-scratch [`kr_autodiff`] engine; CPU-only,
 //! f64. The paper's GPU-scale encoder (`m-1024-512-256-10`) is supported
 //! but tests and benches use smaller stacks (documented in DESIGN.md §7).
+//!
+//! ```
+//! use kr_deep::autoencoder::{Autoencoder, Compression};
+//! use kr_linalg::Matrix;
+//!
+//! // A symmetric 8 -> 4 -> 2 encoder (decoder mirrored), dense weights.
+//! let ae = Autoencoder::new(&[8, 4, 2], Compression::None, 0).unwrap();
+//! let data = Matrix::from_fn(10, 8, |i, j| ((i + j) % 5) as f64);
+//! assert_eq!(ae.latent_dim(), 2);
+//! assert_eq!(ae.encode(&data).shape(), (10, 2));
+//! assert_eq!(ae.reconstruct(&data).shape(), (10, 8));
+//! ```
+
+#![warn(missing_docs)]
 
 pub mod autoencoder;
 pub mod centroids;

@@ -19,6 +19,21 @@
 //! Because the closed forms need only sufficient statistics, one
 //! federated round is mathematically identical to one centralized Lloyd /
 //! KR-k-Means iteration — verified by the equivalence tests below.
+//!
+//! ```
+//! use kr_federated::{Client, FkM};
+//! use kr_linalg::Matrix;
+//!
+//! let clients = vec![
+//!     Client { data: Matrix::from_rows(&[vec![0.0, 0.0], vec![0.1, 0.1]]).unwrap() },
+//!     Client { data: Matrix::from_rows(&[vec![5.0, 5.0], vec![5.1, 5.1]]).unwrap() },
+//! ];
+//! let model = FkM { k: 2, rounds: 3, seed: 1 }.run(&clients).unwrap();
+//! assert_eq!(model.centroids.nrows(), 2);
+//! assert_eq!(model.history.len(), 3); // one telemetry entry per round
+//! ```
+
+#![warn(missing_docs)]
 
 use kr_core::aggregator::Aggregator;
 use kr_core::kr_kmeans::prop61_update_from_stats;

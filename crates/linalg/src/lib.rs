@@ -30,6 +30,8 @@
 //! handle that flows through every algorithm in the workspace, and the
 //! chunk-parallel helpers in [`parallel`] — schedules the hot kernels.
 
+#![warn(missing_docs)]
+
 pub mod exec;
 pub mod matrix;
 pub mod ops;

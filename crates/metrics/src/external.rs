@@ -126,9 +126,57 @@ pub fn purity(predicted: &[usize], truth: &[usize]) -> Result<f64> {
     Ok(correct as f64 / c.n as f64)
 }
 
+/// The three ground-truth scores every table in the paper reports
+/// side by side.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExternalScores {
+    /// [`adjusted_rand_index`].
+    pub ari: f64,
+    /// [`unsupervised_clustering_accuracy`].
+    pub acc: f64,
+    /// [`normalized_mutual_information`].
+    pub nmi: f64,
+}
+
+/// Computes ARI, ACC, and NMI in one call — the bundle the Table 2 /
+/// Table 3 harnesses print per algorithm, including the Rk-means and
+/// NNK-Means baseline fits.
+///
+/// ```
+/// let s = kr_metrics::evaluate_external(&[0, 0, 1, 1], &[1, 1, 0, 0]).unwrap();
+/// assert!((s.ari - 1.0).abs() < 1e-12);
+/// assert!((s.acc - 1.0).abs() < 1e-12);
+/// assert!((s.nmi - 1.0).abs() < 1e-12);
+/// ```
+pub fn evaluate_external(predicted: &[usize], truth: &[usize]) -> Result<ExternalScores> {
+    Ok(ExternalScores {
+        ari: adjusted_rand_index(predicted, truth)?,
+        acc: unsupervised_clustering_accuracy(predicted, truth)?,
+        nmi: normalized_mutual_information(predicted, truth)?,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn evaluate_external_bundles_the_three_scores() {
+        let pred = [0, 0, 1, 1, 1, 2];
+        let truth = [0, 0, 0, 1, 1, 1];
+        let s = evaluate_external(&pred, &truth).unwrap();
+        assert_eq!(s.ari, adjusted_rand_index(&pred, &truth).unwrap());
+        assert_eq!(
+            s.acc,
+            unsupervised_clustering_accuracy(&pred, &truth).unwrap()
+        );
+        assert_eq!(s.nmi, normalized_mutual_information(&pred, &truth).unwrap());
+    }
+
+    #[test]
+    fn evaluate_external_propagates_errors() {
+        assert!(evaluate_external(&[0, 1], &[0]).is_err());
+    }
 
     #[test]
     fn perfect_agreement() {

@@ -14,6 +14,8 @@
 //! All external metrics take predicted and ground-truth labels as
 //! `&[usize]` and are permutation-invariant in the cluster ids.
 
+#![warn(missing_docs)]
+
 pub mod contingency;
 pub mod external;
 pub mod hungarian;
@@ -21,7 +23,8 @@ pub mod internal;
 pub mod params;
 
 pub use external::{
-    adjusted_rand_index, normalized_mutual_information, purity, unsupervised_clustering_accuracy,
+    adjusted_rand_index, evaluate_external, normalized_mutual_information, purity,
+    unsupervised_clustering_accuracy, ExternalScores,
 };
 pub use internal::{inertia, inertia_with_assignments};
 

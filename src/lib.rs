@@ -21,6 +21,8 @@
 //! assert_eq!(model.centroids().nrows(), 9);
 //! ```
 
+#![warn(missing_docs)]
+
 pub use kr_autodiff as autodiff;
 pub use kr_core as core;
 pub use kr_datasets as datasets;

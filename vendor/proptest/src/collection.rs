@@ -7,7 +7,7 @@ use rand::Rng;
 use crate::strategy::Strategy;
 use crate::test_runner::TestRunner;
 
-/// Length specification for [`vec`]: an exact `usize` or a range.
+/// Length specification for [`vec()`]: an exact `usize` or a range.
 #[derive(Debug, Clone, Copy)]
 pub struct SizeRange {
     lo: usize,
@@ -51,7 +51,7 @@ pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S
     }
 }
 
-/// Strategy returned by [`vec`].
+/// Strategy returned by [`vec()`].
 #[derive(Debug, Clone)]
 pub struct VecStrategy<S> {
     element: S,
