@@ -37,7 +37,7 @@
 
 pub mod optim;
 
-use kr_linalg::{ops, Matrix};
+use kr_linalg::{ops, ExecCtx, Matrix};
 
 /// Identifier of a node in a [`Graph`].
 pub type VarId = usize;
@@ -91,15 +91,39 @@ struct Node {
 }
 
 /// A single-use computation tape.
+///
+/// The tape carries an [`ExecCtx`]: every matrix-shaped op (matmul, its
+/// transposed variants, fused pairwise distances) runs through the
+/// blocked `*_with(exec)` kernels of [`kr_linalg`], forward *and*
+/// backward. Those kernels are bitwise identical at any thread count,
+/// so training results never depend on the execution context — only
+/// wall-clock does (CI-enforced by the `exec_determinism_graph_*`
+/// tests).
 #[derive(Default)]
 pub struct Graph {
     nodes: Vec<Node>,
+    exec: ExecCtx,
 }
 
 impl Graph {
-    /// Creates an empty tape.
+    /// Creates an empty tape with the serial execution context.
     pub fn new() -> Self {
-        Graph { nodes: Vec::new() }
+        Graph {
+            nodes: Vec::new(),
+            exec: ExecCtx::serial(),
+        }
+    }
+
+    /// Sets the execution context the tape's matrix kernels schedule on
+    /// (builder-style, like the clustering APIs).
+    pub fn with_exec(mut self, exec: ExecCtx) -> Self {
+        self.exec = exec;
+        self
+    }
+
+    /// The tape's execution context.
+    pub fn exec(&self) -> &ExecCtx {
+        &self.exec
     }
 
     fn push(&mut self, value: Matrix, op: Op) -> VarId {
@@ -146,11 +170,11 @@ impl Graph {
 
     // ---- ops ----------------------------------------------------------
 
-    /// Matrix product.
+    /// Matrix product (blocked, scheduled on the tape's [`ExecCtx`]).
     pub fn matmul(&mut self, a: VarId, b: VarId) -> VarId {
         let v = self.nodes[a]
             .value
-            .matmul(&self.nodes[b].value)
+            .matmul_with(&self.nodes[b].value, &self.exec)
             .expect("matmul shapes");
         self.push(v, Op::MatMul(a, b))
     }
@@ -277,11 +301,12 @@ impl Graph {
     }
 
     /// Fused pairwise squared Euclidean distances: rows of `x` (`n x m`)
-    /// against rows of `c` (`k x m`), producing `n x k`.
+    /// against rows of `c` (`k x m`), producing `n x k` (blocked,
+    /// scheduled on the tape's [`ExecCtx`]).
     pub fn sq_dist(&mut self, x: VarId, c: VarId) -> VarId {
         let v = self.nodes[x]
             .value
-            .pairwise_sqdist(&self.nodes[c].value)
+            .pairwise_sqdist_with(&self.nodes[c].value, &self.exec)
             .expect("sq_dist shapes");
         self.push(v, Op::SqDist(x, c))
     }
@@ -352,8 +377,13 @@ impl Graph {
             match op {
                 Op::Leaf => {}
                 Op::MatMul(a, b) => {
-                    let da = grad.matmul_transpose_b(&self.nodes[b].value).unwrap();
-                    let db = self.nodes[a].value.matmul_transpose_a(&grad).unwrap();
+                    let da = grad
+                        .matmul_transpose_b_with(&self.nodes[b].value, &self.exec)
+                        .unwrap();
+                    let db = self.nodes[a]
+                        .value
+                        .matmul_transpose_a_with(&grad, &self.exec)
+                        .unwrap();
                     self.accumulate(a, da);
                     self.accumulate(b, db);
                 }
@@ -469,7 +499,7 @@ impl Graph {
                         ops::add_assign(&mut col_g, grad.row(i));
                     }
                     // dX = 2 (diag(row_g) X - G C)
-                    let gc = grad.matmul(&cv).unwrap();
+                    let gc = grad.matmul_with(&cv, &self.exec).unwrap();
                     let mut dx = Matrix::zeros(xv.nrows(), xv.ncols());
                     for (i, &rg) in row_g.iter().enumerate() {
                         let dst = dx.row_mut(i);
@@ -478,7 +508,7 @@ impl Graph {
                         }
                     }
                     // dC = 2 (diag(col_g) C - G^T X)
-                    let gtx = grad.matmul_transpose_a(&xv).unwrap();
+                    let gtx = grad.matmul_transpose_a_with(&xv, &self.exec).unwrap();
                     let mut dc = Matrix::zeros(cv.nrows(), cv.ncols());
                     for (j, &cg) in col_g.iter().enumerate() {
                         let dst = dc.row_mut(j);

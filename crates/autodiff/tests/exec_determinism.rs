@@ -1,0 +1,94 @@
+//! Graph execution on a pool must be bitwise identical to serial
+//! execution: the blocked `*_with(exec)` kernels the tape schedules are
+//! thread-invariant, so whole training runs — forward, backward, Adam —
+//! must not depend on the worker count. Runs in CI's release
+//! `exec_determinism` step.
+
+use kr_autodiff::optim::{Adam, ParamStore};
+use kr_autodiff::Graph;
+use kr_linalg::{ExecCtx, Matrix, ThreadPool};
+use std::sync::Arc;
+
+/// A deterministic pseudo-random matrix (no RNG dependency).
+fn init(rows: usize, cols: usize, salt: u64) -> Matrix {
+    Matrix::from_fn(rows, cols, |i, j| {
+        let h = (i as u64)
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(j as u64)
+            .wrapping_mul(1442695040888963407)
+            .wrapping_add(salt);
+        ((h >> 11) as f64 / (1u64 << 53) as f64) - 0.5
+    })
+}
+
+/// A small two-layer regression trained with Adam; returns the final
+/// parameters. Big enough (96x64x32) that the blocked kernels actually
+/// split work across panels.
+fn train(exec: &ExecCtx, steps: usize) -> Vec<Matrix> {
+    let x = init(96, 64, 1);
+    let target = init(96, 16, 2);
+    let centroids_init = init(8, 16, 3);
+    let mut store = ParamStore::new();
+    let w1 = store.add(init(64, 32, 4).scale(0.2));
+    let b1 = store.add(Matrix::zeros(1, 32));
+    let w2 = store.add(init(32, 16, 5).scale(0.2));
+    let c = store.add(centroids_init);
+    let mut adam = Adam::new(&store, 1e-2);
+    for _ in 0..steps {
+        let mut g = Graph::new().with_exec(exec.clone());
+        let xv = g.input(x.clone());
+        let tv = g.input(target.clone());
+        let w1v = g.param(&store, w1);
+        let b1v = g.param(&store, b1);
+        let w2v = g.param(&store, w2);
+        let cv = g.param(&store, c);
+        let h1 = g.matmul(xv, w1v);
+        let h1 = g.add_row_broadcast(h1, b1v);
+        let h1 = g.tanh(h1);
+        let z = g.matmul(h1, w2v);
+        let rec = g.mse(z, tv);
+        // Clustering-flavored term: soft-min distances to centroids,
+        // exercising sq_dist forward + backward on the pool.
+        let d = g.sq_dist(z, cv);
+        let neg = g.scale(d, -1.0);
+        let q = g.row_softmax(neg);
+        let qd = g.mul(q, d);
+        let cluster = g.sum(qd);
+        let cluster = g.scale(cluster, 1e-3);
+        let loss = g.add(rec, cluster);
+        g.backward(loss);
+        adam.step(&mut store, &g.param_grads());
+    }
+    [w1, b1, w2, c]
+        .iter()
+        .map(|&p| store.get(p).clone())
+        .collect()
+}
+
+fn assert_bits_equal(a: &[Matrix], b: &[Matrix], what: &str) {
+    for (pa, pb) in a.iter().zip(b.iter()) {
+        assert_eq!(pa.shape(), pb.shape(), "{what}");
+        for (x, y) in pa.as_slice().iter().zip(pb.as_slice()) {
+            assert_eq!(x.to_bits(), y.to_bits(), "{what}: parameter bits differ");
+        }
+    }
+}
+
+#[test]
+fn exec_determinism_graph_pool_1_2_8_workers() {
+    let reference = train(&ExecCtx::serial(), 12);
+    assert!(
+        reference.iter().all(|p| p.all_finite()),
+        "training diverged"
+    );
+    for workers in [1usize, 2, 8] {
+        let pool = Arc::new(ThreadPool::new(workers));
+        let exec = ExecCtx::threaded(workers + 1).with_pool(Arc::clone(&pool));
+        let got = train(&exec, 12);
+        assert_bits_equal(&got, &reference, &format!("workers={workers}"));
+        // The pool survives and is reusable after a whole training run.
+        let again = train(&exec, 12);
+        assert_bits_equal(&again, &reference, &format!("workers={workers} reuse"));
+        assert_eq!(pool.workers(), workers);
+    }
+}

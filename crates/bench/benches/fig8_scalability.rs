@@ -1,6 +1,8 @@
 //! Figure 8: runtime and peak memory of Naive-x, k-Means(h1+h2),
-//! k-Means(h1h2), KR-+(h1+h2), KR-x(h1+h2) as the number of data
-//! points, features, and centroids grows (Blobs).
+//! k-Means(h1h2), KR-+(h1+h2), KR-x(h1+h2) — plus the external
+//! summarization baselines Rk-means(h1+h2) and NNK-Means(h1+h2) at
+//! vector-budget parity — as the number of data points, features, and
+//! centroids grows (Blobs).
 //!
 //! Paper headline: KR-k-Means has a near-constant runtime overhead over
 //! k-Means(h1h2) (same asymptotic complexity) and uses *less* memory as
@@ -14,6 +16,7 @@ kr_bench::install_counting_allocator!();
 
 use kr_bench::{measure, mib};
 use kr_core::aggregator::Aggregator;
+use kr_core::baselines::{NnkMeans, RkMeans};
 use kr_core::kmeans::KMeans;
 use kr_core::kr_kmeans::{KrKMeans, KrVariant};
 use kr_core::naive::NaiveKr;
@@ -75,6 +78,27 @@ fn run_all(data: &Matrix, h: usize, label: &str) {
     });
     std::hint::black_box(&m5);
     results.push(("KR-x", t, p));
+    // External baselines at the same h1+h2 vector budget (the fig6 /
+    // table2 parity protocol). Rk-means' grid compression is the series
+    // expected to flatten as n grows.
+    let (m6, t, p) = measure(|| {
+        RkMeans::new(2 * h)
+            .with_n_init(1)
+            .with_max_iter(max_iter)
+            .fit(data)
+            .unwrap()
+    });
+    std::hint::black_box(&m6);
+    results.push(("Rk(h+h)", t, p));
+    let (m7, t, p) = measure(|| {
+        NnkMeans::new(2 * h)
+            .with_n_init(1)
+            .with_max_iter(max_iter)
+            .fit(data)
+            .unwrap()
+    });
+    std::hint::black_box(&m7);
+    results.push(("NNK(h+h)", t, p));
     print!("{label:<24}");
     for (_, t, _) in &results {
         print!("{:>10.3}", t);
@@ -89,18 +113,23 @@ fn run_all(data: &Matrix, h: usize, label: &str) {
 fn main() {
     println!("=== Figure 8: scalability (runtime seconds | peak heap MiB) ===");
     println!(
-        "{:<24}{:>10}{:>10}{:>10}{:>10}{:>10}   |{:>9}{:>9}{:>9}{:>9}{:>9}",
+        "{:<24}{:>10}{:>10}{:>10}{:>10}{:>10}{:>10}{:>10}   \
+         |{:>9}{:>9}{:>9}{:>9}{:>9}{:>9}{:>9}",
         "sweep",
         "Naive-x",
         "kM(h+h)",
         "kM(hh)",
         "KR-+",
         "KR-x",
+        "Rk(h+h)",
+        "NNK(h+h)",
         "Naive-x",
         "kM(h+h)",
         "kM(hh)",
         "KR-+",
-        "KR-x"
+        "KR-x",
+        "Rk(h+h)",
+        "NNK(h+h)"
     );
 
     // --- Vary number of data points (k = 100, m = 20).
@@ -160,8 +189,12 @@ fn main() {
         "\nExpected shape (paper Fig. 8): all curves grow with n/m/k; KR's runtime \
          overhead over kM(h1h2) stays near-constant; kM(h1h2)'s peak memory pulls \
          ahead of KR's as the centroid count grows (the KR series stores h1+h2 \
-         vectors instead of h1*h2). On the threads axis the fitted models are \
-         bit-identical at every worker count (deterministic chunk geometry); \
+         vectors instead of h1*h2). Baseline series: Rk-means' grid compression \
+         decouples its Lloyd phase from n, so its runtime curve should flatten \
+         exactly where the points axis grows (at the cost of grid memory in m); \
+         NNK-Means pays per-point sparse coding, tracking kM(h1+h2)'s growth \
+         with a constant-factor overhead. On the threads axis the fitted models \
+         are bit-identical at every worker count (deterministic chunk geometry); \
          runtime should drop toward the core count and flatten past it."
     );
 }

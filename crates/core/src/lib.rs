@@ -54,6 +54,7 @@ pub mod kr_kmeans;
 pub mod model_select;
 pub mod naive;
 pub mod operator;
+pub mod stats;
 
 pub use aggregator::Aggregator;
 pub use baselines::{NnkMeans, NnkMeansModel, RkMeans, RkMeansModel};
@@ -76,6 +77,9 @@ pub enum CoreError {
     NonFiniteInput,
     /// A configuration value is invalid.
     InvalidConfig(String),
+    /// A transport, framing, or protocol failure in a distributed run
+    /// (see `kr_federated`).
+    Transport(String),
 }
 
 impl std::fmt::Display for CoreError {
@@ -90,6 +94,7 @@ impl std::fmt::Display for CoreError {
             }
             CoreError::NonFiniteInput => write!(f, "input contains NaN or infinite values"),
             CoreError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            CoreError::Transport(msg) => write!(f, "transport failure: {msg}"),
         }
     }
 }

@@ -1,0 +1,127 @@
+//! Sufficient statistics for distributed mean updates.
+//!
+//! Both the exact k-Means mean update and the Proposition 6.1 closed
+//! forms ([`crate::kr_kmeans::prop61_update_from_stats`]) depend on the
+//! data only through per-cluster coordinate sums `Σ_{x∈C} x` and member
+//! counts `|C|`. [`SuffStats`] packages exactly that pair, so a
+//! federated client can compute it locally, a wire layer can frame it
+//! (every field is a flat row-major `f64`/`u64` block), and a server can
+//! merge client contributions in a fixed order — which keeps distributed
+//! updates bitwise deterministic.
+//!
+//! ```
+//! use kr_core::stats::SuffStats;
+//! use kr_linalg::Matrix;
+//!
+//! let mut a = SuffStats::zeros(2, 3);
+//! a.sums.row_mut(0).copy_from_slice(&[1.0, 2.0, 3.0]);
+//! a.counts[0] = 1;
+//! let mut b = SuffStats::zeros(2, 3);
+//! b.sums.row_mut(0).copy_from_slice(&[4.0, 4.0, 4.0]);
+//! b.counts[0] = 2;
+//! a.merge(&b).unwrap();
+//! assert_eq!(a.sums.row(0), &[5.0, 6.0, 7.0]);
+//! assert_eq!(a.counts, vec![3, 0]);
+//! ```
+
+use crate::{CoreError, Result};
+use kr_linalg::Matrix;
+
+/// Per-cluster coordinate sums and member counts — the sufficient
+/// statistics of one Lloyd / KR-k-Means update.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SuffStats {
+    /// `k x m`: per-cluster coordinate sums.
+    pub sums: Matrix,
+    /// `k`: per-cluster member counts.
+    pub counts: Vec<u64>,
+}
+
+impl SuffStats {
+    /// All-zero statistics for `k` clusters over `m` features.
+    pub fn zeros(k: usize, m: usize) -> Self {
+        SuffStats {
+            sums: Matrix::zeros(k, m),
+            counts: vec![0; k],
+        }
+    }
+
+    /// Number of clusters.
+    pub fn k(&self) -> usize {
+        self.sums.nrows()
+    }
+
+    /// Number of features.
+    pub fn m(&self) -> usize {
+        self.sums.ncols()
+    }
+
+    /// Adds `other`'s sums and counts into `self`, elementwise in index
+    /// order. Merging a sequence of client contributions in a fixed
+    /// order is deterministic at any thread count.
+    pub fn merge(&mut self, other: &SuffStats) -> Result<()> {
+        if self.sums.shape() != other.sums.shape() || self.counts.len() != other.counts.len() {
+            return Err(CoreError::Transport(format!(
+                "sufficient-statistics shape mismatch: {:?}/{} vs {:?}/{}",
+                self.sums.shape(),
+                self.counts.len(),
+                other.sums.shape(),
+                other.counts.len()
+            )));
+        }
+        self.sums
+            .axpy_inplace(1.0, &other.sums)
+            .expect("shapes checked");
+        for (c, &o) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *c += o;
+        }
+        Ok(())
+    }
+
+    /// Counts widened to `usize`, the type the update closed forms take.
+    pub fn counts_usize(&self) -> Vec<usize> {
+        self.counts.iter().map(|&c| c as usize).collect()
+    }
+
+    /// Number of 8-byte words a frame of these statistics carries
+    /// (`k·m` sums plus `k` counts) — the closed-form uplink accounting
+    /// of the paper's Figure 10.
+    pub fn wire_f64s(&self) -> usize {
+        self.sums.len() + self.counts.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_rejects_shape_mismatch() {
+        let mut a = SuffStats::zeros(2, 3);
+        let b = SuffStats::zeros(3, 3);
+        assert!(matches!(a.merge(&b), Err(CoreError::Transport(_))));
+    }
+
+    #[test]
+    fn merge_order_is_fixed_and_exact() {
+        let mut acc = SuffStats::zeros(1, 1);
+        for v in [1.0f64, 1e-16, 1e-16] {
+            let mut part = SuffStats::zeros(1, 1);
+            part.sums.set(0, 0, v);
+            part.counts[0] = 1;
+            acc.merge(&part).unwrap();
+        }
+        // Left-to-right accumulation: (1 + 1e-16) + 1e-16, not
+        // 1 + (1e-16 + 1e-16).
+        assert_eq!(
+            acc.sums.get(0, 0).to_bits(),
+            ((1.0f64 + 1e-16) + 1e-16).to_bits()
+        );
+        assert_eq!(acc.counts[0], 3);
+    }
+
+    #[test]
+    fn wire_f64s_is_closed_form() {
+        assert_eq!(SuffStats::zeros(4, 7).wire_f64s(), 4 * 7 + 4);
+    }
+}

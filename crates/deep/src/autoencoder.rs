@@ -5,7 +5,7 @@ use crate::layers::{Activation, Layer};
 use crate::{DeepError, Result};
 use kr_autodiff::optim::{Adam, ParamStore};
 use kr_autodiff::{Graph, VarId};
-use kr_linalg::Matrix;
+use kr_linalg::{ExecCtx, Matrix};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -171,7 +171,13 @@ impl Autoencoder {
 
     /// Encodes a data matrix (no gradients retained).
     pub fn encode(&self, data: &Matrix) -> Matrix {
-        let mut g = Graph::new();
+        self.encode_with(data, &ExecCtx::serial())
+    }
+
+    /// [`Autoencoder::encode`] with the forward matmuls scheduled on an
+    /// execution context (bitwise identical at any thread count).
+    pub fn encode_with(&self, data: &Matrix, exec: &ExecCtx) -> Matrix {
+        let mut g = Graph::new().with_exec(exec.clone());
         let x = g.input(data.clone());
         let z = self.encode_on(&mut g, x);
         g.value(z).clone()
@@ -206,6 +212,22 @@ impl Autoencoder {
         lr: f64,
         seed: u64,
     ) -> Vec<f64> {
+        self.pretrain_with(data, epochs, batch_size, lr, seed, &ExecCtx::serial())
+    }
+
+    /// [`Autoencoder::pretrain`] with every batch graph scheduled on an
+    /// execution context. The blocked kernels are thread-invariant, so
+    /// the trained weights are bitwise identical at any worker count.
+    #[allow(clippy::too_many_arguments)]
+    pub fn pretrain_with(
+        &mut self,
+        data: &Matrix,
+        epochs: usize,
+        batch_size: usize,
+        lr: f64,
+        seed: u64,
+        exec: &ExecCtx,
+    ) -> Vec<f64> {
         let mut adam = Adam::new(&self.store, lr);
         let mut rng = StdRng::seed_from_u64(seed);
         let n = data.nrows();
@@ -218,7 +240,7 @@ impl Autoencoder {
             let mut batches = 0usize;
             for chunk in order.chunks(bs) {
                 let batch = data.select_rows(chunk);
-                let mut g = Graph::new();
+                let mut g = Graph::new().with_exec(exec.clone());
                 let x = g.input(batch);
                 let z = self.encode_on(&mut g, x);
                 let xhat = self.decode_on(&mut g, z);

@@ -172,7 +172,9 @@ impl DeepClustering {
     }
 
     /// Sets the execution context used by the (KR-)k-Means latent-space
-    /// initialization (results are identical at any thread count).
+    /// initialization *and* every training graph's blocked matmul /
+    /// pairwise-distance kernels (results are bitwise identical at any
+    /// thread count; only wall-clock changes).
     pub fn with_exec(mut self, exec: ExecCtx) -> Self {
         self.exec = exec;
         self
@@ -190,7 +192,7 @@ impl DeepClustering {
             )));
         }
         // ---- Initialization: (KR-)k-Means in the latent space (§7).
-        let z0 = ae.encode(data);
+        let z0 = ae.encode_with(data, &self.exec);
         let centroids = match &self.centroid_kind {
             CentroidKind::Full { k } => {
                 let km = KMeans::new(*k)
@@ -223,8 +225,8 @@ impl DeepClustering {
             // full dataset and detached (DEC/IDEC practice).
             let target_p = match self.loss {
                 LossKind::Idec { alpha } => {
-                    let z = ae.encode(data);
-                    let mut g = Graph::new();
+                    let z = ae.encode_with(data, &self.exec);
+                    let mut g = Graph::new().with_exec(self.exec.clone());
                     let zv = g.input(z);
                     let cv = centroids.materialize(&mut g, &ae.store);
                     let q = idec_soft_assignment(&mut g, zv, cv, alpha);
@@ -237,7 +239,7 @@ impl DeepClustering {
             let mut batches = 0usize;
             for chunk in order.chunks(bs) {
                 let batch = data.select_rows(chunk);
-                let mut g = Graph::new();
+                let mut g = Graph::new().with_exec(self.exec.clone());
                 let x = g.input(batch);
                 let z = ae.encode_on(&mut g, x);
                 let c = centroids.materialize(&mut g, &ae.store);
@@ -266,7 +268,7 @@ impl DeepClustering {
         }
 
         // ---- Final hard assignment by nearest latent centroid.
-        let z = ae.encode(data);
+        let z = ae.encode_with(data, &self.exec);
         let labels = kr_metrics::internal::nearest_assignments(&z, &centroids.values(&ae.store));
         Ok(DeepModel {
             autoencoder: ae,
@@ -387,6 +389,44 @@ mod tests {
             .fit(ae, &data)
             .unwrap();
         assert_eq!(model.predict(&data), model.labels);
+    }
+
+    #[test]
+    fn exec_determinism_deep_training_pool_1_2_8_workers() {
+        // Whole-stack determinism: pretraining, latent k-Means init,
+        // and joint DKM training must be bitwise identical at any pool
+        // size (every graph matmul runs the thread-invariant blocked
+        // kernels).
+        use kr_linalg::ThreadPool;
+        use std::sync::Arc;
+        let (data, _) = toy();
+        let fit_with = |exec: &ExecCtx| {
+            let mut ae = Autoencoder::new(&[12, 8, 2], Compression::None, 9).unwrap();
+            ae.pretrain_with(&data, 10, 32, 1e-2, 10, exec);
+            DeepClustering::dkm(3)
+                .with_epochs(6)
+                .with_batch_size(32)
+                .with_lr(1e-3)
+                .with_seed(11)
+                .with_exec(exec.clone())
+                .fit(ae, &data)
+                .unwrap()
+        };
+        let reference = fit_with(&ExecCtx::serial());
+        for workers in [1usize, 2, 8] {
+            let pool = Arc::new(ThreadPool::new(workers));
+            let exec = ExecCtx::threaded(workers + 1).with_pool(Arc::clone(&pool));
+            let model = fit_with(&exec);
+            assert_eq!(model.labels, reference.labels, "workers={workers}");
+            for (a, b) in model.epoch_losses.iter().zip(reference.epoch_losses.iter()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "workers={workers}");
+            }
+            let (mc, rc) = (model.latent_centroids(), reference.latent_centroids());
+            for (x, y) in mc.as_slice().iter().zip(rc.as_slice()) {
+                assert_eq!(x.to_bits(), y.to_bits(), "workers={workers}");
+            }
+            assert_eq!(pool.workers(), workers);
+        }
     }
 
     #[test]

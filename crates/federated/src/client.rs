@@ -1,0 +1,243 @@
+//! The federated client: a shard plus the message handler that answers
+//! the server's protocol.
+//!
+//! [`ShardClient`] is transport-agnostic: [`ShardClient::handle`] maps
+//! one received [`Msg`] to at most one reply, and
+//! [`ShardClient::serve`] loops that handler over any
+//! [`Connection`] until the server sends
+//! a final [`RoundAck`](crate::protocol::RoundAck) (or closes the
+//! stream). The in-process local transport calls `handle` synchronously;
+//! the TCP transport runs `serve` on the remote side.
+//!
+//! All shard computation happens here — nearest-centroid statistics via
+//! [`crate::protocol::compute_local_stats`] on the client's own
+//! [`ExecCtx`], and the D² seeding state for the bootstrap phase. The
+//! raw shard never leaves the client except for individual rows the
+//! server selects as seeds (exactly the information the centralized
+//! k-means++ initialization uses).
+
+use crate::protocol::{compute_local_stats, Join, Msg};
+use crate::transport::Connection;
+use kr_core::{CoreError, Result};
+use kr_linalg::{ops, ExecCtx, Matrix};
+
+/// What [`ShardClient::handle`] decided about one incoming message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Step {
+    /// Send this reply and keep serving.
+    Reply(Msg),
+    /// No reply needed; keep serving.
+    Continue,
+    /// The server ended the protocol; stop serving.
+    Done,
+}
+
+/// One federated participant: a borrowed data shard, its execution
+/// context, and the bootstrap-phase D² state.
+#[derive(Debug)]
+pub struct ShardClient<'a> {
+    id: u32,
+    data: &'a Matrix,
+    exec: ExecCtx,
+    d2: Vec<f64>,
+}
+
+impl<'a> ShardClient<'a> {
+    /// Creates a client over a shard. `id` must be unique per run; the
+    /// server merges contributions in ascending id order.
+    pub fn new(id: u32, data: &'a Matrix, exec: ExecCtx) -> Self {
+        ShardClient {
+            id,
+            data,
+            exec,
+            d2: Vec::new(),
+        }
+    }
+
+    /// The registration message this client opens with.
+    pub fn join(&self) -> Msg {
+        Msg::Join(Join {
+            client_id: self.id,
+            nrows: self.data.nrows() as u64,
+            ncols: self.data.ncols() as u64,
+            finite: self.data.all_finite(),
+        })
+    }
+
+    /// Handles one server message, returning the reply (if any).
+    /// Messages a server never sends to a client are protocol errors.
+    pub fn handle(&mut self, msg: &Msg) -> Result<Step> {
+        match msg {
+            Msg::FetchPoint { index } => {
+                let i = *index as usize;
+                if i >= self.data.nrows() {
+                    return Err(CoreError::Transport(format!(
+                        "server fetched point {i} of a {}-row shard",
+                        self.data.nrows()
+                    )));
+                }
+                Ok(Step::Reply(Msg::Point {
+                    row: self.data.row(i).to_vec(),
+                }))
+            }
+            Msg::SeedInit { row } => {
+                self.d2 = self.data.rows_iter().map(|x| ops::sqdist(x, row)).collect();
+                Ok(Step::Reply(Msg::SeedMass { mass: self.mass() }))
+            }
+            Msg::SeedUpdate { row } => {
+                for (x, d) in self.data.rows_iter().zip(self.d2.iter_mut()) {
+                    let nd = ops::sqdist(x, row);
+                    if nd < *d {
+                        *d = nd;
+                    }
+                }
+                Ok(Step::Reply(Msg::SeedMass { mass: self.mass() }))
+            }
+            Msg::SeedSelect { target } => {
+                let mut t = *target;
+                for (pi, &w) in self.d2.iter().enumerate() {
+                    if t < w {
+                        return Ok(Step::Reply(Msg::SeedPick {
+                            row: self.data.row(pi).to_vec(),
+                            found: true,
+                        }));
+                    }
+                    t -= w;
+                }
+                // Rounding pushed the target past the last point; let
+                // the server fall back.
+                Ok(Step::Reply(Msg::SeedPick {
+                    row: Vec::new(),
+                    found: false,
+                }))
+            }
+            Msg::MeanQuery => {
+                let mut sum = vec![0.0f64; self.data.ncols()];
+                for x in self.data.rows_iter() {
+                    ops::add_assign(&mut sum, x);
+                }
+                Ok(Step::Reply(Msg::MeanStats {
+                    sum,
+                    count: self.data.nrows() as u64,
+                }))
+            }
+            Msg::Broadcast(b) => {
+                let centroids = b.summary.materialize();
+                let stats = compute_local_stats(self.data, &centroids, b.round, &self.exec);
+                Ok(Step::Reply(Msg::LocalStats(stats)))
+            }
+            Msg::RoundAck(a) => Ok(if a.done { Step::Done } else { Step::Continue }),
+            other => Err(CoreError::Transport(format!(
+                "client received a client-side message: {other:?}"
+            ))),
+        }
+    }
+
+    /// Serves the protocol over a connection until the server finishes
+    /// (final [`RoundAck`](crate::protocol::RoundAck)) or cleanly closes
+    /// the stream.
+    pub fn serve<C: Connection>(mut self, conn: &mut C) -> Result<()> {
+        conn.send(&self.join())?;
+        loop {
+            let msg = match conn.recv()? {
+                Some((msg, _)) => msg,
+                // Clean close at a frame boundary: the server is gone.
+                None => return Ok(()),
+            };
+            match self.handle(&msg)? {
+                Step::Reply(reply) => {
+                    conn.send(&reply)?;
+                }
+                Step::Continue => {}
+                Step::Done => return Ok(()),
+            }
+        }
+    }
+
+    fn mass(&self) -> f64 {
+        self.d2.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::{Broadcast, Summary};
+
+    fn shard() -> Matrix {
+        Matrix::from_rows(&[vec![0.0, 0.0], vec![3.0, 4.0], vec![6.0, 8.0]]).unwrap()
+    }
+
+    #[test]
+    fn seeding_walk_matches_reference() {
+        let data = shard();
+        let mut c = ShardClient::new(0, &data, ExecCtx::serial());
+        let Step::Reply(Msg::SeedMass { mass }) = c
+            .handle(&Msg::SeedInit {
+                row: vec![0.0, 0.0],
+            })
+            .unwrap()
+        else {
+            panic!("expected mass");
+        };
+        assert_eq!(mass, 25.0 + 100.0);
+        // target 30 lands on the last point (25 <= 30 < 125).
+        let Step::Reply(Msg::SeedPick { row, found }) =
+            c.handle(&Msg::SeedSelect { target: 30.0 }).unwrap()
+        else {
+            panic!("expected pick");
+        };
+        assert!(found);
+        assert_eq!(row, vec![6.0, 8.0]);
+        // A target past the total mass walks off the end.
+        let Step::Reply(Msg::SeedPick { found, .. }) =
+            c.handle(&Msg::SeedSelect { target: 999.0 }).unwrap()
+        else {
+            panic!("expected pick");
+        };
+        assert!(!found);
+    }
+
+    #[test]
+    fn broadcast_yields_stats_and_ack_finishes() {
+        let data = shard();
+        let mut c = ShardClient::new(1, &data, ExecCtx::serial());
+        let step = c
+            .handle(&Msg::Broadcast(Broadcast {
+                round: 0,
+                eval_only: false,
+                summary: Summary::Centroids(
+                    Matrix::from_rows(&[vec![0.0, 0.0], vec![6.0, 8.0]]).unwrap(),
+                ),
+            }))
+            .unwrap();
+        let Step::Reply(Msg::LocalStats(stats)) = step else {
+            panic!("expected stats");
+        };
+        assert_eq!(stats.stats.counts, vec![2, 1]);
+        assert_eq!(stats.inertia, 25.0); // (3,4) is 25 from both centroids
+        assert_eq!(
+            c.handle(&Msg::RoundAck(crate::protocol::RoundAck {
+                round: 0,
+                done: false
+            }))
+            .unwrap(),
+            Step::Continue
+        );
+        assert_eq!(
+            c.handle(&Msg::RoundAck(crate::protocol::RoundAck {
+                round: 1,
+                done: true
+            }))
+            .unwrap(),
+            Step::Done
+        );
+    }
+
+    #[test]
+    fn rejects_client_side_messages() {
+        let data = shard();
+        let mut c = ShardClient::new(2, &data, ExecCtx::serial());
+        assert!(c.handle(&Msg::SeedMass { mass: 1.0 }).is_err());
+    }
+}

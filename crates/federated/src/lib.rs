@@ -1,8 +1,27 @@
 //! # kr-federated
 //!
 //! Federated k-Means (`FkM`, after Garst & Reinders 2024) and its
-//! Khatri-Rao extension `KR-FkM` (paper Section 9.4, Figure 10), with
-//! byte-accurate accounting of server→client communication.
+//! Khatri-Rao extension `KR-FkM` (paper Section 9.4, Figure 10), built
+//! as a **layered, transport-agnostic subsystem** with byte counts
+//! measured from real wire frames:
+//!
+//! * [`protocol`] — typed [`Broadcast`](protocol::Broadcast) /
+//!   [`LocalStats`](protocol::LocalStats) /
+//!   [`RoundAck`](protocol::RoundAck) messages and the pure per-round
+//!   state machines for both algorithms.
+//! * [`wire`] — length-prefixed little-endian framing with exact `f64`
+//!   bit round-trips; every frame reports how many of its bytes are
+//!   summary statistics, which is what the Figure 10 counters
+//!   accumulate.
+//! * [`transport`] — the [`Connection`](transport::Connection) trait
+//!   plus two backends: synchronous in-memory channels
+//!   ([`transport::local`]) and loopback/network TCP over `std::net`
+//!   ([`transport::tcp`]) with a non-blocking accept loop and
+//!   per-connection workers on the [`kr_linalg::pool`].
+//! * [`server`] / [`client`] — a [`FederatedServer`] driving rounds
+//!   against N concurrent clients, and a
+//!   [`ShardClient`](client::ShardClient) computing local statistics on
+//!   its own [`ExecCtx`].
 //!
 //! Protocol (both algorithms, per round):
 //!
@@ -11,14 +30,17 @@
 //!    This is the *downlink* cost plotted in Figure 10.
 //! 2. **Local statistics** — each client assigns its points to the
 //!    nearest (aggregated) centroid and uploads per-cluster coordinate
-//!    sums and counts.
+//!    sums and counts, plus its partial inertia as telemetry.
 //! 3. **Server update** — aggregated statistics drive the exact k-Means
 //!    mean update, or the Proposition 6.1 closed forms
 //!    ([`kr_core::kr_kmeans::prop61_update_from_stats`]) for `KR-FkM`.
 //!
 //! Because the closed forms need only sufficient statistics, one
 //! federated round is mathematically identical to one centralized Lloyd /
-//! KR-k-Means iteration — verified by the equivalence tests below.
+//! KR-k-Means iteration — verified by the equivalence tests below. And
+//! because every merge happens in fixed client order over exact framed
+//! `f64`s, a loopback-TCP run is **bitwise identical** to the
+//! in-process run at any pool size (CI-enforced).
 //!
 //! ```
 //! use kr_federated::{Client, FkM};
@@ -31,17 +53,22 @@
 //! let model = FkM { k: 2, rounds: 3, seed: 1 }.run(&clients).unwrap();
 //! assert_eq!(model.centroids.nrows(), 2);
 //! assert_eq!(model.history.len(), 3); // one telemetry entry per round
+//! assert!(model.wire.frame_bytes_down > model.history.last().unwrap().downlink_bytes);
 //! ```
 
 #![warn(missing_docs)]
 
+pub mod client;
+pub mod protocol;
+pub mod server;
+pub mod transport;
+pub mod wire;
+
+pub use server::{Algo, FederatedServer, WireTotals};
+
 use kr_core::aggregator::Aggregator;
-use kr_core::kr_kmeans::prop61_update_from_stats;
-use kr_core::operator::khatri_rao;
-use kr_core::{CoreError, Result};
+use kr_core::Result;
 use kr_linalg::{ops, parallel, ExecCtx, Matrix};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Bytes per f64 on the wire (plain little-endian framing).
 pub const BYTES_PER_F64: usize = 8;
@@ -54,6 +81,10 @@ pub struct Client {
 }
 
 /// Per-round telemetry shared by both algorithms.
+///
+/// The byte counters are *measured* from the frames the transport
+/// actually carried (summary-statistic payload bytes; see
+/// [`wire::FrameInfo`]) and equal the paper's closed-form accounting.
 #[derive(Debug, Clone)]
 pub struct RoundStats {
     /// Round index (0-based).
@@ -62,7 +93,8 @@ pub struct RoundStats {
     pub downlink_bytes: usize,
     /// Cumulative client→server bytes after this round's upload.
     pub uplink_bytes: usize,
-    /// Global inertia of the model *after* this round's update.
+    /// Global inertia of the model *after* this round's update,
+    /// assembled from client-reported partials.
     pub inertia: f64,
 }
 
@@ -73,6 +105,10 @@ pub struct FederatedModel {
     pub centroids: Matrix,
     /// Telemetry per round.
     pub history: Vec<RoundStats>,
+    /// Total measured frame traffic, framing overhead and bootstrap
+    /// included (the per-round counters account summary statistics
+    /// only).
+    pub wire: WireTotals,
 }
 
 /// Federated k-Means.
@@ -106,38 +142,19 @@ impl FkM {
         self.run_with(clients, &ExecCtx::serial())
     }
 
-    /// Runs the protocol over the clients, with each client's local
+    /// Runs the protocol over the clients through the in-process
+    /// [`transport::local`] backend, with each client's local
     /// assignment step chunk-parallel on `exec`'s pool (modeling clients
     /// that compute concurrently; results are identical at any thread
-    /// count).
+    /// count, and bitwise identical to a loopback-TCP run of
+    /// [`FederatedServer::drive`]).
     pub fn run_with(&self, clients: &[Client], exec: &ExecCtx) -> Result<FederatedModel> {
-        let m = check_clients(clients)?;
-        let mut rng = StdRng::seed_from_u64(self.seed);
-        let mut centroids = dsq_sample_across_clients(clients, self.k, &mut rng)?;
-        let mut history = Vec::with_capacity(self.rounds);
-        let (mut down, mut up) = (0usize, 0usize);
-        for round in 0..self.rounds {
-            down += clients.len() * self.k * m * BYTES_PER_F64;
-            let (sums, counts) = gather_stats(clients, &centroids, exec);
-            up += clients.len() * (self.k * m + self.k) * BYTES_PER_F64;
-            for (c, &count) in counts.iter().enumerate() {
-                if count == 0 {
-                    continue; // keep stale centroid; no raw data server-side
-                }
-                let inv = 1.0 / count as f64;
-                let src = sums.row(c);
-                for (dst, &s) in centroids.row_mut(c).iter_mut().zip(src) {
-                    *dst = s * inv;
-                }
-            }
-            history.push(RoundStats {
-                round,
-                downlink_bytes: down,
-                uplink_bytes: up,
-                inertia: global_inertia(clients, &centroids),
-            });
-        }
-        Ok(FederatedModel { centroids, history })
+        let server = FederatedServer {
+            algo: Algo::Fkm { k: self.k },
+            rounds: self.rounds,
+            seed: self.seed,
+        };
+        server.drive(transport::local::connect_shards(clients, exec), exec)
     }
 }
 
@@ -148,216 +165,87 @@ impl KrFkM {
         self.run_with(clients, &ExecCtx::serial())
     }
 
-    /// Runs the protocol over the clients, with each client's local
-    /// assignment step chunk-parallel on `exec`'s pool (results are
-    /// identical at any thread count).
+    /// Runs the protocol over the clients through the in-process
+    /// [`transport::local`] backend (see [`FkM::run_with`]).
     pub fn run_with(&self, clients: &[Client], exec: &ExecCtx) -> Result<FederatedModel> {
-        let m = check_clients(clients)?;
-        if self.hs.is_empty() || self.hs.contains(&0) {
-            return Err(CoreError::InvalidConfig("set sizes must be >= 1".into()));
-        }
-        let mut rng = StdRng::seed_from_u64(self.seed);
-        // Anchored kr++-style initialization executed with a one-off
-        // sampling round (not counted: identical bookkeeping for both
-        // algorithms): D²-spread client points per set; sets beyond the
-        // first are converted to deviations from the global mean so the
-        // initial aggregations sit on the data manifold.
-        let mean = global_mean(clients, m);
-        let mut sets: Vec<Matrix> = Vec::with_capacity(self.hs.len());
-        for (l, &h) in self.hs.iter().enumerate() {
-            let mut set = dsq_sample_across_clients(clients, h, &mut rng)?;
-            if l > 0 {
-                for j in 0..set.nrows() {
-                    let row = set.row_mut(j);
-                    for (v, &g) in row.iter_mut().zip(mean.iter()) {
-                        match self.aggregator {
-                            Aggregator::Sum => *v -= g,
-                            Aggregator::Product => {
-                                if g.abs() > 1e-9 {
-                                    *v /= g;
-                                } else {
-                                    *v = 1.0;
-                                }
-                            }
-                        }
-                    }
-                }
-            }
-            sets.push(set);
-        }
-        let k: usize = self.hs.iter().product();
-        let params: usize = self.hs.iter().sum::<usize>() * m;
-        let mut history = Vec::with_capacity(self.rounds);
-        let (mut down, mut up) = (0usize, 0usize);
-        let mut centroids = khatri_rao(&sets, self.aggregator).expect("validated sets");
-        for round in 0..self.rounds {
-            // Downlink: only the protocentroids travel.
-            down += clients.len() * params * BYTES_PER_F64;
-            let (sums, counts) = gather_stats(clients, &centroids, exec);
-            up += clients.len() * (k * m + k) * BYTES_PER_F64;
-            prop61_update_from_stats(&sums, &counts, &mut sets, self.aggregator);
-            centroids = khatri_rao(&sets, self.aggregator).expect("validated sets");
-            history.push(RoundStats {
-                round,
-                downlink_bytes: down,
-                uplink_bytes: up,
-                inertia: global_inertia(clients, &centroids),
-            });
-        }
-        Ok(FederatedModel { centroids, history })
-    }
-}
-
-fn check_clients(clients: &[Client]) -> Result<usize> {
-    if clients.is_empty() || clients.iter().all(|c| c.data.nrows() == 0) {
-        return Err(CoreError::EmptyInput);
-    }
-    let m = clients
-        .iter()
-        .find(|c| c.data.nrows() > 0)
-        .map(|c| c.data.ncols())
-        .expect("non-empty");
-    for c in clients {
-        if c.data.nrows() > 0 && c.data.ncols() != m {
-            return Err(CoreError::InvalidConfig("client dimension mismatch".into()));
-        }
-        if !c.data.all_finite() {
-            return Err(CoreError::NonFiniteInput);
-        }
-    }
-    Ok(m)
-}
-
-/// D²-weighted (k-means++-style) seeding across client shards: clients
-/// report their points' squared distances to the chosen seeds; the
-/// server samples the next seed proportionally.
-fn dsq_sample_across_clients(clients: &[Client], count: usize, rng: &mut StdRng) -> Result<Matrix> {
-    let total: usize = clients.iter().map(|c| c.data.nrows()).sum();
-    if total < count {
-        return Err(CoreError::TooFewPoints {
-            available: total,
-            required: count,
-        });
-    }
-    let m = check_clients(clients)?;
-    let mut seeds = Matrix::zeros(count, m);
-    // First seed uniform.
-    let mut pick = rng.gen_range(0..total);
-    for c in clients {
-        if pick < c.data.nrows() {
-            seeds.row_mut(0).copy_from_slice(c.data.row(pick));
-            break;
-        }
-        pick -= c.data.nrows();
-    }
-    // Running min squared distance per (client-local) point.
-    let mut d2: Vec<Vec<f64>> = clients
-        .iter()
-        .map(|c| {
-            c.data
-                .rows_iter()
-                .map(|x| ops::sqdist(x, seeds.row(0)))
-                .collect()
-        })
-        .collect();
-    for s in 1..count {
-        let grand: f64 = d2.iter().flat_map(|v| v.iter()).sum();
-        let mut target = if grand > 0.0 {
-            rng.gen_range(0.0..grand)
-        } else {
-            0.0
+        let server = FederatedServer {
+            algo: Algo::KrFkm {
+                hs: self.hs.clone(),
+                aggregator: self.aggregator,
+            },
+            rounds: self.rounds,
+            seed: self.seed,
         };
-        let mut chosen: Option<(usize, usize)> = None;
-        'outer: for (ci, dists) in d2.iter().enumerate() {
-            for (pi, &w) in dists.iter().enumerate() {
-                if grand <= 0.0 || target < w {
-                    chosen = Some((ci, pi));
-                    break 'outer;
-                }
-                target -= w;
-            }
-        }
-        let (ci, pi) = chosen.unwrap_or((0, 0));
-        seeds.row_mut(s).copy_from_slice(clients[ci].data.row(pi));
-        for (c, dists) in clients.iter().zip(d2.iter_mut()) {
-            for (x, d) in c.data.rows_iter().zip(dists.iter_mut()) {
-                let nd = ops::sqdist(x, seeds.row(s));
-                if nd < *d {
-                    *d = nd;
-                }
-            }
-        }
+        server.drive(transport::local::connect_shards(clients, exec), exec)
     }
-    Ok(seeds)
-}
-
-/// Global feature mean aggregated from client sums/counts.
-fn global_mean(clients: &[Client], m: usize) -> Vec<f64> {
-    let mut sum = vec![0.0f64; m];
-    let mut n = 0usize;
-    for c in clients {
-        for x in c.data.rows_iter() {
-            ops::add_assign(&mut sum, x);
-        }
-        n += c.data.nrows();
-    }
-    if n > 0 {
-        ops::scale_assign(&mut sum, 1.0 / n as f64);
-    }
-    sum
 }
 
 /// Each client computes per-cluster sums and counts locally; the server
-/// aggregates them. The per-client nearest-centroid search runs
-/// chunk-parallel over the client's points; the accumulation stays in
-/// point order on the submitting thread, so results are bitwise
-/// identical at any thread count.
-fn gather_stats(clients: &[Client], centroids: &Matrix, exec: &ExecCtx) -> (Matrix, Vec<usize>) {
+/// merges them in client order. Kept as a convenience for tests and
+/// callers that want one gather step outside the full protocol — the
+/// protocol path produces the same statistics via
+/// [`protocol::compute_local_stats`].
+pub fn gather_stats(
+    clients: &[Client],
+    centroids: &Matrix,
+    exec: &ExecCtx,
+) -> (Matrix, Vec<usize>) {
     let k = centroids.nrows();
     let m = centroids.ncols();
-    let mut sums = Matrix::zeros(k, m);
-    let mut counts = vec![0usize; k];
-    for client in clients {
-        let mut labels = vec![0usize; client.data.nrows()];
-        parallel::map_chunks_into(exec, &mut labels, |start, chunk| {
-            for (off, label) in chunk.iter_mut().enumerate() {
-                let x = client.data.row(start + off);
-                let mut best = 0usize;
-                let mut best_d = f64::INFINITY;
-                for (c, crow) in centroids.rows_iter().enumerate() {
-                    let d = ops::sqdist(x, crow);
-                    if d < best_d {
-                        best_d = d;
-                        best = c;
-                    }
-                }
-                *label = best;
-            }
-        });
-        for (x, &best) in client.data.rows_iter().zip(labels.iter()) {
-            ops::add_assign(sums.row_mut(best), x);
-            counts[best] += 1;
-        }
+    let mut agg = kr_core::stats::SuffStats::zeros(k, m);
+    for (i, client) in clients.iter().enumerate() {
+        let stats = protocol::compute_local_stats(&client.data, centroids, i as u32, exec);
+        agg.merge(&stats.stats).expect("shapes fixed by centroids");
     }
-    (sums, counts)
+    let counts = agg.counts_usize();
+    (agg.sums, counts)
 }
 
-/// Inertia over all client shards (evaluation only; in a real deployment
-/// this is assembled from client-reported partial inertias).
+/// Inertia over all client shards (evaluation only; the protocol path
+/// assembles the same quantity from client-reported partial inertias).
 pub fn global_inertia(clients: &[Client], centroids: &Matrix) -> f64 {
+    clients
+        .iter()
+        .map(|c| shard_inertia_serial(&c.data, centroids))
+        .sum()
+}
+
+/// [`global_inertia`] with each shard's scan chunk-parallel on `exec`'s
+/// pool. Chunk geometry is a pure function of the shard size, and
+/// per-chunk partials merge in ascending order, so the result is
+/// bitwise identical at any thread count (it may differ from the fully
+/// serial [`global_inertia`] by accumulation order only).
+pub fn global_inertia_with(clients: &[Client], centroids: &Matrix, exec: &ExecCtx) -> f64 {
+    /// Points per reduction chunk (fixed: never derived from the thread
+    /// budget).
+    const CHUNK: usize = 512;
     clients
         .iter()
         .map(|c| {
             if c.data.nrows() == 0 {
-                0.0
-            } else {
-                kr_metrics_inertia(&c.data, centroids)
+                return 0.0;
             }
+            let partials = parallel::reduce_chunks(
+                exec,
+                c.data.nrows(),
+                CHUNK,
+                || 0.0f64,
+                |acc, start, end| {
+                    for i in start..end {
+                        let x = c.data.row(i);
+                        *acc += centroids
+                            .rows_iter()
+                            .map(|cr| ops::sqdist(x, cr))
+                            .fold(f64::INFINITY, f64::min);
+                    }
+                },
+            );
+            partials.iter().sum::<f64>()
         })
         .sum()
 }
 
-fn kr_metrics_inertia(data: &Matrix, centroids: &Matrix) -> f64 {
+fn shard_inertia_serial(data: &Matrix, centroids: &Matrix) -> f64 {
     data.rows_iter()
         .map(|x| {
             centroids
@@ -387,6 +275,9 @@ pub fn shard_by_assignment(data: &Matrix, client_of: &[usize], n_clients: usize)
 #[cfg(test)]
 mod tests {
     use super::*;
+    use kr_core::kr_kmeans::prop61_update_from_stats;
+    use kr_core::operator::khatri_rao;
+    use kr_core::CoreError;
 
     fn make_clients(n_clients: usize, seed: u64) -> (Vec<Client>, Matrix) {
         let ds = kr_datasets::synthetic::blobs(200, 2, 4, 0.4, seed);
@@ -480,6 +371,55 @@ mod tests {
     }
 
     #[test]
+    fn measured_bytes_equal_closed_form_accounting() {
+        // The counters come from real frames; they must equal the
+        // paper's closed forms for both algorithms.
+        let (clients, _) = make_clients(4, 20);
+        let (n_clients, m, rounds) = (4usize, 2usize, 5usize);
+        let fkm = FkM {
+            k: 9,
+            rounds,
+            seed: 9,
+        }
+        .run(&clients)
+        .unwrap();
+        for (r, h) in fkm.history.iter().enumerate() {
+            assert_eq!(
+                h.downlink_bytes,
+                (r + 1) * n_clients * 9 * m * BYTES_PER_F64
+            );
+            assert_eq!(
+                h.uplink_bytes,
+                (r + 1) * n_clients * (9 * m + 9) * BYTES_PER_F64
+            );
+        }
+        let kr = KrFkM {
+            hs: vec![3, 3],
+            aggregator: Aggregator::Sum,
+            rounds,
+            seed: 9,
+        }
+        .run(&clients)
+        .unwrap();
+        let params = (3 + 3) * m;
+        let k_grid = 9;
+        for (r, h) in kr.history.iter().enumerate() {
+            assert_eq!(
+                h.downlink_bytes,
+                (r + 1) * n_clients * params * BYTES_PER_F64
+            );
+            assert_eq!(
+                h.uplink_bytes,
+                (r + 1) * n_clients * (k_grid * m + k_grid) * BYTES_PER_F64
+            );
+        }
+        // Full frame traffic strictly exceeds the accounted stats
+        // (framing overhead, bootstrap, acks, eval).
+        assert!(kr.wire.frame_bytes_down > kr.history.last().unwrap().downlink_bytes);
+        assert!(kr.wire.frame_bytes_up > kr.history.last().unwrap().uplink_bytes);
+    }
+
+    #[test]
     fn exec_determinism_rounds_thread_invariant() {
         // Every round's history (inertia and byte counters) must be
         // bitwise identical at any thread budget.
@@ -508,7 +448,22 @@ mod tests {
                 assert_eq!(a.downlink_bytes, b.downlink_bytes);
                 assert_eq!(a.uplink_bytes, b.uplink_bytes);
             }
+            assert_eq!(model.wire, reference.wire);
         }
+    }
+
+    #[test]
+    fn exec_determinism_global_inertia_with() {
+        let (clients, _) = make_clients(3, 14);
+        let centroids = Matrix::from_fn(4, 2, |i, j| (i * 2 + j) as f64 * 0.5);
+        let reference = global_inertia_with(&clients, &centroids, &ExecCtx::serial());
+        for threads in [2usize, 8] {
+            let got = global_inertia_with(&clients, &centroids, &ExecCtx::threaded(threads));
+            assert_eq!(got.to_bits(), reference.to_bits(), "threads={threads}");
+        }
+        // And it approximates the serial reference to fp-reorder noise.
+        let serial = global_inertia(&clients, &centroids);
+        assert!((reference - serial).abs() <= 1e-9 * serial.abs().max(1.0));
     }
 
     #[test]
@@ -557,6 +512,20 @@ mod tests {
         }
         .run(&mismatched)
         .is_err());
+    }
+
+    #[test]
+    fn rejects_zero_k() {
+        let (clients, _) = make_clients(2, 15);
+        assert!(matches!(
+            FkM {
+                k: 0,
+                rounds: 1,
+                seed: 0
+            }
+            .run(&clients),
+            Err(CoreError::InvalidConfig(_))
+        ));
     }
 
     #[test]

@@ -1,0 +1,366 @@
+//! Typed protocol messages and the pure per-round state machines.
+//!
+//! The protocol has three phases, all expressed as [`Msg`] values so
+//! that any [`Transport`](crate::transport) can carry them:
+//!
+//! 1. **Registration** — each client sends [`Join`] (shard shape and a
+//!    finiteness attestation; raw data never travels).
+//! 2. **Bootstrap** (uncounted, identical bookkeeping for both
+//!    algorithms) — D²-weighted seeding across shards: clients keep a
+//!    local vector of squared distances to the chosen seeds
+//!    ([`Msg::SeedInit`] / [`Msg::SeedUpdate`]), report its mass
+//!    ([`Msg::SeedMass`]), and resolve the server's proportional draw to
+//!    a concrete point ([`Msg::SeedSelect`] → [`Msg::SeedPick`]). The
+//!    KR-FkM deviation anchoring additionally aggregates a global mean
+//!    from per-client partials ([`Msg::MeanQuery`] →
+//!    [`Msg::MeanStats`]).
+//! 3. **Rounds** — the server broadcasts the model summary
+//!    ([`Broadcast`]: `k·m` floats for FkM, `(Σ h_l)·m` for KR-FkM —
+//!    the downlink cost of Figure 10), each client replies with
+//!    sufficient statistics and its partial inertia ([`LocalStats`]),
+//!    and the server closes the round with [`RoundAck`]. The final ack
+//!    carries `done = true` and shuts the client down.
+//!
+//! The *state machines* are pure: [`ServerState`] turns aggregated
+//! statistics into the next summary (exact mean update for FkM, the
+//! Proposition 6.1 closed forms for KR-FkM), and [`compute_local_stats`]
+//! turns a received summary into a client's reply. Neither touches a
+//! socket, which is what makes the in-process and loopback-TCP runs
+//! bitwise identical.
+
+use kr_core::aggregator::Aggregator;
+use kr_core::kr_kmeans::prop61_update_from_stats;
+use kr_core::operator::khatri_rao;
+use kr_core::stats::SuffStats;
+use kr_linalg::{ops, parallel, ExecCtx, Matrix};
+
+/// Client registration: shard shape plus a finiteness attestation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Join {
+    /// Caller-assigned client index; the server merges contributions in
+    /// ascending `client_id` order, which keeps runs deterministic no
+    /// matter the order connections arrive in.
+    pub client_id: u32,
+    /// Rows in the client's shard.
+    pub nrows: u64,
+    /// Columns in the client's shard (0 is allowed for empty shards).
+    pub ncols: u64,
+    /// Whether every shard entry is finite.
+    pub finite: bool,
+}
+
+/// The model summary a server broadcasts each round.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Summary {
+    /// FkM: the full `k x m` centroid matrix.
+    Centroids(Matrix),
+    /// KR-FkM: the protocentroid sets; clients expand the grid locally,
+    /// which is exactly why the downlink shrinks.
+    ProtoSets {
+        /// Elementwise aggregator combining the sets.
+        aggregator: Aggregator,
+        /// The `p` protocentroid sets (`h_l x m` each).
+        sets: Vec<Matrix>,
+    },
+}
+
+impl Summary {
+    /// Materializes the centroid grid a client assigns against.
+    pub fn materialize(&self) -> Matrix {
+        match self {
+            Summary::Centroids(c) => c.clone(),
+            Summary::ProtoSets { aggregator, sets } => {
+                khatri_rao(sets, *aggregator).expect("server-validated sets")
+            }
+        }
+    }
+
+    /// Number of `f64` summary parameters on the wire: `k·m` for
+    /// centroids, `(Σ h_l)·m` for protocentroid sets — the closed-form
+    /// downlink accounting of Figure 10.
+    pub fn param_f64s(&self) -> usize {
+        match self {
+            Summary::Centroids(c) => c.len(),
+            Summary::ProtoSets { sets, .. } => sets.iter().map(|s| s.len()).sum(),
+        }
+    }
+
+    /// Number of centroids the summary expands to.
+    pub fn grid_size(&self) -> usize {
+        match self {
+            Summary::Centroids(c) => c.nrows(),
+            Summary::ProtoSets { sets, .. } => sets.iter().map(|s| s.nrows()).product(),
+        }
+    }
+}
+
+/// Server → client: one round's summary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Broadcast {
+    /// Round index.
+    pub round: u32,
+    /// `true` for the trailing evaluation exchange: the client computes
+    /// statistics as usual, but the server uses only the inertia
+    /// telemetry and accounts no bytes (evaluation is not part of the
+    /// paper's communication cost).
+    pub eval_only: bool,
+    /// The model summary.
+    pub summary: Summary,
+}
+
+/// Client → server: sufficient statistics for one round.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LocalStats {
+    /// Round index this reply answers.
+    pub round: u32,
+    /// Per-cluster coordinate sums and counts under the received
+    /// summary.
+    pub stats: SuffStats,
+    /// The client's partial inertia under the received summary
+    /// (telemetry; excluded from the byte accounting).
+    pub inertia: f64,
+}
+
+/// Server → client: closes a round; `done = true` shuts the client
+/// down.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RoundAck {
+    /// Round index being acknowledged.
+    pub round: u32,
+    /// Whether the protocol is over.
+    pub done: bool,
+}
+
+/// Every message of the federated protocol, as framed by
+/// [`crate::wire`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Msg {
+    /// Client registration (client → server).
+    Join(Join),
+    /// Fetch one raw point to serve as a seed (server → client).
+    FetchPoint {
+        /// Client-local row index.
+        index: u64,
+    },
+    /// The fetched seed point (client → server).
+    Point {
+        /// The row.
+        row: Vec<f64>,
+    },
+    /// Reset the client's D² state to distances from this seed
+    /// (server → client).
+    SeedInit {
+        /// The first seed of a sampling pass.
+        row: Vec<f64>,
+    },
+    /// Min-update the client's D² state with this seed
+    /// (server → client).
+    SeedUpdate {
+        /// The newly chosen seed.
+        row: Vec<f64>,
+    },
+    /// The client's current D² mass (client → server).
+    SeedMass {
+        /// Sum of the client's per-point D² weights.
+        mass: f64,
+    },
+    /// Resolve a proportional draw inside this client's shard
+    /// (server → client).
+    SeedSelect {
+        /// Remaining target mass after earlier clients were skipped.
+        target: f64,
+    },
+    /// The resolved seed point (client → server).
+    SeedPick {
+        /// The chosen row (empty when `found` is `false`).
+        row: Vec<f64>,
+        /// Whether the walk landed inside this shard (rounding can push
+        /// the target past the last point).
+        found: bool,
+    },
+    /// Request per-client mean statistics (server → client).
+    MeanQuery,
+    /// Per-client coordinate sum and row count (client → server).
+    MeanStats {
+        /// Sum of the client's rows.
+        sum: Vec<f64>,
+        /// Number of rows summed.
+        count: u64,
+    },
+    /// One round's summary (server → client).
+    Broadcast(Broadcast),
+    /// One round's sufficient statistics (client → server).
+    LocalStats(LocalStats),
+    /// Round acknowledgement / shutdown (server → client).
+    RoundAck(RoundAck),
+}
+
+// ---- server state machine ----------------------------------------------
+
+/// The server's model state: everything needed to emit the next
+/// [`Broadcast`] and absorb aggregated [`SuffStats`]. Pure — no I/O.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServerState {
+    /// FkM: `k` free centroids.
+    Fkm {
+        /// Current centroid matrix.
+        centroids: Matrix,
+    },
+    /// KR-FkM: `p` protocentroid sets.
+    KrFkm {
+        /// Elementwise aggregator.
+        aggregator: Aggregator,
+        /// Current protocentroid sets.
+        sets: Vec<Matrix>,
+    },
+}
+
+impl ServerState {
+    /// The summary to broadcast this round.
+    pub fn summary(&self) -> Summary {
+        match self {
+            ServerState::Fkm { centroids } => Summary::Centroids(centroids.clone()),
+            ServerState::KrFkm { aggregator, sets } => Summary::ProtoSets {
+                aggregator: *aggregator,
+                sets: sets.clone(),
+            },
+        }
+    }
+
+    /// Number of centroids the state expands to.
+    pub fn grid_size(&self) -> usize {
+        match self {
+            ServerState::Fkm { centroids } => centroids.nrows(),
+            ServerState::KrFkm { sets, .. } => sets.iter().map(|s| s.nrows()).product(),
+        }
+    }
+
+    /// Applies one round's aggregated statistics: the exact mean update
+    /// for FkM (clusters that captured no points keep their stale
+    /// centroid — the server holds no raw data to reseed from), or the
+    /// Proposition 6.1 closed forms for KR-FkM.
+    pub fn apply_stats(&mut self, stats: &SuffStats) {
+        match self {
+            ServerState::Fkm { centroids } => {
+                for (c, &count) in stats.counts.iter().enumerate() {
+                    if count == 0 {
+                        continue;
+                    }
+                    let inv = 1.0 / count as f64;
+                    let src = stats.sums.row(c);
+                    for (dst, &s) in centroids.row_mut(c).iter_mut().zip(src) {
+                        *dst = s * inv;
+                    }
+                }
+            }
+            ServerState::KrFkm { aggregator, sets } => {
+                prop61_update_from_stats(&stats.sums, &stats.counts_usize(), sets, *aggregator);
+            }
+        }
+    }
+
+    /// Materializes the full centroid grid (FkM: the state itself;
+    /// KR-FkM: the Khatri-Rao expansion).
+    pub fn materialize(&self) -> Matrix {
+        self.summary().materialize()
+    }
+}
+
+// ---- client-side round computation --------------------------------------
+
+/// Computes one round's [`LocalStats`] for a shard: nearest-centroid
+/// assignment (chunk-parallel on `exec`, bitwise thread-invariant),
+/// per-cluster sums/counts accumulated serially in point order, and the
+/// shard's partial inertia (the sum of best squared distances, also in
+/// point order).
+pub fn compute_local_stats(
+    data: &Matrix,
+    centroids: &Matrix,
+    round: u32,
+    exec: &ExecCtx,
+) -> LocalStats {
+    let k = centroids.nrows();
+    let m = centroids.ncols();
+    let mut stats = SuffStats::zeros(k, m);
+    let mut best: Vec<(usize, f64)> = vec![(0, 0.0); data.nrows()];
+    parallel::map_chunks_into(exec, &mut best, |start, chunk| {
+        for (off, slot) in chunk.iter_mut().enumerate() {
+            let x = data.row(start + off);
+            let mut best_c = 0usize;
+            let mut best_d = f64::INFINITY;
+            for (c, crow) in centroids.rows_iter().enumerate() {
+                let d = ops::sqdist(x, crow);
+                if d < best_d {
+                    best_d = d;
+                    best_c = c;
+                }
+            }
+            *slot = (best_c, best_d);
+        }
+    });
+    let mut inertia = 0.0f64;
+    for (x, &(c, d)) in data.rows_iter().zip(best.iter()) {
+        ops::add_assign(stats.sums.row_mut(c), x);
+        stats.counts[c] += 1;
+        inertia += d;
+    }
+    LocalStats {
+        round,
+        stats,
+        inertia,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_accounting_matches_paper() {
+        let fkm = Summary::Centroids(Matrix::zeros(9, 4));
+        assert_eq!(fkm.param_f64s(), 36);
+        assert_eq!(fkm.grid_size(), 9);
+        let kr = Summary::ProtoSets {
+            aggregator: Aggregator::Sum,
+            sets: vec![Matrix::zeros(3, 4), Matrix::zeros(3, 4)],
+        };
+        assert_eq!(kr.param_f64s(), 24); // (3+3)*4 vs 9*4
+        assert_eq!(kr.grid_size(), 9);
+    }
+
+    #[test]
+    fn fkm_update_keeps_stale_centroids() {
+        let mut state = ServerState::Fkm {
+            centroids: Matrix::from_rows(&[vec![1.0, 1.0], vec![5.0, 5.0]]).unwrap(),
+        };
+        let mut stats = SuffStats::zeros(2, 2);
+        stats.sums.row_mut(0).copy_from_slice(&[4.0, 8.0]);
+        stats.counts[0] = 4;
+        state.apply_stats(&stats);
+        let ServerState::Fkm { centroids } = &state else {
+            unreachable!()
+        };
+        assert_eq!(centroids.row(0), &[1.0, 2.0]);
+        assert_eq!(centroids.row(1), &[5.0, 5.0], "empty cluster kept");
+    }
+
+    #[test]
+    fn local_stats_thread_invariant() {
+        let ds = kr_datasets::synthetic::blobs(257, 3, 4, 0.5, 3);
+        let centroids = Matrix::from_fn(4, 3, |i, j| (i + j) as f64);
+        let reference = compute_local_stats(&ds.data, &centroids, 0, &ExecCtx::serial());
+        for threads in [2usize, 8] {
+            let got = compute_local_stats(&ds.data, &centroids, 0, &ExecCtx::threaded(threads));
+            assert_eq!(got.stats, reference.stats, "threads={threads}");
+            assert_eq!(got.inertia.to_bits(), reference.inertia.to_bits());
+        }
+    }
+
+    #[test]
+    fn empty_shard_contributes_nothing() {
+        let centroids = Matrix::from_fn(3, 2, |i, j| (i * 2 + j) as f64);
+        let stats = compute_local_stats(&Matrix::zeros(0, 2), &centroids, 1, &ExecCtx::serial());
+        assert_eq!(stats.inertia, 0.0);
+        assert_eq!(stats.stats.counts, vec![0, 0, 0]);
+    }
+}

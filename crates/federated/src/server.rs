@@ -1,0 +1,492 @@
+//! The federated server: drives bootstrap, rounds, and evaluation over
+//! any set of [`Connection`]s.
+//!
+//! [`FederatedServer::drive`] is the single entry point behind both the
+//! in-process [`FkM::run_with`](crate::FkM::run_with) /
+//! [`KrFkM::run_with`](crate::KrFkM::run_with) drivers (local
+//! transport) and a genuinely distributed run (TCP transport): it never
+//! looks at raw data, only at protocol replies. Determinism contract:
+//! connections are re-ordered by the client id each [`Join`] declares,
+//! every merge (sufficient
+//! statistics, inertia partials, seeding masses) happens in ascending
+//! client order, and per-client computation is thread-invariant — so
+//! the result is bitwise identical across transports and pool sizes.
+//!
+//! Byte accounting follows the paper's Figure 10: the per-round
+//! [`RoundStats`] counters accumulate the *measured*
+//! summary-statistic bytes of the actual broadcast and upload frames
+//! ([`FrameInfo::stat_bytes`](crate::wire::FrameInfo)), which equal the
+//! closed forms `clients·k·m·8` down and `clients·(k·m + k)·8` up. The
+//! bootstrap exchanges carry no summary statistics (identical
+//! bookkeeping for both algorithms, hence uncounted, like the paper)
+//! and the trailing evaluation broadcast is deliberately excluded —
+//! evaluation is not part of the protocol's communication cost. Full
+//! frame traffic, overhead included, is reported in [`WireTotals`].
+
+use crate::protocol::{Broadcast, Join, LocalStats, Msg, RoundAck, ServerState, Summary};
+use crate::transport::{for_each_connection, recv_expected, Connection};
+use crate::{FederatedModel, RoundStats};
+use kr_core::aggregator::Aggregator;
+use kr_core::stats::SuffStats;
+use kr_core::{CoreError, Result};
+use kr_linalg::{ops, ExecCtx, Matrix};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Which federated algorithm the server runs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Algo {
+    /// Federated k-Means: broadcast `k` free centroids.
+    Fkm {
+        /// Number of centroids.
+        k: usize,
+    },
+    /// Federated Khatri-Rao k-Means: broadcast protocentroid sets.
+    KrFkm {
+        /// Protocentroid set sizes.
+        hs: Vec<usize>,
+        /// Elementwise aggregator.
+        aggregator: Aggregator,
+    },
+}
+
+/// Total measured frame traffic of a run, framing overhead included
+/// (the per-round [`RoundStats`] counters hold only
+/// the accounted summary-statistic bytes).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WireTotals {
+    /// Frames the server sent.
+    pub frames_down: usize,
+    /// Frames the server received.
+    pub frames_up: usize,
+    /// Bytes the server sent (length prefixes included).
+    pub frame_bytes_down: usize,
+    /// Bytes the server received (length prefixes included).
+    pub frame_bytes_up: usize,
+}
+
+/// A protocol server for one federated run.
+#[derive(Debug, Clone)]
+pub struct FederatedServer {
+    /// The algorithm to run.
+    pub algo: Algo,
+    /// Number of communication rounds.
+    pub rounds: usize,
+    /// RNG seed driving the bootstrap.
+    pub seed: u64,
+}
+
+impl FederatedServer {
+    /// Drives the full protocol — registration, bootstrap seeding,
+    /// `rounds` accounted rounds, one evaluation exchange, shutdown —
+    /// over the given connections, servicing them with `exec`'s pool.
+    pub fn drive<C: Connection>(&self, conns: Vec<C>, exec: &ExecCtx) -> Result<FederatedModel> {
+        if conns.is_empty() {
+            return Err(CoreError::EmptyInput);
+        }
+        match &self.algo {
+            Algo::Fkm { k } => {
+                if *k == 0 {
+                    return Err(CoreError::InvalidConfig("k must be >= 1".into()));
+                }
+            }
+            Algo::KrFkm { hs, .. } => {
+                if hs.is_empty() || hs.contains(&0) {
+                    return Err(CoreError::InvalidConfig("set sizes must be >= 1".into()));
+                }
+            }
+        }
+        let mut driver = Driver::register(conns, exec)?;
+        let mut rng = StdRng::seed_from_u64(self.seed);
+
+        // ---- Bootstrap (uncounted; identical bookkeeping for both
+        // algorithms, matching the paper's accounting).
+        let mut state = match &self.algo {
+            Algo::Fkm { k } => ServerState::Fkm {
+                centroids: driver.dsq_sample(*k, &mut rng)?,
+            },
+            Algo::KrFkm { hs, aggregator } => {
+                // Anchored kr++-style initialization: D²-spread client
+                // points per set; sets beyond the first are converted to
+                // deviations from the global mean so the initial
+                // aggregations sit on the data manifold.
+                let mean = driver.global_mean()?;
+                let mut sets: Vec<Matrix> = Vec::with_capacity(hs.len());
+                for (l, &h) in hs.iter().enumerate() {
+                    let mut set = driver.dsq_sample(h, &mut rng)?;
+                    if l > 0 {
+                        anchor_deviations(&mut set, &mean, *aggregator);
+                    }
+                    sets.push(set);
+                }
+                ServerState::KrFkm {
+                    aggregator: *aggregator,
+                    sets,
+                }
+            }
+        };
+
+        // ---- Accounted rounds. A round's inertia is the inertia of the
+        // *updated* model, which clients report while assigning against
+        // the next round's broadcast — so each entry is finalized one
+        // exchange later (the last by the evaluation exchange below).
+        let m = driver.m;
+        let mut history: Vec<RoundStats> = Vec::with_capacity(self.rounds);
+        let (mut down, mut up) = (0usize, 0usize);
+        for round in 0..self.rounds {
+            let (replies, stat_down, stat_up) =
+                driver.broadcast_round(round as u32, false, state.summary())?;
+            down += stat_down;
+            up += stat_up;
+            if round > 0 {
+                history[round - 1].inertia = sum_inertia(&replies);
+            }
+            let mut agg = SuffStats::zeros(state.grid_size(), m);
+            for r in &replies {
+                agg.merge(&r.stats)?;
+            }
+            state.apply_stats(&agg);
+            driver.broadcast_ack(round as u32, false)?;
+            history.push(RoundStats {
+                round,
+                downlink_bytes: down,
+                uplink_bytes: up,
+                inertia: f64::INFINITY, // finalized by the next exchange
+            });
+        }
+
+        // ---- Evaluation exchange (uncounted): inertia of the final
+        // model, assembled from client-reported partials.
+        if self.rounds > 0 {
+            let (replies, _, _) =
+                driver.broadcast_round(self.rounds as u32, true, state.summary())?;
+            history[self.rounds - 1].inertia = sum_inertia(&replies);
+        }
+        driver.broadcast_ack(self.rounds as u32, true)?;
+
+        Ok(FederatedModel {
+            centroids: state.materialize(),
+            history,
+            wire: driver.wire,
+        })
+    }
+}
+
+/// Sums client inertia partials in ascending client order.
+fn sum_inertia(replies: &[LocalStats]) -> f64 {
+    replies.iter().map(|r| r.inertia).sum()
+}
+
+/// Converts a sampled set to deviations from the global mean (the
+/// anchoring step of the KR-FkM bootstrap).
+fn anchor_deviations(set: &mut Matrix, mean: &[f64], aggregator: Aggregator) {
+    for j in 0..set.nrows() {
+        let row = set.row_mut(j);
+        for (v, &g) in row.iter_mut().zip(mean.iter()) {
+            match aggregator {
+                Aggregator::Sum => *v -= g,
+                Aggregator::Product => {
+                    if g.abs() > 1e-9 {
+                        *v /= g;
+                    } else {
+                        *v = 1.0;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Registered connections plus the run's wire-measurement state.
+struct Driver<'e, C: Connection> {
+    conns: Vec<C>,
+    joins: Vec<Join>,
+    exec: &'e ExecCtx,
+    wire: WireTotals,
+    m: usize,
+}
+
+impl<'e, C: Connection> Driver<'e, C> {
+    /// Collects every client's [`Join`], re-orders connections by
+    /// client id, and validates the federation like the centralized
+    /// `check_clients` did: some data must exist, non-empty shards must
+    /// agree on the feature dimension, and every shard must be finite.
+    fn register(mut conns: Vec<C>, exec: &'e ExecCtx) -> Result<Self> {
+        let mut wire = WireTotals::default();
+        let joins = for_each_connection(exec, &mut conns, |_, conn| match recv_expected(conn)? {
+            (Msg::Join(join), info) => Ok((join, info)),
+            (other, _) => Err(protocol_err("Join", &other)),
+        })?;
+        let mut pairs: Vec<(Join, C)> = joins
+            .into_iter()
+            .zip(conns)
+            .map(|((join, info), conn)| {
+                wire.frames_up += 1;
+                wire.frame_bytes_up += info.frame_bytes;
+                (join, conn)
+            })
+            .collect();
+        pairs.sort_by_key(|(join, _)| join.client_id);
+        if pairs
+            .windows(2)
+            .any(|w| w[0].0.client_id == w[1].0.client_id)
+        {
+            return Err(CoreError::Transport("duplicate client ids".into()));
+        }
+        let (joins, conns): (Vec<Join>, Vec<C>) = pairs.into_iter().unzip();
+        if joins.iter().all(|j| j.nrows == 0) {
+            return Err(CoreError::EmptyInput);
+        }
+        let m = joins
+            .iter()
+            .find(|j| j.nrows > 0)
+            .map(|j| j.ncols as usize)
+            .expect("non-empty");
+        for j in &joins {
+            if j.nrows > 0 && j.ncols as usize != m {
+                return Err(CoreError::InvalidConfig("client dimension mismatch".into()));
+            }
+            if !j.finite {
+                return Err(CoreError::NonFiniteInput);
+            }
+        }
+        Ok(Driver {
+            conns,
+            joins,
+            exec,
+            wire,
+            m,
+        })
+    }
+
+    /// Sends `msg` to every client and collects one parsed reply each,
+    /// in client order. Returns the summed measured stat bytes of the
+    /// downlink and uplink frames.
+    fn exchange<T, P>(&mut self, msg: &Msg, parse: P) -> Result<(Vec<T>, usize, usize)>
+    where
+        T: Send,
+        P: Fn(Msg) -> Result<T> + Sync,
+    {
+        let results = for_each_connection(self.exec, &mut self.conns, |_, conn| {
+            let info_down = conn.send(msg)?;
+            let (reply, info_up) = recv_expected(conn)?;
+            Ok((parse(reply)?, info_down, info_up))
+        })?;
+        let (mut stat_down, mut stat_up) = (0usize, 0usize);
+        let mut out = Vec::with_capacity(results.len());
+        for (value, info_down, info_up) in results {
+            self.wire.frames_down += 1;
+            self.wire.frame_bytes_down += info_down.frame_bytes;
+            self.wire.frames_up += 1;
+            self.wire.frame_bytes_up += info_up.frame_bytes;
+            stat_down += info_down.stat_bytes;
+            stat_up += info_up.stat_bytes;
+            out.push(value);
+        }
+        Ok((out, stat_down, stat_up))
+    }
+
+    /// Sends `msg` to every client without expecting replies.
+    fn broadcast_only(&mut self, msg: &Msg) -> Result<()> {
+        let infos = for_each_connection(self.exec, &mut self.conns, |_, conn| conn.send(msg))?;
+        for info in infos {
+            self.wire.frames_down += 1;
+            self.wire.frame_bytes_down += info.frame_bytes;
+        }
+        Ok(())
+    }
+
+    /// One round exchange: broadcast the summary, collect
+    /// [`LocalStats`].
+    fn broadcast_round(
+        &mut self,
+        round: u32,
+        eval_only: bool,
+        summary: Summary,
+    ) -> Result<(Vec<LocalStats>, usize, usize)> {
+        let msg = Msg::Broadcast(Broadcast {
+            round,
+            eval_only,
+            summary,
+        });
+        let (replies, stat_down, stat_up) = self.exchange(&msg, |reply| match reply {
+            Msg::LocalStats(stats) => Ok(stats),
+            other => Err(protocol_err("LocalStats", &other)),
+        })?;
+        for r in &replies {
+            if r.round != round {
+                return Err(CoreError::Transport(format!(
+                    "round mismatch: expected {round}, client answered {}",
+                    r.round
+                )));
+            }
+        }
+        // The evaluation exchange is excluded from the Figure 10
+        // accounting.
+        if eval_only {
+            Ok((replies, 0, 0))
+        } else {
+            Ok((replies, stat_down, stat_up))
+        }
+    }
+
+    /// Closes a round (or, with `done`, the whole protocol).
+    fn broadcast_ack(&mut self, round: u32, done: bool) -> Result<()> {
+        self.broadcast_only(&Msg::RoundAck(RoundAck { round, done }))
+    }
+
+    /// One request/reply with a single client (seeding point fetches).
+    fn ask<T>(&mut self, ci: usize, msg: &Msg, parse: impl Fn(Msg) -> Result<T>) -> Result<T> {
+        let conn = &mut self.conns[ci];
+        let info_down = conn.send(msg)?;
+        let (reply, info_up) = recv_expected(conn)?;
+        self.wire.frames_down += 1;
+        self.wire.frame_bytes_down += info_down.frame_bytes;
+        self.wire.frames_up += 1;
+        self.wire.frame_bytes_up += info_up.frame_bytes;
+        parse(reply)
+    }
+
+    /// Fetches one raw point from client `ci` (a chosen seed).
+    fn fetch_point(&mut self, ci: usize, index: usize) -> Result<Vec<f64>> {
+        let m = self.m;
+        self.ask(
+            ci,
+            &Msg::FetchPoint {
+                index: index as u64,
+            },
+            |reply| match reply {
+                Msg::Point { row } if row.len() == m => Ok(row),
+                Msg::Point { row } => Err(CoreError::Transport(format!(
+                    "seed point has {} features, expected {m}",
+                    row.len()
+                ))),
+                other => Err(protocol_err("Point", &other)),
+            },
+        )
+    }
+
+    /// The first point of the first non-empty shard — the fallback when
+    /// a proportional draw walks off the end (all-zero masses or
+    /// floating-point rounding).
+    fn fallback_first_point(&mut self) -> Result<Vec<f64>> {
+        let ci = self
+            .joins
+            .iter()
+            .position(|j| j.nrows > 0)
+            .expect("validated: some shard is non-empty");
+        self.fetch_point(ci, 0)
+    }
+
+    /// D²-weighted (k-means++-style) seeding across shards: clients
+    /// keep per-point squared distances to the chosen seeds and report
+    /// their masses; the server draws the next seed proportionally and
+    /// resolves the draw inside the owning shard.
+    fn dsq_sample(&mut self, count: usize, rng: &mut StdRng) -> Result<Matrix> {
+        let total: usize = self.joins.iter().map(|j| j.nrows as usize).sum();
+        if total < count {
+            return Err(CoreError::TooFewPoints {
+                available: total,
+                required: count,
+            });
+        }
+        let mut seeds = Matrix::zeros(count, self.m);
+        if count == 0 {
+            return Ok(seeds);
+        }
+        // First seed: uniform over the federation.
+        let mut pick = rng.gen_range(0..total);
+        let mut first_ci = 0usize;
+        for (ci, j) in self.joins.iter().enumerate() {
+            if pick < j.nrows as usize {
+                first_ci = ci;
+                break;
+            }
+            pick -= j.nrows as usize;
+        }
+        let row = self.fetch_point(first_ci, pick)?;
+        seeds.row_mut(0).copy_from_slice(&row);
+        let parse_mass = |reply: Msg| match reply {
+            Msg::SeedMass { mass } => Ok(mass),
+            other => Err(protocol_err("SeedMass", &other)),
+        };
+        let (mut masses, _, _) = self.exchange(&Msg::SeedInit { row }, parse_mass)?;
+        for s in 1..count {
+            let grand: f64 = masses.iter().sum();
+            let row = if grand > 0.0 {
+                let mut target = rng.gen_range(0.0..grand);
+                let mut chosen: Option<Vec<f64>> = None;
+                let owner = masses.iter().position(|&mass| {
+                    if target < mass {
+                        true
+                    } else {
+                        target -= mass;
+                        false
+                    }
+                });
+                if let Some(ci) = owner {
+                    let (row, found) =
+                        self.ask(ci, &Msg::SeedSelect { target }, |reply| match reply {
+                            Msg::SeedPick { row, found } => Ok((row, found)),
+                            other => Err(protocol_err("SeedPick", &other)),
+                        })?;
+                    if found {
+                        if row.len() != self.m {
+                            return Err(CoreError::Transport(format!(
+                                "seed pick has {} features, expected {}",
+                                row.len(),
+                                self.m
+                            )));
+                        }
+                        chosen = Some(row);
+                    }
+                }
+                match chosen {
+                    Some(row) => row,
+                    None => self.fallback_first_point()?,
+                }
+            } else {
+                self.fallback_first_point()?
+            };
+            seeds.row_mut(s).copy_from_slice(&row);
+            if s + 1 < count {
+                // The last pick needs no D² refresh: the state is reset
+                // by the next sampling pass's SeedInit.
+                let (next, _, _) = self.exchange(&Msg::SeedUpdate { row }, parse_mass)?;
+                masses = next;
+            }
+        }
+        Ok(seeds)
+    }
+
+    /// Global feature mean from per-client sums/counts, merged in
+    /// client order.
+    fn global_mean(&mut self) -> Result<Vec<f64>> {
+        let m = self.m;
+        let (partials, _, _) = self.exchange(&Msg::MeanQuery, |reply| match reply {
+            Msg::MeanStats { sum, count } => Ok((sum, count)),
+            other => Err(protocol_err("MeanStats", &other)),
+        })?;
+        let mut sum = vec![0.0f64; m];
+        let mut n = 0u64;
+        for (part, count) in partials {
+            if part.len() == m {
+                ops::add_assign(&mut sum, &part);
+            } else if count != 0 {
+                return Err(CoreError::Transport(format!(
+                    "mean partial has {} features, expected {m}",
+                    part.len()
+                )));
+            }
+            n += count;
+        }
+        if n > 0 {
+            ops::scale_assign(&mut sum, 1.0 / n as f64);
+        }
+        Ok(sum)
+    }
+}
+
+fn protocol_err(expected: &str, got: &Msg) -> CoreError {
+    CoreError::Transport(format!("expected {expected}, got {got:?}"))
+}

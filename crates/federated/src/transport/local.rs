@@ -1,0 +1,114 @@
+//! The in-process transport: in-memory frames, synchronous delivery.
+//!
+//! A [`LocalConn`] owns its [`ShardClient`]
+//! and processes every server send *synchronously*: the message is
+//! encoded to a real frame, decoded back (the same
+//! [`crate::wire`] round trip TCP performs), handled by the client, and
+//! the client's reply is queued as another encoded frame for the next
+//! `recv`. No threads, no sockets — which is why
+//! [`FkM::run`](crate::FkM::run) stays as cheap as the pre-refactor
+//! single-process loop while exercising the identical protocol and
+//! byte accounting as a genuinely distributed run.
+
+use crate::client::{ShardClient, Step};
+use crate::protocol::Msg;
+use crate::transport::Connection;
+use crate::wire::{self, FrameInfo};
+use crate::Client;
+use kr_core::Result;
+use kr_linalg::ExecCtx;
+use std::collections::VecDeque;
+
+/// A synchronous in-memory connection to an in-process client.
+#[derive(Debug)]
+pub struct LocalConn<'a> {
+    client: ShardClient<'a>,
+    /// Encoded frames awaiting the server's `recv`.
+    inbox: VecDeque<Vec<u8>>,
+}
+
+impl<'a> LocalConn<'a> {
+    /// Connects an in-process client over shard `data`. The client's
+    /// registration frame is queued immediately, as if it had just
+    /// dialed in.
+    pub fn connect(id: u32, data: &'a kr_linalg::Matrix, exec: ExecCtx) -> Self {
+        let client = ShardClient::new(id, data, exec);
+        let (frame, _) = wire::encode(&client.join());
+        LocalConn {
+            client,
+            inbox: VecDeque::from([frame]),
+        }
+    }
+}
+
+impl Connection for LocalConn<'_> {
+    fn send(&mut self, msg: &Msg) -> Result<FrameInfo> {
+        let (frame, info) = wire::encode(msg);
+        // Full wire round trip: the client sees exactly what a remote
+        // peer would decode.
+        let delivered = wire::decode_frame(&frame).map_err(kr_core::CoreError::from)?;
+        match self.client.handle(&delivered)? {
+            Step::Reply(reply) => {
+                let (frame, _) = wire::encode(&reply);
+                self.inbox.push_back(frame);
+            }
+            Step::Continue | Step::Done => {}
+        }
+        Ok(info)
+    }
+
+    fn recv(&mut self) -> Result<Option<(Msg, FrameInfo)>> {
+        let Some(frame) = self.inbox.pop_front() else {
+            return Ok(None);
+        };
+        let msg = wire::decode_frame(&frame).map_err(kr_core::CoreError::from)?;
+        let info = FrameInfo {
+            frame_bytes: frame.len(),
+            stat_bytes: wire::stat_bytes(&msg),
+        };
+        Ok(Some((msg, info)))
+    }
+}
+
+/// Connects one [`LocalConn`] per shard, with client ids in shard
+/// order — the backend behind the in-process `run`/`run_with` drivers.
+pub fn connect_shards<'a>(clients: &'a [Client], exec: &ExecCtx) -> Vec<LocalConn<'a>> {
+    clients
+        .iter()
+        .enumerate()
+        .map(|(i, c)| LocalConn::connect(i as u32, &c.data, exec.clone()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transport::recv_expected;
+    use kr_linalg::Matrix;
+
+    #[test]
+    fn join_is_queued_then_replies_flow() {
+        let data = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        let mut conn = LocalConn::connect(3, &data, ExecCtx::serial());
+        let (msg, info) = recv_expected(&mut conn).unwrap();
+        match msg {
+            Msg::Join(j) => {
+                assert_eq!(j.client_id, 3);
+                assert_eq!(j.nrows, 2);
+                assert!(j.finite);
+            }
+            other => panic!("expected join, got {other:?}"),
+        }
+        assert_eq!(info.stat_bytes, 0);
+        conn.send(&Msg::FetchPoint { index: 1 }).unwrap();
+        let (msg, _) = recv_expected(&mut conn).unwrap();
+        assert_eq!(
+            msg,
+            Msg::Point {
+                row: vec![3.0, 4.0]
+            }
+        );
+        // Nothing queued: reads back as a clean close.
+        assert!(conn.recv().unwrap().is_none());
+    }
+}

@@ -1,0 +1,144 @@
+//! Transport abstraction: how framed protocol messages move between the
+//! server and its clients.
+//!
+//! A [`Connection`] is one bidirectional, blocking, framed channel to a
+//! single client. Every implementation routes messages through
+//! [`crate::wire`] — encode on send, decode on recv — so byte
+//! measurements and `f64` bit patterns are identical no matter which
+//! backend carries the frames:
+//!
+//! * [`local`] — in-memory frames, fully synchronous, zero threads; the
+//!   backend behind [`FkM::run`](crate::FkM::run) and every existing
+//!   test.
+//! * [`tcp`] — loopback/network TCP over `std::net`, with a
+//!   non-blocking accept loop on the server and a blocking serve loop on
+//!   the client.
+//!
+//! Adding a backend means implementing [`Connection`] (plus whatever
+//! listener/dialer setup it needs); the protocol, server, and client
+//! layers never change.
+
+pub mod local;
+pub mod tcp;
+
+use crate::protocol::Msg;
+use crate::wire::FrameInfo;
+use kr_core::{CoreError, Result};
+use kr_linalg::{parallel, ExecCtx};
+
+/// One framed, blocking, bidirectional channel between the server and a
+/// single client.
+pub trait Connection: Send {
+    /// Encodes and delivers one message, returning the measured sizes
+    /// of the frame that carried it.
+    fn send(&mut self, msg: &Msg) -> Result<FrameInfo>;
+
+    /// Receives and decodes the next message. `Ok(None)` means the peer
+    /// closed the channel cleanly at a frame boundary.
+    fn recv(&mut self) -> Result<Option<(Msg, FrameInfo)>>;
+}
+
+/// Receives the next message, treating a clean close as a protocol
+/// error (for the server side, where every recv expects a reply).
+pub fn recv_expected<C: Connection>(conn: &mut C) -> Result<(Msg, FrameInfo)> {
+    conn.recv()?
+        .ok_or_else(|| CoreError::Transport("client closed the connection mid-protocol".into()))
+}
+
+/// Runs `f` once per connection — the server's per-connection workers.
+///
+/// Jobs are scheduled on `exec`'s pool ([`kr_linalg::pool`]), so up to
+/// `exec.threads()` connections are serviced concurrently (each job may
+/// block on its client's reply without stalling the others). Results
+/// come back **indexed by connection order**, and the caller merges
+/// them in that order, which keeps every run bitwise deterministic no
+/// matter how replies interleave in wall-clock time.
+pub fn for_each_connection<C, T, F>(exec: &ExecCtx, conns: &mut [C], f: F) -> Result<Vec<T>>
+where
+    C: Connection,
+    T: Send,
+    F: Fn(usize, &mut C) -> Result<T> + Sync,
+{
+    let mut slots: Vec<(usize, &mut C, Option<Result<T>>)> = conns
+        .iter_mut()
+        .enumerate()
+        .map(|(i, c)| (i, c, None))
+        .collect();
+    parallel::map_chunks_into(exec, &mut slots, |_, chunk| {
+        for (i, conn, slot) in chunk.iter_mut() {
+            *slot = Some(f(*i, conn));
+        }
+    });
+    slots
+        .into_iter()
+        .map(|(_, _, r)| r.expect("every connection visited"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire;
+    use std::collections::VecDeque;
+
+    /// A scripted in-memory connection for exercising the helpers.
+    struct Scripted {
+        replies: VecDeque<Msg>,
+        sent: usize,
+    }
+
+    impl Connection for Scripted {
+        fn send(&mut self, msg: &Msg) -> Result<FrameInfo> {
+            self.sent += 1;
+            let (_, info) = wire::encode(msg);
+            Ok(info)
+        }
+
+        fn recv(&mut self) -> Result<Option<(Msg, FrameInfo)>> {
+            Ok(self.replies.pop_front().map(|m| {
+                let (frame, _) = wire::encode(&m);
+                let info = FrameInfo {
+                    frame_bytes: frame.len(),
+                    stat_bytes: wire::stat_bytes(&m),
+                };
+                (m, info)
+            }))
+        }
+    }
+
+    #[test]
+    fn results_come_back_in_connection_order() {
+        for threads in [1usize, 4] {
+            let exec = ExecCtx::threaded(threads);
+            let mut conns: Vec<Scripted> = (0..7)
+                .map(|i| Scripted {
+                    replies: VecDeque::from([Msg::SeedMass { mass: i as f64 }]),
+                    sent: 0,
+                })
+                .collect();
+            let masses = for_each_connection(&exec, &mut conns, |i, c| {
+                c.send(&Msg::MeanQuery)?;
+                match recv_expected(c)? {
+                    (Msg::SeedMass { mass }, _) => Ok((i, mass)),
+                    other => panic!("unexpected {other:?}"),
+                }
+            })
+            .unwrap();
+            let expect: Vec<(usize, f64)> = (0..7).map(|i| (i, i as f64)).collect();
+            assert_eq!(masses, expect, "threads={threads}");
+            assert!(conns.iter().all(|c| c.sent == 1));
+        }
+    }
+
+    #[test]
+    fn clean_close_is_an_error_for_the_server() {
+        let mut conn = Scripted {
+            replies: VecDeque::new(),
+            sent: 0,
+        };
+        assert!(matches!(
+            recv_expected(&mut conn),
+            Err(CoreError::Transport(_))
+        ));
+    }
+}

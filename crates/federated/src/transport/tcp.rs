@@ -1,0 +1,184 @@
+//! The TCP transport: framed protocol messages over `std::net`.
+//!
+//! The server side binds an ephemeral loopback port by default
+//! ([`TcpServer::bind_loopback`]) or any address
+//! ([`TcpServer::bind`]), then gathers its clients with a
+//! **non-blocking accept loop** ([`TcpServer::accept_clients`]): the
+//! listener is polled without blocking so a deadline can be enforced
+//! even when some clients never dial in. Accepted connections are
+//! switched back to blocking mode with `TCP_NODELAY` (the protocol is
+//! strict request-reply; Nagle would add round-trip latency) and a read
+//! timeout, and are then serviced by the server's per-connection pool
+//! workers ([`crate::transport::for_each_connection`]).
+//!
+//! The client side is one call: [`serve_shard`] dials the server and
+//! runs the [`ShardClient`] serve loop
+//! until the final round ack.
+//!
+//! Because both directions move the exact frames [`crate::wire`]
+//! encodes, a loopback-TCP run is bitwise identical — centroids,
+//! history, byte counts — to the in-process
+//! [`local`](crate::transport::local) run, a property the
+//! `exec_determinism_tcp_loopback_*` tests enforce at several pool
+//! sizes.
+
+use crate::client::ShardClient;
+use crate::protocol::Msg;
+use crate::transport::Connection;
+use crate::wire::{self, FrameInfo, WireError};
+use kr_core::{CoreError, Result};
+use kr_linalg::{ExecCtx, Matrix};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
+
+/// Default read timeout on accepted / dialed streams: long enough for a
+/// slow peer to finish a round of compute, short enough that a dead
+/// peer surfaces as an error instead of a hang.
+pub const READ_TIMEOUT: Duration = Duration::from_secs(120);
+
+fn io_err(what: &str, e: std::io::Error) -> CoreError {
+    CoreError::Transport(format!("{what}: {e}"))
+}
+
+/// One framed TCP connection (either side).
+#[derive(Debug)]
+pub struct TcpConn {
+    stream: TcpStream,
+}
+
+impl TcpConn {
+    fn configure(stream: TcpStream) -> Result<Self> {
+        stream
+            .set_nonblocking(false)
+            .map_err(|e| io_err("set_nonblocking(false)", e))?;
+        stream
+            .set_nodelay(true)
+            .map_err(|e| io_err("set_nodelay", e))?;
+        stream
+            .set_read_timeout(Some(READ_TIMEOUT))
+            .map_err(|e| io_err("set_read_timeout", e))?;
+        Ok(TcpConn { stream })
+    }
+
+    /// Dials a server.
+    pub fn dial(addr: impl ToSocketAddrs) -> Result<Self> {
+        let stream = TcpStream::connect(addr).map_err(|e| io_err("connect", e))?;
+        Self::configure(stream)
+    }
+}
+
+impl Connection for TcpConn {
+    fn send(&mut self, msg: &Msg) -> Result<FrameInfo> {
+        let (frame, info) = wire::encode(msg);
+        wire::write_frame(&mut self.stream, &frame).map_err(CoreError::from)?;
+        Ok(info)
+    }
+
+    fn recv(&mut self) -> Result<Option<(Msg, FrameInfo)>> {
+        let frame = match wire::read_frame(&mut self.stream) {
+            Ok(frame) => frame,
+            Err(WireError::Closed) => return Ok(None),
+            Err(e) => return Err(e.into()),
+        };
+        let msg = wire::decode_frame(&frame).map_err(CoreError::from)?;
+        let info = FrameInfo {
+            frame_bytes: frame.len(),
+            stat_bytes: wire::stat_bytes(&msg),
+        };
+        Ok(Some((msg, info)))
+    }
+}
+
+/// A listening federated server endpoint.
+#[derive(Debug)]
+pub struct TcpServer {
+    listener: TcpListener,
+}
+
+impl TcpServer {
+    /// Binds an ephemeral loopback port (the usual test / bench setup).
+    pub fn bind_loopback() -> Result<Self> {
+        Self::bind("127.0.0.1:0")
+    }
+
+    /// Binds an explicit address.
+    pub fn bind(addr: impl ToSocketAddrs) -> Result<Self> {
+        let listener = TcpListener::bind(addr).map_err(|e| io_err("bind", e))?;
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| io_err("set_nonblocking(true)", e))?;
+        Ok(TcpServer { listener })
+    }
+
+    /// The bound address clients should dial.
+    pub fn local_addr(&self) -> Result<SocketAddr> {
+        self.listener
+            .local_addr()
+            .map_err(|e| io_err("local_addr", e))
+    }
+
+    /// Accepts exactly `n` client connections via a non-blocking accept
+    /// loop, or errors when `deadline` elapses first. Connections come
+    /// back in *accept* order; [`crate::server::FederatedServer`]
+    /// re-orders them by the client id each [`Join`](crate::protocol::Join)
+    /// declares, so accept races never change results.
+    pub fn accept_clients(&self, n: usize, deadline: Duration) -> Result<Vec<TcpConn>> {
+        let start = Instant::now();
+        let mut conns = Vec::with_capacity(n);
+        while conns.len() < n {
+            match self.listener.accept() {
+                Ok((stream, _addr)) => conns.push(TcpConn::configure(stream)?),
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    if start.elapsed() > deadline {
+                        return Err(CoreError::Transport(format!(
+                            "accept deadline: {} of {n} clients connected",
+                            conns.len()
+                        )));
+                    }
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                Err(e) => return Err(io_err("accept", e)),
+            }
+        }
+        Ok(conns)
+    }
+}
+
+/// Dials `addr` and serves shard `data` as federated client `id` until
+/// the server finishes the protocol. This is the whole remote side of a
+/// distributed Figure 10 run.
+pub fn serve_shard(addr: impl ToSocketAddrs, id: u32, data: &Matrix, exec: ExecCtx) -> Result<()> {
+    let mut conn = TcpConn::dial(addr)?;
+    ShardClient::new(id, data, exec).serve(&mut conn)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transport::recv_expected;
+
+    #[test]
+    fn frames_round_trip_over_loopback() {
+        let server = TcpServer::bind_loopback().unwrap();
+        let addr = server.local_addr().unwrap();
+        let handle = std::thread::spawn(move || {
+            let mut conn = TcpConn::dial(addr).unwrap();
+            conn.send(&Msg::SeedMass { mass: 4.25 }).unwrap();
+            let (msg, _) = recv_expected(&mut conn).unwrap();
+            assert_eq!(msg, Msg::SeedSelect { target: 1.5 });
+        });
+        let mut conns = server.accept_clients(1, Duration::from_secs(10)).unwrap();
+        let (msg, info) = recv_expected(&mut conns[0]).unwrap();
+        assert_eq!(msg, Msg::SeedMass { mass: 4.25 });
+        assert_eq!(info.stat_bytes, 0);
+        conns[0].send(&Msg::SeedSelect { target: 1.5 }).unwrap();
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn accept_deadline_fires_without_clients() {
+        let server = TcpServer::bind_loopback().unwrap();
+        let err = server.accept_clients(1, Duration::from_millis(20));
+        assert!(matches!(err, Err(CoreError::Transport(_))));
+    }
+}

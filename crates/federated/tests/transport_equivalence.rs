@@ -1,0 +1,153 @@
+//! Loopback-TCP equivalence: a federated run over real sockets must be
+//! **bitwise identical** — centroids, per-round history, measured byte
+//! counts — to the in-process local-transport run, at several pool
+//! sizes. This is the acceptance gate for the transport refactor and
+//! runs in CI's release `exec_determinism` step.
+
+use kr_core::aggregator::Aggregator;
+use kr_federated::server::{Algo, FederatedServer};
+use kr_federated::transport::tcp::{serve_shard, TcpServer};
+use kr_federated::{shard_by_assignment, Client, FederatedModel, FkM, KrFkM};
+use kr_linalg::{ExecCtx, ThreadPool};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn make_clients(n_clients: usize, seed: u64) -> Vec<Client> {
+    let ds = kr_datasets::synthetic::blobs(160, 3, 4, 0.4, seed);
+    let client_of: Vec<usize> = (0..ds.data.nrows()).map(|i| i % n_clients).collect();
+    shard_by_assignment(&ds.data, &client_of, n_clients)
+}
+
+/// Runs `algo` over loopback TCP: one server thread (the caller), one
+/// std thread per client standing in for a remote process.
+fn run_over_tcp(
+    algo: Algo,
+    rounds: usize,
+    seed: u64,
+    clients: &[Client],
+    exec: &ExecCtx,
+) -> FederatedModel {
+    let server = TcpServer::bind_loopback().unwrap();
+    let addr = server.local_addr().unwrap();
+    let handles: Vec<_> = clients
+        .iter()
+        .enumerate()
+        .map(|(id, c)| {
+            let data = c.data.clone();
+            // Deliberately connect in reverse order: the server must
+            // re-order by client id, so accept races cannot matter.
+            let delay = Duration::from_millis((clients.len() - id) as u64);
+            std::thread::spawn(move || {
+                std::thread::sleep(delay);
+                serve_shard(addr, id as u32, &data, ExecCtx::threaded(2)).unwrap();
+            })
+        })
+        .collect();
+    let conns = server
+        .accept_clients(clients.len(), Duration::from_secs(30))
+        .unwrap();
+    let model = FederatedServer { algo, rounds, seed }
+        .drive(conns, exec)
+        .unwrap();
+    for h in handles {
+        h.join().unwrap();
+    }
+    model
+}
+
+fn assert_bitwise_equal(tcp: &FederatedModel, local: &FederatedModel, what: &str) {
+    assert_eq!(tcp.centroids.shape(), local.centroids.shape(), "{what}");
+    for (a, b) in tcp
+        .centroids
+        .as_slice()
+        .iter()
+        .zip(local.centroids.as_slice())
+    {
+        assert_eq!(a.to_bits(), b.to_bits(), "{what}: centroid bits differ");
+    }
+    assert_eq!(tcp.history.len(), local.history.len(), "{what}");
+    for (a, b) in tcp.history.iter().zip(local.history.iter()) {
+        assert_eq!(a.round, b.round, "{what}");
+        assert_eq!(a.downlink_bytes, b.downlink_bytes, "{what}: downlink");
+        assert_eq!(a.uplink_bytes, b.uplink_bytes, "{what}: uplink");
+        assert_eq!(
+            a.inertia.to_bits(),
+            b.inertia.to_bits(),
+            "{what}: round {} inertia bits",
+            a.round
+        );
+    }
+    // Same protocol ⇒ same frames, byte for byte, overhead included.
+    assert_eq!(tcp.wire, local.wire, "{what}: wire totals");
+}
+
+#[test]
+fn exec_determinism_tcp_loopback_matches_local_1_2_8_workers() {
+    let clients = make_clients(4, 31);
+    let rounds = 5;
+    for workers in [1usize, 2, 8] {
+        let pool = Arc::new(ThreadPool::new(workers));
+        let exec = ExecCtx::threaded(workers + 1).with_pool(Arc::clone(&pool));
+        // FkM.
+        let local = FkM {
+            k: 6,
+            rounds,
+            seed: 5,
+        }
+        .run_with(&clients, &exec)
+        .unwrap();
+        let tcp = run_over_tcp(Algo::Fkm { k: 6 }, rounds, 5, &clients, &exec);
+        assert_bitwise_equal(&tcp, &local, &format!("FkM workers={workers}"));
+        // KR-FkM.
+        let local = KrFkM {
+            hs: vec![2, 3],
+            aggregator: Aggregator::Sum,
+            rounds,
+            seed: 5,
+        }
+        .run_with(&clients, &exec)
+        .unwrap();
+        let tcp = run_over_tcp(
+            Algo::KrFkm {
+                hs: vec![2, 3],
+                aggregator: Aggregator::Sum,
+            },
+            rounds,
+            5,
+            &clients,
+            &exec,
+        );
+        assert_bitwise_equal(&tcp, &local, &format!("KR-FkM workers={workers}"));
+        assert_eq!(pool.workers(), workers);
+    }
+}
+
+#[test]
+fn exec_determinism_tcp_product_aggregator_and_empty_shard() {
+    // Product aggregator plus one empty shard: the edge paths (identity
+    // fill, zero-count stats) must also match bitwise over TCP.
+    let mut clients = make_clients(3, 77);
+    clients.push(Client {
+        data: kr_linalg::Matrix::zeros(0, 3),
+    });
+    let exec = ExecCtx::threaded(2);
+    let local = KrFkM {
+        hs: vec![2, 2],
+        aggregator: Aggregator::Product,
+        rounds: 4,
+        seed: 11,
+    }
+    .run_with(&clients, &exec)
+    .unwrap();
+    let tcp = run_over_tcp(
+        Algo::KrFkm {
+            hs: vec![2, 2],
+            aggregator: Aggregator::Product,
+        },
+        4,
+        11,
+        &clients,
+        &exec,
+    );
+    assert_bitwise_equal(&tcp, &local, "product+empty-shard");
+}

@@ -1,0 +1,161 @@
+//! Property-based coverage of the wire layer: arbitrary messages
+//! round-trip bit-exactly; truncated or corrupt frames return errors
+//! instead of panicking; and measured frame bytes equal the Figure 10
+//! closed-form accounting.
+
+use kr_core::aggregator::Aggregator;
+use kr_core::stats::SuffStats;
+use kr_federated::protocol::{Broadcast, Join, LocalStats, Msg, RoundAck, Summary};
+use kr_federated::wire::{self, WireError, LEN_PREFIX};
+use kr_linalg::Matrix;
+use proptest::prelude::*;
+
+fn small_matrix() -> impl Strategy<Value = Matrix> {
+    (1usize..=5, 1usize..=5).prop_flat_map(|(r, c)| {
+        proptest::collection::vec(-1e6..1e6f64, r * c)
+            .prop_map(move |data| Matrix::from_vec(r, c, data).unwrap())
+    })
+}
+
+fn row() -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(-1e6..1e6f64, 0..6)
+}
+
+fn summary() -> impl Strategy<Value = Summary> {
+    let centroids = small_matrix().prop_map(Summary::Centroids);
+    let protosets = (1usize..=3, 1usize..=4, 0u8..=1).prop_flat_map(|(p, m, agg)| {
+        proptest::collection::vec(
+            (1usize..=4).prop_flat_map(move |h| {
+                proptest::collection::vec(-100.0..100.0f64, h * m)
+                    .prop_map(move |data| Matrix::from_vec(h, m, data).unwrap())
+            }),
+            p,
+        )
+        .prop_map(move |sets| Summary::ProtoSets {
+            aggregator: if agg == 0 {
+                Aggregator::Sum
+            } else {
+                Aggregator::Product
+            },
+            sets,
+        })
+    });
+    prop_oneof![centroids, protosets]
+}
+
+fn msg() -> impl Strategy<Value = Msg> {
+    prop_oneof![
+        (0u32..100, 0u64..1000, 0u64..64, proptest::bool::ANY).prop_map(
+            |(client_id, nrows, ncols, finite)| Msg::Join(Join {
+                client_id,
+                nrows,
+                ncols,
+                finite,
+            })
+        ),
+        (0u64..1000).prop_map(|index| Msg::FetchPoint { index }),
+        row().prop_map(|row| Msg::Point { row }),
+        row().prop_map(|row| Msg::SeedInit { row }),
+        row().prop_map(|row| Msg::SeedUpdate { row }),
+        (-1e9..1e9f64).prop_map(|mass| Msg::SeedMass { mass }),
+        (-1e9..1e9f64).prop_map(|target| Msg::SeedSelect { target }),
+        (row(), proptest::bool::ANY).prop_map(|(row, found)| Msg::SeedPick { row, found }),
+        Just(Msg::MeanQuery),
+        (row(), 0u64..1000).prop_map(|(sum, count)| Msg::MeanStats { sum, count }),
+        (0u32..64, proptest::bool::ANY, summary()).prop_map(|(round, eval_only, summary)| {
+            Msg::Broadcast(Broadcast {
+                round,
+                eval_only,
+                summary,
+            })
+        }),
+        (0u32..64, small_matrix(), -1e9..1e9f64).prop_map(|(round, sums, inertia)| {
+            let counts = (0..sums.nrows()).map(|i| i as u64 * 7).collect();
+            Msg::LocalStats(LocalStats {
+                round,
+                inertia,
+                stats: SuffStats { sums, counts },
+            })
+        }),
+        (0u32..64, proptest::bool::ANY)
+            .prop_map(|(round, done)| Msg::RoundAck(RoundAck { round, done })),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn encode_decode_round_trips(m in msg()) {
+        let (frame, info) = wire::encode(&m);
+        prop_assert_eq!(info.frame_bytes, frame.len());
+        // The encoder's measured stat bytes agree with the decoder-side
+        // recomputation.
+        prop_assert_eq!(info.stat_bytes, wire::stat_bytes(&m));
+        let back = wire::decode_frame(&frame).unwrap();
+        prop_assert_eq!(back, m);
+    }
+
+    #[test]
+    fn truncation_never_panics_and_always_errors(m in msg(), cut_frac in 0.0..1.0f64) {
+        let (frame, _) = wire::encode(&m);
+        let cut = ((frame.len() as f64) * cut_frac) as usize; // < len
+        prop_assert!(wire::decode_frame(&frame[..cut]).is_err());
+    }
+
+    #[test]
+    fn single_byte_corruption_never_panics(m in msg(), pos_frac in 0.0..1.0f64, flip in 1u8..=255) {
+        let (mut frame, _) = wire::encode(&m);
+        let pos = ((frame.len() as f64) * pos_frac) as usize % frame.len();
+        frame[pos] ^= flip;
+        // Corruption may still decode to a *different* valid message
+        // (flipped f64 payload bits, say) — the property is that decode
+        // never panics and never returns the wrong length silently.
+        match wire::decode_frame(&frame) {
+            Ok(_) | Err(_) => {}
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected(m in msg(), extra in 1usize..16) {
+        let (mut frame, _) = wire::encode(&m);
+        frame.extend(std::iter::repeat_n(0xAB, extra));
+        prop_assert_eq!(wire::decode_frame(&frame), Err(WireError::TrailingBytes));
+    }
+
+    #[test]
+    fn broadcast_stat_bytes_equal_closed_form(k in 1usize..=6, m in 1usize..=6) {
+        // FkM downlink accounting: k·m f64s.
+        let msg = Msg::Broadcast(Broadcast {
+            round: 0,
+            eval_only: false,
+            summary: Summary::Centroids(Matrix::zeros(k, m)),
+        });
+        let (_, info) = wire::encode(&msg);
+        prop_assert_eq!(info.stat_bytes, k * m * kr_federated::BYTES_PER_F64);
+        // KR-FkM downlink accounting: (h1+h2)·m f64s.
+        let msg = Msg::Broadcast(Broadcast {
+            round: 0,
+            eval_only: false,
+            summary: Summary::ProtoSets {
+                aggregator: Aggregator::Sum,
+                sets: vec![Matrix::zeros(k, m), Matrix::zeros(k + 1, m)],
+            },
+        });
+        let (_, info) = wire::encode(&msg);
+        prop_assert_eq!(info.stat_bytes, (k + k + 1) * m * kr_federated::BYTES_PER_F64);
+        // Uplink accounting: k·m sums + k counts, 8 bytes each.
+        let msg = Msg::LocalStats(LocalStats {
+            round: 0,
+            inertia: 0.0,
+            stats: SuffStats::zeros(k, m),
+        });
+        let (_, info) = wire::encode(&msg);
+        prop_assert_eq!(info.stat_bytes, (k * m + k) * kr_federated::BYTES_PER_F64);
+    }
+}
+
+#[test]
+fn length_prefix_is_little_endian_u32() {
+    let (frame, _) = wire::encode(&Msg::MeanQuery);
+    let len = u32::from_le_bytes(frame[..LEN_PREFIX].try_into().unwrap()) as usize;
+    assert_eq!(len, frame.len() - LEN_PREFIX);
+}

@@ -1,0 +1,20 @@
+//! Boolean strategies, mirroring `proptest::bool`.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRunner;
+
+/// The strategy behind [`ANY`]: a fair coin.
+#[derive(Debug, Clone, Copy)]
+pub struct Any;
+
+/// Generates `true` or `false` with equal probability.
+pub const ANY: Any = Any;
+
+impl Strategy for Any {
+    type Value = bool;
+
+    fn new_value(&self, runner: &mut TestRunner) -> bool {
+        use rand::Rng as _;
+        runner.rng_mut().gen_range(0u8..2) == 1
+    }
+}

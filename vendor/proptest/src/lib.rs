@@ -14,15 +14,28 @@
 //!   seed, so failures are exactly reproducible run-to-run (the workspace
 //!   determinism policy; cf. `kr_datasets::rng::seeded`).
 
+pub mod bool;
 pub mod collection;
 pub mod strategy;
 pub mod test_runner;
 
 pub mod prelude {
     //! The glob-importable API surface, mirroring `proptest::prelude`.
-    pub use crate::strategy::Strategy;
+    pub use crate::strategy::{Just, Strategy};
     pub use crate::test_runner::{Config as ProptestConfig, TestCaseError, TestRunner};
-    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Chooses uniformly among several strategies producing the same value
+/// type: `prop_oneof![a, b, c]` (mirroring `proptest::prop_oneof!`;
+/// upstream's optional per-arm weights are not supported).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {{
+        let union = $crate::strategy::Union::empty();
+        $(let union = union.or($strategy);)+
+        union
+    }};
 }
 
 /// Defines property tests: `proptest! { #[test] fn f(x in strat) { .. } }`.

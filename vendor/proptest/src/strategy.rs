@@ -127,3 +127,47 @@ impl<T: Clone> Strategy for Just<T> {
         self.0.clone()
     }
 }
+
+impl<S: Strategy + ?Sized> Strategy for Box<S> {
+    type Value = S::Value;
+
+    fn new_value(&self, runner: &mut TestRunner) -> S::Value {
+        (**self).new_value(runner)
+    }
+}
+
+/// Uniform choice among boxed strategies of one value type (the engine
+/// behind [`prop_oneof!`](crate::prop_oneof); mirrors
+/// `proptest::strategy::Union` without per-arm weights).
+pub struct Union<T> {
+    options: Vec<Box<dyn Strategy<Value = T>>>,
+}
+
+impl<T> Union<T> {
+    /// A union with no arms yet ([`prop_oneof!`](crate::prop_oneof)
+    /// always adds at least one before sampling).
+    pub fn empty() -> Self {
+        Union {
+            options: Vec::new(),
+        }
+    }
+
+    /// Adds one arm.
+    pub fn or(mut self, s: impl Strategy<Value = T> + 'static) -> Self {
+        self.options.push(Box::new(s));
+        self
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn new_value(&self, runner: &mut TestRunner) -> T {
+        assert!(
+            !self.options.is_empty(),
+            "prop_oneof! needs at least one arm"
+        );
+        let ix = runner.rng_mut().gen_range(0..self.options.len());
+        self.options[ix].new_value(runner)
+    }
+}
