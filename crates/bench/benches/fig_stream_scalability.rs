@@ -1,0 +1,141 @@
+//! Streaming scalability: inertia-vs-batch convergence and peak heap of
+//! the `kr-stream` summarizers across batch size × representative
+//! budget × pool workers, against the batch `KrKMeans` reference on the
+//! same (chunk-replayed) data.
+//!
+//! This is the new subsystem's counterpart of Figure 8: where fig8 shows
+//! the batch algorithms' space advantage as the centroid count grows,
+//! this harness shows that the *streaming* summarizers keep a bounded
+//! working set as the stream grows — `MiniBatchKrKMeans` holds
+//! `O((Σ h_l + ∏ h_l) m)` state and `CoresetTree` at most its
+//! representative bound — while landing within the documented
+//! batch-parity factor (EXPERIMENTS.md "Streaming") of the resident-data
+//! fit. The workers axis re-runs one configuration at 1/2/4/8 pool
+//! workers; results are bitwise identical (CI-enforced by the
+//! `exec_determinism_*` tests), so only wall-clock may move.
+
+// Peak-memory reporting: without this, kr_bench::measure sees no heap.
+kr_bench::install_counting_allocator!();
+
+use kr_bench::{measure, mib};
+use kr_core::kr_kmeans::KrKMeans;
+use kr_datasets::stream::ChunkedReplay;
+use kr_linalg::{ExecCtx, Matrix};
+use kr_stream::{CoresetTree, MiniBatchKrKMeans, StreamSummarizer};
+
+fn stream_minibatch(data: &Matrix, batch: usize, exec: &ExecCtx) -> kr_stream::MiniBatchKrModel {
+    let mut mb = MiniBatchKrKMeans::new(vec![3, 3])
+        .with_seed(7)
+        .with_exec(exec.clone());
+    for b in ChunkedReplay::new(data, batch, 3) {
+        mb.observe(&b).unwrap();
+    }
+    mb.finalize().unwrap()
+}
+
+fn stream_coreset(
+    data: &Matrix,
+    batch: usize,
+    budget: usize,
+    exec: &ExecCtx,
+) -> (kr_stream::CoresetModel, usize) {
+    let mut tree = CoresetTree::new(9, budget)
+        .with_leaf_size(2 * budget)
+        .with_seed(7)
+        .with_exec(exec.clone());
+    for b in ChunkedReplay::new(data, batch, 3) {
+        tree.observe(&b).unwrap();
+    }
+    let bound = tree.representative_bound();
+    (tree.finalize().unwrap(), bound)
+}
+
+fn main() {
+    println!("=== Streaming scalability: inertia vs batch KrKMeans, peak heap ===");
+    let n = kr_bench::scaled(4000, 600);
+    let ds = kr_datasets::synthetic::blobs(n, 8, 9, 0.5, 80);
+    let serial = ExecCtx::serial();
+
+    // Batch reference: the resident-data fit every stream is compared
+    // against (warm start off so heap reflects Algorithm 1 alone).
+    let (reference, t_ref, p_ref) = measure(|| {
+        KrKMeans::new(vec![3, 3])
+            .with_n_init(2)
+            .with_seed(7)
+            .with_warm_start(false)
+            .fit(&ds.data)
+            .unwrap()
+    });
+    let ref_inertia = reference.inertia;
+    println!(
+        "batch KrKMeans(3x3): inertia {ref_inertia:.1}  {t_ref:.3}s  {:.1} MiB (n={n})\n",
+        mib(p_ref)
+    );
+
+    // --- Batch-size axis (mini-batch KR): convergence telemetry.
+    println!(
+        "{:<18}{:>12}{:>10}{:>10}{:>10}{:>12}",
+        "minibatch", "inertia", "ratio", "secs", "MiB", "last-batch"
+    );
+    for batch in [125usize, 250, 500, 1000] {
+        let (model, t, p) = measure(|| stream_minibatch(&ds.data, batch, &serial));
+        let inertia = kr_metrics::inertia(&ds.data, &model.centroids());
+        let last = model.last_batch_inertia;
+        println!(
+            "batch={batch:<12}{inertia:>12.1}{:>10.3}{t:>10.3}{:>10.1}{last:>12.1}",
+            inertia / ref_inertia,
+            mib(p)
+        );
+        std::hint::black_box(&model);
+    }
+
+    // --- Budget axis (coreset tree): bound vs peak representatives.
+    println!(
+        "\n{:<18}{:>12}{:>10}{:>10}{:>10}{:>8}{:>8}",
+        "coreset", "inertia", "ratio", "secs", "MiB", "peak", "bound"
+    );
+    for budget in [18usize, 36, 72, 144] {
+        let (out, t, p) = measure(|| stream_coreset(&ds.data, 500, budget, &serial));
+        let (model, bound) = out;
+        let inertia = kr_metrics::inertia(&ds.data, &model.centroids);
+        assert!(
+            model.peak_representatives <= bound,
+            "bound violated: {} > {bound}",
+            model.peak_representatives
+        );
+        println!(
+            "budget={budget:<11}{inertia:>12.1}{:>10.3}{t:>10.3}{:>10.1}{:>8}{bound:>8}",
+            inertia / ref_inertia,
+            mib(p),
+            model.peak_representatives
+        );
+        std::hint::black_box(&model);
+    }
+
+    // --- Workers axis: same streams at 1/2/4/8 pool workers. The
+    // summaries are bitwise identical at every budget (deterministic
+    // chunk geometry); only wall-clock may change.
+    println!(
+        "\n{:<12}{:>14}{:>14}",
+        "workers", "minibatch s", "coreset s"
+    );
+    let reference_sets = stream_minibatch(&ds.data, 500, &serial).protocentroids;
+    for workers in [1usize, 2, 4, 8] {
+        let exec = ExecCtx::threaded(workers);
+        let (mb, t_mb, _) = measure(|| stream_minibatch(&ds.data, 500, &exec));
+        assert_eq!(mb.protocentroids, reference_sets, "workers={workers}");
+        let (co, t_co, _) = measure(|| stream_coreset(&ds.data, 500, 36, &exec));
+        std::hint::black_box(&co);
+        println!("{workers:<12}{t_mb:>14.3}{t_co:>14.3}");
+    }
+
+    println!(
+        "\nExpected shape: streaming inertia stays within the documented \
+         batch-parity factor (EXPERIMENTS.md \"Streaming\") at every batch \
+         size; the mini-batch summarizer's heap is flat in n (state is \
+         protocentroids + sufficient statistics) and the coreset tree's \
+         peak representative count tracks its budget·levels bound, not the \
+         stream length. On the workers axis the summaries are bit-identical \
+         and wall-clock falls toward the core count."
+    );
+}

@@ -28,6 +28,64 @@ fn seed_naive_matmul(a: &Matrix, b: &Matrix) -> Matrix {
     out
 }
 
+/// The PR-2 blocked kernel *without* B-panel packing, kept verbatim as
+/// the regression baseline for the packed micro-kernel: identical panel
+/// order and 4-row register tiles, but each tile re-reads B's rows at
+/// stride `n` straight from the operand. Bitwise-identical output to
+/// `Matrix::matmul` (packing only copies values), so the group compares
+/// pure memory behavior.
+fn unpacked_blocked_matmul(a: &Matrix, b: &Matrix) -> Matrix {
+    let (m, k, n) = (a.nrows(), a.ncols(), b.ncols());
+    let (mc, kc, nc) = (64usize, 256usize, 1024usize);
+    let mut out = Matrix::zeros(m, n);
+    let (a, b) = (a.as_slice(), b.as_slice());
+    for ic in (0..m).step_by(mc) {
+        let h = mc.min(m - ic);
+        let c = &mut out.as_mut_slice()[ic * n..(ic + h) * n];
+        for jc in (0..n).step_by(nc) {
+            let jw = nc.min(n - jc);
+            for pc in (0..k).step_by(kc) {
+                let pw = kc.min(k - pc);
+                let mut ir = 0;
+                while ir + 4 <= h {
+                    let block = &mut c[ir * n..(ir + 4) * n];
+                    let (r0, rest) = block.split_at_mut(n);
+                    let (r1, rest) = rest.split_at_mut(n);
+                    let (r2, r3) = rest.split_at_mut(n);
+                    let (r0, r1, r2, r3) = (
+                        &mut r0[jc..jc + jw],
+                        &mut r1[jc..jc + jw],
+                        &mut r2[jc..jc + jw],
+                        &mut r3[jc..jc + jw],
+                    );
+                    let a_base = (ic + ir) * k;
+                    for p in pc..pc + pw {
+                        let a0 = a[a_base + p];
+                        let a1 = a[a_base + k + p];
+                        let a2 = a[a_base + 2 * k + p];
+                        let a3 = a[a_base + 3 * k + p];
+                        let b_row = &b[p * n + jc..p * n + jc + jw];
+                        ops::axpy(r0, a0, b_row);
+                        ops::axpy(r1, a1, b_row);
+                        ops::axpy(r2, a2, b_row);
+                        ops::axpy(r3, a3, b_row);
+                    }
+                    ir += 4;
+                }
+                while ir < h {
+                    let row = &mut c[ir * n + jc..ir * n + jc + jw];
+                    let a_base = (ic + ir) * k;
+                    for p in pc..pc + pw {
+                        ops::axpy(row, a[a_base + p], &b[p * n + jc..p * n + jc + jw]);
+                    }
+                    ir += 1;
+                }
+            }
+        }
+    }
+    out
+}
+
 /// The seed's pairwise kernel: materialize the full dot matrix row by
 /// row, then a second pass applying the norm expansion.
 fn seed_naive_pairwise(x: &Matrix, c: &Matrix) -> Matrix {
@@ -56,6 +114,13 @@ fn bench_matmul_blocked(c: &mut Criterion) {
     group.bench_function("seed_naive", |bch| {
         bch.iter(|| black_box(seed_naive_matmul(&a, &b)));
     });
+    // Before/after for the packed-B micro-kernel: `blocked_unpacked` is
+    // the PR-2 kernel, `blocked_serial` the current packed one. Their
+    // outputs are asserted bitwise equal before timing.
+    assert_eq!(unpacked_blocked_matmul(&a, &b), a.matmul(&b).unwrap());
+    group.bench_function("blocked_unpacked", |bch| {
+        bch.iter(|| black_box(unpacked_blocked_matmul(&a, &b)));
+    });
     group.bench_function("blocked_serial", |bch| {
         bch.iter(|| black_box(a.matmul(&b).unwrap()));
     });
@@ -63,6 +128,24 @@ fn bench_matmul_blocked(c: &mut Criterion) {
     let exec = ExecCtx::threaded(threads);
     group.bench_function(format!("blocked_{threads}_threads"), |bch| {
         bch.iter(|| black_box(a.matmul_with(&b, &exec).unwrap()));
+    });
+    group.finish();
+}
+
+fn bench_matmul_wide_packed(c: &mut Criterion) {
+    // Outputs wider than one `nc` slab (n = 2048 > 1024) are where the
+    // packed-B micro-kernel earns its copy: the unpacked kernel re-walks
+    // strided panel rows on every register-tile pass.
+    let mut group = c.benchmark_group("matmul_wide_384x512x2048");
+    group.sample_size(10);
+    let a = Matrix::from_fn(384, 512, |i, j| ((i * 31 + j * 7) % 97) as f64 * 0.01);
+    let b = Matrix::from_fn(512, 2048, |i, j| ((i * 13 + j * 3) % 89) as f64 * 0.02);
+    assert_eq!(unpacked_blocked_matmul(&a, &b), a.matmul(&b).unwrap());
+    group.bench_function("blocked_unpacked", |bch| {
+        bch.iter(|| black_box(unpacked_blocked_matmul(&a, &b)));
+    });
+    group.bench_function("blocked_packed_serial", |bch| {
+        bch.iter(|| black_box(a.matmul(&b).unwrap()));
     });
     group.finish();
 }
@@ -168,6 +251,7 @@ criterion_group!(
     benches,
     bench_pairwise_sqdist,
     bench_matmul_blocked,
+    bench_matmul_wide_packed,
     bench_pairwise_blocked,
     bench_kr_assignment_variants,
     bench_prop61_update,

@@ -267,6 +267,34 @@ pub(crate) fn assign(
     }
 }
 
+/// Nearest-centroid assignment as a public building block: returns one
+/// `(label, squared distance)` pair per row of `data`, computed
+/// chunk-parallel on `exec`'s pool. Per-point work is independent of the
+/// chunk split, so results are bitwise identical at any thread count —
+/// the property the streaming summarizers (`kr-stream`) and federated
+/// clients build their determinism contracts on.
+///
+/// # Panics
+/// Panics when `data` and `centroids` disagree on the feature dimension
+/// or `centroids` is empty.
+pub fn nearest_assignments_with(
+    data: &Matrix,
+    centroids: &Matrix,
+    exec: &ExecCtx,
+) -> (Vec<usize>, Vec<f64>) {
+    assert!(centroids.nrows() > 0, "need at least one centroid");
+    assert_eq!(
+        data.ncols(),
+        centroids.ncols(),
+        "feature dimension mismatch"
+    );
+    let n = data.nrows();
+    let mut labels = vec![0usize; n];
+    let mut dmin = vec![0.0f64; n];
+    assign(data, centroids, &mut labels, &mut dmin, exec);
+    (labels, dmin)
+}
+
 /// Per-cluster coordinate sums (`k x m`) and member counts, accumulated
 /// in parallel as fixed-size chunk partials merged in ascending chunk
 /// order. The geometry ([`UPDATE_CHUNK`]) never depends on the thread

@@ -1,4 +1,4 @@
-//! Sufficient statistics for distributed mean updates.
+//! Sufficient statistics for distributed *and streaming* mean updates.
 //!
 //! Both the exact k-Means mean update and the Proposition 6.1 closed
 //! forms ([`crate::kr_kmeans::prop61_update_from_stats`]) depend on the
@@ -8,6 +8,15 @@
 //! (every field is a flat row-major `f64`/`u64` block), and a server can
 //! merge client contributions in a fixed order — which keeps distributed
 //! updates bitwise deterministic.
+//!
+//! The same pair is what a *bounded-memory stream* accumulates:
+//! [`SuffStats::observe`] folds one labeled point and
+//! [`SuffStats::observe_batch`] a labeled batch, both strictly in point
+//! order. Because a batch fold is nothing but the point folds run
+//! back-to-back, accumulating a stream chunk by chunk is **bitwise
+//! identical** to accumulating the concatenated data flat — the
+//! invariant `kr-stream`'s mini-batch summarizers rely on
+//! (property-tested in `tests/suffstats_proptests.rs`).
 //!
 //! ```
 //! use kr_core::stats::SuffStats;
@@ -78,6 +87,52 @@ impl SuffStats {
         Ok(())
     }
 
+    /// Folds one point into cluster `cluster`'s statistics: coordinate
+    /// sums accumulate in feature order, the count increments by one.
+    ///
+    /// # Panics
+    /// Panics when `cluster` is out of range or `x` has the wrong
+    /// dimension — a labeling bug, not a runtime condition.
+    pub fn observe(&mut self, x: &[f64], cluster: usize) {
+        assert!(cluster < self.counts.len(), "cluster index out of range");
+        assert_eq!(x.len(), self.sums.ncols(), "feature dimension mismatch");
+        for (s, &v) in self.sums.row_mut(cluster).iter_mut().zip(x) {
+            *s += v;
+        }
+        self.counts[cluster] += 1;
+    }
+
+    /// Folds a labeled batch in point order — exactly
+    /// [`SuffStats::observe`] once per row, so splitting a dataset into
+    /// consecutive batches and folding them in sequence is bitwise
+    /// identical to folding the whole dataset at once.
+    pub fn observe_batch(&mut self, data: &Matrix, labels: &[usize]) -> Result<()> {
+        if data.nrows() != labels.len() {
+            return Err(CoreError::InvalidConfig(format!(
+                "one label per point required: {} labels for {} points",
+                labels.len(),
+                data.nrows()
+            )));
+        }
+        if data.nrows() > 0 && data.ncols() != self.m() {
+            return Err(CoreError::InvalidConfig(format!(
+                "batch has {} features, statistics track {}",
+                data.ncols(),
+                self.m()
+            )));
+        }
+        if let Some(&bad) = labels.iter().find(|&&l| l >= self.k()) {
+            return Err(CoreError::InvalidConfig(format!(
+                "label {bad} out of range for {} clusters",
+                self.k()
+            )));
+        }
+        for (x, &l) in data.rows_iter().zip(labels) {
+            self.observe(x, l);
+        }
+        Ok(())
+    }
+
     /// Counts widened to `usize`, the type the update closed forms take.
     pub fn counts_usize(&self) -> Vec<usize> {
         self.counts.iter().map(|&c| c as usize).collect()
@@ -123,5 +178,30 @@ mod tests {
     #[test]
     fn wire_f64s_is_closed_form() {
         assert_eq!(SuffStats::zeros(4, 7).wire_f64s(), 4 * 7 + 4);
+    }
+
+    #[test]
+    fn observe_batch_matches_point_folds() {
+        let data = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]]).unwrap();
+        let labels = [0usize, 1, 0];
+        let mut batched = SuffStats::zeros(2, 2);
+        batched.observe_batch(&data, &labels).unwrap();
+        let mut pointwise = SuffStats::zeros(2, 2);
+        for (x, &l) in data.rows_iter().zip(labels.iter()) {
+            pointwise.observe(x, l);
+        }
+        assert_eq!(batched, pointwise);
+        assert_eq!(batched.counts, vec![2, 1]);
+        assert_eq!(batched.sums.row(0), &[6.0, 8.0]);
+    }
+
+    #[test]
+    fn observe_batch_rejects_bad_inputs() {
+        let data = Matrix::zeros(2, 3);
+        let mut s = SuffStats::zeros(2, 3);
+        assert!(s.observe_batch(&data, &[0]).is_err());
+        assert!(s.observe_batch(&data, &[0, 2]).is_err());
+        let wrong_dim = Matrix::zeros(2, 4);
+        assert!(s.observe_batch(&wrong_dim, &[0, 1]).is_err());
     }
 }

@@ -1,0 +1,136 @@
+//! Property-based coverage of the sufficient-statistics accumulator the
+//! federated wire and the streaming summarizers share: ordered merges
+//! behave like exact integer/float folds, the zero statistics are a
+//! merge identity, and chunked (streaming) accumulation is bitwise
+//! identical to flat accumulation.
+
+use kr_core::stats::SuffStats;
+use kr_linalg::Matrix;
+use proptest::prelude::*;
+
+/// A labeled batch: `n x m` data plus one label per row, all derived
+/// from small integer grids so values are exact in f64.
+fn labeled_batch() -> impl Strategy<Value = (Matrix, Vec<usize>, usize)> {
+    (1usize..=24, 1usize..=4, 2usize..=5).prop_flat_map(|(n, m, k)| {
+        (
+            proptest::collection::vec(-100.0..100.0f64, n * m)
+                .prop_map(move |data| Matrix::from_vec(n, m, data).unwrap()),
+            proptest::collection::vec(0usize..k, n),
+            Just(k),
+        )
+    })
+}
+
+fn stats_of(data: &Matrix, labels: &[usize], k: usize) -> SuffStats {
+    let mut s = SuffStats::zeros(k, data.ncols());
+    s.observe_batch(data, labels).unwrap();
+    s
+}
+
+fn bitwise_eq(a: &SuffStats, b: &SuffStats) -> bool {
+    a.counts == b.counts
+        && a.sums
+            .as_slice()
+            .iter()
+            .zip(b.sums.as_slice())
+            .all(|(x, y)| x.to_bits() == y.to_bits())
+}
+
+proptest! {
+    /// Chunked vs flat accumulation: folding a stream of consecutive
+    /// batches into one accumulator performs the identical operation
+    /// sequence as folding the concatenated data once — bitwise equal,
+    /// for every split point. This is the invariant that makes a
+    /// chunked-replay stream equivalent to a resident dataset.
+    #[test]
+    fn chunked_accumulation_is_bitwise_flat((data, labels, k) in labeled_batch(),
+                                            split_frac in 0.0..1.0f64) {
+        let flat = stats_of(&data, &labels, k);
+        let split = ((data.nrows() as f64) * split_frac) as usize;
+        let head: Vec<usize> = (0..split).collect();
+        let tail: Vec<usize> = (split..data.nrows()).collect();
+        let mut chunked = SuffStats::zeros(k, data.ncols());
+        for part in [head, tail] {
+            if part.is_empty() {
+                continue;
+            }
+            let rows = data.select_rows(&part);
+            let labs: Vec<usize> = part.iter().map(|&i| labels[i]).collect();
+            chunked.observe_batch(&rows, &labs).unwrap();
+        }
+        prop_assert!(bitwise_eq(&flat, &chunked));
+    }
+
+    /// Merging the zero statistics — in either direction — is an
+    /// identity on counts and an exact no-op on sums (every observed sum
+    /// is reproduced bit for bit; `0 + x` only differs from `x` for
+    /// `-0.0`, which coordinate sums of observed batches produce as
+    /// `x + (-0.0) = x` exactly).
+    #[test]
+    fn empty_merge_is_identity((data, labels, k) in labeled_batch()) {
+        let reference = stats_of(&data, &labels, k);
+        let mut right = reference.clone();
+        right.merge(&SuffStats::zeros(k, data.ncols())).unwrap();
+        prop_assert!(bitwise_eq(&right, &reference));
+        let mut left = SuffStats::zeros(k, data.ncols());
+        left.merge(&reference).unwrap();
+        prop_assert_eq!(left.counts, reference.counts.clone());
+        for (x, y) in left.sums.as_slice().iter().zip(reference.sums.as_slice()) {
+            prop_assert_eq!(*x, *y);
+        }
+    }
+
+    /// Merge associativity under a fixed ordering: the protocol never
+    /// re-brackets — contributions always fold left-to-right in client /
+    /// batch order — so the property that matters is that the *same*
+    /// ordered fold is reproducible bit for bit, while any bracketing
+    /// agrees exactly on counts and to fp-accumulation accuracy on sums.
+    #[test]
+    fn ordered_merge_folds_are_reproducible_and_associative(
+        batches in proptest::collection::vec(labeled_batch().prop_map(|(d, l, _)| (d, l)), 3),
+    ) {
+        // Re-key every batch to a common (k, m) so shapes line up.
+        let k = 3usize;
+        let parts: Vec<SuffStats> = batches
+            .iter()
+            .map(|(data, labels)| {
+                let labels: Vec<usize> = labels.iter().map(|&l| l % k).collect();
+                let mut s = SuffStats::zeros(k, 1);
+                // Project each row to its first feature: exact values,
+                // shared dimension.
+                let col = Matrix::from_vec(
+                    data.nrows(),
+                    1,
+                    data.rows_iter().map(|r| r[0]).collect(),
+                )
+                .unwrap();
+                s.observe_batch(&col, &labels).unwrap();
+                s
+            })
+            .collect();
+        let fold = |order: &[usize]| {
+            let mut acc = SuffStats::zeros(k, 1);
+            for &i in order {
+                acc.merge(&parts[i]).unwrap();
+            }
+            acc
+        };
+        // Identical ordered folds are bitwise identical.
+        prop_assert!(bitwise_eq(&fold(&[0, 1, 2]), &fold(&[0, 1, 2])));
+        // Right-bracketed fold: a ⊕ (b ⊕ c).
+        let mut bc = parts[1].clone();
+        bc.merge(&parts[2]).unwrap();
+        let mut right = SuffStats::zeros(k, 1);
+        right.merge(&parts[0]).unwrap();
+        right.merge(&bc).unwrap();
+        let left = fold(&[0, 1, 2]);
+        // Counts are exact integers: associativity is bitwise.
+        prop_assert_eq!(left.counts.clone(), right.counts.clone());
+        // Sums re-bracket a float addition: exact up to accumulation
+        // accuracy.
+        for (x, y) in left.sums.as_slice().iter().zip(right.sums.as_slice()) {
+            let tol = 1e-9 * x.abs().max(1.0);
+            prop_assert!((x - y).abs() <= tol, "{x} vs {y}");
+        }
+    }
+}

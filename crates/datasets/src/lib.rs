@@ -28,6 +28,7 @@ pub mod highdim;
 pub mod image;
 pub mod preprocess;
 pub mod rng;
+pub mod stream;
 pub mod synthetic;
 pub mod table1;
 pub mod weighted;

@@ -5,6 +5,7 @@
 //! search) so the workspace does not need `rand_distr`.
 
 use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 
 /// Creates the workspace-standard RNG from a `u64` seed.
@@ -68,10 +69,7 @@ pub fn sample_without_replacement(rng: &mut impl Rng, n: usize, k: usize) -> Vec
         out.push(pick);
     }
     // Shuffle so position carries no bias.
-    for i in (1..out.len()).rev() {
-        let j = rng.gen_range(0..=i);
-        out.swap(i, j);
-    }
+    out.shuffle(rng);
     out
 }
 

@@ -1,0 +1,138 @@
+//! Chunked replay: feed any in-memory dataset as a stream of batches.
+//!
+//! The streaming summarizers (`kr-stream`) consume data as a sequence of
+//! row batches. [`ChunkedReplay`] turns a resident [`Matrix`] into that
+//! shape: a seeded shuffle fixes a row order once, then the iterator
+//! hands out consecutive `batch_size`-row batches until the data is
+//! exhausted. Every row appears exactly once per epoch, so a streaming
+//! result is directly comparable against a batch fit of the same data —
+//! the *batch-parity* protocol of EXPERIMENTS.md's "Streaming" section.
+//!
+//! Determinism: the shuffle is a Fisher-Yates pass over a
+//! [`rand::rngs::StdRng`] seeded from the `seed` argument, so the batch
+//! sequence is a pure function of `(data, batch_size, seed)`.
+//!
+//! ```
+//! use kr_datasets::stream::ChunkedReplay;
+//!
+//! let ds = kr_datasets::synthetic::blobs(100, 3, 4, 0.5, 7);
+//! let replay = ChunkedReplay::new(&ds.data, 32, 1);
+//! assert_eq!(replay.n_batches(), 4); // 32 + 32 + 32 + 4 rows
+//! let total: usize = replay.map(|b| b.nrows()).sum();
+//! assert_eq!(total, 100); // every row exactly once
+//! ```
+
+use kr_linalg::Matrix;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// An iterator of shuffled row batches over a borrowed matrix.
+#[derive(Debug, Clone)]
+pub struct ChunkedReplay<'a> {
+    data: &'a Matrix,
+    order: Vec<usize>,
+    batch_size: usize,
+    pos: usize,
+}
+
+impl<'a> ChunkedReplay<'a> {
+    /// Creates a replay over `data` with `batch_size`-row batches (the
+    /// last batch of an epoch may be shorter) in a seeded shuffled
+    /// order. `batch_size` is clamped to at least 1.
+    pub fn new(data: &'a Matrix, batch_size: usize, seed: u64) -> Self {
+        let n = data.nrows();
+        let mut order: Vec<usize> = (0..n).collect();
+        order.shuffle(&mut StdRng::seed_from_u64(seed));
+        ChunkedReplay {
+            data,
+            order,
+            batch_size: batch_size.max(1),
+            pos: 0,
+        }
+    }
+
+    /// Number of batches one epoch yields.
+    pub fn n_batches(&self) -> usize {
+        self.order.len().div_ceil(self.batch_size)
+    }
+
+    /// Configured batch size.
+    pub fn batch_size(&self) -> usize {
+        self.batch_size
+    }
+
+    /// Rewinds to the start of the epoch, keeping the shuffled order —
+    /// a second pass replays the identical batch sequence.
+    pub fn reset(&mut self) {
+        self.pos = 0;
+    }
+}
+
+impl Iterator for ChunkedReplay<'_> {
+    type Item = Matrix;
+
+    fn next(&mut self) -> Option<Matrix> {
+        if self.pos >= self.order.len() {
+            return None;
+        }
+        let end = (self.pos + self.batch_size).min(self.order.len());
+        let batch = self.data.select_rows(&self.order[self.pos..end]);
+        self.pos = end;
+        Some(batch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn replays_every_row_exactly_once() {
+        let data = Matrix::from_fn(53, 2, |i, j| (i * 2 + j) as f64);
+        let mut seen = vec![0usize; 53];
+        for batch in ChunkedReplay::new(&data, 8, 3) {
+            for row in batch.rows_iter() {
+                seen[(row[0] / 2.0) as usize] += 1;
+            }
+        }
+        assert!(seen.iter().all(|&c| c == 1), "seen {seen:?}");
+    }
+
+    #[test]
+    fn deterministic_given_seed_and_shuffled_across_seeds() {
+        let data = Matrix::from_fn(40, 3, |i, j| (i * 3 + j) as f64);
+        let a: Vec<Matrix> = ChunkedReplay::new(&data, 7, 11).collect();
+        let b: Vec<Matrix> = ChunkedReplay::new(&data, 7, 11).collect();
+        assert_eq!(a, b);
+        let c: Vec<Matrix> = ChunkedReplay::new(&data, 7, 12).collect();
+        assert_ne!(a, c, "different seeds must reorder");
+    }
+
+    #[test]
+    fn reset_replays_identical_batches() {
+        let data = Matrix::from_fn(20, 1, |i, _| i as f64);
+        let mut replay = ChunkedReplay::new(&data, 6, 0);
+        let first: Vec<Matrix> = replay.by_ref().collect();
+        replay.reset();
+        let second: Vec<Matrix> = replay.collect();
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn batch_geometry() {
+        let data = Matrix::from_fn(10, 1, |i, _| i as f64);
+        let replay = ChunkedReplay::new(&data, 4, 0);
+        assert_eq!(replay.n_batches(), 3);
+        let sizes: Vec<usize> = replay.map(|b| b.nrows()).collect();
+        assert_eq!(sizes, vec![4, 4, 2]);
+        // batch_size clamps to 1 instead of dividing by zero.
+        assert_eq!(ChunkedReplay::new(&data, 0, 0).n_batches(), 10);
+    }
+
+    #[test]
+    fn empty_data_yields_no_batches() {
+        let data = Matrix::zeros(0, 3);
+        assert_eq!(ChunkedReplay::new(&data, 4, 0).count(), 0);
+    }
+}

@@ -7,7 +7,7 @@ use kr_autodiff::optim::{Adam, ParamStore};
 use kr_autodiff::{Graph, VarId};
 use kr_linalg::{ExecCtx, Matrix};
 use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rand::SeedableRng;
 
 /// How hidden layers are parameterized.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -306,15 +306,16 @@ pub fn pretrain_compressed_matching(
 }
 
 pub(crate) fn shuffle(order: &mut [usize], rng: &mut StdRng) {
-    for i in (1..order.len()).rev() {
-        let j = rng.gen_range(0..=i);
-        order.swap(i, j);
-    }
+    use rand::seq::SliceRandom;
+    // Thin alias over the shared trait (same Fisher-Yates loop this
+    // helper carried inline, so seeded training streams are unmoved).
+    order.shuffle(rng);
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rand::Rng;
 
     fn toy_data(n: usize, m: usize, seed: u64) -> Matrix {
         let mut rng = StdRng::seed_from_u64(seed);

@@ -121,12 +121,16 @@ impl<'a> ShardClient<'a> {
                     count: self.data.nrows() as u64,
                 }))
             }
-            Msg::Broadcast(b) => {
-                let centroids = b.summary.materialize();
-                let stats = compute_local_stats(self.data, &centroids, b.round, &self.exec);
-                Ok(Step::Reply(Msg::LocalStats(stats)))
-            }
-            Msg::RoundAck(a) => Ok(if a.done { Step::Done } else { Step::Continue }),
+            Msg::Broadcast(b) => Ok(Step::Reply(self.answer_broadcast(b))),
+            Msg::RoundAck(a) => Ok(if a.done {
+                Step::Done
+            } else if let Some(b) = &a.next {
+                // Pipelined round: the ack carries the next broadcast;
+                // answer it exactly like a standalone one.
+                Step::Reply(self.answer_broadcast(b))
+            } else {
+                Step::Continue
+            }),
             other => Err(CoreError::Transport(format!(
                 "client received a client-side message: {other:?}"
             ))),
@@ -152,6 +156,14 @@ impl<'a> ShardClient<'a> {
                 Step::Done => return Ok(()),
             }
         }
+    }
+
+    /// One round's reply to a (standalone or pipelined) broadcast.
+    fn answer_broadcast(&self, b: &crate::protocol::Broadcast) -> Msg {
+        let centroids = b.summary.materialize();
+        Msg::LocalStats(compute_local_stats(
+            self.data, &centroids, b.round, &self.exec,
+        ))
     }
 
     fn mass(&self) -> f64 {
@@ -219,7 +231,8 @@ mod tests {
         assert_eq!(
             c.handle(&Msg::RoundAck(crate::protocol::RoundAck {
                 round: 0,
-                done: false
+                done: false,
+                next: None
             }))
             .unwrap(),
             Step::Continue
@@ -227,7 +240,41 @@ mod tests {
         assert_eq!(
             c.handle(&Msg::RoundAck(crate::protocol::RoundAck {
                 round: 1,
-                done: true
+                done: true,
+                next: None
+            }))
+            .unwrap(),
+            Step::Done
+        );
+    }
+
+    #[test]
+    fn pipelined_ack_answers_like_a_standalone_broadcast() {
+        let data = shard();
+        let broadcast = Broadcast {
+            round: 3,
+            eval_only: false,
+            summary: Summary::Centroids(
+                Matrix::from_rows(&[vec![0.0, 0.0], vec![6.0, 8.0]]).unwrap(),
+            ),
+        };
+        let mut a = ShardClient::new(1, &data, ExecCtx::serial());
+        let standalone = a.handle(&Msg::Broadcast(broadcast.clone())).unwrap();
+        let mut b = ShardClient::new(1, &data, ExecCtx::serial());
+        let pipelined = b
+            .handle(&Msg::RoundAck(crate::protocol::RoundAck {
+                round: 2,
+                done: false,
+                next: Some(broadcast),
+            }))
+            .unwrap();
+        assert_eq!(standalone, pipelined);
+        // A done ack never carries (nor answers) a broadcast.
+        assert_eq!(
+            b.handle(&Msg::RoundAck(crate::protocol::RoundAck {
+                round: 3,
+                done: true,
+                next: None
             }))
             .unwrap(),
             Step::Done

@@ -420,6 +420,27 @@ mod tests {
     }
 
     #[test]
+    fn pipelining_halves_per_round_frames() {
+        // With the next broadcast riding on the previous ack, one extra
+        // round costs exactly one server→client frame and one reply per
+        // client (the ack-then-broadcast scheme paid two frames down).
+        let (clients, _) = make_clients(4, 30);
+        let run = |rounds| {
+            FkM {
+                k: 3,
+                rounds,
+                seed: 5,
+            }
+            .run(&clients)
+            .unwrap()
+            .wire
+        };
+        let (w5, w6) = (run(5), run(6));
+        assert_eq!(w6.frames_down - w5.frames_down, 4, "one down-frame/client");
+        assert_eq!(w6.frames_up - w5.frames_up, 4, "one up-frame/client");
+    }
+
+    #[test]
     fn exec_determinism_rounds_thread_invariant() {
         // Every round's history (inertia and byte counters) must be
         // bitwise identical at any thread budget.

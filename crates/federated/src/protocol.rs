@@ -123,12 +123,25 @@ pub struct LocalStats {
 
 /// Server → client: closes a round; `done = true` shuts the client
 /// down.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+///
+/// **Multi-round pipelining.** A non-final ack carries the *next*
+/// round's [`Broadcast`] piggybacked in `next`, and the client answers
+/// it with that round's [`LocalStats`] directly — so after the opening
+/// broadcast, one round costs a single server→client frame and a single
+/// reply instead of the ack + broadcast pair it used to, halving the
+/// per-round message exchanges. Byte accounting is unchanged: the
+/// embedded summary's statistic bytes are measured exactly like a
+/// standalone broadcast's and attributed to the round the summary
+/// belongs to, so the Figure 10 closed forms still hold frame-for-frame.
+#[derive(Debug, Clone, PartialEq)]
 pub struct RoundAck {
     /// Round index being acknowledged.
     pub round: u32,
     /// Whether the protocol is over.
     pub done: bool,
+    /// The next round's broadcast, pipelined onto the ack (`None` on
+    /// the final ack — and only there).
+    pub next: Option<Broadcast>,
 }
 
 /// Every message of the federated protocol, as framed by

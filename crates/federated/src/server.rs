@@ -23,7 +23,7 @@
 //! evaluation is not part of the protocol's communication cost. Full
 //! frame traffic, overhead included, is reported in [`WireTotals`].
 
-use crate::protocol::{Broadcast, Join, LocalStats, Msg, RoundAck, ServerState, Summary};
+use crate::protocol::{Broadcast, Join, LocalStats, Msg, RoundAck, ServerState};
 use crate::transport::{for_each_connection, recv_expected, Connection};
 use crate::{FederatedModel, RoundStats};
 use kr_core::aggregator::Aggregator;
@@ -126,16 +126,28 @@ impl FederatedServer {
             }
         };
 
-        // ---- Accounted rounds. A round's inertia is the inertia of the
-        // *updated* model, which clients report while assigning against
-        // the next round's broadcast — so each entry is finalized one
-        // exchange later (the last by the evaluation exchange below).
+        // ---- Accounted rounds, pipelined: round 0 opens with a
+        // standalone broadcast; every later round's broadcast rides on
+        // the previous round's ack (one server→client frame and one
+        // reply per round — half the exchanges of the ack-then-broadcast
+        // scheme). A round's inertia is the inertia of the *updated*
+        // model, which clients report while assigning against the next
+        // round's broadcast — so each entry is finalized one exchange
+        // later (the last by the evaluation exchange below).
         let m = driver.m;
         let mut history: Vec<RoundStats> = Vec::with_capacity(self.rounds);
         let (mut down, mut up) = (0usize, 0usize);
         for round in 0..self.rounds {
-            let (replies, stat_down, stat_up) =
-                driver.broadcast_round(round as u32, false, state.summary())?;
+            let broadcast = Broadcast {
+                round: round as u32,
+                eval_only: false,
+                summary: state.summary(),
+            };
+            let (replies, stat_down, stat_up) = if round == 0 {
+                driver.broadcast_round(broadcast)?
+            } else {
+                driver.ack_round_pipelined(round as u32 - 1, broadcast)?
+            };
             down += stat_down;
             up += stat_up;
             if round > 0 {
@@ -146,7 +158,6 @@ impl FederatedServer {
                 agg.merge(&r.stats)?;
             }
             state.apply_stats(&agg);
-            driver.broadcast_ack(round as u32, false)?;
             history.push(RoundStats {
                 round,
                 downlink_bytes: down,
@@ -156,10 +167,15 @@ impl FederatedServer {
         }
 
         // ---- Evaluation exchange (uncounted): inertia of the final
-        // model, assembled from client-reported partials.
+        // model, assembled from client-reported partials, pipelined onto
+        // the last accounted round's ack.
         if self.rounds > 0 {
-            let (replies, _, _) =
-                driver.broadcast_round(self.rounds as u32, true, state.summary())?;
+            let eval = Broadcast {
+                round: self.rounds as u32,
+                eval_only: true,
+                summary: state.summary(),
+            };
+            let (replies, _, _) = driver.ack_round_pipelined(self.rounds as u32 - 1, eval)?;
             history[self.rounds - 1].inertia = sum_inertia(&replies);
         }
         driver.broadcast_ack(self.rounds as u32, true)?;
@@ -296,20 +312,43 @@ impl<'e, C: Connection> Driver<'e, C> {
         Ok(())
     }
 
-    /// One round exchange: broadcast the summary, collect
+    /// The opening round exchange: a standalone broadcast, answered by
     /// [`LocalStats`].
-    fn broadcast_round(
+    fn broadcast_round(&mut self, broadcast: Broadcast) -> Result<(Vec<LocalStats>, usize, usize)> {
+        let round = broadcast.round;
+        let eval_only = broadcast.eval_only;
+        self.stats_exchange(&Msg::Broadcast(broadcast), round, eval_only)
+    }
+
+    /// A pipelined round exchange: acknowledges `ack_round` and carries
+    /// the next round's broadcast in the same frame; clients answer with
+    /// that round's [`LocalStats`] (see
+    /// [`RoundAck`](crate::protocol::RoundAck)).
+    fn ack_round_pipelined(
         &mut self,
+        ack_round: u32,
+        next: Broadcast,
+    ) -> Result<(Vec<LocalStats>, usize, usize)> {
+        let round = next.round;
+        let eval_only = next.eval_only;
+        let msg = Msg::RoundAck(RoundAck {
+            round: ack_round,
+            done: false,
+            next: Some(next),
+        });
+        self.stats_exchange(&msg, round, eval_only)
+    }
+
+    /// Sends a broadcast-carrying frame to every client and collects the
+    /// per-client [`LocalStats`], validating round indices. Evaluation
+    /// exchanges are excluded from the Figure 10 accounting.
+    fn stats_exchange(
+        &mut self,
+        msg: &Msg,
         round: u32,
         eval_only: bool,
-        summary: Summary,
     ) -> Result<(Vec<LocalStats>, usize, usize)> {
-        let msg = Msg::Broadcast(Broadcast {
-            round,
-            eval_only,
-            summary,
-        });
-        let (replies, stat_down, stat_up) = self.exchange(&msg, |reply| match reply {
+        let (replies, stat_down, stat_up) = self.exchange(msg, |reply| match reply {
             Msg::LocalStats(stats) => Ok(stats),
             other => Err(protocol_err("LocalStats", &other)),
         })?;
@@ -321,8 +360,6 @@ impl<'e, C: Connection> Driver<'e, C> {
                 )));
             }
         }
-        // The evaluation exchange is excluded from the Figure 10
-        // accounting.
         if eval_only {
             Ok((replies, 0, 0))
         } else {
@@ -330,9 +367,14 @@ impl<'e, C: Connection> Driver<'e, C> {
         }
     }
 
-    /// Closes a round (or, with `done`, the whole protocol).
+    /// Closes a round (or, with `done`, the whole protocol) with a bare,
+    /// non-pipelined ack.
     fn broadcast_ack(&mut self, round: u32, done: bool) -> Result<()> {
-        self.broadcast_only(&Msg::RoundAck(RoundAck { round, done }))
+        self.broadcast_only(&Msg::RoundAck(RoundAck {
+            round,
+            done,
+            next: None,
+        }))
     }
 
     /// One request/reply with a single client (seeding point fetches).

@@ -227,37 +227,7 @@ pub fn encode(msg: &Msg) -> (Vec<u8>, FrameInfo) {
         }
         Msg::Broadcast(b) => {
             let mut e = Enc::new(TAG_BROADCAST);
-            e.u32(b.round);
-            e.u8(b.eval_only as u8);
-            match &b.summary {
-                Summary::Centroids(c) => {
-                    e.u8(0);
-                    e.u32(c.nrows() as u32);
-                    e.u32(c.ncols() as u32);
-                    e.stat_section(|e| {
-                        for &v in c.as_slice() {
-                            e.f64(v);
-                        }
-                    });
-                }
-                Summary::ProtoSets { aggregator, sets } => {
-                    e.u8(1);
-                    e.u8(match aggregator {
-                        Aggregator::Sum => 0,
-                        Aggregator::Product => 1,
-                    });
-                    e.u8(sets.len() as u8);
-                    for s in sets {
-                        e.u32(s.nrows() as u32);
-                        e.u32(s.ncols() as u32);
-                        e.stat_section(|e| {
-                            for &v in s.as_slice() {
-                                e.f64(v);
-                            }
-                        });
-                    }
-                }
-            }
+            enc_broadcast(&mut e, b);
             e.finish()
         }
         Msg::LocalStats(s) => {
@@ -282,7 +252,55 @@ pub fn encode(msg: &Msg) -> (Vec<u8>, FrameInfo) {
             let mut e = Enc::new(TAG_ROUND_ACK);
             e.u32(a.round);
             e.u8(a.done as u8);
+            match &a.next {
+                None => e.u8(0),
+                Some(b) => {
+                    // Pipelined next-round broadcast: identical body
+                    // encoding to a standalone Broadcast frame, so the
+                    // measured summary-statistic bytes are identical
+                    // too (Figure 10's closed forms hold either way).
+                    e.u8(1);
+                    enc_broadcast(&mut e, b);
+                }
+            }
             e.finish()
+        }
+    }
+}
+
+/// Encodes a [`Broadcast`] body (round, eval flag, summary), counting
+/// the summary's `f64` blocks as statistic bytes. Shared by standalone
+/// `Broadcast` frames and `RoundAck`-pipelined ones.
+fn enc_broadcast(e: &mut Enc, b: &Broadcast) {
+    e.u32(b.round);
+    e.u8(b.eval_only as u8);
+    match &b.summary {
+        Summary::Centroids(c) => {
+            e.u8(0);
+            e.u32(c.nrows() as u32);
+            e.u32(c.ncols() as u32);
+            e.stat_section(|e| {
+                for &v in c.as_slice() {
+                    e.f64(v);
+                }
+            });
+        }
+        Summary::ProtoSets { aggregator, sets } => {
+            e.u8(1);
+            e.u8(match aggregator {
+                Aggregator::Sum => 0,
+                Aggregator::Product => 1,
+            });
+            e.u8(sets.len() as u8);
+            for s in sets {
+                e.u32(s.nrows() as u32);
+                e.u32(s.ncols() as u32);
+                e.stat_section(|e| {
+                    for &v in s.as_slice() {
+                        e.f64(v);
+                    }
+                });
+            }
         }
     }
 }
@@ -295,6 +313,7 @@ pub fn stat_bytes(msg: &Msg) -> usize {
     match msg {
         Msg::Broadcast(b) => 8 * b.summary.param_f64s(),
         Msg::LocalStats(s) => 8 * s.stats.wire_f64s(),
+        Msg::RoundAck(a) => a.next.as_ref().map_or(0, |b| 8 * b.summary.param_f64s()),
         _ => 0,
     }
 }
@@ -421,32 +440,7 @@ pub fn decode_payload(payload: &[u8]) -> Result<Msg, WireError> {
             sum: d.f64s()?,
             count: d.u64()?,
         },
-        TAG_BROADCAST => {
-            let round = d.u32()?;
-            let eval_only = d.bool()?;
-            let summary = match d.u8()? {
-                0 => Summary::Centroids(d.matrix()?),
-                1 => {
-                    let aggregator = match d.u8()? {
-                        0 => Aggregator::Sum,
-                        1 => Aggregator::Product,
-                        _ => return Err(WireError::BadValue("aggregator")),
-                    };
-                    let n_sets = d.u8()? as usize;
-                    let mut sets = Vec::with_capacity(n_sets);
-                    for _ in 0..n_sets {
-                        sets.push(d.matrix()?);
-                    }
-                    Summary::ProtoSets { aggregator, sets }
-                }
-                _ => return Err(WireError::BadValue("summary kind")),
-            };
-            Msg::Broadcast(Broadcast {
-                round,
-                eval_only,
-                summary,
-            })
-        }
+        TAG_BROADCAST => Msg::Broadcast(dec_broadcast(&mut d)?),
         TAG_LOCAL_STATS => {
             let round = d.u32()?;
             let inertia = d.f64()?;
@@ -461,16 +455,50 @@ pub fn decode_payload(payload: &[u8]) -> Result<Msg, WireError> {
                 stats: SuffStats { sums, counts },
             })
         }
-        TAG_ROUND_ACK => Msg::RoundAck(RoundAck {
-            round: d.u32()?,
-            done: d.bool()?,
-        }),
+        TAG_ROUND_ACK => {
+            let round = d.u32()?;
+            let done = d.bool()?;
+            let next = if d.bool()? {
+                Some(dec_broadcast(&mut d)?)
+            } else {
+                None
+            };
+            Msg::RoundAck(RoundAck { round, done, next })
+        }
         other => return Err(WireError::BadTag(other)),
     };
     if d.pos != payload.len() {
         return Err(WireError::TrailingBytes);
     }
     Ok(msg)
+}
+
+/// Decodes a [`Broadcast`] body — the counterpart of `enc_broadcast`.
+fn dec_broadcast(d: &mut Dec<'_>) -> Result<Broadcast, WireError> {
+    let round = d.u32()?;
+    let eval_only = d.bool()?;
+    let summary = match d.u8()? {
+        0 => Summary::Centroids(d.matrix()?),
+        1 => {
+            let aggregator = match d.u8()? {
+                0 => Aggregator::Sum,
+                1 => Aggregator::Product,
+                _ => return Err(WireError::BadValue("aggregator")),
+            };
+            let n_sets = d.u8()? as usize;
+            let mut sets = Vec::with_capacity(n_sets);
+            for _ in 0..n_sets {
+                sets.push(d.matrix()?);
+            }
+            Summary::ProtoSets { aggregator, sets }
+        }
+        _ => return Err(WireError::BadValue("summary kind")),
+    };
+    Ok(Broadcast {
+        round,
+        eval_only,
+        summary,
+    })
 }
 
 // ---- stream I/O ---------------------------------------------------------

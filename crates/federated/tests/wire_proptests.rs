@@ -77,8 +77,25 @@ fn msg() -> impl Strategy<Value = Msg> {
                 stats: SuffStats { sums, counts },
             })
         }),
-        (0u32..64, proptest::bool::ANY)
-            .prop_map(|(round, done)| Msg::RoundAck(RoundAck { round, done })),
+        (0u32..64, proptest::bool::ANY).prop_map(|(round, done)| {
+            Msg::RoundAck(RoundAck {
+                round,
+                done,
+                next: None,
+            })
+        }),
+        // Pipelined ack: a non-final ack carrying the next broadcast.
+        (0u32..64, proptest::bool::ANY, summary()).prop_map(|(round, eval_only, summary)| {
+            Msg::RoundAck(RoundAck {
+                round,
+                done: false,
+                next: Some(Broadcast {
+                    round: round + 1,
+                    eval_only,
+                    summary,
+                }),
+            })
+        }),
     ]
 }
 
@@ -150,6 +167,21 @@ proptest! {
         });
         let (_, info) = wire::encode(&msg);
         prop_assert_eq!(info.stat_bytes, (k * m + k) * kr_federated::BYTES_PER_F64);
+        // A pipelined ack accounts exactly like the standalone
+        // broadcast it carries (round-trip halving changes frames, not
+        // the Figure 10 accounting).
+        let broadcast = Broadcast {
+            round: 1,
+            eval_only: false,
+            summary: Summary::Centroids(Matrix::zeros(k, m)),
+        };
+        let (_, standalone) = wire::encode(&Msg::Broadcast(broadcast.clone()));
+        let (_, pipelined) = wire::encode(&Msg::RoundAck(RoundAck {
+            round: 0,
+            done: false,
+            next: Some(broadcast),
+        }));
+        prop_assert_eq!(pipelined.stat_bytes, standalone.stat_bytes);
     }
 }
 

@@ -607,12 +607,47 @@ impl Matrix {
 /// `C[i0.., :] += A[i0.., :] * B` where `c` holds the output rows
 /// starting at global row `i0`. Panels follow `jc -> pc -> 4-row tile`
 /// order, so each element still accumulates its `k` terms ascending.
+///
+/// When the output is wider than one `nc` slab, the current `kc x nc`
+/// panel of `B` is **packed** into a contiguous scratch buffer before
+/// the register tiles consume it: in `b` such a panel's rows sit `n`
+/// elements apart, so every tile pass walks one TLB page per few rows;
+/// packed, the whole panel streams linearly and is reused from L2 by
+/// every 4-row tile of the output panel. Narrow outputs (`n <= nc`,
+/// one slab spanning whole rows of `B`) are already contiguous and skip
+/// the copy entirely. Packing only moves values — the accumulation
+/// order is untouched, so results stay bitwise identical to the
+/// unpacked kernel (`micro_kernels` benches the before/after).
+///
+/// Pack-cost accounting: `map_rows_into` hands each *worker chunk* to
+/// one call of this function (the entire output when serial), so each
+/// `B` slab is packed once per worker chunk — roughly once per thread,
+/// not once per `mc`-row panel — and the scratch allocation is one
+/// `Vec` per call.
 fn matmul_panel(a: &[f64], b: &[f64], c: &mut [f64], i0: usize, k: usize, n: usize, til: Tiling) {
     let h = c.len() / n;
+    let needs_pack = n > til.nc;
+    let mut packed = if needs_pack {
+        vec![0.0f64; til.kc.min(k) * til.nc]
+    } else {
+        Vec::new()
+    };
     for jc in (0..n).step_by(til.nc) {
         let jw = til.nc.min(n - jc);
         for pc in (0..k).step_by(til.kc) {
             let pw = til.kc.min(k - pc);
+            // The rows the register tiles consume, at stride `jw`:
+            // packed B[pc..pc+pw, jc..jc+jw] when slabs are strided in
+            // `b`, or the operand's own contiguous rows when one slab
+            // covers them (jw == n, so the stride matches either way).
+            let panel: &[f64] = if needs_pack {
+                for (pp, p) in (pc..pc + pw).enumerate() {
+                    packed[pp * jw..(pp + 1) * jw].copy_from_slice(&b[p * n + jc..p * n + jc + jw]);
+                }
+                &packed[..pw * jw]
+            } else {
+                &b[pc * n..(pc + pw) * n]
+            };
             let mut ir = 0;
             // 4-row register tile: each loaded element of B updates four
             // output rows before leaving the registers.
@@ -628,12 +663,12 @@ fn matmul_panel(a: &[f64], b: &[f64], c: &mut [f64], i0: usize, k: usize, n: usi
                     &mut r3[jc..jc + jw],
                 );
                 let a_base = (i0 + ir) * k;
-                for p in pc..pc + pw {
+                for (pp, p) in (pc..pc + pw).enumerate() {
                     let a0 = a[a_base + p];
                     let a1 = a[a_base + k + p];
                     let a2 = a[a_base + 2 * k + p];
                     let a3 = a[a_base + 3 * k + p];
-                    let b_row = &b[p * n + jc..p * n + jc + jw];
+                    let b_row = &panel[pp * jw..pp * jw + jw];
                     crate::ops::axpy(r0, a0, b_row);
                     crate::ops::axpy(r1, a1, b_row);
                     crate::ops::axpy(r2, a2, b_row);
@@ -649,8 +684,8 @@ fn matmul_panel(a: &[f64], b: &[f64], c: &mut [f64], i0: usize, k: usize, n: usi
             while ir < h {
                 let row = &mut c[ir * n + jc..ir * n + jc + jw];
                 let a_base = (i0 + ir) * k;
-                for p in pc..pc + pw {
-                    crate::ops::axpy(row, a[a_base + p], &b[p * n + jc..p * n + jc + jw]);
+                for (pp, p) in (pc..pc + pw).enumerate() {
+                    crate::ops::axpy(row, a[a_base + p], &panel[pp * jw..pp * jw + jw]);
                 }
                 ir += 1;
             }

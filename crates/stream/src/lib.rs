@@ -1,0 +1,90 @@
+//! # kr-stream
+//!
+//! Bounded-memory **streaming summarization**: every batch algorithm in
+//! the workspace assumes the full dataset is resident in one
+//! [`Matrix`]; this crate turns the summarization machinery into
+//! streaming form so data that arrives over time — or exceeds RAM — can
+//! still be compressed into the paper's weighted-representative
+//! summaries.
+//!
+//! * [`StreamSummarizer`] — the one trait every streaming algorithm
+//!   implements: [`observe`](StreamSummarizer::observe) a batch,
+//!   [`summary`](StreamSummarizer::summary) the current
+//!   weighted-representative state, [`finalize`](StreamSummarizer::finalize)
+//!   into a fitted model.
+//! * [`MiniBatchKrKMeans`] — Sculley-style
+//!   mini-batch updates through the Khatri-Rao centroid structure:
+//!   per-batch nearest-centroid assignment on the blocked
+//!   [`kr_linalg::ExecCtx`] kernels, cumulative sufficient statistics
+//!   ([`kr_core::stats::SuffStats`]), and the Proposition 6.1 closed
+//!   forms as the (implicitly `1/N`-decaying) centroid update.
+//! * [`CoresetTree`] — a merge-reduce tree of
+//!   weighted representatives ([`kr_datasets::weighted::WeightedDataset`]
+//!   nodes) compressed per level with the existing
+//!   [`kr_core::baselines::WeightedKMeans`] machinery, with a provable
+//!   bound on the number of live representatives.
+//!
+//! Feed either summarizer from
+//! [`kr_datasets::stream::ChunkedReplay`] to compare streaming results
+//! against batch ground truth (the EXPERIMENTS.md batch-parity
+//! protocol).
+//!
+//! **Determinism contract.** Fixed batch geometry plus ordered merges:
+//! every per-batch kernel is chunk-parallel with thread-invariant
+//! results, every accumulation happens in point/batch order, and every
+//! RNG stream derives from the configured seed — so both summarizers
+//! are bitwise identical at any pool size (CI-enforced at 1/2/8
+//! workers, like the batch algorithms).
+//!
+//! ```
+//! use kr_datasets::stream::ChunkedReplay;
+//! use kr_stream::{MiniBatchKrKMeans, StreamSummarizer};
+//!
+//! let ds = kr_datasets::synthetic::blobs(240, 2, 9, 0.3, 5);
+//! let mut summarizer = MiniBatchKrKMeans::new(vec![3, 3]).with_seed(7);
+//! for batch in ChunkedReplay::new(&ds.data, 60, 1) {
+//!     summarizer.observe(&batch).unwrap();
+//! }
+//! // 6 stored protocentroids summarize all 9 clusters of the stream.
+//! let model = summarizer.finalize().unwrap();
+//! assert_eq!(model.centroids().nrows(), 9);
+//! assert_eq!(model.n_observed, 240);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod coreset;
+pub mod minibatch;
+
+pub use coreset::{CoresetModel, CoresetTree};
+pub use minibatch::{MiniBatchKrKMeans, MiniBatchKrModel};
+
+use kr_core::Result;
+use kr_datasets::weighted::WeightedDataset;
+use kr_linalg::Matrix;
+
+/// A bounded-memory summarizer consuming a stream of row batches.
+///
+/// Implementations hold state whose size depends on their configured
+/// budget — never on the number of points observed. The lifecycle is
+/// `observe`* → (`summary`)* → `finalize`.
+pub trait StreamSummarizer {
+    /// The fitted model [`finalize`](StreamSummarizer::finalize)
+    /// produces.
+    type Model;
+
+    /// Folds one batch of rows into the summarizer's state. Batches of
+    /// zero rows are ignored; feature dimensions must agree across
+    /// batches.
+    fn observe(&mut self, batch: &Matrix) -> Result<()>;
+
+    /// The current summary as weighted representatives — the shape the
+    /// weighted solvers ([`kr_core::baselines::WeightedKMeans`],
+    /// [`kr_core::baselines::RkMeans`]) consume. Errors until at least
+    /// one point has been observed.
+    fn summary(&self) -> Result<WeightedDataset>;
+
+    /// Consumes the summarizer, producing its fitted model. Errors
+    /// until at least one point has been observed.
+    fn finalize(self) -> Result<Self::Model>;
+}

@@ -1,0 +1,60 @@
+//! Streaming summarization: compress a chunked replay of a dataset with
+//! bounded memory and compare against the resident-data batch fit.
+//!
+//! Run with: `cargo run --release --example streaming`
+
+use khatri_rao_clustering::prelude::*;
+use kr_datasets::stream::ChunkedReplay;
+
+fn main() {
+    // 9 Gaussian clusters; the stream sees the rows in seeded shuffled
+    // order, 200 at a time — never all at once.
+    let ds = kr_datasets::synthetic::blobs(2000, 4, 9, 0.4, 42);
+    let batch_size = 200;
+
+    // Batch reference: the fit a resident dataset would get.
+    let batch = KrKMeans::new(vec![3, 3])
+        .with_n_init(5)
+        .with_seed(7)
+        .fit(&ds.data)
+        .expect("valid input");
+
+    // Mini-batch KR-k-Means: protocentroids + sufficient statistics are
+    // the entire state, independent of the stream length.
+    let mut mb = MiniBatchKrKMeans::new(vec![3, 3]).with_seed(7);
+    for chunk in ChunkedReplay::new(&ds.data, batch_size, 1) {
+        mb.observe(&chunk).expect("finite batches");
+    }
+    let mb_model = mb.finalize().unwrap();
+
+    // Coreset tree: merge-reduce ladder of weighted representatives,
+    // peak count provably bounded by leaf_size + budget * (levels + 1).
+    let mut tree = CoresetTree::new(9, 36).with_leaf_size(72).with_seed(7);
+    for chunk in ChunkedReplay::new(&ds.data, batch_size, 1) {
+        tree.observe(&chunk).expect("finite batches");
+    }
+    let (peak, bound) = (tree.peak_representatives(), tree.representative_bound());
+    let tree_model = tree.finalize().unwrap();
+
+    println!("Streaming 2000 points in batches of {batch_size} (9 clusters, m=4)");
+    println!("{:<26}{:>12}{:>10}", "summarizer", "inertia", "ratio");
+    for (name, inertia) in [
+        ("batch KrKMeans(3x3)", batch.inertia),
+        (
+            "MiniBatchKrKMeans(3x3)",
+            inertia(&ds.data, &mb_model.centroids()),
+        ),
+        (
+            "CoresetTree(k=9, b=36)",
+            inertia(&ds.data, &tree_model.centroids),
+        ),
+    ] {
+        println!("{name:<26}{inertia:>12.1}{:>10.3}", inertia / batch.inertia);
+    }
+    println!(
+        "coreset live representatives: peak {peak} <= bound {bound} \
+         (vs {} raw points)",
+        ds.data.nrows()
+    );
+    assert!(peak <= bound, "representative bound violated");
+}

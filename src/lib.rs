@@ -30,6 +30,7 @@ pub use kr_deep as deep;
 pub use kr_federated as federated;
 pub use kr_linalg as linalg;
 pub use kr_metrics as metrics;
+pub use kr_stream as stream;
 
 /// Common imports for library users.
 ///
@@ -40,7 +41,7 @@ pub use kr_metrics as metrics;
 pub mod prelude {
     pub use crate::{
         autodiff as kr_autodiff, core as kr_core, datasets as kr_datasets, deep as kr_deep,
-        federated as kr_federated, linalg as kr_linalg, metrics as kr_metrics,
+        federated as kr_federated, linalg as kr_linalg, metrics as kr_metrics, stream as kr_stream,
     };
     pub use ::kr_core::aggregator::Aggregator;
     pub use ::kr_core::kmeans::KMeans;
@@ -50,4 +51,5 @@ pub mod prelude {
         adjusted_rand_index, inertia, normalized_mutual_information,
         unsupervised_clustering_accuracy,
     };
+    pub use ::kr_stream::{CoresetTree, MiniBatchKrKMeans, StreamSummarizer};
 }

@@ -96,6 +96,54 @@ fn quickstart_flow_on_tiny_blobs() {
     assert!(ari > 0.95, "structured grid not recovered: ari {ari}");
 }
 
+/// End-to-end flow of the `streaming` example: both summarizers consume
+/// a chunked replay, the mini-batch model reaches batch-comparable
+/// inertia, and the coreset tree respects its representative bound.
+/// Mirrors the example because CI only compiles examples, never runs
+/// them.
+#[test]
+fn streaming_flow_on_tiny_blobs() {
+    use kr_datasets::stream::ChunkedReplay;
+
+    let ds = kr_datasets::synthetic::blobs(300, 3, 9, 0.3, 11);
+    let batch = KrKMeans::new(vec![3, 3])
+        .with_n_init(3)
+        .with_seed(7)
+        .fit(&ds.data)
+        .unwrap();
+
+    let mut mb = MiniBatchKrKMeans::new(vec![3, 3]).with_seed(7);
+    let mut tree = CoresetTree::new(9, 27).with_leaf_size(54).with_seed(7);
+    for chunk in ChunkedReplay::new(&ds.data, 75, 1) {
+        mb.observe(&chunk).unwrap();
+        tree.observe(&chunk).unwrap();
+    }
+
+    // summary() borrows, so the mid-stream state is inspectable before
+    // finalize() consumes the summarizer: a weighted dataset with
+    // conserved mass (every streamed point accounted for).
+    let summary = mb.summary().unwrap();
+    assert_eq!(summary.total_weight(), 300.0);
+
+    let mb_model = mb.finalize().unwrap();
+    assert_eq!(mb_model.n_observed, 300);
+    assert_eq!(mb_model.centroids().nrows(), 9);
+    let mb_inertia = inertia(&ds.data, &mb_model.centroids());
+    // The documented batch-parity factor (EXPERIMENTS.md "Streaming").
+    assert!(
+        mb_inertia <= 1.5 * batch.inertia,
+        "stream {mb_inertia} vs batch {}",
+        batch.inertia
+    );
+
+    let bound = tree.representative_bound();
+    assert!(tree.peak_representatives() <= bound);
+    assert!(bound < ds.data.nrows());
+    let tree_model = tree.finalize().unwrap();
+    assert_eq!(tree_model.centroids.nrows(), 9);
+    assert!(inertia(&ds.data, &tree_model.centroids) <= 1.5 * batch.inertia);
+}
+
 /// The prelude must expose everything the examples import through it:
 /// this test is a compile-time contract for `use prelude::*` users.
 #[test]

@@ -9,8 +9,12 @@
 //! stream than upstream's ChaCha12, but the workspace only relies on
 //! *reproducibility for a given seed within this codebase*, never on
 //! upstream's exact stream (see `kr_datasets::rng::seeded`).
+//!
+//! [`seq::SliceRandom`] covers the in-place `shuffle` the dataset
+//! replay, sampling helpers, and deep trainers share.
 
 pub mod rngs;
+pub mod seq;
 
 use std::ops::{Range, RangeInclusive};
 

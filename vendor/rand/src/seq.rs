@@ -1,0 +1,75 @@
+//! Sequence helpers mirroring `rand::seq` (the `shuffle` subset the
+//! workspace uses).
+//!
+//! Upstream `rand` 0.8 ships in-place shuffling as
+//! `rand::seq::SliceRandom::shuffle`; before this module existed the
+//! workspace crates each carried their own copy of the Fisher-Yates
+//! loop. The algorithm (descending-index swaps with `gen_range(0..=i)`
+//! draws) is byte-for-byte the loop those copies used, so adopting it
+//! changes no seeded stream.
+
+use crate::Rng;
+
+/// Extension trait over slices, mirroring `rand::seq::SliceRandom`.
+pub trait SliceRandom {
+    /// Shuffles the slice in place (Fisher-Yates).
+    fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
+}
+
+impl<T> SliceRandom for [T] {
+    fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            self.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+    use crate::SeedableRng;
+
+    #[test]
+    fn shuffle_is_a_permutation_and_seed_deterministic() {
+        let mut a: Vec<usize> = (0..50).collect();
+        let mut b: Vec<usize> = (0..50).collect();
+        a.shuffle(&mut StdRng::seed_from_u64(7));
+        b.shuffle(&mut StdRng::seed_from_u64(7));
+        assert_eq!(a, b);
+        let mut sorted = a.clone();
+        sorted.sort_unstable();
+        let expect: Vec<usize> = (0..50).collect();
+        assert_eq!(sorted, expect);
+        let mut c: Vec<usize> = (0..50).collect();
+        c.shuffle(&mut StdRng::seed_from_u64(8));
+        assert_ne!(a, c, "different seeds must reorder differently");
+    }
+
+    #[test]
+    fn matches_the_manual_loop_bitwise() {
+        // The exact loop the workspace crates used inline before this
+        // trait existed: adopting SliceRandom must not move any seeded
+        // stream.
+        let mut manual: Vec<usize> = (0..31).collect();
+        let mut rng = StdRng::seed_from_u64(3);
+        for i in (1..manual.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            manual.swap(i, j);
+        }
+        let mut via_trait: Vec<usize> = (0..31).collect();
+        via_trait.shuffle(&mut StdRng::seed_from_u64(3));
+        assert_eq!(manual, via_trait);
+    }
+
+    #[test]
+    fn tiny_slices_are_noops() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut empty: [usize; 0] = [];
+        empty.shuffle(&mut rng);
+        let mut one = [42usize];
+        one.shuffle(&mut rng);
+        assert_eq!(one, [42]);
+    }
+}
