@@ -33,7 +33,11 @@ pub struct CountingAllocator;
 
 // SAFETY: delegates directly to `System`; bookkeeping never allocates.
 unsafe impl GlobalAlloc for CountingAllocator {
+    // SAFETY: callers uphold `GlobalAlloc::alloc`'s contract (non-zero
+    // layout size); this impl adds only relaxed-atomic bookkeeping.
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        // SAFETY: `layout` is forwarded unchanged from our own caller,
+        // which promised it satisfies the `GlobalAlloc` requirements.
         let p = unsafe { System.alloc(layout) };
         if !p.is_null() {
             ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
@@ -43,12 +47,21 @@ unsafe impl GlobalAlloc for CountingAllocator {
         p
     }
 
+    // SAFETY: callers uphold `GlobalAlloc::dealloc`'s contract (`ptr`
+    // came from this allocator with this `layout`); counters only shrink.
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        // SAFETY: `ptr`/`layout` are forwarded unchanged from our caller;
+        // `System` allocated them because `alloc` delegates to `System`.
         unsafe { System.dealloc(ptr, layout) };
         LIVE.fetch_sub(layout.size(), Ordering::Relaxed);
     }
 
+    // SAFETY: callers uphold `GlobalAlloc::realloc`'s contract (`ptr`
+    // from this allocator, `layout` its current layout, `new_size`
+    // non-zero when rounded to `layout.align()`).
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        // SAFETY: arguments forwarded unchanged from our own caller, and
+        // `System` is the allocator that produced `ptr` (see `alloc`).
         let p = unsafe { System.realloc(ptr, layout, new_size) };
         if !p.is_null() {
             if new_size >= layout.size() {

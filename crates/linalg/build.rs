@@ -1,0 +1,18 @@
+//! Gates the pool's model-checking instrumentation behind `cfg(kr_model)`.
+//!
+//! `KR_MODEL=1 cargo <cmd>` compiles kr-linalg with the scheduler-
+//! controlled yield points in `src/model.rs` active (see that module);
+//! without the variable they compile to empty inline functions, so
+//! production builds pay nothing. An env-var-driven cfg (rather than a
+//! cargo feature) keeps feature unification from silently instrumenting
+//! the pool in ordinary workspace builds that happen to include
+//! kr-verify.
+
+fn main() {
+    println!("cargo::rustc-check-cfg=cfg(kr_model)");
+    println!("cargo::rerun-if-env-changed=KR_MODEL");
+    let on = std::env::var("KR_MODEL").is_ok_and(|v| !v.is_empty() && v != "0");
+    if on {
+        println!("cargo::rustc-cfg=kr_model");
+    }
+}

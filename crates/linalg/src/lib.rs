@@ -34,6 +34,7 @@
 
 pub mod exec;
 pub mod matrix;
+pub mod model;
 pub mod ops;
 pub mod parallel;
 pub mod pool;

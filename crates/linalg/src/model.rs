@@ -1,0 +1,773 @@
+//! Schedule-exploring model checker for the work-stealing pool.
+//!
+//! This module hosts a tiny deterministic scheduler in the style of
+//! [shuttle]/[loom]: the pool's synchronization-relevant program points
+//! carry *yield points* ([`yield_point`]), and an explorer
+//! ([`explore`]) runs a scenario closure many times, each time granting
+//! exactly one registered thread permission to advance between
+//! consecutive yields. A depth-first search over the per-yield choice
+//! of "who runs next" — bounded by a preemption budget, in the spirit
+//! of iterative context bounding — systematically covers interleavings
+//! of the deque push/steal races, the completion-latch countdown, and
+//! the park/wake protocol that a plain stress test only samples.
+//!
+//! [shuttle]: https://github.com/awslabs/shuttle
+//! [loom]: https://github.com/tokio-rs/loom
+//!
+//! # Build gating
+//!
+//! The instrumentation is compiled only when `cfg(kr_model)` is active,
+//! which `build.rs` derives from the `KR_MODEL` environment variable
+//! (`KR_MODEL=1 cargo test`). Without it, [`yield_point`] and the
+//! condvar wrappers are empty `#[inline]` shims and [`explore`] returns
+//! an error telling the caller to rebuild — so the public API is always
+//! present and `kr-verify check-pool` can degrade gracefully, while
+//! production builds carry zero instrumentation cost.
+//!
+//! # How threads are identified
+//!
+//! The scheduler controls threads by *name*, so the pool itself needs
+//! no extra plumbing:
+//!
+//! * `kr-model-submit` — the scenario body, spawned by the explorer
+//!   (slot 0);
+//! * `kr-pool-N` — pool workers (slots `1..=workers`), already named by
+//!   [`crate::pool::ThreadPool`];
+//! * `kr-model-extra-J` — auxiliary scenario threads created with
+//!   [`spawn_controlled`] (slots `workers + 1 ..`).
+//!
+//! Threads with any other name ignore yield points, so an exploration
+//! embedded in a larger process does not capture bystanders.
+//!
+//! # Scheduling protocol
+//!
+//! Each controlled thread is `Running` between yields and parks inside
+//! [`yield_point`] until granted. The driver waits for *quiescence* —
+//! every controlled thread at a yield, blocked on a condvar, or
+//! finished, and no grant outstanding — then picks the next thread
+//! from the DFS plan (or the default branch order past the plan's end:
+//! the previously running thread first, avoiding gratuitous
+//! preemptions, then a seed-rotated order). Condvar waits go through
+//! the crate-internal `wait` wrapper, which marks the thread blocked
+//! *before* sleeping, and wake-ups go through `notify_all`, which marks
+//! every thread blocked on that condvar runnable before the real
+//! notify — closing the
+//! wake-latency nondeterminism a real condvar would otherwise leak into
+//! the search space.
+//!
+//! Yield points must sit at program points where the yielding thread
+//! holds no lock another controlled thread may need; the pool's
+//! instrumentation observes this (see `find_job`'s `instrument` flag
+//! for the one subtle case: the parked re-check runs under the idle
+//! mutex and is deliberately quiet). `ThreadPool::drop` calls
+//! `teardown` first, switching the scheduler to free-run so shutdown
+//! and join are uncontrolled — worker interleavings during teardown are
+//! not part of the explored space.
+//!
+//! # Search
+//!
+//! The DFS re-executes from scratch with a *plan*: the prefix of
+//! choices to replay before following default order. Backtracking picks
+//! the deepest decision with an untried in-budget alternative;
+//! schedules whose replay diverges (the planned thread is no longer
+//! enabled at that depth, possible under spurious wakeups) fall back to
+//! the default policy and are counted in [`Report::divergences`].
+//! Distinct schedules are counted by hashing the choice trace, and the
+//! order-insensitive combination of those hashes forms
+//! [`Report::digest`] — two runs with the same seed must report the
+//! same digest, which `kr-verify check-pool` uses as its determinism
+//! check. A watchdog converts a genuine deadlock (e.g. a lost wakeup)
+//! into a recorded failure with the full per-thread state dump; the
+//! exploration then stops, because a wedged execution leaves
+//! unjoinable threads behind.
+
+#![allow(dead_code)]
+
+use std::sync::{Condvar, MutexGuard};
+
+/// What a yield point is about to do. Purely descriptive: the label
+/// shows up in failure traces and lets scenarios insert their own
+/// ordering points ([`Op::User`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    /// A controlled thread has started and entered the scheduler.
+    Spawn,
+    /// Worker is about to pop the back of its own deque.
+    PopOwn,
+    /// Thread is about to pop the shared injector queue.
+    PopInjector,
+    /// Thread is about to scan other workers' deques to steal.
+    Steal,
+    /// Thread is about to run a job's chunk closure.
+    RunChunk,
+    /// Thread is about to decrement the region's completion latch.
+    LatchDec,
+    /// Submitter is about to wait on the completion latch.
+    LatchWait,
+    /// Submitter is about to push one job onto a worker deque.
+    Push,
+    /// Submitter is about to take the idle lock and wake sleepers.
+    Wake,
+    /// Worker found no work and is about to park.
+    Park,
+    /// Scenario-defined ordering point (see [`spawn_controlled`]).
+    User,
+}
+
+/// Exploration parameters.
+#[derive(Debug, Clone)]
+pub struct ModelConfig {
+    /// Pool workers the scenario will create (`ThreadPool::new(workers)`).
+    pub workers: usize,
+    /// Extra [`spawn_controlled`] threads the scenario will create.
+    pub extra_threads: usize,
+    /// Maximum preemptions per schedule (iterative context bounding).
+    pub preemption_bound: usize,
+    /// Stop after this many executions even if the tree has more.
+    pub max_schedules: usize,
+    /// Seed for the default branch order at each decision depth.
+    pub seed: u64,
+    /// Per-wait watchdog; an execution with no transition for this long
+    /// is recorded as a deadlock and stops the exploration.
+    pub watchdog_ms: u64,
+}
+
+impl Default for ModelConfig {
+    fn default() -> Self {
+        ModelConfig {
+            workers: 2,
+            extra_threads: 0,
+            preemption_bound: 2,
+            max_schedules: 1000,
+            seed: 0xC1A0,
+            watchdog_ms: 5000,
+        }
+    }
+}
+
+/// One failing schedule.
+#[derive(Debug, Clone)]
+pub struct Failure {
+    /// The choice trace (thread slot granted at each decision) that
+    /// reproduces the failure under the same seed.
+    pub schedule: Vec<usize>,
+    /// Panic message, assertion text, or deadlock state dump.
+    pub message: String,
+}
+
+/// Exploration outcome.
+#[derive(Debug, Clone, Default)]
+pub struct Report {
+    /// Total executions performed.
+    pub executions: usize,
+    /// Distinct schedules (unique choice traces) among them.
+    pub distinct: usize,
+    /// Executions whose planned prefix could not be replayed exactly.
+    pub divergences: usize,
+    /// Deepest decision count seen in any execution.
+    pub max_depth: usize,
+    /// Total scheduling decisions across all executions.
+    pub decisions: u64,
+    /// Order-insensitive hash over all distinct schedule traces; equal
+    /// seeds must yield equal digests.
+    pub digest: u64,
+    /// Schedules that panicked, failed an assertion, or deadlocked.
+    pub failures: Vec<Failure>,
+    /// True if the DFS exhausted the bounded tree before
+    /// `max_schedules`.
+    pub exhausted: bool,
+    /// True if an execution wedged (watchdog) and exploration stopped.
+    pub hung: bool,
+}
+
+/// Is the `cfg(kr_model)` instrumentation compiled in?
+#[inline]
+pub fn enabled() -> bool {
+    cfg!(kr_model)
+}
+
+#[cfg(not(kr_model))]
+mod imp {
+    use super::*;
+
+    /// No-op without `cfg(kr_model)`.
+    #[inline(always)]
+    pub fn yield_point(_op: Op) {}
+
+    /// Plain `Condvar::wait` without `cfg(kr_model)`.
+    #[inline]
+    pub(crate) fn wait<'a, T>(cv: &Condvar, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+        cv.wait(guard).expect("condvar poisoned")
+    }
+
+    /// Plain `Condvar::notify_all` without `cfg(kr_model)`.
+    #[inline]
+    pub(crate) fn notify_all(cv: &Condvar) {
+        cv.notify_all();
+    }
+
+    /// No-op without `cfg(kr_model)`.
+    #[inline]
+    pub(crate) fn teardown() {}
+
+    /// Plain named spawn without `cfg(kr_model)`; the closure runs
+    /// uncontrolled.
+    pub fn spawn_controlled<F>(idx: usize, f: F) -> std::thread::JoinHandle<()>
+    where
+        F: FnOnce() + Send + 'static,
+    {
+        std::thread::Builder::new()
+            .name(format!("kr-model-extra-{idx}"))
+            .spawn(f)
+            .expect("spawn extra thread")
+    }
+
+    /// Runs `f` directly without `cfg(kr_model)`.
+    #[inline]
+    pub fn external_block<R>(f: impl FnOnce() -> R) -> R {
+        f()
+    }
+
+    /// Always an error without `cfg(kr_model)`.
+    pub fn explore<F>(_cfg: &ModelConfig, _scenario: F) -> Result<Report, String>
+    where
+        F: Fn() + Send + Sync + 'static,
+    {
+        Err(
+            "kr_model instrumentation is not compiled in; rebuild with KR_MODEL=1 \
+             (e.g. `KR_MODEL=1 cargo run -p kr-verify -- check-pool`)"
+                .to_string(),
+        )
+    }
+}
+
+#[cfg(kr_model)]
+mod imp {
+    use super::*;
+    use std::collections::BTreeSet;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    use std::sync::{Arc, Mutex, OnceLock};
+    use std::time::Duration;
+
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    enum TState {
+        /// Expected but not yet checked in at a yield point.
+        Unregistered,
+        /// Parked at a yield point, waiting for a grant.
+        AtYield(Op),
+        /// Granted (or in transit between scheduler events).
+        Running,
+        /// Inside a condvar wait; the value is the condvar's address.
+        Blocked(usize),
+        /// Done; never runs again.
+        Finished,
+    }
+
+    /// One scheduling decision, recorded for backtracking.
+    #[derive(Debug, Clone)]
+    struct Decision {
+        enabled: Vec<usize>,
+        chosen: usize,
+        last: Option<usize>,
+        preempts_before: usize,
+    }
+
+    #[derive(Debug)]
+    struct State {
+        threads: Vec<TState>,
+        granted: Option<usize>,
+        free_run: bool,
+        plan: Vec<usize>,
+        trace: Vec<Decision>,
+        last_running: Option<usize>,
+        preemptions: usize,
+        diverged: bool,
+        /// Bumped on every state transition so the driver can tell
+        /// progress from a spurious wakeup of its own condvar.
+        transitions: u64,
+        failure: Option<String>,
+        deadlock: Option<String>,
+    }
+
+    struct Scheduler {
+        state: Mutex<State>,
+        cv: Condvar,
+        workers: usize,
+        n_threads: usize,
+        seed: u64,
+    }
+
+    /// The scheduler for the execution currently in flight, if any.
+    /// Controlled threads look it up on every yield; `None` makes all
+    /// instrumentation pass-through.
+    fn active_cell() -> &'static Mutex<Option<Arc<Scheduler>>> {
+        static CELL: OnceLock<Mutex<Option<Arc<Scheduler>>>> = OnceLock::new();
+        CELL.get_or_init(|| Mutex::new(None))
+    }
+
+    /// Serializes whole explorations: one at a time per process.
+    fn explore_lock() -> &'static Mutex<()> {
+        static CELL: OnceLock<Mutex<()>> = OnceLock::new();
+        CELL.get_or_init(|| Mutex::new(()))
+    }
+
+    fn active() -> Option<Arc<Scheduler>> {
+        active_cell().lock().expect("active lock").clone()
+    }
+
+    /// Maps the current thread's name to its scheduler slot.
+    fn current_id(s: &Scheduler) -> Option<usize> {
+        let t = std::thread::current();
+        let name = t.name()?;
+        if name == "kr-model-submit" {
+            return Some(0);
+        }
+        if let Some(n) = name.strip_prefix("kr-pool-") {
+            return n
+                .parse::<usize>()
+                .ok()
+                .map(|n| 1 + n)
+                .filter(|&i| i <= s.workers);
+        }
+        if let Some(n) = name.strip_prefix("kr-model-extra-") {
+            return n
+                .parse::<usize>()
+                .ok()
+                .map(|j| 1 + s.workers + j)
+                .filter(|&i| i < s.n_threads);
+        }
+        None
+    }
+
+    /// Announce position and wait for a grant.
+    pub fn yield_point(op: Op) {
+        let Some(s) = active() else { return };
+        let Some(id) = current_id(&s) else { return };
+        let mut st = s.state.lock().expect("sched lock");
+        if st.free_run || st.threads[id] == TState::Finished {
+            return;
+        }
+        st.threads[id] = TState::AtYield(op);
+        st.transitions += 1;
+        s.cv.notify_all();
+        loop {
+            if st.free_run {
+                st.threads[id] = TState::Running;
+                return;
+            }
+            if st.granted == Some(id) {
+                st.granted = None;
+                st.threads[id] = TState::Running;
+                st.transitions += 1;
+                return;
+            }
+            st = s.cv.wait(st).expect("sched wait");
+        }
+    }
+
+    /// Condvar wait that tells the scheduler this thread is blocked.
+    ///
+    /// The blocked mark happens while still holding `guard`, so the
+    /// pool's own lost-wakeup-freedom (predicate checked under the same
+    /// mutex the notifier must take) carries over unchanged to the
+    /// scheduler's view.
+    pub(crate) fn wait<'a, T>(cv: &Condvar, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+        let ctl = active().and_then(|s| current_id(&s).map(|id| (s, id)));
+        if let Some((s, id)) = &ctl {
+            let mut st = s.state.lock().expect("sched lock");
+            if !st.free_run {
+                st.threads[*id] = TState::Blocked(cv as *const Condvar as usize);
+                st.transitions += 1;
+                s.cv.notify_all();
+            }
+        }
+        let out = cv.wait(guard).expect("condvar poisoned");
+        if let Some((s, id)) = &ctl {
+            let mut st = s.state.lock().expect("sched lock");
+            if st.threads[*id] != TState::Finished {
+                // In transit: the thread re-checks its predicate and
+                // reaches another yield or wait shortly.
+                st.threads[*id] = TState::Running;
+                st.transitions += 1;
+                s.cv.notify_all();
+            }
+        }
+        out
+    }
+
+    /// Condvar notify that marks every thread blocked on `cv` runnable
+    /// *before* the real notify, so wake-up latency is not a hidden
+    /// scheduling axis.
+    pub(crate) fn notify_all(cv: &Condvar) {
+        if let Some(s) = active() {
+            let mut st = s.state.lock().expect("sched lock");
+            if !st.free_run {
+                let addr = cv as *const Condvar as usize;
+                for t in st.threads.iter_mut() {
+                    if *t == TState::Blocked(addr) {
+                        *t = TState::Running;
+                    }
+                }
+                st.transitions += 1;
+                s.cv.notify_all();
+            }
+        }
+        cv.notify_all();
+    }
+
+    /// Switch to free-run. `ThreadPool::drop` calls this first so the
+    /// shutdown/join sequence is never scheduler-controlled (the
+    /// joining thread would otherwise deadlock waiting on workers that
+    /// are waiting for grants).
+    pub(crate) fn teardown() {
+        if let Some(s) = active() {
+            let mut st = s.state.lock().expect("sched lock");
+            if !st.free_run {
+                st.free_run = true;
+                st.transitions += 1;
+                s.cv.notify_all();
+            }
+        }
+    }
+
+    /// Spawns a scenario-owned controlled thread in slot
+    /// `workers + 1 + idx`. The closure starts at an [`Op::Spawn`]
+    /// yield and the thread reports `Finished` on return, so the
+    /// scheduler can account for it like a pool worker.
+    pub fn spawn_controlled<F>(idx: usize, f: F) -> std::thread::JoinHandle<()>
+    where
+        F: FnOnce() + Send + 'static,
+    {
+        std::thread::Builder::new()
+            .name(format!("kr-model-extra-{idx}"))
+            .spawn(move || {
+                yield_point(Op::Spawn);
+                f();
+                if let Some(s) = active() {
+                    if let Some(id) = current_id(&s) {
+                        let mut st = s.state.lock().expect("sched lock");
+                        st.threads[id] = TState::Finished;
+                        st.transitions += 1;
+                        s.cv.notify_all();
+                    }
+                }
+            })
+            .expect("spawn extra thread")
+    }
+
+    /// Runs `f` (typically a `JoinHandle::join`) with this thread
+    /// marked blocked, so the scheduler keeps granting other threads
+    /// while we wait on something outside its control.
+    pub fn external_block<R>(f: impl FnOnce() -> R) -> R {
+        let ctl = active().and_then(|s| current_id(&s).map(|id| (s, id)));
+        if let Some((s, id)) = &ctl {
+            let mut st = s.state.lock().expect("sched lock");
+            if !st.free_run {
+                // Address 0 is never a real condvar: nothing can
+                // notify-match it, only completion of `f` unblocks us.
+                st.threads[*id] = TState::Blocked(0);
+                st.transitions += 1;
+                s.cv.notify_all();
+            }
+        }
+        let out = f();
+        if let Some((s, id)) = &ctl {
+            let mut st = s.state.lock().expect("sched lock");
+            if st.threads[*id] != TState::Finished {
+                st.threads[*id] = TState::Running;
+                st.transitions += 1;
+                s.cv.notify_all();
+            }
+        }
+        out
+    }
+
+    fn splitmix64(mut x: u64) -> u64 {
+        x = x.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = x;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    /// Deterministic branch order at one decision: the previously
+    /// running thread first if still enabled (the non-preempting
+    /// continuation), then the rest rotated by a seed/depth hash so
+    /// different seeds walk the tree differently.
+    fn branch_order(enabled: &[usize], last: Option<usize>, seed: u64, depth: usize) -> Vec<usize> {
+        let mut v = enabled.to_vec();
+        if v.len() > 1 {
+            let h = splitmix64(seed ^ (depth as u64).wrapping_mul(0x9E3779B97F4A7C15));
+            let r = (h % v.len() as u64) as usize;
+            v.rotate_left(r);
+        }
+        if let Some(l) = last {
+            if let Some(p) = v.iter().position(|&x| x == l) {
+                v.remove(p);
+                v.insert(0, l);
+            }
+        }
+        v
+    }
+
+    fn trace_hash(choices: &[usize]) -> u64 {
+        let mut h: u64 = 0xcbf29ce484222325;
+        for &c in choices {
+            h ^= c as u64 + 1;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        h
+    }
+
+    struct ExecOutcome {
+        trace: Vec<Decision>,
+        diverged: bool,
+        failure: Option<String>,
+        deadlock: Option<String>,
+        hung: bool,
+    }
+
+    fn quiescent(st: &State) -> bool {
+        st.granted.is_none()
+            && st
+                .threads
+                .iter()
+                .all(|t| !matches!(t, TState::Unregistered | TState::Running))
+    }
+
+    fn payload_to_string(p: Box<dyn std::any::Any + Send>) -> String {
+        if let Some(s) = p.downcast_ref::<&str>() {
+            (*s).to_string()
+        } else if let Some(s) = p.downcast_ref::<String>() {
+            s.clone()
+        } else {
+            "panic with non-string payload".to_string()
+        }
+    }
+
+    /// One controlled execution of the scenario, replaying `plan`.
+    fn run_once(
+        s: &Arc<Scheduler>,
+        plan: Vec<usize>,
+        scenario: Arc<dyn Fn() + Send + Sync>,
+        watchdog: Duration,
+    ) -> ExecOutcome {
+        {
+            let mut st = s.state.lock().expect("sched lock");
+            st.threads = vec![TState::Unregistered; s.n_threads];
+            st.threads[0] = TState::Running;
+            st.granted = None;
+            st.free_run = false;
+            st.plan = plan;
+            st.trace.clear();
+            st.last_running = Some(0);
+            st.preemptions = 0;
+            st.diverged = false;
+            st.failure = None;
+            st.deadlock = None;
+        }
+        *active_cell().lock().expect("active lock") = Some(s.clone());
+
+        let s2 = s.clone();
+        let submitter = std::thread::Builder::new()
+            .name("kr-model-submit".to_string())
+            .spawn(move || {
+                let result = catch_unwind(AssertUnwindSafe(|| scenario()));
+                let mut st = s2.state.lock().expect("sched lock");
+                if let Err(p) = result {
+                    st.failure = Some(payload_to_string(p));
+                }
+                st.threads[0] = TState::Finished;
+                st.free_run = true;
+                st.transitions += 1;
+                s2.cv.notify_all();
+            })
+            .expect("spawn submitter");
+
+        let hung = drive(s, watchdog);
+        if !hung {
+            let _ = submitter.join();
+        }
+        // A hung execution leaks its threads; `explore` stops after it,
+        // so they cannot contaminate a later run.
+        *active_cell().lock().expect("active lock") = None;
+
+        let st = s.state.lock().expect("sched lock");
+        ExecOutcome {
+            trace: st.trace.clone(),
+            diverged: st.diverged,
+            failure: st.failure.clone(),
+            deadlock: st.deadlock.clone(),
+            hung,
+        }
+    }
+
+    /// The scheduling loop: grant at quiescence, watchdog stalls.
+    /// Returns true if the execution hung.
+    fn drive(s: &Arc<Scheduler>, watchdog: Duration) -> bool {
+        let mut st = s.state.lock().expect("sched lock");
+        loop {
+            if st.threads[0] == TState::Finished {
+                return false;
+            }
+            if !st.free_run && quiescent(&st) {
+                let enabled: Vec<usize> = st
+                    .threads
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, t)| matches!(t, TState::AtYield(_)))
+                    .map(|(i, _)| i)
+                    .collect();
+                // `enabled` can be empty with threads blocked on
+                // external events (e.g. a join on a finished-but-not-
+                // exited thread); those resolve on their own, so only
+                // the watchdog — not an eager check — calls deadlock.
+                if !enabled.is_empty() {
+                    let depth = st.trace.len();
+                    let last = st.last_running;
+                    let order = branch_order(&enabled, last, s.seed, depth);
+                    let chosen = if depth < st.plan.len() {
+                        let want = st.plan[depth];
+                        if enabled.contains(&want) {
+                            want
+                        } else {
+                            st.diverged = true;
+                            order[0]
+                        }
+                    } else {
+                        order[0]
+                    };
+                    let preempting = last.is_some_and(|l| l != chosen && enabled.contains(&l));
+                    let preempts_before = st.preemptions;
+                    st.trace.push(Decision {
+                        enabled,
+                        chosen,
+                        last,
+                        preempts_before,
+                    });
+                    if preempting {
+                        st.preemptions += 1;
+                    }
+                    st.last_running = Some(chosen);
+                    st.granted = Some(chosen);
+                    st.transitions += 1;
+                    s.cv.notify_all();
+                }
+            }
+            let before = st.transitions;
+            let (g, timeout) = s.cv.wait_timeout(st, watchdog).expect("sched wait_timeout");
+            st = g;
+            if timeout.timed_out() && st.transitions == before && st.threads[0] != TState::Finished
+            {
+                let dump = format!(
+                    "no transition for {watchdog:?}; thread states: {:?}; trace: {:?}",
+                    st.threads,
+                    st.trace.iter().map(|d| d.chosen).collect::<Vec<_>>()
+                );
+                st.deadlock = Some(dump);
+                st.free_run = true;
+                s.cv.notify_all();
+                return true;
+            }
+        }
+    }
+
+    /// The next DFS plan after `trace`, or `None` when the bounded tree
+    /// is exhausted: the deepest decision with an untried alternative
+    /// whose extra preemption (if any) fits the budget.
+    fn next_plan(trace: &[Decision], seed: u64, bound: usize) -> Option<Vec<usize>> {
+        for i in (0..trace.len()).rev() {
+            let d = &trace[i];
+            let order = branch_order(&d.enabled, d.last, seed, i);
+            let pos = order.iter().position(|&x| x == d.chosen)?;
+            for &c in &order[pos + 1..] {
+                let preempting = d.last.is_some_and(|l| l != c && d.enabled.contains(&l));
+                if d.preempts_before + usize::from(preempting) <= bound {
+                    let mut plan: Vec<usize> = trace[..i].iter().map(|d| d.chosen).collect();
+                    plan.push(c);
+                    return Some(plan);
+                }
+            }
+        }
+        None
+    }
+
+    /// DFS over bounded-preemption schedules of `scenario`.
+    pub fn explore<F>(cfg: &ModelConfig, scenario: F) -> Result<Report, String>
+    where
+        F: Fn() + Send + Sync + 'static,
+    {
+        let _serial = explore_lock().lock().expect("explore lock");
+        let n_threads = 1 + cfg.workers + cfg.extra_threads;
+        let s = Arc::new(Scheduler {
+            state: Mutex::new(State {
+                threads: Vec::new(),
+                granted: None,
+                free_run: false,
+                plan: Vec::new(),
+                trace: Vec::new(),
+                last_running: None,
+                preemptions: 0,
+                diverged: false,
+                transitions: 0,
+                failure: None,
+                deadlock: None,
+            }),
+            cv: Condvar::new(),
+            workers: cfg.workers,
+            n_threads,
+            seed: cfg.seed,
+        });
+        let scenario: Arc<dyn Fn() + Send + Sync> = Arc::new(scenario);
+        let watchdog = Duration::from_millis(cfg.watchdog_ms.max(100));
+
+        let mut report = Report::default();
+        let mut seen = BTreeSet::new();
+        let mut plan = Vec::new();
+        loop {
+            let out = run_once(&s, plan.clone(), scenario.clone(), watchdog);
+            report.executions += 1;
+            let choices: Vec<usize> = out.trace.iter().map(|d| d.chosen).collect();
+            let h = trace_hash(&choices);
+            if seen.insert(h) {
+                report.distinct += 1;
+                report.digest = report.digest.wrapping_add(splitmix64(h));
+            }
+            report.max_depth = report.max_depth.max(choices.len());
+            report.decisions += choices.len() as u64;
+            if out.diverged {
+                report.divergences += 1;
+            }
+            if let Some(msg) = out.failure {
+                report.failures.push(Failure {
+                    schedule: choices.clone(),
+                    message: msg,
+                });
+            }
+            if let Some(msg) = out.deadlock {
+                report.failures.push(Failure {
+                    schedule: choices.clone(),
+                    message: format!("deadlock: {msg}"),
+                });
+            }
+            if out.hung {
+                report.hung = true;
+                break;
+            }
+            if report.executions >= cfg.max_schedules {
+                break;
+            }
+            match next_plan(&out.trace, cfg.seed, cfg.preemption_bound) {
+                Some(p) => plan = p,
+                None => {
+                    report.exhausted = true;
+                    break;
+                }
+            }
+        }
+        Ok(report)
+    }
+}
+
+pub use imp::{explore, external_block, spawn_controlled, yield_point};
+pub(crate) use imp::{notify_all, teardown, wait};

@@ -46,6 +46,8 @@ impl<T> SendPtr<T> {
 // ranges handed out by the chunk scheduler, and the buffer outlives the
 // region (the scheduler blocks until every chunk completes).
 unsafe impl<T: Send> Send for SendPtr<T> {}
+// SAFETY: shared references to the wrapper only hand out the raw pointer;
+// dereferences stay confined to the disjoint ranges described for `Send`.
 unsafe impl<T: Send> Sync for SendPtr<T> {}
 
 /// Maps `0..out.len()` in parallel chunks into a pre-allocated output

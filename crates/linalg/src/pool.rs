@@ -36,6 +36,16 @@
 //! reports that every chunk job has finished executing (panicked chunks
 //! included), so no worker can observe the closure after the borrow ends.
 
+//!
+//! The `model::yield_point` calls threaded through this module are the
+//! hooks for the schedule-exploring checker in [`crate::model`]; they
+//! compile to empty inline functions unless the build sets `KR_MODEL=1`
+//! (see `build.rs`). Every yield sits at a point where the thread holds
+//! no pool lock, except that the parked re-check deliberately runs
+//! quiet (`find_job(.., instrument=false)`) because it holds the idle
+//! mutex.
+
+use crate::model;
 use std::any::Any;
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
@@ -52,6 +62,8 @@ struct RawFn(*const (dyn Fn(usize, usize) + Sync));
 // and `scope_chunks` guarantees it outlives every job that dereferences
 // it, so shipping the pointer across threads is sound.
 unsafe impl Send for RawFn {}
+// SAFETY: the pointee is `Sync`, so concurrent shared calls through the
+// erased pointer are sound for the same lifetime argument as `Send`.
 unsafe impl Sync for RawFn {}
 
 /// Shared state of one parallel region: the erased closure plus the
@@ -72,6 +84,7 @@ struct Job {
 
 impl Job {
     fn run(self) {
+        model::yield_point(model::Op::RunChunk);
         // SAFETY: the region that created `self.task` is still blocked in
         // `scope_chunks` (it cannot return before `remaining` hits zero,
         // which requires this job to finish), so the closure is alive.
@@ -82,11 +95,12 @@ impl Job {
                 *slot = Some(payload);
             }
         }
+        model::yield_point(model::Op::LatchDec);
         let mut remaining = self.task.remaining.lock().unwrap();
         *remaining -= 1;
         if *remaining == 0 {
             drop(remaining);
-            self.task.done.notify_all();
+            model::notify_all(&self.task.done);
         }
     }
 }
@@ -108,11 +122,23 @@ struct Shared {
 impl Shared {
     /// Claims a job: own deque back first (when a worker), then the
     /// injector, then other deques' fronts (stealing).
-    fn find_job(&self, me: Option<usize>) -> Option<Job> {
+    ///
+    /// `instrument` gates the model-checker yield points: the parked
+    /// re-check in `worker_loop` calls this while holding the idle
+    /// mutex, where yielding to the scheduler would deadlock the
+    /// harness (a granted submitter needs that mutex to wake sleepers),
+    /// so that call site passes `false`.
+    fn find_job(&self, me: Option<usize>, instrument: bool) -> Option<Job> {
         if let Some(me) = me {
+            if instrument {
+                model::yield_point(model::Op::PopOwn);
+            }
             if let Some(job) = self.queues[me].lock().unwrap().pop_back() {
                 return Some(job);
             }
+        }
+        if instrument {
+            model::yield_point(model::Op::PopInjector);
         }
         if let Some(job) = self.injector.lock().unwrap().pop_front() {
             return Some(job);
@@ -124,6 +150,9 @@ impl Shared {
             if Some(victim) == me {
                 continue;
             }
+            if instrument {
+                model::yield_point(model::Op::Steal);
+            }
             if let Some(job) = self.queues[victim].lock().unwrap().pop_front() {
                 return Some(job);
             }
@@ -134,7 +163,7 @@ impl Shared {
 
 fn worker_loop(shared: Arc<Shared>, me: usize) {
     loop {
-        if let Some(job) = shared.find_job(Some(me)) {
+        if let Some(job) = shared.find_job(Some(me), true) {
             job.run();
             continue;
         }
@@ -142,16 +171,17 @@ fn worker_loop(shared: Arc<Shared>, me: usize) {
         // mutex plus notify-under-mutex on the submit side closes the
         // submit-between-check-and-wait race, so idle workers sleep
         // indefinitely instead of polling.
+        model::yield_point(model::Op::Park);
         let guard = shared.idle.lock().unwrap();
         if shared.shutdown.load(Ordering::Acquire) {
             return;
         }
-        if let Some(job) = shared.find_job(Some(me)) {
+        if let Some(job) = shared.find_job(Some(me), false) {
             drop(guard);
             job.run();
             continue;
         }
-        drop(shared.wake.wait(guard).unwrap());
+        drop(model::wait(&shared.wake, guard));
     }
 }
 
@@ -240,7 +270,7 @@ impl ThreadPool {
             return;
         }
 
-        // SAFETY (lifetime erasure): see the module-level safety note —
+        // SAFETY: lifetime erasure — see the module-level safety note;
         // this function does not return until every `Job` holding this
         // pointer has executed.
         let raw = RawFn(unsafe {
@@ -267,15 +297,17 @@ impl ThreadPool {
                 start,
                 end,
             };
+            model::yield_point(model::Op::Push);
             self.shared.queues[idx % workers]
                 .lock()
                 .unwrap()
                 .push_back(job);
         }
+        model::yield_point(model::Op::Wake);
         {
             // Notify while holding the idle mutex (see `Shared::idle`).
             let _idle = self.shared.idle.lock().unwrap();
-            self.shared.wake.notify_all();
+            model::notify_all(&self.shared.wake);
         }
 
         // Participate: drain claimable jobs (ours or other concurrent
@@ -285,13 +317,14 @@ impl ThreadPool {
         // notify `done` — checked under the same mutex, so the wakeup
         // cannot be lost.
         'region: loop {
-            if let Some(job) = self.shared.find_job(None) {
+            if let Some(job) = self.shared.find_job(None, true) {
                 job.run();
                 continue;
             }
+            model::yield_point(model::Op::LatchWait);
             let mut remaining = task.remaining.lock().unwrap();
             while *remaining != 0 {
-                remaining = task.done.wait(remaining).unwrap();
+                remaining = model::wait(&task.done, remaining);
             }
             break 'region;
         }
@@ -305,6 +338,10 @@ impl ThreadPool {
 
 impl Drop for ThreadPool {
     fn drop(&mut self) {
+        // Shutdown is never scheduler-controlled: release any threads
+        // parked at yield points before asking workers to exit, or this
+        // join would wait on threads waiting for grants.
+        model::teardown();
         self.shared.shutdown.store(true, Ordering::Release);
         {
             // Notify under the idle mutex so a worker between its

@@ -15,6 +15,7 @@
 //! `&[usize]` and are permutation-invariant in the cluster ids.
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod contingency;
 pub mod external;

@@ -1,0 +1,308 @@
+//! `kr-verify check-pool`: drive the schedule-exploring model checker
+//! in [`kr_linalg::model`] over a fixed set of thread-pool scenarios.
+//!
+//! Each scenario is a closure the explorer re-executes under every
+//! bounded-preemption schedule it can reach, asserting the pool's
+//! contracts from inside: every chunk runs exactly once, never after
+//! `scope_chunks` returns (the lifetime-erasure soundness condition),
+//! panics propagate to the submitter and leave the pool usable, nested
+//! regions complete, and the park/wake protocol loses no wakeups across
+//! back-to-back regions.
+//!
+//! The final scenario is a *self-test*: two controlled threads perform
+//! a textbook load/yield/store lost-update race that a correct explorer
+//! **must** be able to schedule. If no interleaving trips that
+//! assertion, the checker's coverage is broken and the command fails —
+//! green runs are only meaningful if the tool can still find red.
+//!
+//! Requires `cfg(kr_model)` (build with `KR_MODEL=1`); otherwise the
+//! command explains how to rebuild and exits with a usage error.
+
+use kr_linalg::model::{self, ModelConfig, Op, Report};
+use kr_linalg::ThreadPool;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// CLI options for `check-pool`.
+#[derive(Debug, Clone)]
+pub struct Options {
+    /// Seed for the explorer's branch order.
+    pub seed: u64,
+    /// Minimum total distinct schedules across the pool scenarios.
+    pub min_schedules: usize,
+    /// Preemption bound per schedule.
+    pub preemptions: usize,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            seed: 0xC1A0,
+            min_schedules: 1000,
+            preemptions: 2,
+        }
+    }
+}
+
+struct Scenario {
+    name: &'static str,
+    what: &'static str,
+    workers: usize,
+    extra_threads: usize,
+    max_schedules: usize,
+    /// Self-test scenarios *must* produce failures; their failures do
+    /// not fail the run, their absence does. Their schedules also do
+    /// not count toward `min_schedules`.
+    expect_failures: bool,
+    run: fn(),
+}
+
+/// Chunks run exactly once each, cover everything, and never execute
+/// after `scope_chunks` returns — the condition the `RawFn` lifetime
+/// erasure in the pool depends on.
+fn s_basic() {
+    let pool = ThreadPool::new(2);
+    let ran: Vec<AtomicBool> = (0..4).map(|_| AtomicBool::new(false)).collect();
+    let total = AtomicUsize::new(0);
+    let closed = AtomicBool::new(false);
+    pool.scope_chunks(4, 1, &|s, e| {
+        assert!(
+            !closed.load(Ordering::SeqCst),
+            "chunk ran after scope_chunks returned"
+        );
+        assert!(!ran[s].swap(true, Ordering::SeqCst), "chunk {s} ran twice");
+        total.fetch_add(e - s, Ordering::SeqCst);
+    });
+    closed.store(true, Ordering::SeqCst);
+    assert_eq!(total.load(Ordering::SeqCst), 4, "chunks lost or duplicated");
+}
+
+/// A panicking chunk reaches the submitter as a panic, the remaining
+/// chunks still complete, and the pool survives for a second region.
+fn s_panic() {
+    let pool = ThreadPool::new(2);
+    let survivors = AtomicUsize::new(0);
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        pool.scope_chunks(3, 1, &|s, _| {
+            if s == 1 {
+                panic!("injected chunk panic");
+            }
+            survivors.fetch_add(1, Ordering::SeqCst);
+        });
+    }));
+    assert!(result.is_err(), "chunk panic must reach the submitter");
+    assert_eq!(
+        survivors.load(Ordering::SeqCst),
+        2,
+        "non-panicking chunks must still run"
+    );
+    let total = AtomicUsize::new(0);
+    pool.scope_chunks(6, 2, &|s, e| {
+        total.fetch_add(e - s, Ordering::SeqCst);
+    });
+    assert_eq!(total.load(Ordering::SeqCst), 6, "pool unusable after panic");
+}
+
+/// A region opened from inside a worker chunk completes even on a
+/// single-worker pool, because the opening thread drains jobs itself.
+fn s_nested() {
+    let pool = ThreadPool::new(1);
+    let total = AtomicUsize::new(0);
+    pool.scope_chunks(2, 1, &|_, _| {
+        pool.scope_chunks(2, 1, &|s, e| {
+            total.fetch_add(e - s, Ordering::SeqCst);
+        });
+    });
+    assert_eq!(total.load(Ordering::SeqCst), 4, "nested region lost chunks");
+}
+
+/// Two back-to-back regions: after the first, workers park; the second
+/// submission's wake must not be lost in the park/wake race window.
+fn s_park_wake() {
+    let pool = ThreadPool::new(2);
+    for round in 0..2 {
+        let total = AtomicUsize::new(0);
+        pool.scope_chunks(3, 1, &|s, e| {
+            total.fetch_add(e - s, Ordering::SeqCst);
+        });
+        assert_eq!(
+            total.load(Ordering::SeqCst),
+            3,
+            "round {round} lost a wakeup"
+        );
+    }
+}
+
+/// Detector self-test: a deliberate lost-update race between two
+/// controlled threads. Some schedule must interleave the load/store
+/// pairs and fail the final assertion; `run` checks the failure count
+/// is non-zero.
+fn s_selftest_racy() {
+    let counter = Arc::new(AtomicUsize::new(0));
+    let handles: Vec<_> = (0..2)
+        .map(|j| {
+            let counter = Arc::clone(&counter);
+            model::spawn_controlled(j, move || {
+                let v = counter.load(Ordering::SeqCst);
+                model::yield_point(Op::User);
+                counter.store(v + 1, Ordering::SeqCst);
+            })
+        })
+        .collect();
+    for h in handles {
+        model::external_block(|| h.join()).expect("extra thread");
+    }
+    assert_eq!(
+        counter.load(Ordering::SeqCst),
+        2,
+        "lost update (the explorer is SUPPOSED to reach this)"
+    );
+}
+
+const SCENARIOS: &[Scenario] = &[
+    Scenario {
+        name: "push-steal-basic",
+        what: "4 chunks on 2 workers: exactly-once, coverage, no run-after-return",
+        workers: 2,
+        extra_threads: 0,
+        max_schedules: 500,
+        expect_failures: false,
+        run: s_basic,
+    },
+    Scenario {
+        name: "panic-propagation",
+        what: "panicking chunk: payload rethrown, region completes, pool survives",
+        workers: 2,
+        extra_threads: 0,
+        max_schedules: 400,
+        expect_failures: false,
+        run: s_panic,
+    },
+    Scenario {
+        name: "nested-regions",
+        what: "region inside a chunk on 1 worker: submitter participation",
+        workers: 1,
+        extra_threads: 0,
+        max_schedules: 200,
+        expect_failures: false,
+        run: s_nested,
+    },
+    Scenario {
+        name: "park-wake",
+        what: "two sequential regions: no lost wakeup across the park window",
+        workers: 2,
+        extra_threads: 0,
+        max_schedules: 400,
+        expect_failures: false,
+        run: s_park_wake,
+    },
+    Scenario {
+        name: "selftest-lost-update",
+        what: "seeded load/store race the explorer MUST find (detector power)",
+        workers: 0,
+        extra_threads: 2,
+        max_schedules: 64,
+        expect_failures: true,
+        run: s_selftest_racy,
+    },
+];
+
+fn explore_scenario(sc: &Scenario, opts: &Options) -> Result<Report, String> {
+    let cfg = ModelConfig {
+        workers: sc.workers,
+        extra_threads: sc.extra_threads,
+        preemption_bound: opts.preemptions,
+        max_schedules: sc.max_schedules,
+        seed: opts.seed,
+        ..ModelConfig::default()
+    };
+    model::explore(&cfg, sc.run)
+}
+
+/// Runs every scenario; returns the process exit code.
+pub fn run(opts: &Options) -> u8 {
+    if !model::enabled() {
+        eprintln!(
+            "check-pool: kr-linalg was built without the model-checking \
+             instrumentation.\nRebuild with the KR_MODEL env var set:\n\n    \
+             KR_MODEL=1 cargo run -p kr-verify -- check-pool\n"
+        );
+        return 2;
+    }
+
+    // The explorer intentionally drives scenarios into panics (that is
+    // how it reports a bad schedule); silence the default hook so a
+    // thousand executions do not print a thousand backtraces. Failure
+    // payloads are captured and reported by the explorer itself.
+    let prev_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+
+    let mut pool_distinct = 0usize;
+    let mut failed = false;
+    println!(
+        "check-pool: exploring {} scenarios (seed {:#x}, preemption bound {})",
+        SCENARIOS.len(),
+        opts.seed,
+        opts.preemptions
+    );
+    for sc in SCENARIOS {
+        let report = match explore_scenario(sc, opts) {
+            Ok(r) => r,
+            Err(e) => {
+                std::panic::set_hook(prev_hook);
+                eprintln!("check-pool: {}: {e}", sc.name);
+                return 2;
+            }
+        };
+        let status = if sc.expect_failures {
+            if report.failures.is_empty() {
+                failed = true;
+                "SELF-TEST FAILED (race not found)"
+            } else {
+                "ok (race found, as required)"
+            }
+        } else if report.failures.is_empty() && !report.hung {
+            pool_distinct += report.distinct;
+            "ok"
+        } else {
+            failed = true;
+            "FAILED"
+        };
+        println!(
+            "  {:<22} {:>4} runs, {:>4} distinct, depth<={:<3} {} diverged, digest {:016x}  {}{}",
+            sc.name,
+            report.executions,
+            report.distinct,
+            report.max_depth,
+            report.divergences,
+            report.digest,
+            status,
+            if report.exhausted { " [exhausted]" } else { "" },
+        );
+        println!("      {}", sc.what);
+        if !sc.expect_failures {
+            for f in report.failures.iter().take(3) {
+                eprintln!(
+                    "    failing schedule {:?}\n      {}",
+                    f.schedule,
+                    f.message.lines().next().unwrap_or("")
+                );
+            }
+        }
+    }
+    std::panic::set_hook(prev_hook);
+
+    println!(
+        "check-pool: {pool_distinct} distinct pool schedules explored (minimum {})",
+        opts.min_schedules
+    );
+    if pool_distinct < opts.min_schedules {
+        eprintln!(
+            "check-pool: coverage shortfall: {pool_distinct} < {}",
+            opts.min_schedules
+        );
+        failed = true;
+    }
+    u8::from(failed)
+}

@@ -1,0 +1,358 @@
+//! `verify.toml` parsing: rule allowlists and per-rule waivers.
+//!
+//! The workspace is offline-vendored, so this is a hand-rolled parser
+//! for the small TOML subset the config actually uses:
+//!
+//! * `[rule.<name>]` tables whose values are strings or arrays of
+//!   strings (arrays may span lines);
+//! * `[[waiver]]` array-of-tables entries with `rule`, `path` and a
+//!   **mandatory** non-empty `justification` string;
+//! * `#` comments and blank lines.
+//!
+//! Anything outside that subset is a hard error — the config gates CI,
+//! so silently ignoring a typoed section would defeat the point.
+
+use std::collections::BTreeMap;
+
+/// Values of one `[rule.<name>]` section.
+#[derive(Debug, Default, Clone)]
+pub struct RuleCfg {
+    /// `key = ["a", "b"]` entries.
+    pub lists: BTreeMap<String, Vec<String>>,
+    /// `key = "value"` entries.
+    pub strings: BTreeMap<String, String>,
+}
+
+/// One `[[waiver]]` entry: suppresses `rule` diagnostics in `path`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Waiver {
+    /// Rule name the waiver applies to.
+    pub rule: String,
+    /// Workspace-relative file the waiver applies to.
+    pub path: String,
+    /// Required human rationale; empty justifications are a config error.
+    pub justification: String,
+}
+
+/// Parsed `verify.toml`.
+#[derive(Debug, Default)]
+pub struct Config {
+    /// Per-rule configuration, keyed by rule name.
+    pub rules: BTreeMap<String, RuleCfg>,
+    /// All waivers, in file order.
+    pub waivers: Vec<Waiver>,
+}
+
+impl Config {
+    /// List-valued key for a rule, or an empty slice.
+    pub fn rule_list(&self, rule: &str, key: &str) -> &[String] {
+        self.rules
+            .get(rule)
+            .and_then(|r| r.lists.get(key))
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// Is there a waiver for (`rule`, `path`)?
+    pub fn is_waived(&self, rule: &str, path: &str) -> bool {
+        self.waivers
+            .iter()
+            .any(|w| w.rule == rule && w.path == path)
+    }
+}
+
+/// A config-file error with a line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError {
+    /// 1-based line in `verify.toml`.
+    pub line: usize,
+    /// What went wrong.
+    pub msg: String,
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "verify.toml:{}: {}", self.line, self.msg)
+    }
+}
+
+enum Section {
+    None,
+    Rule(String),
+    Waiver(usize), // index into waivers
+}
+
+/// Parses the configuration text.
+pub fn parse(src: &str) -> Result<Config, ConfigError> {
+    let mut cfg = Config::default();
+    let mut section = Section::None;
+    let mut lines = src.lines().enumerate().peekable();
+
+    while let Some((idx, raw)) = lines.next() {
+        let lineno = idx + 1;
+        let line = strip_comment(raw).trim().to_string();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("[[") {
+            let name = rest.strip_suffix("]]").ok_or_else(|| ConfigError {
+                line: lineno,
+                msg: "unterminated [[section]]".into(),
+            })?;
+            if name != "waiver" {
+                return Err(ConfigError {
+                    line: lineno,
+                    msg: format!("unknown array section [[{name}]]; only [[waiver]] is supported"),
+                });
+            }
+            cfg.waivers.push(Waiver {
+                rule: String::new(),
+                path: String::new(),
+                justification: String::new(),
+            });
+            section = Section::Waiver(cfg.waivers.len() - 1);
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('[') {
+            let name = rest.strip_suffix(']').ok_or_else(|| ConfigError {
+                line: lineno,
+                msg: "unterminated [section]".into(),
+            })?;
+            let rule = name.strip_prefix("rule.").ok_or_else(|| ConfigError {
+                line: lineno,
+                msg: format!("unknown section [{name}]; expected [rule.<name>] or [[waiver]]"),
+            })?;
+            cfg.rules.entry(rule.to_string()).or_default();
+            section = Section::Rule(rule.to_string());
+            continue;
+        }
+        let (key, value) = line.split_once('=').ok_or_else(|| ConfigError {
+            line: lineno,
+            msg: format!("expected `key = value`, got `{line}`"),
+        })?;
+        let key = key.trim().to_string();
+        let mut value = value.trim().to_string();
+        // Multi-line arrays: keep consuming until the bracket closes.
+        if value.starts_with('[') {
+            while !array_closed(&value) {
+                let (_, next) = lines.next().ok_or_else(|| ConfigError {
+                    line: lineno,
+                    msg: format!("unterminated array for key `{key}`"),
+                })?;
+                value.push(' ');
+                value.push_str(strip_comment(next).trim());
+            }
+        }
+        match &section {
+            Section::None => {
+                return Err(ConfigError {
+                    line: lineno,
+                    msg: format!("key `{key}` outside any section"),
+                })
+            }
+            Section::Rule(rule) => {
+                let entry = cfg.rules.get_mut(rule).expect("section registered");
+                if value.starts_with('[') {
+                    entry.lists.insert(key, parse_array(&value, lineno)?);
+                } else {
+                    entry.strings.insert(key, parse_string(&value, lineno)?);
+                }
+            }
+            Section::Waiver(i) => {
+                let w = &mut cfg.waivers[*i];
+                let s = parse_string(&value, lineno)?;
+                match key.as_str() {
+                    "rule" => w.rule = s,
+                    "path" => w.path = s,
+                    "justification" => w.justification = s,
+                    other => {
+                        return Err(ConfigError {
+                            line: lineno,
+                            msg: format!("unknown waiver key `{other}`"),
+                        })
+                    }
+                }
+            }
+        }
+    }
+
+    for (i, w) in cfg.waivers.iter().enumerate() {
+        if w.rule.is_empty() || w.path.is_empty() {
+            return Err(ConfigError {
+                line: 0,
+                msg: format!("waiver #{} is missing `rule` or `path`", i + 1),
+            });
+        }
+        if w.justification.trim().is_empty() {
+            return Err(ConfigError {
+                line: 0,
+                msg: format!(
+                    "waiver #{} ({} in {}) has no justification — every waiver must say why",
+                    i + 1,
+                    w.rule,
+                    w.path
+                ),
+            });
+        }
+    }
+    Ok(cfg)
+}
+
+/// Strips a `#` comment, respecting double-quoted strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    let mut escaped = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '\\' if in_str && !escaped => {
+                escaped = true;
+                continue;
+            }
+            '"' if !escaped => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+        escaped = false;
+    }
+    line
+}
+
+/// Is the bracket in a (possibly still growing) array value balanced?
+fn array_closed(value: &str) -> bool {
+    let mut depth = 0i32;
+    let mut in_str = false;
+    let mut escaped = false;
+    for c in value.chars() {
+        match c {
+            '\\' if in_str && !escaped => {
+                escaped = true;
+                continue;
+            }
+            '"' if !escaped => in_str = !in_str,
+            '[' if !in_str => depth += 1,
+            ']' if !in_str => depth -= 1,
+            _ => {}
+        }
+        escaped = false;
+    }
+    depth == 0
+}
+
+fn parse_string(value: &str, lineno: usize) -> Result<String, ConfigError> {
+    let v = value.trim();
+    let inner = v
+        .strip_prefix('"')
+        .and_then(|s| s.strip_suffix('"'))
+        .ok_or_else(|| ConfigError {
+            line: lineno,
+            msg: format!("expected a double-quoted string, got `{v}`"),
+        })?;
+    // The config never needs more than these two escapes.
+    Ok(inner.replace("\\\"", "\"").replace("\\\\", "\\"))
+}
+
+fn parse_array(value: &str, lineno: usize) -> Result<Vec<String>, ConfigError> {
+    let v = value.trim();
+    let inner = v
+        .strip_prefix('[')
+        .and_then(|s| s.strip_suffix(']'))
+        .ok_or_else(|| ConfigError {
+            line: lineno,
+            msg: format!("expected an array, got `{v}`"),
+        })?;
+    let mut out = Vec::new();
+    for item in split_items(inner) {
+        let item = item.trim();
+        if item.is_empty() {
+            continue;
+        }
+        out.push(parse_string(item, lineno)?);
+    }
+    Ok(out)
+}
+
+/// Splits array items on commas outside strings.
+fn split_items(inner: &str) -> Vec<String> {
+    let mut items = Vec::new();
+    let mut cur = String::new();
+    let mut in_str = false;
+    let mut escaped = false;
+    for c in inner.chars() {
+        match c {
+            '\\' if in_str && !escaped => {
+                escaped = true;
+                cur.push(c);
+                continue;
+            }
+            '"' if !escaped => {
+                in_str = !in_str;
+                cur.push(c);
+            }
+            ',' if !in_str => {
+                items.push(std::mem::take(&mut cur));
+            }
+            _ => cur.push(c),
+        }
+        escaped = false;
+    }
+    if !cur.trim().is_empty() {
+        items.push(cur);
+    }
+    items
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_rules_and_waivers() {
+        let cfg = parse(
+            r#"
+# comment
+[rule.unsafe-allowlist]
+allow = ["a.rs", "b.rs"]
+
+[rule.wall-clock]
+allow = [
+    "crates/bench",  # trailing comment
+]
+
+[[waiver]]
+rule = "hash-collections"
+path = "crates/core/src/x.rs"
+justification = "lookup-only"
+"#,
+        )
+        .unwrap();
+        assert_eq!(cfg.rule_list("unsafe-allowlist", "allow"), ["a.rs", "b.rs"]);
+        assert_eq!(cfg.rule_list("wall-clock", "allow"), ["crates/bench"]);
+        assert!(cfg.is_waived("hash-collections", "crates/core/src/x.rs"));
+        assert!(!cfg.is_waived("hash-collections", "other.rs"));
+    }
+
+    #[test]
+    fn waiver_without_justification_is_an_error() {
+        let err = parse(
+            r#"
+[[waiver]]
+rule = "wall-clock"
+path = "x.rs"
+justification = "  "
+"#,
+        )
+        .unwrap_err();
+        assert!(err.msg.contains("justification"), "{}", err.msg);
+    }
+
+    #[test]
+    fn unknown_section_is_an_error() {
+        assert!(parse("[surprise]\n").is_err());
+    }
+
+    #[test]
+    fn hash_inside_string_is_not_a_comment() {
+        let cfg = parse("[rule.x]\nallow = [\"a#b.rs\"]\n").unwrap();
+        assert_eq!(cfg.rule_list("x", "allow"), ["a#b.rs"]);
+    }
+}

@@ -1,0 +1,405 @@
+//! A minimal hand-rolled Rust lexer for the lint pass.
+//!
+//! The rules in [`crate::rules`] only need to see *code* tokens — words
+//! and punctuation with line numbers — plus the comments themselves (for
+//! the `// SAFETY:` check). Everything else is about not being fooled:
+//! string literals (including raw strings with any number of `#` guards
+//! and byte-string prefixes), nested block comments, character literals
+//! vs. lifetimes. The workspace is offline-vendored, so this is written
+//! against `std` alone rather than pulling in `syn` or `proc-macro2`.
+//!
+//! The lexer is intentionally lossy where the rules do not care: numeric
+//! literals, identifiers and keywords all come out as "word" tokens, and
+//! multi-character operators arrive as single-character punctuation
+//! tokens (`::` is two `:` tokens). Rule patterns match on short token
+//! sequences, so this is enough.
+
+/// One code token: a word (identifier / keyword / number) or a single
+/// punctuation character, with the 1-based line it starts on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tok {
+    /// Token text; words keep their full run, punctuation is one char.
+    pub text: String,
+    /// 1-based source line of the token start.
+    pub line: u32,
+}
+
+/// One comment (line or block), with its covered line range.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Comment {
+    /// 1-based line the comment starts on.
+    pub line: u32,
+    /// 1-based line the comment ends on (same as `line` for `//`).
+    pub end_line: u32,
+    /// Raw comment text including the `//` / `/*` markers.
+    pub text: String,
+}
+
+/// Token and comment streams for one source file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Code tokens outside comments and string/char literals.
+    pub toks: Vec<Tok>,
+    /// All comments, in source order.
+    pub comments: Vec<Comment>,
+}
+
+fn is_word(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Lexes `src`, returning code tokens and comments. Never fails: on
+/// malformed input (unterminated strings or comments) it consumes to end
+/// of file, which is the right behavior for a linter.
+pub fn lex(src: &str) -> Lexed {
+    let b: Vec<char> = src.chars().collect();
+    let n = b.len();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let mut out = Lexed::default();
+
+    while i < n {
+        let c = b[i];
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Line comment (also doc comments `///` and `//!`).
+        if c == '/' && i + 1 < n && b[i + 1] == '/' {
+            let start = i;
+            while i < n && b[i] != '\n' {
+                i += 1;
+            }
+            out.comments.push(Comment {
+                line,
+                end_line: line,
+                text: b[start..i].iter().collect(),
+            });
+            continue;
+        }
+        // Block comment, nested per Rust's rules.
+        if c == '/' && i + 1 < n && b[i + 1] == '*' {
+            let start = i;
+            let start_line = line;
+            let mut depth = 1usize;
+            i += 2;
+            while i < n && depth > 0 {
+                if b[i] == '\n' {
+                    line += 1;
+                    i += 1;
+                } else if b[i] == '/' && i + 1 < n && b[i + 1] == '*' {
+                    depth += 1;
+                    i += 2;
+                } else if b[i] == '*' && i + 1 < n && b[i + 1] == '/' {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+            out.comments.push(Comment {
+                line: start_line,
+                end_line: line,
+                text: b[start..i.min(n)].iter().collect(),
+            });
+            continue;
+        }
+        // Word run — identifiers, keywords, numbers. String prefixes
+        // (`r`, `b`, `br`) are recognized here: a word that is exactly a
+        // prefix and is followed by `"` or `#` starts a (raw) string.
+        if is_word(c) {
+            let start = i;
+            while i < n && is_word(b[i]) {
+                i += 1;
+            }
+            let word: String = b[start..i].iter().collect();
+            if i < n {
+                let next = b[i];
+                let rawish = word == "r" || word == "br";
+                if rawish && (next == '"' || next == '#') {
+                    if let Some((ni, nl)) = scan_raw_string(&b, i, line) {
+                        i = ni;
+                        line = nl;
+                        continue;
+                    }
+                    // `r#ident` raw identifier: fall through, push `r`,
+                    // the `#` and identifier lex as ordinary tokens.
+                }
+                if word == "b" && next == '"' {
+                    let (ni, nl) = scan_cooked_string(&b, i, line);
+                    i = ni;
+                    line = nl;
+                    continue;
+                }
+            }
+            out.toks.push(Tok { text: word, line });
+            continue;
+        }
+        // Cooked string literal.
+        if c == '"' {
+            let (ni, nl) = scan_cooked_string(&b, i, line);
+            i = ni;
+            line = nl;
+            continue;
+        }
+        // Character literal vs. lifetime.
+        if c == '\'' {
+            if i + 1 < n && b[i + 1] == '\\' {
+                // Escaped char literal: skip to the closing quote.
+                i += 2;
+                while i < n && b[i] != '\'' {
+                    if b[i] == '\n' {
+                        line += 1;
+                    }
+                    i += 1;
+                }
+                i += 1;
+                continue;
+            }
+            if i + 2 < n && is_word(b[i + 1]) && b[i + 2] != '\'' {
+                // Lifetime: `'ident` with no closing quote.
+                i += 1;
+                while i < n && is_word(b[i]) {
+                    i += 1;
+                }
+                continue;
+            }
+            // Plain char literal `'x'` (possibly multi-byte scalar).
+            i += 2;
+            while i < n && b[i] != '\'' {
+                if b[i] == '\n' {
+                    line += 1;
+                }
+                i += 1;
+            }
+            i += 1;
+            continue;
+        }
+        // Single punctuation character.
+        out.toks.push(Tok {
+            text: c.to_string(),
+            line,
+        });
+        i += 1;
+    }
+    out
+}
+
+/// Scans a cooked (escaped) string starting at the opening `"` at `i`.
+/// Returns the index one past the closing quote and the updated line.
+fn scan_cooked_string(b: &[char], mut i: usize, mut line: u32) -> (usize, u32) {
+    debug_assert_eq!(b[i], '"');
+    i += 1;
+    while i < b.len() {
+        match b[i] {
+            '\\' => i += 2,
+            '"' => {
+                i += 1;
+                break;
+            }
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    (i, line)
+}
+
+/// Scans a raw string whose guard (`#...#"` or `"`) starts at `i`.
+/// Returns `None` if this is not actually a raw string (e.g. `r#ident`).
+fn scan_raw_string(b: &[char], start: usize, start_line: u32) -> Option<(usize, u32)> {
+    let mut i = start;
+    let mut line = start_line;
+    let mut hashes = 0usize;
+    while i < b.len() && b[i] == '#' {
+        hashes += 1;
+        i += 1;
+    }
+    if i >= b.len() || b[i] != '"' {
+        return None; // raw identifier like `r#match`
+    }
+    i += 1;
+    while i < b.len() {
+        if b[i] == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if b[i] == '"' {
+            let mut k = i + 1;
+            let mut h = 0usize;
+            while k < b.len() && h < hashes && b[k] == '#' {
+                h += 1;
+                k += 1;
+            }
+            if h == hashes {
+                return Some((k, line));
+            }
+        }
+        i += 1;
+    }
+    Some((b.len(), line))
+}
+
+/// Returns `toks` with every `#[cfg(test)] mod <name> { ... }` region
+/// removed. Rules about runtime behavior (hash iteration, wall-clock,
+/// thread spawning) do not apply to test-only code; the unsafety rules
+/// deliberately do *not* use this filter.
+pub fn strip_test_mods(toks: &[Tok]) -> Vec<Tok> {
+    let text = |i: usize| toks.get(i).map(|t| t.text.as_str());
+    let mut out = Vec::with_capacity(toks.len());
+    let mut i = 0usize;
+    while i < toks.len() {
+        if text(i) == Some("#") && matches_cfg_test(toks, i) {
+            if let Some(end) = skip_cfg_test_mod(toks, i) {
+                i = end;
+                continue;
+            }
+        }
+        out.push(toks[i].clone());
+        i += 1;
+    }
+    out
+}
+
+/// Does `toks[i..]` start with exactly `#[cfg(test)]`?
+fn matches_cfg_test(toks: &[Tok], i: usize) -> bool {
+    const PAT: [&str; 7] = ["#", "[", "cfg", "(", "test", ")", "]"];
+    PAT.iter()
+        .enumerate()
+        .all(|(k, p)| toks.get(i + k).map(|t| t.text.as_str()) == Some(*p))
+}
+
+/// Starting at a `#[cfg(test)]` attribute, skips any further attributes
+/// and then a `mod <name> { ... }` body; returns the index one past the
+/// closing brace, or `None` if the attribute precedes something else.
+fn skip_cfg_test_mod(toks: &[Tok], i: usize) -> Option<usize> {
+    let mut j = i + 7; // past #[cfg(test)]
+                       // Skip any additional attributes, bracket-balanced.
+    while toks.get(j).map(|t| t.text.as_str()) == Some("#")
+        && toks.get(j + 1).map(|t| t.text.as_str()) == Some("[")
+    {
+        let mut depth = 0usize;
+        j += 1;
+        loop {
+            match toks.get(j).map(|t| t.text.as_str()) {
+                Some("[") => depth += 1,
+                Some("]") => {
+                    depth -= 1;
+                    if depth == 0 {
+                        j += 1;
+                        break;
+                    }
+                }
+                None => return None,
+                _ => {}
+            }
+            j += 1;
+        }
+    }
+    if toks.get(j).map(|t| t.text.as_str()) != Some("mod") {
+        return None;
+    }
+    j += 1; // mod name
+    j += 1; // expect `{`
+    if toks.get(j).map(|t| t.text.as_str()) != Some("{") {
+        return None; // `mod tests;` file form — nothing inline to skip
+    }
+    let mut depth = 0usize;
+    loop {
+        match toks.get(j).map(|t| t.text.as_str()) {
+            Some("{") => depth += 1,
+            Some("}") => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(j + 1);
+                }
+            }
+            None => return None,
+            _ => {}
+        }
+        j += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn words(src: &str) -> Vec<String> {
+        lex(src).toks.into_iter().map(|t| t.text).collect()
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        let toks = words(r#"let x = "unsafe { HashMap }"; foo();"#);
+        assert!(!toks.iter().any(|t| t == "unsafe" || t == "HashMap"));
+        assert!(toks.iter().any(|t| t == "foo"));
+    }
+
+    #[test]
+    fn raw_strings_with_guards() {
+        let src = "let s = r#\"has \"quotes\" and unsafe\"#; bar();";
+        let toks = words(src);
+        assert!(!toks.iter().any(|t| t == "unsafe"));
+        assert!(toks.iter().any(|t| t == "bar"));
+    }
+
+    #[test]
+    fn byte_and_raw_byte_strings() {
+        let toks = words(r##"let s = b"unsafe"; let t = br#"HashMap"#; ok();"##);
+        assert!(!toks.iter().any(|t| t == "unsafe" || t == "HashMap"));
+        assert!(toks.iter().any(|t| t == "ok"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "/* outer /* inner unsafe */ still comment */ real();";
+        let lexed = lex(src);
+        assert!(!lexed.toks.iter().any(|t| t.text == "unsafe"));
+        assert!(lexed.toks.iter().any(|t| t.text == "real"));
+        assert_eq!(lexed.comments.len(), 1);
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        // If 'a were lexed as an open char literal the rest of the file
+        // would be swallowed.
+        let toks = words("fn f<'a>(x: &'a str) { g(); } let c = 'q'; h();");
+        assert!(toks.iter().any(|t| t == "g"));
+        assert!(toks.iter().any(|t| t == "h"));
+        assert!(!toks.iter().any(|t| t == "q")); // char body is not a token
+    }
+
+    #[test]
+    fn line_numbers_track_newlines() {
+        let lexed = lex("a\nb\n  c");
+        let lines: Vec<u32> = lexed.toks.iter().map(|t| t.line).collect();
+        assert_eq!(lines, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn raw_identifier_is_not_a_string() {
+        let toks = words("let r#match = 1; tail();");
+        assert!(toks.iter().any(|t| t == "tail"));
+    }
+
+    #[test]
+    fn cfg_test_mods_are_stripped() {
+        let src =
+            "fn live() {} #[cfg(test)] mod tests { use x; fn t() { h.iter(); } } fn after() {}";
+        let lexed = lex(src);
+        let stripped = strip_test_mods(&lexed.toks);
+        let texts: Vec<&str> = stripped.iter().map(|t| t.text.as_str()).collect();
+        assert!(texts.contains(&"live"));
+        assert!(texts.contains(&"after"));
+        assert!(!texts.contains(&"iter"));
+    }
+}

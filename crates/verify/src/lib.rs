@@ -1,0 +1,32 @@
+//! # kr-verify
+//!
+//! Machine-checked enforcement of the workspace's two core contracts:
+//!
+//! 1. **The bitwise-determinism contract** — every result in this
+//!    reproduction (Prop. 6.1 closed forms, federated local==TCP
+//!    equivalence, streaming parity) relies on fixed-order reductions,
+//!    deterministic iteration, and all parallelism flowing through
+//!    `ExecCtx`. The [`lint`] engine walks every `crates/*/src` and
+//!    `src/` file with a hand-rolled, comment/string-aware Rust lexer
+//!    ([`lexer`]) and enforces the named rules in [`rules`], configured
+//!    and waived (with mandatory justifications) via `verify.toml`
+//!    ([`config`]).
+//! 2. **The pool's unsafety contract** — the work-stealing pool's
+//!    `unsafe` lifetime erasure is sound only if its completion latch,
+//!    deque, and parking protocols are right under every interleaving.
+//!    The `check-pool` engine ([`check_pool`]) drives the pool through
+//!    thousands of bounded-preemption schedules with the deterministic
+//!    scheduler in `kr_linalg::model`, turning the module-level SAFETY
+//!    essay into an executed check.
+//!
+//! Run as `cargo run -p kr-verify -- lint` and
+//! `KR_MODEL=1 cargo run -p kr-verify -- check-pool`.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod check_pool;
+pub mod config;
+pub mod lexer;
+pub mod lint;
+pub mod rules;

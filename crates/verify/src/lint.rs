@@ -1,0 +1,160 @@
+//! Lint driver: file discovery, rule execution, waiver filtering.
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::config::{Config, Waiver};
+use crate::lexer::lex;
+use crate::rules::{run_all, Diag};
+
+/// Outcome of a lint run.
+#[derive(Debug, Default)]
+pub struct LintReport {
+    /// Violations that survived waiver filtering — these fail the run.
+    pub diags: Vec<Diag>,
+    /// Violations suppressed by a `verify.toml` waiver.
+    pub waived: Vec<Diag>,
+    /// Waivers that matched nothing; stale entries worth cleaning up.
+    pub unused_waivers: Vec<Waiver>,
+    /// Number of files scanned.
+    pub files_scanned: usize,
+}
+
+impl LintReport {
+    /// Did the tree pass?
+    pub fn clean(&self) -> bool {
+        self.diags.is_empty()
+    }
+}
+
+/// Lints in-memory `(path, contents)` pairs. This is the testable core:
+/// the fixture tests feed snippets through here without touching disk.
+pub fn lint_files(files: &[(String, String)], cfg: &Config) -> LintReport {
+    let mut report = LintReport {
+        files_scanned: files.len(),
+        ..LintReport::default()
+    };
+    for (path, contents) in files {
+        let lexed = lex(contents);
+        for diag in run_all(path, &lexed, cfg) {
+            if cfg.is_waived(diag.rule, path) {
+                report.waived.push(diag);
+            } else {
+                report.diags.push(diag);
+            }
+        }
+    }
+    report.unused_waivers = cfg
+        .waivers
+        .iter()
+        .filter(|w| {
+            !report
+                .waived
+                .iter()
+                .any(|d| d.rule == w.rule && d.path == w.path)
+        })
+        .cloned()
+        .collect();
+    report
+        .diags
+        .sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+    report
+}
+
+/// Lints every `.rs` file under `src/` and `crates/*/src/` below `root`.
+pub fn lint_tree(root: &Path, cfg: &Config) -> io::Result<LintReport> {
+    let mut files = Vec::new();
+    let mut dirs: Vec<PathBuf> = vec![root.join("src")];
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        let mut entries: Vec<PathBuf> = std::fs::read_dir(&crates_dir)?
+            .filter_map(|e| e.ok())
+            .map(|e| e.path().join("src"))
+            .filter(|p| p.is_dir())
+            .collect();
+        entries.sort();
+        dirs.extend(entries);
+    }
+    for dir in dirs {
+        collect_rs_files(&dir, &mut files)?;
+    }
+    files.sort();
+    let mut pairs = Vec::with_capacity(files.len());
+    for f in files {
+        let rel = f
+            .strip_prefix(root)
+            .unwrap_or(&f)
+            .to_string_lossy()
+            .replace('\\', "/");
+        pairs.push((rel, std::fs::read_to_string(&f)?));
+    }
+    Ok(lint_files(&pairs, cfg))
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    for entry in std::fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            collect_rs_files(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Locates the workspace root by walking up from `start` looking for
+/// `verify.toml`; falls back to the compile-time manifest location.
+pub fn find_root(start: &Path) -> PathBuf {
+    let mut cur = Some(start.to_path_buf());
+    while let Some(dir) = cur {
+        if dir.join("verify.toml").is_file() {
+            return dir;
+        }
+        cur = dir.parent().map(|p| p.to_path_buf());
+    }
+    // crates/verify -> crates -> workspace root
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root above crates/verify")
+        .to_path_buf()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn waivers_suppress_and_track_usage() {
+        let cfg = crate::config::parse(
+            r#"
+[rule.hash-collections]
+crates = ["crates/num"]
+
+[[waiver]]
+rule = "hash-collections"
+path = "crates/num/src/a.rs"
+justification = "lookup-only"
+
+[[waiver]]
+rule = "hash-collections"
+path = "crates/num/src/untouched.rs"
+justification = "stale entry"
+"#,
+        )
+        .unwrap();
+        let files = vec![(
+            "crates/num/src/a.rs".to_string(),
+            "use std::collections::HashMap;".to_string(),
+        )];
+        let report = lint_files(&files, &cfg);
+        assert!(report.clean());
+        assert_eq!(report.waived.len(), 1);
+        assert_eq!(report.unused_waivers.len(), 1);
+        assert_eq!(report.unused_waivers[0].path, "crates/num/src/untouched.rs");
+    }
+}

@@ -1,0 +1,135 @@
+//! `kr-verify` CLI: `lint` and `check-pool` subcommands.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use kr_verify::{config, lint};
+
+const USAGE: &str = "\
+kr-verify — workspace contract enforcement
+
+USAGE:
+    kr-verify lint [--root DIR] [--quiet]
+    kr-verify check-pool [--seed N] [--min-schedules N] [--preemptions N]
+
+SUBCOMMANDS:
+    lint         Run the static-analysis pass over crates/*/src and src/
+                 against the rules and waivers in verify.toml.
+    check-pool   Explore bounded-preemption schedules of the thread pool
+                 (requires a build with KR_MODEL=1 so kr-linalg compiles
+                 its model-checking yield points).
+
+EXIT CODES:
+    0  clean    1  violations / check failures    2  usage or config error
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(|s| s.as_str()) {
+        Some("lint") => run_lint(&args[1..]),
+        Some("check-pool") => run_check_pool(&args[1..]),
+        Some("--help") | Some("-h") | None => {
+            print!("{USAGE}");
+            ExitCode::from(if args.is_empty() { 2 } else { 0 })
+        }
+        Some(other) => {
+            eprintln!("kr-verify: unknown subcommand `{other}`\n\n{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run_lint(args: &[String]) -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut quiet = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--root" => match it.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => return usage_error("--root needs a directory"),
+            },
+            "--quiet" => quiet = true,
+            other => return usage_error(&format!("unknown lint flag `{other}`")),
+        }
+    }
+    let root = root.unwrap_or_else(|| {
+        let cwd = std::env::current_dir().expect("cwd");
+        lint::find_root(&cwd)
+    });
+    let cfg_path = root.join("verify.toml");
+    let cfg_text = match std::fs::read_to_string(&cfg_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("kr-verify: cannot read {}: {e}", cfg_path.display());
+            return ExitCode::from(2);
+        }
+    };
+    let cfg = match config::parse(&cfg_text) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("kr-verify: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let report = match lint::lint_tree(&root, &cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("kr-verify: walking {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    for d in &report.diags {
+        println!("{d}");
+    }
+    if !quiet {
+        for w in &report.unused_waivers {
+            eprintln!(
+                "kr-verify: warning: unused waiver ({} in {}) — remove it from verify.toml",
+                w.rule, w.path
+            );
+        }
+        eprintln!(
+            "kr-verify lint: {} violation(s), {} waived, {} file(s) scanned",
+            report.diags.len(),
+            report.waived.len(),
+            report.files_scanned
+        );
+    }
+    ExitCode::from(if report.clean() { 0 } else { 1 })
+}
+
+fn run_check_pool(args: &[String]) -> ExitCode {
+    let mut opts = kr_verify::check_pool::Options::default();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let parse_u64 = |v: Option<&String>, what: &str| -> Result<u64, String> {
+            v.ok_or_else(|| format!("{what} needs a value"))?
+                .parse::<u64>()
+                .map_err(|e| format!("{what}: {e}"))
+        };
+        match a.as_str() {
+            "--seed" => match parse_u64(it.next(), "--seed") {
+                Ok(v) => opts.seed = v,
+                Err(e) => return usage_error(&e),
+            },
+            "--min-schedules" => match parse_u64(it.next(), "--min-schedules") {
+                Ok(v) => opts.min_schedules = v as usize,
+                Err(e) => return usage_error(&e),
+            },
+            "--preemptions" => match parse_u64(it.next(), "--preemptions") {
+                Ok(v) => opts.preemptions = v as usize,
+                Err(e) => return usage_error(&e),
+            },
+            other => return usage_error(&format!("unknown check-pool flag `{other}`")),
+        }
+    }
+    ExitCode::from(kr_verify::check_pool::run(&opts))
+}
+
+fn usage_error(msg: &str) -> ExitCode {
+    eprintln!("kr-verify: {msg}\n\n{USAGE}");
+    ExitCode::from(2)
+}

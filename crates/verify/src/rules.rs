@@ -1,0 +1,424 @@
+//! The named lint rules enforcing the workspace's determinism and
+//! unsafety contracts.
+//!
+//! Every rule has a stable kebab-case name (used in diagnostics and in
+//! `verify.toml` waivers) and produces `file:line` diagnostics. The
+//! contract each rule enforces is documented on its function; the README
+//! "Correctness tooling" section gives the narrative version.
+
+use crate::config::Config;
+use crate::lexer::{strip_test_mods, Comment, Lexed, Tok};
+
+/// One diagnostic: a rule violation at `path:line`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diag {
+    /// Workspace-relative path.
+    pub path: String,
+    /// 1-based line number.
+    pub line: u32,
+    /// Rule name (matches `verify.toml` waiver `rule` keys).
+    pub rule: &'static str,
+    /// Human-readable explanation.
+    pub msg: String,
+}
+
+impl std::fmt::Display for Diag {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.path, self.line, self.rule, self.msg
+        )
+    }
+}
+
+/// Rule names, in the order rules run. Kept public so the CLI can list
+/// them and the tests can assert exhaustiveness.
+pub const RULE_NAMES: [&str; 8] = [
+    "unsafe-allowlist",
+    "safety-comment",
+    "forbid-unsafe",
+    "hash-collections",
+    "thread-spawn",
+    "wall-clock",
+    "float-fold",
+    "missing-docs-header",
+];
+
+/// Does `path` live in one of the configured files/directories?
+/// Entries match exactly or as a directory prefix.
+fn in_list(path: &str, list: &[String]) -> bool {
+    list.iter().any(|entry| {
+        let entry = entry.trim_end_matches('/');
+        path == entry || path.starts_with(&format!("{entry}/"))
+    })
+}
+
+fn tok_text(toks: &[Tok], i: usize) -> &str {
+    toks.get(i).map(|t| t.text.as_str()).unwrap_or("")
+}
+
+/// Matches `toks[i..]` against a literal token sequence.
+fn seq(toks: &[Tok], i: usize, pat: &[&str]) -> bool {
+    pat.iter()
+        .enumerate()
+        .all(|(k, p)| tok_text(toks, i + k) == *p)
+}
+
+/// Is the crate root header `#![<attr>(<arg>)]` present anywhere?
+fn has_inner_attr(toks: &[Tok], attr: &str, arg: &str) -> bool {
+    (0..toks.len()).any(|i| seq(toks, i, &["#", "!", "[", attr, "(", arg, ")", "]"]))
+}
+
+/// Runs every rule over one lexed file, without waiver filtering.
+pub fn run_all(path: &str, lexed: &Lexed, cfg: &Config) -> Vec<Diag> {
+    let stripped = strip_test_mods(&lexed.toks);
+    let mut diags = Vec::new();
+    diags.extend(unsafe_allowlist(path, &lexed.toks, cfg));
+    diags.extend(safety_comment(path, &lexed.toks, &lexed.comments));
+    diags.extend(forbid_unsafe(path, &lexed.toks, cfg));
+    diags.extend(hash_collections(path, &stripped, cfg));
+    diags.extend(thread_spawn(path, &stripped, cfg));
+    diags.extend(wall_clock(path, &stripped, cfg));
+    diags.extend(float_fold(path, &stripped, cfg));
+    diags.extend(missing_docs_header(path, &lexed.toks));
+    diags.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+    diags
+}
+
+/// `unsafe-allowlist` — `unsafe` may appear only in the modules whose
+/// soundness arguments the project actually maintains (the pool's
+/// lifetime erasure, the disjoint-chunk slicing, the counting
+/// allocator). Everything else is compiler-enforced via
+/// `#![forbid(unsafe_code)]`, and this rule catches the gap: a new
+/// module in an allowlisted *crate* still may not use `unsafe`.
+fn unsafe_allowlist(path: &str, toks: &[Tok], cfg: &Config) -> Vec<Diag> {
+    if in_list(path, cfg.rule_list("unsafe-allowlist", "allow")) {
+        return Vec::new();
+    }
+    let mut lines_seen = Vec::new();
+    let mut diags = Vec::new();
+    for t in toks.iter().filter(|t| t.text == "unsafe") {
+        if lines_seen.contains(&t.line) {
+            continue;
+        }
+        lines_seen.push(t.line);
+        diags.push(Diag {
+            path: path.to_string(),
+            line: t.line,
+            rule: "unsafe-allowlist",
+            msg: "`unsafe` outside the allowlisted modules; move the code behind an \
+                  allowlisted module or extend [rule.unsafe-allowlist] with a soundness story"
+                .to_string(),
+        });
+    }
+    diags
+}
+
+/// `safety-comment` — every line containing an `unsafe` token must be
+/// immediately preceded by a comment block containing a line that starts
+/// with `SAFETY:` (after the `//`/`///`/`//!` marker). The block must
+/// end on the line directly above the `unsafe`; chained comment lines
+/// extend it upward.
+fn safety_comment(path: &str, toks: &[Tok], comments: &[Comment]) -> Vec<Diag> {
+    let mut diags = Vec::new();
+    let mut lines_seen = Vec::new();
+    for t in toks.iter().filter(|t| t.text == "unsafe") {
+        if lines_seen.contains(&t.line) {
+            continue;
+        }
+        lines_seen.push(t.line);
+        if !has_safety_block(comments, t.line) {
+            diags.push(Diag {
+                path: path.to_string(),
+                line: t.line,
+                rule: "safety-comment",
+                msg: "`unsafe` without an immediately preceding `// SAFETY:` comment \
+                      documenting why this is sound"
+                    .to_string(),
+            });
+        }
+    }
+    diags
+}
+
+/// Walks the contiguous comment block ending on `line - 1` and checks it
+/// for a `SAFETY:` marker.
+fn has_safety_block(comments: &[Comment], line: u32) -> bool {
+    let mut want_end = line.saturating_sub(1);
+    loop {
+        let Some(c) = comments.iter().find(|c| c.end_line == want_end) else {
+            return false;
+        };
+        let safety = c.text.lines().any(|l| {
+            l.trim_start()
+                .trim_start_matches('/')
+                .trim_start_matches('!')
+                .trim_start_matches('*')
+                .trim_start()
+                .starts_with("SAFETY:")
+        });
+        if safety {
+            return true;
+        }
+        if c.line == 0 {
+            return false;
+        }
+        want_end = c.line - 1; // keep walking up the comment block
+        if want_end == 0 {
+            return false;
+        }
+    }
+}
+
+/// `forbid-unsafe` — the configured crate roots (every crate with no
+/// sanctioned unsafe code) must carry `#![forbid(unsafe_code)]`, so the
+/// lint's allowlist is also compiler-enforced.
+fn forbid_unsafe(path: &str, toks: &[Tok], cfg: &Config) -> Vec<Diag> {
+    if !cfg
+        .rule_list("forbid-unsafe", "roots")
+        .iter()
+        .any(|r| r == path)
+    {
+        return Vec::new();
+    }
+    if has_inner_attr(toks, "forbid", "unsafe_code") {
+        return Vec::new();
+    }
+    vec![Diag {
+        path: path.to_string(),
+        line: 1,
+        rule: "forbid-unsafe",
+        msg: "crate root must declare `#![forbid(unsafe_code)]` (it is listed in \
+              [rule.forbid-unsafe] roots)"
+            .to_string(),
+    }]
+}
+
+/// `hash-collections` — `HashMap`/`HashSet` are banned in the numeric
+/// crates: their iteration order is nondeterministic (and deliberately
+/// randomized), which breaks the bitwise-determinism contract the
+/// moment anyone iterates one into a float accumulation or an output
+/// ordering. Use `BTreeMap`/`BTreeSet` or a sorted `Vec`. Lookup-only
+/// uses may be waived in `verify.toml` with a justification.
+fn hash_collections(path: &str, toks: &[Tok], cfg: &Config) -> Vec<Diag> {
+    if !in_list(path, cfg.rule_list("hash-collections", "crates")) {
+        return Vec::new();
+    }
+    let mut diags = Vec::new();
+    let mut lines_seen = Vec::new();
+    for t in toks
+        .iter()
+        .filter(|t| t.text == "HashMap" || t.text == "HashSet")
+    {
+        if lines_seen.contains(&t.line) {
+            continue;
+        }
+        lines_seen.push(t.line);
+        diags.push(Diag {
+            path: path.to_string(),
+            line: t.line,
+            rule: "hash-collections",
+            msg: format!(
+                "`{}` in a numeric crate: iteration order is nondeterministic and \
+                 breaks the bitwise-determinism contract; use a BTree/sorted collection \
+                 or add a justified waiver for lookup-only use",
+                t.text
+            ),
+        });
+    }
+    diags
+}
+
+/// `thread-spawn` — all parallelism flows through `ExecCtx` and the
+/// work-stealing pool; raw `std::thread` spawning is allowed only in the
+/// pool itself and the federated wire transports.
+fn thread_spawn(path: &str, toks: &[Tok], cfg: &Config) -> Vec<Diag> {
+    if in_list(path, cfg.rule_list("thread-spawn", "allow")) {
+        return Vec::new();
+    }
+    let mut diags = Vec::new();
+    for i in 0..toks.len() {
+        if tok_text(toks, i) == "thread"
+            && seq(toks, i + 1, &[":", ":"])
+            && matches!(tok_text(toks, i + 3), "spawn" | "Builder" | "scope")
+        {
+            diags.push(Diag {
+                path: path.to_string(),
+                line: toks[i].line,
+                rule: "thread-spawn",
+                msg: format!(
+                    "`thread::{}` outside the execution layer: route parallelism \
+                     through `ExecCtx` so chunk geometry stays deterministic",
+                    tok_text(toks, i + 3)
+                ),
+            });
+        }
+    }
+    diags
+}
+
+/// `wall-clock` — `Instant::now`/`SystemTime` in library crates smuggle
+/// timing into results; measurement belongs to kr-bench. Protocol-level
+/// deadlines (the TCP transport) are waived with justification.
+fn wall_clock(path: &str, toks: &[Tok], cfg: &Config) -> Vec<Diag> {
+    if in_list(path, cfg.rule_list("wall-clock", "allow")) {
+        return Vec::new();
+    }
+    let mut diags = Vec::new();
+    for i in 0..toks.len() {
+        let hit = if tok_text(toks, i) == "Instant"
+            && seq(toks, i + 1, &[":", ":"])
+            && tok_text(toks, i + 3) == "now"
+        {
+            Some("Instant::now")
+        } else if tok_text(toks, i) == "SystemTime" {
+            Some("SystemTime")
+        } else {
+            None
+        };
+        if let Some(what) = hit {
+            diags.push(Diag {
+                path: path.to_string(),
+                line: toks[i].line,
+                rule: "wall-clock",
+                msg: format!(
+                    "`{what}` in a library crate: wall-clock reads belong to kr-bench \
+                     (or need a justified waiver for protocol deadlines)"
+                ),
+            });
+        }
+    }
+    diags
+}
+
+/// `float-fold` — the hot-path kernel modules must do float reductions
+/// through the fixed-order `reduce_chunks` helpers; raw
+/// `.sum()`/`.fold()`/`.product()` chains there are where an unordered
+/// reduction would silently slip in.
+fn float_fold(path: &str, toks: &[Tok], cfg: &Config) -> Vec<Diag> {
+    if !in_list(path, cfg.rule_list("float-fold", "hot_path")) {
+        return Vec::new();
+    }
+    let mut diags = Vec::new();
+    for i in 0..toks.len() {
+        if tok_text(toks, i) != "." {
+            continue;
+        }
+        // `..` ranges produce adjacent dots; only match a lone dot.
+        if i > 0 && tok_text(toks, i - 1) == "." {
+            continue;
+        }
+        let name = tok_text(toks, i + 1);
+        if matches!(name, "sum" | "fold" | "product") {
+            diags.push(Diag {
+                path: path.to_string(),
+                line: toks[i + 1].line,
+                rule: "float-fold",
+                msg: format!(
+                    "`.{name}(...)` in a hot-path module: float reductions here must \
+                     go through the fixed-order `reduce_chunks` helpers (or carry a \
+                     justified waiver for serial in-order folds)"
+                ),
+            });
+        }
+    }
+    diags
+}
+
+/// `missing-docs-header` — every crate root keeps `#![warn(missing_docs)]`
+/// so the CI doc gate (`RUSTDOCFLAGS=-D warnings`) stays meaningful.
+fn missing_docs_header(path: &str, toks: &[Tok]) -> Vec<Diag> {
+    let is_root = path == "src/lib.rs"
+        || (path.starts_with("crates/")
+            && path.ends_with("/src/lib.rs")
+            && path.matches('/').count() == 3);
+    if !is_root {
+        return Vec::new();
+    }
+    if has_inner_attr(toks, "warn", "missing_docs") || has_inner_attr(toks, "deny", "missing_docs")
+    {
+        return Vec::new();
+    }
+    vec![Diag {
+        path: path.to_string(),
+        line: 1,
+        rule: "missing-docs-header",
+        msg: "crate root must declare `#![warn(missing_docs)]` (the CI doc gate \
+              depends on it)"
+            .to_string(),
+    }]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn base_cfg() -> Config {
+        crate::config::parse(
+            r#"
+[rule.unsafe-allowlist]
+allow = ["ok/unsafe_ok.rs"]
+[rule.hash-collections]
+crates = ["crates/num"]
+[rule.thread-spawn]
+allow = ["ok/pool.rs"]
+[rule.wall-clock]
+allow = ["crates/bench"]
+[rule.float-fold]
+hot_path = ["crates/num/src/kernel.rs"]
+[rule.forbid-unsafe]
+roots = ["crates/num/src/lib.rs"]
+"#,
+        )
+        .unwrap()
+    }
+
+    fn diags_for(path: &str, src: &str) -> Vec<Diag> {
+        run_all(path, &lex(src), &base_cfg())
+    }
+
+    #[test]
+    fn unsafe_outside_allowlist_flagged_once_per_line() {
+        let d = diags_for("crates/num/src/a.rs", "fn f() { unsafe { g() } }");
+        assert!(d
+            .iter()
+            .any(|d| d.rule == "unsafe-allowlist" && d.line == 1));
+    }
+
+    #[test]
+    fn safety_comment_chain_is_accepted() {
+        let src = "// SAFETY: top\n// continues here\nunsafe impl Send for X {}\n";
+        let d = diags_for("ok/unsafe_ok.rs", src);
+        assert!(d.iter().all(|d| d.rule != "safety-comment"), "{d:?}");
+    }
+
+    #[test]
+    fn hash_in_numeric_crate_flagged() {
+        let d = diags_for("crates/num/src/a.rs", "use std::collections::HashMap;\n");
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, "hash-collections");
+    }
+
+    #[test]
+    fn hash_outside_numeric_crates_ok() {
+        let d = diags_for("crates/other/src/a.rs", "use std::collections::HashMap;\n");
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn float_fold_only_in_hot_path() {
+        let src = "fn f(v: &[f64]) -> f64 { v.iter().sum::<f64>() }";
+        assert!(diags_for("crates/num/src/kernel.rs", src)
+            .iter()
+            .any(|d| d.rule == "float-fold"));
+        assert!(diags_for("crates/num/src/other.rs", src).is_empty());
+    }
+
+    #[test]
+    fn range_dots_are_not_method_dots() {
+        let d = diags_for("crates/num/src/kernel.rs", "let r = 0..sum;");
+        assert!(d.is_empty(), "{d:?}");
+    }
+}

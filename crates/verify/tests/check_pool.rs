@@ -1,0 +1,69 @@
+//! Explorer tests. These are meaningful only when kr-linalg was built
+//! with `KR_MODEL=1` (CI's stable job does this for the check-pool
+//! step); without the cfg they assert the graceful-degradation path
+//! and skip the rest.
+
+use kr_linalg::model::{self, ModelConfig};
+use kr_linalg::ThreadPool;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+fn small_cfg(seed: u64) -> ModelConfig {
+    ModelConfig {
+        workers: 2,
+        extra_threads: 0,
+        preemption_bound: 2,
+        max_schedules: 60,
+        seed,
+        ..ModelConfig::default()
+    }
+}
+
+fn scenario() {
+    let pool = ThreadPool::new(2);
+    let total = AtomicUsize::new(0);
+    pool.scope_chunks(3, 1, &|s, e| {
+        total.fetch_add(e - s, Ordering::SeqCst);
+    });
+    assert_eq!(total.load(Ordering::SeqCst), 3);
+}
+
+#[test]
+fn explore_errors_without_instrumentation() {
+    if model::enabled() {
+        return;
+    }
+    let err = model::explore(&small_cfg(1), scenario).unwrap_err();
+    assert!(
+        err.contains("KR_MODEL"),
+        "error must say how to rebuild: {err}"
+    );
+}
+
+#[test]
+fn same_seed_same_digest() {
+    if !model::enabled() {
+        eprintln!("skipped: rebuild with KR_MODEL=1 to run the explorer");
+        return;
+    }
+    let a = model::explore(&small_cfg(42), scenario).unwrap();
+    let b = model::explore(&small_cfg(42), scenario).unwrap();
+    assert!(a.failures.is_empty(), "{:?}", a.failures);
+    assert!(a.distinct > 10, "explorer found too few schedules: {a:?}");
+    assert_eq!(a.digest, b.digest, "same seed must replay identically");
+    assert_eq!(a.executions, b.executions);
+    assert_eq!(a.distinct, b.distinct);
+}
+
+#[test]
+fn different_seeds_change_branch_order() {
+    if !model::enabled() {
+        eprintln!("skipped: rebuild with KR_MODEL=1 to run the explorer");
+        return;
+    }
+    // Different seeds walk the (truncated) tree in different orders, so
+    // with a budget smaller than the full tree the visited sets differ.
+    let a = model::explore(&small_cfg(1), scenario).unwrap();
+    let b = model::explore(&small_cfg(2), scenario).unwrap();
+    assert!(a.failures.is_empty() && b.failures.is_empty());
+    assert_ne!(a.digest, b.digest, "seed should steer exploration");
+}

@@ -1,0 +1,247 @@
+//! Fixture tests for the lint engine: snippets with known violations
+//! assert *exact* diagnostics, and tricky-but-clean snippets assert no
+//! false positives. These run the same `lint_files` entry point the CLI
+//! uses, with a self-contained config.
+
+use kr_verify::config::{self, Config};
+use kr_verify::lint::lint_files;
+use kr_verify::rules::Diag;
+
+fn fixture_cfg() -> Config {
+    config::parse(
+        r#"
+[rule.unsafe-allowlist]
+allow = ["crates/linalg/src/pool.rs"]
+
+[rule.forbid-unsafe]
+roots = ["crates/safe/src/lib.rs"]
+
+[rule.hash-collections]
+crates = ["crates/core", "crates/linalg"]
+
+[rule.thread-spawn]
+allow = ["crates/linalg/src/pool.rs"]
+
+[rule.wall-clock]
+allow = ["crates/bench"]
+
+[rule.float-fold]
+hot_path = ["crates/linalg/src/matrix.rs"]
+"#,
+    )
+    .expect("fixture config parses")
+}
+
+fn lint_one(path: &str, src: &str) -> Vec<Diag> {
+    let files = vec![(path.to_string(), src.to_string())];
+    lint_files(&files, &fixture_cfg()).diags
+}
+
+#[test]
+fn unsafe_without_safety_comment_two_exact_diagnostics() {
+    let src = "\
+pub fn f() {
+    unsafe { dangerous() }
+}
+";
+    let diags = lint_one("crates/core/src/a.rs", src);
+    assert_eq!(diags.len(), 2, "{diags:?}");
+    assert_eq!(diags[0].rule, "safety-comment");
+    assert_eq!(diags[0].line, 2);
+    assert_eq!(diags[0].path, "crates/core/src/a.rs");
+    assert_eq!(diags[1].rule, "unsafe-allowlist");
+    assert_eq!(diags[1].line, 2);
+}
+
+#[test]
+fn unsafe_with_safety_comment_in_allowlisted_file_is_clean() {
+    let src = "\
+// SAFETY: the latch guarantees the borrow outlives every job.
+unsafe impl Send for RawFn {}
+";
+    let diags = lint_one("crates/linalg/src/pool.rs", src);
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn safety_comment_must_be_adjacent() {
+    // A blank line between the comment and the unsafe item breaks the
+    // "immediately preceding" requirement.
+    let src = "\
+// SAFETY: stale, too far away.
+
+unsafe fn g() {}
+";
+    let diags = lint_one("crates/linalg/src/pool.rs", src);
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    assert_eq!(diags[0].rule, "safety-comment");
+    assert_eq!(diags[0].line, 3);
+}
+
+#[test]
+fn hashmap_iteration_in_numeric_crate_exact_diagnostic() {
+    let src = "\
+use std::collections::HashMap;
+pub fn centroid_order(m: &HashMap<usize, f64>) -> Vec<usize> {
+    m.keys().copied().collect()
+}
+";
+    let diags = lint_one("crates/core/src/kmeans2.rs", src);
+    // One diagnostic per line mentioning the type: the use and the
+    // signature.
+    assert_eq!(diags.len(), 2, "{diags:?}");
+    assert!(diags.iter().all(|d| d.rule == "hash-collections"));
+    assert_eq!(diags[0].line, 1);
+    assert_eq!(diags[1].line, 2);
+}
+
+#[test]
+fn string_containing_unsafe_is_not_a_violation() {
+    let src = r#"
+pub fn msg() -> &'static str {
+    "this string says unsafe { HashMap } and is fine"
+}
+"#;
+    let diags = lint_one("crates/core/src/strings.rs", src);
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn raw_strings_hide_keywords_from_the_lexer() {
+    let src = r####"
+pub fn raw() -> &'static str {
+    r#"unsafe { thread::spawn } HashMap Instant::now"#
+}
+pub fn guarded() -> &'static str {
+    r##"more "quotes"# and unsafe"##
+}
+"####;
+    let diags = lint_one("crates/core/src/raw.rs", src);
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn nested_block_comments_are_skipped() {
+    let src = "\
+/* level one /* level two: unsafe { HashMap } */ still a comment */
+pub fn live() {}
+";
+    let diags = lint_one("crates/core/src/comments.rs", src);
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn thread_spawn_outside_pool_flagged() {
+    let src = "\
+pub fn rogue() {
+    std::thread::spawn(|| {});
+}
+";
+    let diags = lint_one("crates/core/src/rogue.rs", src);
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    assert_eq!(diags[0].rule, "thread-spawn");
+    assert_eq!(diags[0].line, 2);
+}
+
+#[test]
+fn wall_clock_in_library_crate_flagged_but_bench_allowed() {
+    let src = "\
+pub fn t() -> std::time::Instant {
+    std::time::Instant::now()
+}
+";
+    let diags = lint_one("crates/core/src/timing.rs", src);
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    assert_eq!(diags[0].rule, "wall-clock");
+    assert_eq!(diags[0].line, 2);
+    assert!(lint_one("crates/bench/src/timing.rs", src).is_empty());
+}
+
+#[test]
+fn float_fold_in_hot_path_flagged() {
+    let src = "\
+pub fn total(v: &[f64]) -> f64 {
+    v.iter().sum::<f64>()
+}
+";
+    let diags = lint_one("crates/linalg/src/matrix.rs", src);
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    assert_eq!(diags[0].rule, "float-fold");
+    assert_eq!(diags[0].line, 2);
+    // Same code outside the hot path is fine.
+    assert!(lint_one("crates/linalg/src/util.rs", src).is_empty());
+}
+
+#[test]
+fn cfg_test_modules_are_exempt_from_behavior_rules() {
+    let src = "\
+pub fn live() {}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn uses_hash_and_clock() {
+        let mut s = std::collections::HashSet::new();
+        s.insert(1);
+        let _t = std::time::Instant::now();
+        std::thread::spawn(|| {}).join().unwrap();
+    }
+}
+";
+    let diags = lint_one("crates/core/src/tested.rs", src);
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn crate_root_headers_enforced() {
+    let diags = lint_one("crates/safe/src/lib.rs", "//! docs\npub fn f() {}\n");
+    let rules: Vec<&str> = diags.iter().map(|d| d.rule).collect();
+    assert!(rules.contains(&"missing-docs-header"), "{diags:?}");
+    assert!(rules.contains(&"forbid-unsafe"), "{diags:?}");
+
+    let ok = "#![warn(missing_docs)]\n#![forbid(unsafe_code)]\npub fn f() {}\n";
+    assert!(lint_one("crates/safe/src/lib.rs", ok).is_empty());
+}
+
+#[test]
+fn waiver_suppresses_with_justification_and_reports_stale() {
+    let cfg = config::parse(
+        r#"
+[rule.hash-collections]
+crates = ["crates/core"]
+
+[[waiver]]
+rule = "hash-collections"
+path = "crates/core/src/lookup.rs"
+justification = "membership-only set; order never observed"
+
+[[waiver]]
+rule = "hash-collections"
+path = "crates/core/src/gone.rs"
+justification = "file was removed last PR"
+"#,
+    )
+    .unwrap();
+    let files = vec![(
+        "crates/core/src/lookup.rs".to_string(),
+        "use std::collections::HashSet;\n".to_string(),
+    )];
+    let report = lint_files(&files, &cfg);
+    assert!(report.clean());
+    assert_eq!(report.waived.len(), 1);
+    assert_eq!(report.unused_waivers.len(), 1);
+    assert_eq!(report.unused_waivers[0].path, "crates/core/src/gone.rs");
+}
+
+#[test]
+fn missing_justification_is_a_config_error() {
+    let err = config::parse(
+        r#"
+[[waiver]]
+rule = "wall-clock"
+path = "crates/core/src/x.rs"
+"#,
+    )
+    .unwrap_err();
+    assert!(err.msg.contains("justification"), "{}", err.msg);
+}

@@ -1,0 +1,30 @@
+//! The current tree must lint clean: no unwaived violations and no
+//! stale waivers. This is the same check CI runs via
+//! `cargo run -p kr-verify -- lint`, executed in-process so `cargo test`
+//! catches regressions (and new unjustified waivers) early.
+
+use kr_verify::{config, lint};
+
+#[test]
+fn workspace_tree_lints_clean() {
+    let root = lint::find_root(std::path::Path::new(env!("CARGO_MANIFEST_DIR")));
+    let cfg_text = std::fs::read_to_string(root.join("verify.toml")).expect("verify.toml");
+    let cfg = config::parse(&cfg_text).expect("verify.toml parses");
+    let report = lint::lint_tree(&root, &cfg).expect("walk tree");
+    assert!(report.files_scanned > 40, "suspiciously few files scanned");
+    assert!(
+        report.clean(),
+        "lint violations in the tree:\n{}",
+        report
+            .diags
+            .iter()
+            .map(|d| d.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    assert!(
+        report.unused_waivers.is_empty(),
+        "stale waivers: {:?}",
+        report.unused_waivers
+    );
+}
