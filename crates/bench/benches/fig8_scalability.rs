@@ -185,6 +185,35 @@ fn main() {
         println!("{threads:<12}{t_km:>12.3}{t_kr:>16.3}");
     }
 
+    // --- Allocation counts: the Scratch arena should make steady-state
+    // Lloyd iterations allocation-free (buffers are taken from and
+    // returned to the per-ExecCtx pools, so only the first iteration of
+    // a fit touches the allocator). Two fits that differ only in
+    // max_iter isolate the per-iteration cost: tol = 0 disables early
+    // convergence and the shared seed makes the prefix work identical,
+    // so the delta divided by the extra iterations is the steady-state
+    // allocation rate.
+    println!("\n=== Allocations per Lloyd iteration (Scratch arena) ===");
+    let ds = kr_datasets::synthetic::blobs(kr_bench::scaled(2000, 400), 16, 64, 1.0, 74);
+    let allocs_for = |iters: usize| {
+        let before = kr_bench::alloc_counter::alloc_calls();
+        let model = KrKMeans::new(vec![8, 8])
+            .with_variant(KrVariant::MemoryEfficient)
+            .with_warm_start(false)
+            .with_n_init(1)
+            .with_tol(0.0)
+            .with_max_iter(iters)
+            .fit(&ds.data)
+            .unwrap();
+        std::hint::black_box(&model);
+        kr_bench::alloc_counter::alloc_calls() - before
+    };
+    let (short, long) = (4usize, 12usize);
+    let (a_short, a_long) = (allocs_for(short), allocs_for(long));
+    let per_iter = a_long.saturating_sub(a_short) as f64 / (long - short) as f64;
+    println!("KR-+(8x8) fit, max_iter={short}: {a_short} allocs; max_iter={long}: {a_long} allocs");
+    println!("steady-state: {per_iter:.1} allocs per extra iteration (target: O(1) after warm-up)");
+
     println!(
         "\nExpected shape (paper Fig. 8): all curves grow with n/m/k; KR's runtime \
          overhead over kM(h1h2) stays near-constant; kM(h1h2)'s peak memory pulls \

@@ -1,11 +1,18 @@
 //! Criterion microbenchmarks of the kernels every experiment rests on:
 //! pairwise squared distances, the KR assignment step (both variants),
 //! the Proposition 6.1 update, and the Hungarian solver.
+//!
+//! Besides the console lines, the run persists every median to
+//! `BENCH_kernels.json` (schema documented in EXPERIMENTS.md "Kernel
+//! modes"): one record per benchmark with the group, bench label, median
+//! nanoseconds, the input shape, and which `KernelMode` the bench
+//! exercised — the machine-readable form the SIMD speedup criteria are
+//! checked against.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{criterion_group, BenchmarkId, Criterion};
 use kr_core::aggregator::Aggregator;
 use kr_core::kr_kmeans::{prop61_update_pass, KrKMeans, KrVariant};
-use kr_linalg::{ops, ExecCtx, Matrix};
+use kr_linalg::{ops, ExecCtx, KernelMode, Matrix};
 use std::hint::black_box;
 
 /// The seed's naive `ikj` matmul, kept verbatim as the regression
@@ -121,11 +128,17 @@ fn bench_matmul_blocked(c: &mut Criterion) {
     group.bench_function("blocked_unpacked", |bch| {
         bch.iter(|| black_box(unpacked_blocked_matmul(&a, &b)));
     });
+    let scalar = ExecCtx::serial().with_kernel_mode(KernelMode::Scalar);
     group.bench_function("blocked_serial", |bch| {
-        bch.iter(|| black_box(a.matmul(&b).unwrap()));
+        bch.iter(|| black_box(a.matmul_with(&b, &scalar).unwrap()));
+    });
+    let simd = ExecCtx::serial().with_kernel_mode(KernelMode::Simd);
+    println!("note: simd backend = {}", kr_linalg::simd::backend().name());
+    group.bench_function("simd_serial", |bch| {
+        bch.iter(|| black_box(a.matmul_with(&b, &simd).unwrap()));
     });
     let threads = std::thread::available_parallelism().map_or(2, |n| n.get());
-    let exec = ExecCtx::threaded(threads);
+    let exec = ExecCtx::threaded(threads).with_kernel_mode(KernelMode::Scalar);
     group.bench_function(format!("blocked_{threads}_threads"), |bch| {
         bch.iter(|| black_box(a.matmul_with(&b, &exec).unwrap()));
     });
@@ -158,11 +171,16 @@ fn bench_pairwise_blocked(c: &mut Criterion) {
     group.bench_function("seed_naive", |bch| {
         bch.iter(|| black_box(seed_naive_pairwise(&x, &cmat)));
     });
+    let scalar = ExecCtx::serial().with_kernel_mode(KernelMode::Scalar);
     group.bench_function("fused_blocked_serial", |bch| {
-        bch.iter(|| black_box(x.pairwise_sqdist(&cmat).unwrap()));
+        bch.iter(|| black_box(x.pairwise_sqdist_with(&cmat, &scalar).unwrap()));
+    });
+    let simd = ExecCtx::serial().with_kernel_mode(KernelMode::Simd);
+    group.bench_function("fused_simd_serial", |bch| {
+        bch.iter(|| black_box(x.pairwise_sqdist_with(&cmat, &simd).unwrap()));
     });
     let threads = std::thread::available_parallelism().map_or(2, |n| n.get());
-    let exec = ExecCtx::threaded(threads);
+    let exec = ExecCtx::threaded(threads).with_kernel_mode(KernelMode::Scalar);
     group.bench_function(format!("fused_blocked_{threads}_threads"), |bch| {
         bch.iter(|| black_box(x.pairwise_sqdist_with(&cmat, &exec).unwrap()));
     });
@@ -257,4 +275,82 @@ criterion_group!(
     bench_prop61_update,
     bench_hungarian
 );
-criterion_main!(benches);
+
+/// Input shape per benchmark group — kept in sync with the constructors
+/// above so `BENCH_kernels.json` records shapes without re-deriving them
+/// from labels.
+fn shape_of(group: &str) -> &'static str {
+    match group {
+        "matmul_512x512x512" => "512x512x512",
+        "matmul_wide_384x512x2048" => "384x512x2048",
+        "pairwise_sqdist_20000x64x32" => "20000x32 vs 64x32",
+        "pairwise_sqdist" => "per-label NxKx32",
+        "kr_fit_one_iter" => "1000x16, hs=[8,8]",
+        "prop61_update_pass" => "2000x16, hs=[6,6]",
+        "hungarian" => "per-label NxN",
+        _ => "",
+    }
+}
+
+/// Persists every recorded median as one JSON record:
+/// `{"group", "bench", "median_ns", "shape", "kernel"}` (see
+/// EXPERIMENTS.md "Kernel modes" for the schema). `kernel` is `simd`
+/// for the `KernelMode::Simd` legs, `scalar` for everything else
+/// (including the seed-baseline loops, which are scalar by definition).
+fn write_results_json(results: &[criterion::BenchResult]) {
+    let mut out = String::from("[\n");
+    for (i, r) in results.iter().enumerate() {
+        let (group, bench) = r
+            .label
+            .split_once('/')
+            .unwrap_or((r.label.as_str(), r.label.as_str()));
+        let kernel = if bench.contains("simd") {
+            "simd"
+        } else {
+            "scalar"
+        };
+        out.push_str(&format!(
+            "  {{\"group\": \"{group}\", \"bench\": \"{bench}\", \
+             \"median_ns\": {:.1}, \"shape\": \"{}\", \"kernel\": \"{kernel}\"}}{}\n",
+            r.median_ns,
+            shape_of(group),
+            if i + 1 < results.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("]\n");
+    std::fs::write("BENCH_kernels.json", &out).expect("write BENCH_kernels.json");
+    println!("wrote BENCH_kernels.json ({} records)", results.len());
+}
+
+/// Prints the simd-vs-scalar speedups the acceptance criteria track.
+fn print_speedups(results: &[criterion::BenchResult]) {
+    let median = |label: &str| {
+        results
+            .iter()
+            .find(|r| r.label == label)
+            .map(|r| r.median_ns)
+    };
+    for (name, scalar, simd) in [
+        (
+            "matmul_512x512x512",
+            "matmul_512x512x512/blocked_serial",
+            "matmul_512x512x512/simd_serial",
+        ),
+        (
+            "pairwise_sqdist_20000x64x32",
+            "pairwise_sqdist_20000x64x32/fused_blocked_serial",
+            "pairwise_sqdist_20000x64x32/fused_simd_serial",
+        ),
+    ] {
+        if let (Some(s), Some(v)) = (median(scalar), median(simd)) {
+            println!("speedup: {name:<40} simd {:.2}x over scalar", s / v);
+        }
+    }
+}
+
+fn main() {
+    benches();
+    let results = criterion::take_results();
+    print_speedups(&results);
+    write_results_json(&results);
+}

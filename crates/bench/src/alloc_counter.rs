@@ -100,6 +100,14 @@ pub fn live_bytes() -> usize {
     LIVE.load(Ordering::Relaxed)
 }
 
+/// Monotonic count of successful `alloc` calls since process start
+/// (0 unless the allocator is installed). Deltas of this counter are how
+/// the scratch-arena tests assert O(1) allocations per Lloyd iteration:
+/// unlike byte counters it cannot be masked by frees.
+pub fn alloc_calls() -> usize {
+    ALLOC_CALLS.load(Ordering::Relaxed)
+}
+
 /// True if the counting allocator is observing this binary's heap.
 pub fn is_installed() -> bool {
     // The call counter is monotonic, so concurrent frees on other

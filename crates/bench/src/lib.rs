@@ -96,4 +96,44 @@ mod tests {
     fn scaled_floors() {
         assert!(scaled(1000, 10) >= 10);
     }
+
+    #[test]
+    fn lloyd_iterations_allocate_o1_after_warmup() {
+        use kr_core::kr_kmeans::{KrKMeans, KrVariant};
+
+        // The Scratch arena must recycle per-iteration temporaries:
+        // after the first iteration warms the pools, extra Lloyd
+        // iterations should cost O(1) allocator calls — not O(k) (the
+        // old per-cluster buckets) or O(n) (fresh label/distance
+        // buffers). Two fits differing only in max_iter isolate the
+        // steady-state rate: tol = 0 disables early convergence and the
+        // shared seed makes the common prefix identical.
+        let _guard = alloc_counter::COUNTER_TEST_LOCK.lock().unwrap();
+        let ds = kr_datasets::synthetic::blobs(600, 8, 16, 1.0, 74);
+        let allocs_for = |iters: usize| {
+            let before = alloc_counter::alloc_calls();
+            let model = KrKMeans::new(vec![8, 8])
+                .with_variant(KrVariant::MemoryEfficient)
+                .with_warm_start(false)
+                .with_n_init(1)
+                .with_tol(0.0)
+                .with_max_iter(iters)
+                .fit(&ds.data)
+                .unwrap();
+            std::hint::black_box(&model);
+            alloc_counter::alloc_calls() - before
+        };
+        let (short, long) = (4usize, 12usize);
+        let (a_short, a_long) = (allocs_for(short), allocs_for(long));
+        let extra = a_long.saturating_sub(a_short);
+        let per_iter = extra as f64 / (long - short) as f64;
+        // O(1) bound: independent of n = 600 and k = 64. A small
+        // constant headroom absorbs incidental fixed-size allocations
+        // (e.g. Vec growth inside pooled buffers on rare resize).
+        assert!(
+            per_iter <= 40.0,
+            "expected O(1) allocs per Lloyd iteration, got {per_iter:.1} \
+             ({a_short} allocs at max_iter={short}, {a_long} at max_iter={long})"
+        );
+    }
 }

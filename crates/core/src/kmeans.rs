@@ -224,6 +224,12 @@ impl KMeans {
 /// and the per-point squared distance `dmin`. Chunk-parallel over points
 /// on `exec`'s pool; per-point work is independent of the chunk split,
 /// so results are identical at any thread count.
+///
+/// All temporaries come from `exec`'s [`kr_linalg::Scratch`] arena, so
+/// successive Lloyd iterations recycle the same buffers instead of
+/// allocating: the centroid-norm vector and an interleaved
+/// `(label, dmin)` buffer of `2n` f64 rows (labels round-trip exactly
+/// through f64 below 2^53; cluster counts are far smaller).
 pub(crate) fn assign(
     data: &Matrix,
     centroids: &Matrix,
@@ -234,18 +240,17 @@ pub(crate) fn assign(
     let n = data.nrows();
     debug_assert_eq!(labels.len(), n);
     debug_assert_eq!(dmin.len(), n);
+    let scratch = exec.scratch();
     // Precompute centroid norms once; per-point work is then one dot per
     // centroid, matching the pairwise_sqdist expansion without the n x k
-    // buffer.
-    let c_norms = centroids.row_sq_norms();
-    // Work on zipped chunks: split labels, use index ranges for the rest.
-    struct Out {
-        label: usize,
-        d: f64,
-    }
-    let mut buf: Vec<Out> = (0..n).map(|_| Out { label: 0, d: 0.0 }).collect();
-    parallel::map_chunks_into(exec, &mut buf, |start, chunk| {
-        for (off, out) in chunk.iter_mut().enumerate() {
+    // buffer. (`row_sq_norms_into` clears before writing, so the uninit
+    // take is safe to read afterwards.)
+    let mut c_norms = scratch.take_f64_uninit(0);
+    centroids.row_sq_norms_into(&mut c_norms);
+    // Width-2 rows, every element written before the read-back below.
+    let mut buf = scratch.take_f64_uninit(2 * n);
+    parallel::map_rows_into(exec, &mut buf, 2, 1, |start, chunk| {
+        for (off, out) in chunk.chunks_exact_mut(2).enumerate() {
             let x = data.row(start + off);
             let xn = ops::sq_norm(x);
             let mut best = 0usize;
@@ -257,14 +262,16 @@ pub(crate) fn assign(
                     best = c;
                 }
             }
-            out.label = best;
-            out.d = best_d.max(0.0);
+            out[0] = best as f64;
+            out[1] = best_d.max(0.0);
         }
     });
-    for (i, out) in buf.into_iter().enumerate() {
-        labels[i] = out.label;
-        dmin[i] = out.d;
+    for (i, pair) in buf.chunks_exact(2).enumerate() {
+        labels[i] = pair[0] as usize;
+        dmin[i] = pair[1];
     }
+    scratch.put_f64(buf);
+    scratch.put_f64(c_norms);
 }
 
 /// Nearest-centroid assignment as a public building block: returns one

@@ -34,7 +34,7 @@ use crate::aggregator::Aggregator;
 use crate::kmeans::{assign, validate_input, KMeans};
 use crate::operator::{aggregate_tuple_into, khatri_rao, CentroidIndexer};
 use crate::{CoreError, Result};
-use kr_linalg::{ops, parallel, ExecCtx, Matrix};
+use kr_linalg::{ops, parallel, ExecCtx, Matrix, Scratch};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -343,7 +343,7 @@ impl KrKMeans {
             self.assign_points(data, &sets, &indexer, &mut labels, &mut dmin);
 
             // --- Protocentroid updates (lines 16-19, Proposition 6.1).
-            let clusters = bucket_by_label(&labels, k);
+            let clusters = bucket_by_label(&labels, k, self.exec.scratch());
             for q in 0..sets.len() {
                 update_set(
                     data,
@@ -356,9 +356,16 @@ impl KrKMeans {
                     &self.exec,
                 );
             }
+            clusters.release(self.exec.scratch());
 
             // --- Convergence (line 20): total squared centroid movement.
-            let movement = centroid_movement(&sets, &old_sets, &indexer, self.aggregator);
+            let movement = centroid_movement(
+                &sets,
+                &old_sets,
+                &indexer,
+                self.aggregator,
+                self.exec.scratch(),
+            );
             if movement < self.tol {
                 break;
             }
@@ -455,6 +462,11 @@ impl KrKMeans {
 
 /// On-the-fly assignment: enumerate all centroid combinations, holding
 /// only one aggregated centroid at a time (Algorithm 1 lines 7-14).
+///
+/// Temporaries — the per-point `(dmin, label)` running state (width-2
+/// f64 rows; flat labels round-trip exactly through f64 below 2^53),
+/// the point norms, and the single aggregated centroid — all recycle
+/// through `exec`'s [`Scratch`] arena across Lloyd iterations.
 fn assign_on_the_fly(
     data: &Matrix,
     sets: &[Matrix],
@@ -466,28 +478,38 @@ fn assign_on_the_fly(
 ) {
     let n = data.nrows();
     let m = data.ncols();
-    let x_norms = data.row_sq_norms();
-    let mut state: Vec<(f64, usize)> = vec![(f64::INFINITY, 0usize); n];
-    let mut mu = vec![0.0f64; m];
+    let scratch = exec.scratch();
+    let mut x_norms = scratch.take_f64_uninit(0);
+    data.row_sq_norms_into(&mut x_norms);
+    let mut state = scratch.take_f64_uninit(2 * n);
+    for slot in state.chunks_exact_mut(2) {
+        slot[0] = f64::INFINITY;
+        slot[1] = 0.0;
+    }
+    let mut mu = scratch.take_f64(m);
     indexer.for_each_tuple(|flat, tuple| {
         aggregate_tuple_into(&mut mu, sets, tuple, agg);
         let mu_norm = ops::sq_norm(&mu);
         let mu_ref = &mu;
         let x_norms_ref = &x_norms;
-        parallel::map_chunks_into(exec, &mut state, |start, chunk| {
-            for (off, slot) in chunk.iter_mut().enumerate() {
+        parallel::map_rows_into(exec, &mut state, 2, 1, |start, chunk| {
+            for (off, slot) in chunk.chunks_exact_mut(2).enumerate() {
                 let i = start + off;
                 let d = (x_norms_ref[i] + mu_norm - 2.0 * ops::dot(data.row(i), mu_ref)).max(0.0);
-                if d < slot.0 {
-                    *slot = (d, flat);
+                if d < slot[0] {
+                    slot[0] = d;
+                    slot[1] = flat as f64;
                 }
             }
         });
     });
-    for (i, (d, l)) in state.into_iter().enumerate() {
-        dmin[i] = d;
-        labels[i] = l;
+    for (i, slot) in state.chunks_exact(2).enumerate() {
+        dmin[i] = slot[0];
+        labels[i] = slot[1] as usize;
     }
+    scratch.put_f64(mu);
+    scratch.put_f64(state);
+    scratch.put_f64(x_norms);
 }
 
 /// Groups point indices by flat cluster label.
@@ -521,11 +543,12 @@ pub fn prop61_update_pass_with(
 ) {
     assert_eq!(data.nrows(), labels.len(), "one label per point");
     let indexer = CentroidIndexer::new(sets.iter().map(|s| s.nrows()).collect());
-    let clusters = bucket_by_label(labels, indexer.n_centroids());
+    let clusters = bucket_by_label(labels, indexer.n_centroids(), exec.scratch());
     let mut rng = StdRng::seed_from_u64(seed);
     for q in 0..sets.len() {
         update_set(data, sets, q, &clusters, &indexer, agg, &mut rng, exec);
     }
+    clusters.release(exec.scratch());
 }
 
 /// Closed-form update pass (Proposition 6.1) driven by *sufficient
@@ -627,12 +650,51 @@ pub fn fixed_assignment_objective(
     total
 }
 
-fn bucket_by_label(labels: &[usize], k: usize) -> Vec<Vec<usize>> {
-    let mut clusters: Vec<Vec<usize>> = vec![Vec::new(); k];
-    for (i, &l) in labels.iter().enumerate() {
-        clusters[l].push(i);
+/// CSR-style grouping of point indices by flat cluster label: bucket
+/// `c`'s members are `idx[starts[c]..starts[c + 1]]` (to `idx.len()` for
+/// the last bucket), in ascending point order — the same order the old
+/// `Vec<Vec<usize>>` representation produced, so every accumulation
+/// downstream stays bitwise identical. Both backing buffers come from a
+/// [`Scratch`] arena and must be returned with [`LabelBuckets::release`].
+struct LabelBuckets {
+    starts: Vec<usize>,
+    idx: Vec<usize>,
+}
+
+impl LabelBuckets {
+    fn members(&self, c: usize) -> &[usize] {
+        let end = self.starts.get(c + 1).copied().unwrap_or(self.idx.len());
+        &self.idx[self.starts[c]..end]
     }
-    clusters
+
+    fn release(self, scratch: &Scratch) {
+        scratch.put_usize(self.starts);
+        scratch.put_usize(self.idx);
+    }
+}
+
+/// Counting sort of point indices by label into a [`LabelBuckets`] CSR —
+/// two pooled `usize` buffers instead of the `k` per-cluster `Vec`s of
+/// the seed representation (the `O(k)` allocations-per-iteration
+/// offender in the fit loop).
+fn bucket_by_label(labels: &[usize], k: usize, scratch: &Scratch) -> LabelBuckets {
+    let mut starts = scratch.take_usize(k);
+    let mut idx = scratch.take_usize(labels.len());
+    for &l in labels {
+        starts[l] += 1;
+    }
+    let mut acc = 0usize;
+    for s in starts.iter_mut() {
+        acc += *s;
+        *s = acc;
+    }
+    // Reverse placement with decrementing end-cursors leaves `starts[c]`
+    // at bucket `c`'s start offset and each bucket in ascending order.
+    for (i, &l) in labels.iter().enumerate().rev() {
+        starts[l] -= 1;
+        idx[starts[l]] = i;
+    }
+    LabelBuckets { starts, idx }
 }
 
 /// Closed-form update of protocentroid set `q` (Proposition 6.1),
@@ -656,7 +718,7 @@ fn update_set(
     data: &Matrix,
     sets: &mut [Matrix],
     q: usize,
-    clusters: &[Vec<usize>],
+    clusters: &LabelBuckets,
     indexer: &CentroidIndexer,
     agg: Aggregator,
     rng: &mut StdRng,
@@ -686,12 +748,13 @@ fn update_set(
         },
         |(num, den, counts), start, end| {
             let mut other = vec![0.0f64; m];
-            for (off, members) in clusters[start..end].iter().enumerate() {
+            let mut tuple = vec![0usize; indexer.n_sets()];
+            for flat in start..end {
+                let members = clusters.members(flat);
                 if members.is_empty() {
                     continue;
                 }
-                let flat = start + off;
-                let tuple = indexer.to_tuple(flat);
+                indexer.to_tuple_into(flat, &mut tuple);
                 let j = tuple[q];
                 counts[j] += members.len();
                 // Aggregate of all sets except q for this tuple.
@@ -802,16 +865,19 @@ fn centroid_movement(
     old_sets: &[Matrix],
     indexer: &CentroidIndexer,
     agg: Aggregator,
+    scratch: &Scratch,
 ) -> f64 {
     let m = sets[0].ncols();
-    let mut new_mu = vec![0.0f64; m];
-    let mut old_mu = vec![0.0f64; m];
+    let mut new_mu = scratch.take_f64(m);
+    let mut old_mu = scratch.take_f64(m);
     let mut total = 0.0;
     indexer.for_each_tuple(|_, tuple| {
         aggregate_tuple_into(&mut new_mu, sets, tuple, agg);
         aggregate_tuple_into(&mut old_mu, old_sets, tuple, agg);
         total += ops::sqdist(&new_mu, &old_mu);
     });
+    scratch.put_f64(old_mu);
+    scratch.put_f64(new_mu);
     total
 }
 

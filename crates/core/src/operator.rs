@@ -57,14 +57,22 @@ impl CentroidIndexer {
 
     /// Flat index -> tuple `(j_1, …, j_p)` (row-major: last set varies
     /// fastest).
-    pub fn to_tuple(&self, mut flat: usize) -> Vec<usize> {
-        debug_assert!(flat < self.n_centroids());
+    pub fn to_tuple(&self, flat: usize) -> Vec<usize> {
         let mut tuple = vec![0usize; self.hs.len()];
-        for (t, &h) in tuple.iter_mut().zip(self.hs.iter()).rev() {
+        self.to_tuple_into(flat, &mut tuple);
+        tuple
+    }
+
+    /// [`CentroidIndexer::to_tuple`] written into a caller-provided
+    /// buffer of length `p` — the allocation-free form for per-iteration
+    /// loops over the centroid grid.
+    pub fn to_tuple_into(&self, mut flat: usize, out: &mut [usize]) {
+        debug_assert!(flat < self.n_centroids());
+        debug_assert_eq!(out.len(), self.hs.len());
+        for (t, &h) in out.iter_mut().zip(self.hs.iter()).rev() {
             *t = flat % h;
             flat /= h;
         }
-        tuple
     }
 
     /// Tuple -> flat index.

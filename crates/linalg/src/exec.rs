@@ -24,7 +24,129 @@
 //! ```
 
 use crate::pool::{self, ThreadPool};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Which kernel implementation the blocked matrix kernels run.
+///
+/// `Scalar` (the default) is the reference path: plain multiplies and
+/// adds, bitwise identical to the seed implementation at any thread
+/// count or tiling. `Simd` opts in to the runtime-dispatched lane
+/// kernels in [`crate::simd`] — roughly one fused multiply-add per
+/// element per cycle on AVX2/FMA hardware — which carry their *own*
+/// determinism contract (bitwise across thread counts, runs, and
+/// backends at the fixed 4-wide logical lane width) but are **not**
+/// bitwise equal to `Scalar` results, because lane-parallel
+/// accumulation reassociates floating-point sums.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum KernelMode {
+    /// Scalar reference kernels (the seed-compatible oracle).
+    #[default]
+    Scalar,
+    /// Runtime-feature-detected lane kernels ([`crate::simd`]).
+    Simd,
+}
+
+impl KernelMode {
+    /// The process-default mode: `Simd` when the `KR_KERNEL` environment
+    /// variable is set to `simd` (any case), `Scalar` otherwise. Read
+    /// once and cached, so a context created early and one created late
+    /// always agree. CI uses `KR_KERNEL=simd` to re-run the whole
+    /// `exec_determinism` suite in `Simd` mode.
+    pub fn from_env() -> Self {
+        static MODE: OnceLock<KernelMode> = OnceLock::new();
+        *MODE.get_or_init(|| match std::env::var("KR_KERNEL") {
+            Ok(v) if v.eq_ignore_ascii_case("simd") => KernelMode::Simd,
+            _ => KernelMode::Scalar,
+        })
+    }
+}
+
+/// A pool of reusable scratch buffers shared by everything holding a
+/// clone of one [`ExecCtx`].
+///
+/// Lloyd-style fits allocate the same per-iteration temporaries
+/// (assignment buffers, centroid partials, panel packs) hundreds of
+/// times per fit; the arena recycles them so steady-state iterations
+/// perform O(1) allocator calls (the fig8 harness measures this with
+/// the counting allocator). Buffers are keyed only by element type —
+/// callers `take` one sized to their need and `put` it back when done.
+/// Forgetting to `put` is never unsound; it just forfeits reuse.
+///
+/// The pool is behind an `Arc<Mutex<..>>`: clones of a context share
+/// one arena, and concurrent worker chunks each pop distinct buffers.
+/// Lock traffic is one uncontended lock per take/put, far off the hot
+/// inner loops.
+#[derive(Debug, Clone, Default)]
+pub struct Scratch {
+    inner: Arc<Mutex<ScratchPools>>,
+}
+
+#[derive(Debug, Default)]
+struct ScratchPools {
+    f64s: Vec<Vec<f64>>,
+    usizes: Vec<Vec<usize>>,
+}
+
+impl Scratch {
+    /// A zeroed `f64` buffer of exactly `len` elements, reusing a pooled
+    /// allocation when one exists.
+    pub fn take_f64(&self, len: usize) -> Vec<f64> {
+        let mut buf = self.pop_f64();
+        buf.clear();
+        buf.resize(len, 0.0);
+        buf
+    }
+
+    /// A `f64` buffer of exactly `len` elements whose contents are
+    /// **unspecified** (whatever a previous user left, zero-extended).
+    /// Only for callers that provably write every element before reading
+    /// it — skipping the zeroing memset is the point.
+    pub fn take_f64_uninit(&self, len: usize) -> Vec<f64> {
+        let mut buf = self.pop_f64();
+        buf.resize(len, 0.0);
+        buf.truncate(len);
+        buf
+    }
+
+    /// Returns a buffer taken with [`Scratch::take_f64`] or
+    /// [`Scratch::take_f64_uninit`] to the pool.
+    pub fn put_f64(&self, buf: Vec<f64>) {
+        if buf.capacity() > 0 {
+            self.inner
+                .lock()
+                .expect("scratch pool poisoned")
+                .f64s
+                .push(buf);
+        }
+    }
+
+    /// A zeroed `usize` buffer of exactly `len` elements.
+    pub fn take_usize(&self, len: usize) -> Vec<usize> {
+        let mut buf = {
+            let mut pools = self.inner.lock().expect("scratch pool poisoned");
+            pools.usizes.pop().unwrap_or_default()
+        };
+        buf.clear();
+        buf.resize(len, 0);
+        buf
+    }
+
+    /// Returns a buffer taken with [`Scratch::take_usize`] to the pool.
+    pub fn put_usize(&self, buf: Vec<usize>) {
+        if buf.capacity() > 0 {
+            self.inner
+                .lock()
+                .expect("scratch pool poisoned")
+                .usizes
+                .push(buf);
+        }
+    }
+
+    fn pop_f64(&self) -> Vec<f64> {
+        let mut pools = self.inner.lock().expect("scratch pool poisoned");
+        pools.f64s.pop().unwrap_or_default()
+    }
+}
 
 /// Cache-blocking panel sizes for the blocked matrix kernels:
 /// `mc` rows of the output per panel, `kc` steps of the shared dimension
@@ -72,6 +194,8 @@ pub struct ExecCtx {
     threads: usize,
     pool: PoolHandle,
     tiling: Tiling,
+    kernel: KernelMode,
+    scratch: Scratch,
 }
 
 impl Default for ExecCtx {
@@ -87,6 +211,8 @@ impl ExecCtx {
             threads: 1,
             pool: PoolHandle::Global,
             tiling: Tiling::default(),
+            kernel: KernelMode::from_env(),
+            scratch: Scratch::default(),
         }
     }
 
@@ -120,6 +246,13 @@ impl ExecCtx {
         self
     }
 
+    /// Selects the kernel implementation ([`KernelMode`]); the default
+    /// comes from [`KernelMode::from_env`].
+    pub fn with_kernel_mode(mut self, kernel: KernelMode) -> Self {
+        self.kernel = kernel;
+        self
+    }
+
     /// The configured thread budget.
     pub fn threads(&self) -> usize {
         self.threads
@@ -128,6 +261,16 @@ impl ExecCtx {
     /// The configured tiling geometry.
     pub fn tiling(&self) -> Tiling {
         self.tiling
+    }
+
+    /// The configured kernel mode.
+    pub fn kernel_mode(&self) -> KernelMode {
+        self.kernel
+    }
+
+    /// The scratch-buffer arena shared by all clones of this context.
+    pub fn scratch(&self) -> &Scratch {
+        &self.scratch
     }
 
     /// The pool this context schedules on (resolving `Global` lazily).
@@ -223,5 +366,72 @@ mod tests {
             })
             .tiling();
         assert_eq!((t.mc, t.kc, t.nc), (1, 1, 1));
+    }
+
+    #[test]
+    fn kernel_mode_builder_overrides_default() {
+        // Can't assert the *absolute* default here — it reads KR_KERNEL
+        // once per process — but the builder override must always win,
+        // and `threaded` must agree with `serial` (it delegates).
+        assert_eq!(
+            ExecCtx::serial().kernel_mode(),
+            ExecCtx::threaded(4).kernel_mode()
+        );
+        let ctx = ExecCtx::serial().with_kernel_mode(KernelMode::Simd);
+        assert_eq!(ctx.kernel_mode(), KernelMode::Simd);
+        assert_eq!(
+            ctx.clone()
+                .with_kernel_mode(KernelMode::Scalar)
+                .kernel_mode(),
+            KernelMode::Scalar
+        );
+    }
+
+    #[test]
+    fn scratch_recycles_capacity_and_zeroes_takes() {
+        let scratch = Scratch::default();
+        let mut buf = scratch.take_f64(8);
+        assert_eq!(buf, vec![0.0; 8]);
+        buf.iter_mut().for_each(|v| *v = 7.0);
+        let cap = buf.capacity();
+        let ptr = buf.as_ptr();
+        scratch.put_f64(buf);
+        // Same allocation comes back (recycled, not reallocated), and
+        // `take_f64` re-zeroes it even though it was dirtied.
+        let back = scratch.take_f64(8);
+        assert_eq!(back.as_ptr(), ptr);
+        assert!(back.capacity() >= cap);
+        assert_eq!(back, vec![0.0; 8]);
+        scratch.put_f64(back);
+
+        let idx = scratch.take_usize(5);
+        assert_eq!(idx, vec![0usize; 5]);
+        scratch.put_usize(idx);
+    }
+
+    #[test]
+    fn scratch_is_shared_across_ctx_clones() {
+        let ctx = ExecCtx::serial();
+        let clone = ctx.clone();
+        let mut buf = clone.scratch().take_f64(16);
+        buf[0] = 1.0;
+        let ptr = buf.as_ptr();
+        clone.scratch().put_f64(buf);
+        // The original ctx sees the buffer the clone returned: one
+        // arena per ctx family, which is what lets Lloyd iterations
+        // recycle buffers through cloned contexts.
+        let back = ctx.scratch().take_f64_uninit(16);
+        assert_eq!(back.as_ptr(), ptr);
+        ctx.scratch().put_f64(back);
+    }
+
+    #[test]
+    fn scratch_put_skips_capacityless_buffers() {
+        let scratch = Scratch::default();
+        scratch.put_f64(Vec::new());
+        scratch.put_usize(Vec::new());
+        // Nothing useful was pooled; takes still work from empty pools.
+        assert_eq!(scratch.take_f64(3), vec![0.0; 3]);
+        assert_eq!(scratch.take_usize(3), vec![0usize; 3]);
     }
 }

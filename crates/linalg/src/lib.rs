@@ -20,9 +20,11 @@
 //!    identical at any thread count.
 //! 4. **Minimal `unsafe`** — bounds checks are avoided structurally
 //!    (slices hoisted out of loops) rather than with `get_unchecked`.
-//!    The only `unsafe` is the execution layer's scoped lifetime erasure
-//!    and disjoint-chunk slicing ([`pool`], [`parallel`]), each guarded
-//!    by a completion latch and documented invariants.
+//!    The `unsafe` surface is confined to the execution layer's scoped
+//!    lifetime erasure and disjoint-chunk slicing ([`pool`],
+//!    [`parallel`]), the aligned allocation in [`storage`], and the
+//!    `core::arch` intrinsics in [`simd`] — each allowlisted in
+//!    `verify.toml` and guarded by documented invariants.
 //!
 //! The central type is [`Matrix`], a dense row-major `f64` matrix. Free
 //! functions over `&[f64]` slices live in [`ops`]. The execution layer —
@@ -38,10 +40,13 @@ pub mod model;
 pub mod ops;
 pub mod parallel;
 pub mod pool;
+pub mod simd;
+pub mod storage;
 
-pub use exec::{ExecCtx, Tiling};
+pub use exec::{ExecCtx, KernelMode, Scratch, Tiling};
 pub use matrix::Matrix;
 pub use pool::ThreadPool;
+pub use storage::AlignedVec;
 
 /// Errors produced by shape-checked linear-algebra entry points.
 #[derive(Debug, Clone, PartialEq, Eq)]

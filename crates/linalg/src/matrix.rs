@@ -9,7 +9,8 @@
 //! `a.matmul(&b)` and `a.matmul_with(&b, ctx)` are bitwise identical for
 //! every `ctx`.
 
-use crate::exec::{ExecCtx, Tiling};
+use crate::exec::{ExecCtx, KernelMode, Scratch, Tiling};
+use crate::storage::AlignedVec;
 use crate::{parallel, LinalgError, Result};
 
 /// A dense, row-major matrix of `f64`.
@@ -28,7 +29,9 @@ use crate::{parallel, LinalgError, Result};
 pub struct Matrix {
     rows: usize,
     cols: usize,
-    data: Vec<f64>,
+    /// Backing store; 32-byte aligned so the [`crate::simd`] kernels can
+    /// use full-width lane loads (see [`crate::storage`]).
+    data: AlignedVec,
 }
 
 impl Matrix {
@@ -37,7 +40,7 @@ impl Matrix {
         Matrix {
             rows,
             cols,
-            data: vec![0.0; rows * cols],
+            data: AlignedVec::zeroed(rows * cols),
         }
     }
 
@@ -46,7 +49,7 @@ impl Matrix {
         Matrix {
             rows,
             cols,
-            data: vec![value; rows * cols],
+            data: AlignedVec::filled(rows * cols, value),
         }
     }
 
@@ -70,7 +73,11 @@ impl Matrix {
                 rhs: (data.len(), 1),
             });
         }
-        Ok(Matrix { rows, cols, data })
+        Ok(Matrix {
+            rows,
+            cols,
+            data: data.into(),
+        })
     }
 
     /// Builds a matrix from a slice of equal-length rows.
@@ -82,7 +89,7 @@ impl Matrix {
         if cols == 0 {
             return Err(LinalgError::EmptyDimension("from_rows: zero-width rows"));
         }
-        let mut data = Vec::with_capacity(rows.len() * cols);
+        let mut data = AlignedVec::with_capacity(rows.len() * cols);
         for r in rows {
             if r.len() != cols {
                 return Err(LinalgError::ShapeMismatch {
@@ -102,7 +109,7 @@ impl Matrix {
 
     /// Builds a matrix by evaluating `f(row, col)` at every position.
     pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
-        let mut data = Vec::with_capacity(rows * cols);
+        let mut data = AlignedVec::with_capacity(rows * cols);
         for i in 0..rows {
             for j in 0..cols {
                 data.push(f(i, j));
@@ -186,18 +193,33 @@ impl Matrix {
         &mut self.data
     }
 
-    /// Consumes the matrix, returning its buffer.
+    /// Consumes the matrix, returning its buffer (copied out of the
+    /// aligned store).
     pub fn into_vec(self) -> Vec<f64> {
-        self.data
+        self.data.to_vec()
     }
 
     /// Copies column `j` into a new vector.
     ///
     /// This is a strided gather; loops that touch many columns should
     /// materialize [`Matrix::transpose`] once (blocked, cache-friendly)
-    /// and read its contiguous rows instead.
+    /// and read its contiguous rows instead — or reuse one buffer across
+    /// calls with [`Matrix::col_into`].
     pub fn col(&self, j: usize) -> Vec<f64> {
-        (0..self.rows).map(|i| self.get(i, j)).collect()
+        let mut out = Vec::new();
+        self.col_into(j, &mut out);
+        out
+    }
+
+    /// Copies column `j` into `out` (cleared first), reusing its
+    /// allocation. The allocation-free counterpart of [`Matrix::col`]
+    /// for hot loops that gather many columns.
+    pub fn col_into(&self, j: usize, out: &mut Vec<f64>) {
+        out.clear();
+        out.reserve(self.rows);
+        for i in 0..self.rows {
+            out.push(self.get(i, j));
+        }
     }
 
     /// Returns a new matrix containing the listed rows (in order).
@@ -218,7 +240,7 @@ impl Matrix {
                 rhs: other.shape(),
             });
         }
-        let mut data = Vec::with_capacity((self.rows + other.rows) * self.cols);
+        let mut data = AlignedVec::with_capacity((self.rows + other.rows) * self.cols);
         data.extend_from_slice(&self.data);
         data.extend_from_slice(&other.data);
         Ok(Matrix {
@@ -295,10 +317,12 @@ impl Matrix {
             return Ok(out);
         }
         let til = exec.tiling();
-        let a = &self.data;
-        let b = &rhs.data;
-        parallel::map_rows_into(exec, &mut out.data, n, til.mc, |i0, c_rows| {
-            matmul_panel(a, b, c_rows, i0, k, n, til);
+        let simd = exec.kernel_mode() == KernelMode::Simd;
+        let a: &[f64] = &self.data;
+        let b: &[f64] = &rhs.data;
+        let scratch = exec.scratch();
+        parallel::map_rows_into(exec, out.data.as_mut_slice(), n, til.mc, |i0, c_rows| {
+            matmul_panel(a, b, c_rows, i0, k, n, til, simd, scratch);
         });
         Ok(out)
     }
@@ -330,16 +354,17 @@ impl Matrix {
             return Ok(out);
         }
         let til = exec.tiling();
-        let a = &self.data;
-        let b = &rhs.data;
-        parallel::map_rows_into(exec, &mut out.data, n, til.mc, |i0, out_rows| {
+        let simd = exec.kernel_mode() == KernelMode::Simd;
+        let a: &[f64] = &self.data;
+        let b: &[f64] = &rhs.data;
+        parallel::map_rows_into(exec, out.data.as_mut_slice(), n, til.mc, |i0, out_rows| {
             let h = out_rows.len() / n;
             for jb in (0..n).step_by(til.nc) {
                 let jw = til.nc.min(n - jb);
                 for ii in 0..h {
                     let x = &a[(i0 + ii) * d..(i0 + ii + 1) * d];
                     let drow = &mut out_rows[ii * n + jb..ii * n + jb + jw];
-                    dot_block(x, b, d, jb, drow);
+                    dot_block(x, b, d, jb, drow, simd);
                 }
             }
         });
@@ -371,10 +396,11 @@ impl Matrix {
             return Ok(out);
         }
         let til = exec.tiling();
+        let simd = exec.kernel_mode() == KernelMode::Simd;
         let a_cols = self.cols;
-        let a = &self.data;
-        let b = &rhs.data;
-        parallel::map_rows_into(exec, &mut out.data, n, til.mc, |i0, out_rows| {
+        let a: &[f64] = &self.data;
+        let b: &[f64] = &rhs.data;
+        parallel::map_rows_into(exec, out.data.as_mut_slice(), n, til.mc, |i0, out_rows| {
             let h = out_rows.len() / n;
             for p in 0..shared {
                 let a_seg = &a[p * a_cols + i0..p * a_cols + i0 + h];
@@ -383,7 +409,12 @@ impl Matrix {
                     if av == 0.0 {
                         continue;
                     }
-                    crate::ops::axpy(&mut out_rows[ii * n..(ii + 1) * n], av, b_row);
+                    let row = &mut out_rows[ii * n..(ii + 1) * n];
+                    if simd {
+                        crate::simd::axpy(row, av, b_row);
+                    } else {
+                        crate::ops::axpy(row, av, b_row);
+                    }
                 }
             }
         });
@@ -443,7 +474,7 @@ impl Matrix {
 
     /// Elementwise map in place.
     pub fn map_inplace(&mut self, mut f: impl FnMut(f64) -> f64) {
-        for v in &mut self.data {
+        for v in self.data.as_mut_slice() {
             *v = f(*v);
         }
     }
@@ -535,7 +566,19 @@ impl Matrix {
 
     /// Per-row squared Euclidean norms (length `rows`).
     pub fn row_sq_norms(&self) -> Vec<f64> {
-        self.rows_iter().map(|r| crate::ops::dot(r, r)).collect()
+        let mut out = Vec::new();
+        self.row_sq_norms_into(&mut out);
+        out
+    }
+
+    /// Per-row squared Euclidean norms written into `out` (cleared
+    /// first), reusing its allocation across calls.
+    pub fn row_sq_norms_into(&self, out: &mut Vec<f64>) {
+        out.clear();
+        out.reserve(self.rows);
+        for r in self.rows_iter() {
+            out.push(crate::ops::dot(r, r));
+        }
     }
 
     /// Maximum absolute element (0 for an empty matrix).
@@ -581,10 +624,11 @@ impl Matrix {
         let x_norms = self.row_sq_norms();
         let c_norms = other.row_sq_norms();
         let til = exec.tiling();
-        let x_data = &self.data;
-        let c_data = &other.data;
+        let simd = exec.kernel_mode() == KernelMode::Simd;
+        let x_data: &[f64] = &self.data;
+        let c_data: &[f64] = &other.data;
         let (x_norms, c_norms) = (&x_norms, &c_norms);
-        parallel::map_rows_into(exec, &mut out.data, k, til.mc, |i0, out_rows| {
+        parallel::map_rows_into(exec, out.data.as_mut_slice(), k, til.mc, |i0, out_rows| {
             let h = out_rows.len() / k;
             for jb in (0..k).step_by(til.nc) {
                 let jw = til.nc.min(k - jb);
@@ -592,7 +636,7 @@ impl Matrix {
                     let x = &x_data[(i0 + ii) * d..(i0 + ii + 1) * d];
                     let xn = x_norms[i0 + ii];
                     let drow = &mut out_rows[ii * k + jb..ii * k + jb + jw];
-                    dot_block(x, c_data, d, jb, drow);
+                    dot_block(x, c_data, d, jb, drow, simd);
                     for (slot, &cn) in drow.iter_mut().zip(&c_norms[jb..jb + jw]) {
                         *slot = (xn + cn - 2.0 * *slot).max(0.0);
                     }
@@ -622,13 +666,34 @@ impl Matrix {
 /// Pack-cost accounting: `map_rows_into` hands each *worker chunk* to
 /// one call of this function (the entire output when serial), so each
 /// `B` slab is packed once per worker chunk — roughly once per thread,
-/// not once per `mc`-row panel — and the scratch allocation is one
-/// `Vec` per call.
-fn matmul_panel(a: &[f64], b: &[f64], c: &mut [f64], i0: usize, k: usize, n: usize, til: Tiling) {
+/// not once per `mc`-row panel — and the pack buffer comes from the
+/// context's [`Scratch`] arena (each concurrent worker chunk takes its
+/// own, and steady-state Lloyd iterations reuse them without touching
+/// the allocator). The buffer is taken "uninit" (unspecified contents):
+/// every `pw x jw` panel is fully written by `copy_from_slice` before
+/// the register tiles read it, so stale contents are never observed.
+///
+/// `simd` hands each 4-row tile to [`crate::simd::fma_panel4`], which
+/// holds the accumulators in vector registers across the whole
+/// `kc`-panel instead of re-walking the output rows once per `k` step;
+/// each element's ascending-`k` accumulation order is identical in both
+/// modes — `Simd` only fuses each multiply-add rounding.
+#[allow(clippy::too_many_arguments)]
+fn matmul_panel(
+    a: &[f64],
+    b: &[f64],
+    c: &mut [f64],
+    i0: usize,
+    k: usize,
+    n: usize,
+    til: Tiling,
+    simd: bool,
+    scratch: &Scratch,
+) {
     let h = c.len() / n;
     let needs_pack = n > til.nc;
     let mut packed = if needs_pack {
-        vec![0.0f64; til.kc.min(k) * til.nc]
+        scratch.take_f64_uninit(til.kc.min(k) * til.nc)
     } else {
         Vec::new()
     };
@@ -663,16 +728,37 @@ fn matmul_panel(a: &[f64], b: &[f64], c: &mut [f64], i0: usize, k: usize, n: usi
                     &mut r3[jc..jc + jw],
                 );
                 let a_base = (i0 + ir) * k;
-                for (pp, p) in (pc..pc + pw).enumerate() {
-                    let a0 = a[a_base + p];
-                    let a1 = a[a_base + k + p];
-                    let a2 = a[a_base + 2 * k + p];
-                    let a3 = a[a_base + 3 * k + p];
-                    let b_row = &panel[pp * jw..pp * jw + jw];
-                    crate::ops::axpy(r0, a0, b_row);
-                    crate::ops::axpy(r1, a1, b_row);
-                    crate::ops::axpy(r2, a2, b_row);
-                    crate::ops::axpy(r3, a3, b_row);
+                if simd {
+                    // Whole-panel kernel: the 4-row accumulator tile
+                    // stays in registers across all of `pc..pc + pw`
+                    // (bitwise the same ascending-`p` fused chain as
+                    // the per-`p` loop below, per `fma_panel4`'s
+                    // contract — only the output-row traffic differs).
+                    crate::simd::fma_panel4(
+                        r0,
+                        r1,
+                        r2,
+                        r3,
+                        [
+                            &a[a_base + pc..a_base + pc + pw],
+                            &a[a_base + k + pc..a_base + k + pc + pw],
+                            &a[a_base + 2 * k + pc..a_base + 2 * k + pc + pw],
+                            &a[a_base + 3 * k + pc..a_base + 3 * k + pc + pw],
+                        ],
+                        panel,
+                    );
+                } else {
+                    for (pp, p) in (pc..pc + pw).enumerate() {
+                        let a0 = a[a_base + p];
+                        let a1 = a[a_base + k + p];
+                        let a2 = a[a_base + 2 * k + p];
+                        let a3 = a[a_base + 3 * k + p];
+                        let b_row = &panel[pp * jw..pp * jw + jw];
+                        crate::ops::axpy(r0, a0, b_row);
+                        crate::ops::axpy(r1, a1, b_row);
+                        crate::ops::axpy(r2, a2, b_row);
+                        crate::ops::axpy(r3, a3, b_row);
+                    }
                 }
                 ir += 4;
             }
@@ -685,20 +771,34 @@ fn matmul_panel(a: &[f64], b: &[f64], c: &mut [f64], i0: usize, k: usize, n: usi
                 let row = &mut c[ir * n + jc..ir * n + jc + jw];
                 let a_base = (i0 + ir) * k;
                 for (pp, p) in (pc..pc + pw).enumerate() {
-                    crate::ops::axpy(row, a[a_base + p], &panel[pp * jw..pp * jw + jw]);
+                    let b_row = &panel[pp * jw..pp * jw + jw];
+                    if simd {
+                        crate::simd::axpy(row, a[a_base + p], b_row);
+                    } else {
+                        crate::ops::axpy(row, a[a_base + p], b_row);
+                    }
                 }
                 ir += 1;
             }
         }
     }
+    if needs_pack {
+        scratch.put_f64(packed);
+    }
 }
 
 /// Writes `out[j] = dot(x, y_row(jb + j))` for a block of rows of a
 /// row-major `(rows x d)` buffer `y`, four dots at a time so each loaded
-/// element of `x` feeds four accumulators. Every dot keeps its own
-/// single accumulator in ascending-`d` order (bitwise identical to
-/// [`crate::ops::dot`]).
-fn dot_block(x: &[f64], y: &[f64], d: usize, jb: usize, out: &mut [f64]) {
+/// element of `x` feeds four accumulators. In `Scalar` mode every dot
+/// keeps its own single accumulator in ascending-`d` order (bitwise
+/// identical to [`crate::ops::dot`]); `simd` delegates to
+/// [`crate::simd::dot_block`], whose 4-lane accumulation follows the
+/// lane-determinism contract instead.
+fn dot_block(x: &[f64], y: &[f64], d: usize, jb: usize, out: &mut [f64], simd: bool) {
+    if simd {
+        crate::simd::dot_block(x, y, d, jb, out);
+        return;
+    }
     let jw = out.len();
     let mut j = 0;
     while j + 4 <= jw {

@@ -1,0 +1,439 @@
+//! 32-byte-aligned heap storage for the dense kernels.
+//!
+//! [`AlignedVec`] is a growable `f64` buffer whose backing allocation is
+//! always aligned to [`ALIGN`] (32 bytes — one AVX2 `f64x4` lane, two
+//! NEON `f64x2` lanes). `Vec<f64>` only guarantees 8-byte alignment, so
+//! the vectorized kernels in [`crate::simd`] would otherwise straddle
+//! lane boundaries on every load. The type is a *safe builder* over a
+//! manually-laid-out allocation: all `unsafe` is confined to this module
+//! (and allowlisted in `verify.toml`), and the public surface mirrors the
+//! subset of `Vec` the matrix code actually uses — push/extend, slices,
+//! clone, equality.
+//!
+//! Invariants (checked by the miri-run unit tests below):
+//!
+//! * `as_ptr()` is always a multiple of [`ALIGN`], including for empty
+//!   buffers (a well-aligned dangling pointer) and after every
+//!   reallocation and clone;
+//! * `len <= cap`, and the first `len` elements are initialized;
+//! * dropping frees exactly the allocation made, with the same layout.
+
+use std::alloc::{alloc, alloc_zeroed, dealloc, handle_alloc_error, realloc, Layout};
+use std::ptr::NonNull;
+
+/// Alignment (bytes) of every `AlignedVec` allocation.
+pub const ALIGN: usize = 32;
+
+/// A 32-byte-aligned ZST used to manufacture well-aligned dangling
+/// pointers for empty buffers without an int-to-pointer cast (which
+/// strict-provenance miri would flag).
+#[repr(align(32))]
+struct AlignMarker;
+
+/// A growable, always-[`ALIGN`]-aligned `f64` buffer.
+///
+/// ```
+/// use kr_linalg::storage::{AlignedVec, ALIGN};
+/// let mut v = AlignedVec::zeroed(5);
+/// v.push(7.0);
+/// assert_eq!(v.as_slice(), &[0.0, 0.0, 0.0, 0.0, 0.0, 7.0]);
+/// assert_eq!(v.as_ptr() as usize % ALIGN, 0);
+/// ```
+pub struct AlignedVec {
+    ptr: NonNull<f64>,
+    len: usize,
+    cap: usize,
+}
+
+// SAFETY: AlignedVec uniquely owns its allocation of plain `f64`s (no
+// interior mutability, no thread affinity); moving it between threads or
+// sharing `&AlignedVec` is as safe as for `Vec<f64>`.
+unsafe impl Send for AlignedVec {}
+// SAFETY: see the Send impl above — shared references only hand out
+// `&[f64]`.
+unsafe impl Sync for AlignedVec {}
+
+impl AlignedVec {
+    /// An empty buffer (no allocation).
+    pub fn new() -> Self {
+        AlignedVec {
+            ptr: NonNull::<AlignMarker>::dangling().cast::<f64>(),
+            len: 0,
+            cap: 0,
+        }
+    }
+
+    /// An empty buffer with room for `cap` elements.
+    pub fn with_capacity(cap: usize) -> Self {
+        let mut v = Self::new();
+        v.grow_to(cap, false);
+        v
+    }
+
+    /// A buffer of `len` zeros (uses the allocator's zeroed path).
+    pub fn zeroed(len: usize) -> Self {
+        let mut v = Self::new();
+        v.grow_to(len, true);
+        v.len = len;
+        v
+    }
+
+    /// A buffer of `len` copies of `value`.
+    pub fn filled(len: usize, value: f64) -> Self {
+        if value == 0.0 && value.is_sign_positive() {
+            return Self::zeroed(len);
+        }
+        let mut v = Self::with_capacity(len);
+        v.extend_fill(len, value);
+        v
+    }
+
+    /// Copies a slice into fresh aligned storage.
+    pub fn from_slice(src: &[f64]) -> Self {
+        let mut v = Self::with_capacity(src.len());
+        v.extend_from_slice(src);
+        v
+    }
+
+    /// Number of initialized elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the buffer holds zero elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Allocated capacity in elements.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// The initialized elements as a slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        // SAFETY: `ptr` is well-aligned and non-null by construction; the
+        // first `len` elements are initialized (struct invariant), and
+        // `&self` forbids concurrent mutation.
+        unsafe { std::slice::from_raw_parts(self.ptr.as_ptr(), self.len) }
+    }
+
+    /// The initialized elements as a mutable slice.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        // SAFETY: as in `as_slice`; `&mut self` guarantees uniqueness.
+        unsafe { std::slice::from_raw_parts_mut(self.ptr.as_ptr(), self.len) }
+    }
+
+    /// Raw pointer to the first element (valid for `len` reads).
+    #[inline]
+    pub fn as_ptr(&self) -> *const f64 {
+        self.ptr.as_ptr()
+    }
+
+    /// Appends one element, growing if needed.
+    #[inline]
+    pub fn push(&mut self, value: f64) {
+        if self.len == self.cap {
+            self.grow_to(amortized(self.cap, self.len + 1), false);
+        }
+        // SAFETY: `len < cap` after the growth check, so the write is in
+        // bounds of the allocation.
+        unsafe { self.ptr.as_ptr().add(self.len).write(value) };
+        self.len += 1;
+    }
+
+    /// Appends all elements of `src`, growing at most once.
+    pub fn extend_from_slice(&mut self, src: &[f64]) {
+        self.reserve(src.len());
+        // SAFETY: `reserve` guaranteed `cap - len >= src.len()`; the
+        // destination range is in bounds and cannot overlap `src`, which
+        // borrows a different allocation (or the same one immutably —
+        // but `&mut self` rules that out).
+        unsafe {
+            std::ptr::copy_nonoverlapping(src.as_ptr(), self.ptr.as_ptr().add(self.len), src.len());
+        }
+        self.len += src.len();
+    }
+
+    /// Appends `n` copies of `value`.
+    pub fn extend_fill(&mut self, n: usize, value: f64) {
+        self.reserve(n);
+        for _ in 0..n {
+            // SAFETY: `reserve` made room for `n` more elements; each
+            // write lands below `cap`.
+            unsafe { self.ptr.as_ptr().add(self.len).write(value) };
+            self.len += 1;
+        }
+    }
+
+    /// Drops all elements (capacity is kept).
+    pub fn clear(&mut self) {
+        self.len = 0;
+    }
+
+    /// Ensures room for `additional` more elements.
+    pub fn reserve(&mut self, additional: usize) {
+        let needed = self
+            .len
+            .checked_add(additional)
+            .expect("AlignedVec capacity overflow");
+        if needed > self.cap {
+            self.grow_to(amortized(self.cap, needed), false);
+        }
+    }
+
+    /// Copies the contents into a plain `Vec<f64>` (alignment is lost).
+    pub fn to_vec(&self) -> Vec<f64> {
+        self.as_slice().to_vec()
+    }
+
+    /// Grows the allocation to exactly `new_cap` elements (no-op when
+    /// already large enough). `zeroed` selects the allocator's zeroed
+    /// path for the initial allocation.
+    fn grow_to(&mut self, new_cap: usize, zeroed: bool) {
+        if new_cap <= self.cap {
+            return;
+        }
+        let new_layout = layout_for(new_cap);
+        let raw = if self.cap == 0 {
+            if zeroed {
+                // SAFETY: `new_layout` has non-zero size (`new_cap > 0`
+                // here since `cap == 0 < new_cap`) and valid alignment.
+                unsafe { alloc_zeroed(new_layout) }
+            } else {
+                // SAFETY: as above — non-zero size, valid alignment.
+                unsafe { alloc(new_layout) }
+            }
+        } else {
+            // SAFETY: `ptr` was allocated with `layout_for(cap)` (struct
+            // invariant) and the new size is non-zero; `realloc`
+            // preserves the layout's 32-byte alignment and the first
+            // `len` initialized elements.
+            unsafe {
+                realloc(
+                    self.ptr.as_ptr().cast(),
+                    layout_for(self.cap),
+                    new_layout.size(),
+                )
+            }
+        };
+        let Some(ptr) = NonNull::new(raw.cast::<f64>()) else {
+            handle_alloc_error(new_layout);
+        };
+        debug_assert_eq!(ptr.as_ptr() as usize % ALIGN, 0);
+        self.ptr = ptr;
+        self.cap = new_cap;
+    }
+}
+
+/// Layout of a `cap`-element allocation; panics on overflow.
+fn layout_for(cap: usize) -> Layout {
+    let bytes = cap
+        .checked_mul(std::mem::size_of::<f64>())
+        .expect("AlignedVec capacity overflow");
+    Layout::from_size_align(bytes, ALIGN).expect("AlignedVec layout overflow")
+}
+
+/// Doubling growth policy with a small floor, never below `needed`.
+fn amortized(cap: usize, needed: usize) -> usize {
+    cap.saturating_mul(2).max(needed).max(8)
+}
+
+impl Drop for AlignedVec {
+    fn drop(&mut self) {
+        if self.cap != 0 {
+            // SAFETY: `ptr` was allocated with exactly `layout_for(cap)`
+            // (struct invariant) and is not used after this point.
+            unsafe { dealloc(self.ptr.as_ptr().cast(), layout_for(self.cap)) };
+        }
+    }
+}
+
+impl Clone for AlignedVec {
+    fn clone(&self) -> Self {
+        Self::from_slice(self.as_slice())
+    }
+
+    fn clone_from(&mut self, source: &Self) {
+        self.clear();
+        self.extend_from_slice(source.as_slice());
+    }
+}
+
+impl Default for AlignedVec {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for AlignedVec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.as_slice().fmt(f)
+    }
+}
+
+impl PartialEq for AlignedVec {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl std::ops::Deref for AlignedVec {
+    type Target = [f64];
+    #[inline]
+    fn deref(&self) -> &[f64] {
+        self.as_slice()
+    }
+}
+
+impl std::ops::DerefMut for AlignedVec {
+    #[inline]
+    fn deref_mut(&mut self) -> &mut [f64] {
+        self.as_mut_slice()
+    }
+}
+
+impl From<Vec<f64>> for AlignedVec {
+    fn from(v: Vec<f64>) -> Self {
+        Self::from_slice(&v)
+    }
+}
+
+impl From<&[f64]> for AlignedVec {
+    fn from(v: &[f64]) -> Self {
+        Self::from_slice(v)
+    }
+}
+
+impl FromIterator<f64> for AlignedVec {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        let iter = iter.into_iter();
+        let mut v = Self::with_capacity(iter.size_hint().0);
+        for x in iter {
+            v.push(x);
+        }
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_aligned(v: &AlignedVec) {
+        assert_eq!(v.as_ptr() as usize % ALIGN, 0, "misaligned backing store");
+    }
+
+    #[test]
+    fn empty_is_aligned_and_unallocated() {
+        let v = AlignedVec::new();
+        assert_aligned(&v);
+        assert_eq!(v.len(), 0);
+        assert_eq!(v.capacity(), 0);
+        assert_eq!(v.as_slice(), &[] as &[f64]);
+    }
+
+    #[test]
+    fn zeroed_contents_and_alignment() {
+        for n in [1usize, 3, 4, 5, 31, 32, 33, 1000] {
+            let v = AlignedVec::zeroed(n);
+            assert_aligned(&v);
+            assert_eq!(v.len(), n);
+            assert!(v.as_slice().iter().all(|&x| x == 0.0));
+        }
+    }
+
+    #[test]
+    fn push_growth_keeps_alignment_and_contents() {
+        let mut v = AlignedVec::new();
+        for i in 0..100 {
+            v.push(i as f64);
+            assert_aligned(&v);
+        }
+        assert_eq!(v.len(), 100);
+        for (i, &x) in v.as_slice().iter().enumerate() {
+            assert_eq!(x, i as f64);
+        }
+        assert!(v.capacity() >= 100);
+    }
+
+    #[test]
+    fn extend_from_slice_across_reallocs() {
+        let mut v = AlignedVec::with_capacity(2);
+        let chunk: Vec<f64> = (0..7).map(|i| i as f64).collect();
+        for _ in 0..9 {
+            v.extend_from_slice(&chunk);
+            assert_aligned(&v);
+        }
+        assert_eq!(v.len(), 63);
+        assert_eq!(&v[..7], chunk.as_slice());
+        assert_eq!(&v[56..], chunk.as_slice());
+    }
+
+    #[test]
+    fn clone_is_independent_and_aligned() {
+        let mut a = AlignedVec::from_slice(&[1.0, 2.0, 3.0]);
+        let b = a.clone();
+        assert_aligned(&b);
+        a.as_mut_slice()[0] = 9.0;
+        assert_eq!(b.as_slice(), &[1.0, 2.0, 3.0]);
+        assert_eq!(a.as_slice(), &[9.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn clone_from_reuses_capacity() {
+        let mut dst = AlignedVec::zeroed(64);
+        let cap = dst.capacity();
+        let src = AlignedVec::from_slice(&[5.0, 6.0]);
+        dst.clone_from(&src);
+        assert_eq!(dst.as_slice(), &[5.0, 6.0]);
+        assert_eq!(dst.capacity(), cap);
+        assert_aligned(&dst);
+    }
+
+    #[test]
+    fn filled_and_fill_extend() {
+        let v = AlignedVec::filled(5, 2.5);
+        assert_eq!(v.as_slice(), &[2.5; 5]);
+        let z = AlignedVec::filled(4, 0.0);
+        assert_eq!(z.as_slice(), &[0.0; 4]);
+        let mut w = AlignedVec::new();
+        w.extend_fill(3, -1.0);
+        assert_eq!(w.as_slice(), &[-1.0; 3]);
+    }
+
+    #[test]
+    fn clear_keeps_capacity() {
+        let mut v = AlignedVec::from_slice(&[1.0; 16]);
+        let cap = v.capacity();
+        v.clear();
+        assert_eq!(v.len(), 0);
+        assert_eq!(v.capacity(), cap);
+        v.push(4.0);
+        assert_eq!(v.as_slice(), &[4.0]);
+    }
+
+    #[test]
+    fn vec_roundtrip_and_eq() {
+        let src = vec![1.0, -2.0, 3.5];
+        let v = AlignedVec::from(src.clone());
+        assert_eq!(v.to_vec(), src);
+        let w: AlignedVec = src.iter().copied().collect();
+        assert_eq!(v, w);
+        assert_ne!(v, AlignedVec::zeroed(3));
+        assert_eq!(format!("{v:?}"), format!("{src:?}"));
+    }
+
+    #[test]
+    fn deref_slices_work() {
+        let mut v = AlignedVec::from_slice(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(v.iter().sum::<f64>(), 10.0);
+        v[2] = 0.0;
+        assert_eq!(&v[1..3], &[2.0, 0.0]);
+    }
+}

@@ -1,0 +1,95 @@
+//! Worker-count determinism matrix for the blocked kernels, in **both**
+//! kernel modes.
+//!
+//! The `ExecCtx` contract promises that results are a pure function of
+//! the input — never of the worker count, pool reuse, or run number.
+//! `Simd` mode layers the lane-determinism contract on top (see
+//! `kr_linalg::simd`): the lane schedule is fixed, so vectorized results
+//! must be just as bitwise-stable as scalar ones. These tests pin each
+//! mode explicitly instead of inheriting `KR_KERNEL`, so a single test
+//! run covers both paths regardless of environment (the CI simd leg
+//! re-runs the whole suite under `KR_KERNEL=simd` anyway to cover the
+//! *default*-path plumbing).
+
+use kr_linalg::{ExecCtx, KernelMode, Matrix};
+
+/// Ragged-enough shapes to split unevenly across 2 and 8 workers and to
+/// exercise the panel kernels' vector and tail paths.
+const SHAPES: [(usize, usize, usize); 4] = [(1, 1, 1), (7, 5, 3), (33, 17, 9), (64, 32, 21)];
+
+fn mk(rows: usize, cols: usize, salt: u64) -> Matrix {
+    Matrix::from_fn(rows, cols, |i, j| {
+        let v = (i as u64)
+            .wrapping_mul(2654435761)
+            .wrapping_add((j as u64).wrapping_mul(40503))
+            .wrapping_add(salt);
+        ((v % 2048) as f64 - 1024.0) * 0.013
+    })
+}
+
+fn bits(m: &Matrix) -> Vec<u64> {
+    m.as_slice().iter().map(|v| v.to_bits()).collect()
+}
+
+/// Runs every blocked kernel under `exec` and returns the raw bits of
+/// all outputs, concatenated in a fixed order.
+fn all_kernels(exec: &ExecCtx, m: usize, d: usize, n: usize) -> Vec<u64> {
+    let a = mk(m, d, 1);
+    let b = mk(d, n, 2);
+    let bt = mk(n, d, 3);
+    let at = mk(d, m, 4);
+    let y = mk(n, d, 5);
+    let mut out = bits(&a.matmul_with(&b, exec).unwrap());
+    out.extend(bits(&a.matmul_transpose_b_with(&bt, exec).unwrap()));
+    out.extend(bits(&at.matmul_transpose_a_with(&b, exec).unwrap()));
+    out.extend(bits(&a.pairwise_sqdist_with(&y, exec).unwrap()));
+    out
+}
+
+fn worker_matrix(mode: KernelMode) {
+    for (m, d, n) in SHAPES {
+        let reference = all_kernels(&ExecCtx::serial().with_kernel_mode(mode), m, d, n);
+        // Same ctx again: run-to-run stability (scratch pools warm).
+        let again = all_kernels(&ExecCtx::serial().with_kernel_mode(mode), m, d, n);
+        assert_eq!(reference, again, "mode={mode:?} serial rerun ({m}x{d}x{n})");
+        for workers in [1usize, 2, 8] {
+            let exec = ExecCtx::threaded(workers).with_kernel_mode(mode);
+            let got = all_kernels(&exec, m, d, n);
+            assert_eq!(
+                reference, got,
+                "mode={mode:?} workers={workers} ({m}x{d}x{n})"
+            );
+            // Reusing the ctx (and its pool + scratch arena) must not
+            // perturb results either.
+            let reused = all_kernels(&exec, m, d, n);
+            assert_eq!(reference, reused, "mode={mode:?} workers={workers} reuse");
+        }
+    }
+}
+
+#[test]
+fn exec_determinism_scalar_1_2_8_workers() {
+    worker_matrix(KernelMode::Scalar);
+}
+
+#[test]
+fn exec_determinism_simd_1_2_8_workers() {
+    worker_matrix(KernelMode::Simd);
+}
+
+#[test]
+fn exec_determinism_modes_agree_on_exact_inputs() {
+    // Small-integer entries make every product and sum exact, so the
+    // fused (Simd) and unfused (Scalar) schedules must agree bitwise —
+    // across every worker count at once.
+    let a = Matrix::from_fn(13, 7, |i, j| ((i * 7 + j * 3) % 9) as f64 - 4.0);
+    let b = Matrix::from_fn(7, 11, |i, j| ((i * 5 + j) % 7) as f64 - 3.0);
+    let reference = a
+        .matmul_with(&b, &ExecCtx::serial().with_kernel_mode(KernelMode::Scalar))
+        .unwrap();
+    for workers in [1usize, 2, 8] {
+        let exec = ExecCtx::threaded(workers).with_kernel_mode(KernelMode::Simd);
+        let got = a.matmul_with(&b, &exec).unwrap();
+        assert_eq!(bits(&reference), bits(&got), "workers={workers}");
+    }
+}

@@ -1,6 +1,6 @@
 //! Property-based tests for the linear-algebra kernels.
 
-use kr_linalg::{ops, ExecCtx, Matrix};
+use kr_linalg::{ops, ExecCtx, KernelMode, Matrix};
 use proptest::prelude::*;
 
 fn small_matrix(max_dim: usize) -> impl Strategy<Value = Matrix> {
@@ -167,11 +167,16 @@ proptest! {
                 naive.set(i, j, acc);
             }
         }
-        let blocked = a.matmul(&b).unwrap();
+        // Pin `Scalar` explicitly: the naive reference above uses
+        // unfused `acc += a * b`, which only the scalar kernel matches
+        // bitwise (`KR_KERNEL=simd` would flip the env default).
+        let scalar = ExecCtx::serial().with_kernel_mode(KernelMode::Scalar);
+        let blocked = a.matmul_with(&b, &scalar).unwrap();
         prop_assert_eq!(&blocked, &naive);
         // Tiny tiles force every panel boundary; threads exercise the
         // pool. Both must still be bitwise identical.
         let ctx = ExecCtx::threaded(threads)
+            .with_kernel_mode(KernelMode::Scalar)
             .with_tiling(kr_linalg::Tiling { mc: 3, kc: 2, nc: 5 });
         prop_assert_eq!(&a.matmul_with(&b, &ctx).unwrap(), &naive);
     }
@@ -200,6 +205,104 @@ proptest! {
         prop_assert_eq!(
             a.matmul_transpose_a_with(&a, &ctx).unwrap(),
             a.matmul_transpose_a(&a).unwrap()
+        );
+    }
+
+    /// `Simd` matmul fuses each multiply-add but keeps the per-element
+    /// ascending-`k` order, so it matches a naive loop that uses
+    /// `mul_add` bitwise — across threads and tile boundaries.
+    #[test]
+    fn simd_matmul_equals_fused_naive(
+        (a, b) in (1usize..12, 1usize..12, 1usize..12).prop_flat_map(|(m, k, n)| {
+            let a = proptest::collection::vec(-100.0..100.0f64, m * k)
+                .prop_map(move |v| Matrix::from_vec(m, k, v).unwrap());
+            let b = proptest::collection::vec(-100.0..100.0f64, k * n)
+                .prop_map(move |v| Matrix::from_vec(k, n, v).unwrap());
+            (a, b)
+        }),
+        threads in 1usize..5,
+    ) {
+        let (m, k) = a.shape();
+        let n = b.ncols();
+        let mut naive = Matrix::zeros(m, n);
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0f64;
+                for p in 0..k {
+                    acc = a.get(i, p).mul_add(b.get(p, j), acc);
+                }
+                naive.set(i, j, acc);
+            }
+        }
+        let simd = ExecCtx::serial().with_kernel_mode(KernelMode::Simd);
+        prop_assert_eq!(&a.matmul_with(&b, &simd).unwrap(), &naive);
+        let ctx = ExecCtx::threaded(threads)
+            .with_kernel_mode(KernelMode::Simd)
+            .with_tiling(kr_linalg::Tiling { mc: 3, kc: 2, nc: 5 });
+        prop_assert_eq!(&a.matmul_with(&b, &ctx).unwrap(), &naive);
+    }
+
+    /// Every `Simd` kernel agrees with its `Scalar` oracle to 1e-10
+    /// relative tolerance on ragged shapes, including inner dimensions
+    /// below the 4-wide lane width.
+    #[test]
+    fn simd_kernels_match_scalar_oracle(
+        (a, b) in (1usize..16, 1usize..9, 1usize..16).prop_flat_map(|(m, d, n)| {
+            let a = proptest::collection::vec(-100.0..100.0f64, m * d)
+                .prop_map(move |v| Matrix::from_vec(m, d, v).unwrap());
+            let b = proptest::collection::vec(-100.0..100.0f64, n * d)
+                .prop_map(move |v| Matrix::from_vec(n, d, v).unwrap());
+            (a, b)
+        }),
+    ) {
+        let scalar = ExecCtx::serial().with_kernel_mode(KernelMode::Scalar);
+        let simd = ExecCtx::serial().with_kernel_mode(KernelMode::Simd);
+        let tol = 1e-10;
+        let pairs = [
+            (a.matmul_with(&b.transpose(), &scalar).unwrap(),
+             a.matmul_with(&b.transpose(), &simd).unwrap()),
+            (a.matmul_transpose_b_with(&b, &scalar).unwrap(),
+             a.matmul_transpose_b_with(&b, &simd).unwrap()),
+            (a.matmul_transpose_a_with(&a, &scalar).unwrap(),
+             a.matmul_transpose_a_with(&a, &simd).unwrap()),
+            (a.pairwise_sqdist_with(&b, &scalar).unwrap(),
+             a.pairwise_sqdist_with(&b, &simd).unwrap()),
+        ];
+        for (s, v) in &pairs {
+            prop_assert!(approx_eq(s, v, tol));
+        }
+    }
+
+    /// On small-integer inputs every product and partial sum is exactly
+    /// representable, so fusing and lane-splitting change nothing:
+    /// `Simd` equals `Scalar` bitwise.
+    #[test]
+    fn simd_exact_on_integer_inputs(
+        (a, b) in (1usize..10, 1usize..10, 1usize..10).prop_flat_map(|(m, d, n)| {
+            let a = proptest::collection::vec(-8i32..=8, m * d)
+                .prop_map(move |v| {
+                    Matrix::from_vec(m, d, v.into_iter().map(f64::from).collect()).unwrap()
+                });
+            let b = proptest::collection::vec(-8i32..=8, n * d)
+                .prop_map(move |v| {
+                    Matrix::from_vec(n, d, v.into_iter().map(f64::from).collect()).unwrap()
+                });
+            (a, b)
+        }),
+    ) {
+        let scalar = ExecCtx::serial().with_kernel_mode(KernelMode::Scalar);
+        let simd = ExecCtx::serial().with_kernel_mode(KernelMode::Simd);
+        prop_assert_eq!(
+            a.matmul_with(&b.transpose(), &scalar).unwrap(),
+            a.matmul_with(&b.transpose(), &simd).unwrap()
+        );
+        prop_assert_eq!(
+            a.matmul_transpose_b_with(&b, &scalar).unwrap(),
+            a.matmul_transpose_b_with(&b, &simd).unwrap()
+        );
+        prop_assert_eq!(
+            a.pairwise_sqdist_with(&b, &scalar).unwrap(),
+            a.pairwise_sqdist_with(&b, &simd).unwrap()
         );
     }
 }

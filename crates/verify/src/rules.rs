@@ -300,6 +300,13 @@ fn float_fold(path: &str, toks: &[Tok], cfg: &Config) -> Vec<Diag> {
     if !in_list(path, cfg.rule_list("float-fold", "hot_path")) {
         return Vec::new();
     }
+    // `lane_fold` carve-out: lane-kernel modules whose determinism
+    // contract *is* a fixed serial fold order (the 4-wide SIMD lane
+    // combine and its ascending tail fold). Scoped per file; every
+    // other rule still applies to them.
+    if in_list(path, cfg.rule_list("float-fold", "lane_fold")) {
+        return Vec::new();
+    }
     let mut diags = Vec::new();
     for i in 0..toks.len() {
         if tok_text(toks, i) != "." {
@@ -367,7 +374,8 @@ allow = ["ok/pool.rs"]
 [rule.wall-clock]
 allow = ["crates/bench"]
 [rule.float-fold]
-hot_path = ["crates/num/src/kernel.rs"]
+hot_path = ["crates/num/src/kernel.rs", "crates/num/src/simd.rs"]
+lane_fold = ["crates/num/src/simd.rs"]
 [rule.forbid-unsafe]
 roots = ["crates/num/src/lib.rs"]
 "#,
@@ -414,6 +422,36 @@ roots = ["crates/num/src/lib.rs"]
             .iter()
             .any(|d| d.rule == "float-fold"));
         assert!(diags_for("crates/num/src/other.rs", src).is_empty());
+    }
+
+    #[test]
+    fn lane_fold_carve_out_is_scoped_to_listed_files() {
+        // The same fixed-order fold is sanctioned in the lane-kernel
+        // module (hot_path AND lane_fold) but flagged in every other
+        // hot-path module.
+        let src = "fn f(v: &[f64]) -> f64 { v.iter().fold(0.0, |a, &b| a + b) }";
+        assert!(diags_for("crates/num/src/simd.rs", src)
+            .iter()
+            .all(|d| d.rule != "float-fold"));
+        assert!(diags_for("crates/num/src/kernel.rs", src)
+            .iter()
+            .any(|d| d.rule == "float-fold"));
+    }
+
+    #[test]
+    fn unsafe_simd_outside_allowlist_still_flagged() {
+        // A SAFETY comment satisfies safety-comment but NOT the
+        // allowlist: intrinsics in a module that verify.toml does not
+        // list are still a violation — the lane_fold carve-out must not
+        // loosen the unsafe rules for simd-named files.
+        let src = "// SAFETY: caller checked avx2.\nunsafe fn kernel() {}\n";
+        let d = diags_for("crates/num/src/simd.rs", src);
+        assert!(
+            d.iter()
+                .any(|d| d.rule == "unsafe-allowlist" && d.line == 2),
+            "{d:?}"
+        );
+        assert!(d.iter().all(|d| d.rule != "safety-comment"), "{d:?}");
     }
 
     #[test]

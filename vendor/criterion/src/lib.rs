@@ -11,7 +11,28 @@
 //! paper-figure harnesses do their own measurement (see `kr_bench`).
 
 use std::fmt;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
+
+/// One completed measurement: the full `group/bench` label and the
+/// median per-iteration time. Collected into a process-global registry
+/// so custom bench mains can persist machine-readable output after the
+/// groups run (upstream criterion writes its own JSON; this subset lets
+/// the bench own the format).
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Full label, `group/bench` for grouped benchmarks.
+    pub label: String,
+    /// Median per-iteration time in nanoseconds.
+    pub median_ns: f64,
+}
+
+static RESULTS: Mutex<Vec<BenchResult>> = Mutex::new(Vec::new());
+
+/// Drains every [`BenchResult`] recorded so far, in completion order.
+pub fn take_results() -> Vec<BenchResult> {
+    std::mem::take(&mut *RESULTS.lock().expect("criterion results poisoned"))
+}
 
 /// Top-level benchmark driver.
 #[derive(Debug, Default)]
@@ -145,6 +166,13 @@ fn run_benchmark(label: &str, sample_size: usize, mut f: impl FnMut(&mut Bencher
     samples.sort_by(|a, b| a.total_cmp(b));
     let median = samples[samples.len() / 2];
     println!("bench: {label:<40} median {:>12.3} us/iter", median * 1e6);
+    RESULTS
+        .lock()
+        .expect("criterion results poisoned")
+        .push(BenchResult {
+            label: label.to_string(),
+            median_ns: median * 1e9,
+        });
 }
 
 /// Collects benchmark functions into one runnable group.
