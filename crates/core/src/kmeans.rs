@@ -240,6 +240,13 @@ pub(crate) fn assign(
     let n = data.nrows();
     debug_assert_eq!(labels.len(), n);
     debug_assert_eq!(dmin.len(), n);
+    // Labels ride through the f64 pair buffer below; exact only while
+    // every label fits in f64's integer range (unreachable for a
+    // materialized centroid matrix, but the invariant is load-bearing).
+    debug_assert!(
+        (centroids.nrows() as u128) < (1u128 << 53),
+        "centroid count must stay below 2^53 for exact f64 label round-trips"
+    );
     let scratch = exec.scratch();
     // Precompute centroid norms once; per-point work is then one dot per
     // centroid, matching the pairwise_sqdist expansion without the n x k

@@ -478,6 +478,15 @@ fn assign_on_the_fly(
 ) {
     let n = data.nrows();
     let m = data.ncols();
+    // Flat labels ride through the f64 state buffer below; the
+    // round-trip is exact only while every label fits in f64's integer
+    // range. The KR flat index is the *product* of the set sizes, so
+    // unlike a materialized centroid matrix this can overflow 2^53
+    // without exhausting memory first — enforce it.
+    assert!(
+        (indexer.n_centroids() as u128) < (1u128 << 53),
+        "KR flat centroid index must stay below 2^53 for exact f64 label round-trips"
+    );
     let scratch = exec.scratch();
     let mut x_norms = scratch.take_f64_uninit(0);
     data.row_sq_norms_into(&mut x_norms);

@@ -129,8 +129,11 @@ pub fn fma_tile4(
     a: [f64; 4],
     b: &[f64],
 ) {
-    debug_assert!(r0.len() == b.len() && r1.len() == b.len());
-    debug_assert!(r2.len() == b.len() && r3.len() == b.len());
+    // Real asserts, not debug: the intrinsic backends do raw-pointer
+    // stores sized by `b.len()`, so these bounds must hold in release
+    // builds too (one branch per call, outside the hot loops).
+    assert!(r0.len() == b.len() && r1.len() == b.len());
+    assert!(r2.len() == b.len() && r3.len() == b.len());
     match backend() {
         #[cfg(target_arch = "x86_64")]
         // SAFETY: `backend()` returns `Avx2Fma` only after runtime
@@ -165,9 +168,12 @@ pub fn fma_panel4(
 ) {
     let jw = r0.len();
     let pw = a[0].len();
-    debug_assert!(r1.len() == jw && r2.len() == jw && r3.len() == jw);
-    debug_assert!(a[1].len() == pw && a[2].len() == pw && a[3].len() == pw);
-    debug_assert!(panel.len() >= pw * jw);
+    // Real asserts, not debug: these three bounds are what make every
+    // raw-pointer offset in the intrinsic backends in-bounds, so a safe
+    // caller must not be able to skip them in release builds.
+    assert!(r1.len() == jw && r2.len() == jw && r3.len() == jw);
+    assert!(a[1].len() == pw && a[2].len() == pw && a[3].len() == pw);
+    assert!(panel.len() >= pw.checked_mul(jw).expect("pw * jw overflows usize"));
     match backend() {
         #[cfg(target_arch = "x86_64")]
         // SAFETY: `backend()` returns `Avx2Fma` only after runtime
@@ -204,8 +210,16 @@ pub fn dot1(x: &[f64], y: &[f64]) -> f64 {
 /// standalone [`dot1`] call on that row.
 #[inline]
 pub fn dot_block(x: &[f64], y: &[f64], d: usize, jb: usize, out: &mut [f64]) {
-    debug_assert_eq!(x.len(), d);
-    debug_assert!((jb + out.len()) * d <= y.len());
+    // Real asserts, not debug: the intrinsic backends load `x` up to
+    // index `d` and rows of `y` by raw offset, so these must hold in
+    // release builds too.
+    assert_eq!(x.len(), d);
+    assert!(
+        (jb + out.len())
+            .checked_mul(d)
+            .is_some_and(|end| end <= y.len()),
+        "dot_block: rows jb..jb+out.len() must exist in y"
+    );
     match backend() {
         #[cfg(target_arch = "x86_64")]
         // SAFETY: `backend()` returns `Avx2Fma` only after runtime
@@ -416,7 +430,7 @@ mod avx2 {
 
     #[target_feature(enable = "avx2", enable = "fma")]
     // SAFETY: as for `axpy` above; additionally each `r_i` is
-    // `b.len()` long (debug-asserted by the dispatching wrapper).
+    // `b.len()` long (asserted by the dispatching wrapper).
     pub(super) unsafe fn fma_tile4(
         r0: &mut [f64],
         r1: &mut [f64],
@@ -454,7 +468,7 @@ mod avx2 {
     #[target_feature(enable = "avx2", enable = "fma")]
     #[allow(clippy::too_many_arguments)]
     // SAFETY: as for `axpy` above; additionally the dispatching wrapper
-    // debug-asserts `jw = r_i.len()`, `pw = a[i].len()`, and
+    // asserts `jw = r_i.len()`, `pw = a[i].len()`, and
     // `panel.len() >= pw * jw`, which bound every pointer offset below.
     pub(super) unsafe fn fma_panel4(
         r0: &mut [f64],
@@ -562,7 +576,7 @@ mod avx2 {
 
     #[target_feature(enable = "avx2", enable = "fma")]
     // SAFETY: as for `axpy` above; the dispatching wrapper
-    // debug-asserts that rows `jb..jb + out.len()` of `y` exist.
+    // asserts that rows `jb..jb + out.len()` of `y` exist.
     pub(super) unsafe fn dot_block(x: &[f64], y: &[f64], d: usize, jb: usize, out: &mut [f64]) {
         let jw = out.len();
         let mut j = 0;
@@ -664,7 +678,7 @@ mod neon {
     #[target_feature(enable = "neon")]
     #[allow(clippy::too_many_arguments)]
     // SAFETY: as for `axpy`; additionally the dispatching wrapper
-    // debug-asserts `jw = r_i.len()`, `pw = a[i].len()`, and
+    // asserts `jw = r_i.len()`, `pw = a[i].len()`, and
     // `panel.len() >= pw * jw`, which bound every pointer offset below.
     pub(super) unsafe fn fma_panel4(
         r0: &mut [f64],
@@ -756,7 +770,7 @@ mod neon {
 
     #[target_feature(enable = "neon")]
     // SAFETY: as for `axpy`; rows `jb..jb + out.len()` of `y`
-    // must exist (debug-asserted by the dispatching wrapper).
+    // must exist (asserted by the dispatching wrapper).
     pub(super) unsafe fn dot_block(x: &[f64], y: &[f64], d: usize, jb: usize, out: &mut [f64]) {
         let jw = out.len();
         let mut j = 0;
