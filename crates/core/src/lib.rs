@@ -81,6 +81,10 @@ pub enum CoreError {
     /// A transport, framing, or protocol failure in a distributed run
     /// (see `kr_federated`).
     Transport(String),
+    /// A peer missed a read deadline in a distributed run. Kept distinct
+    /// from [`CoreError::Transport`] so failure classification (drop the
+    /// shard for the round vs. treat the stream as corrupt) is testable.
+    Timeout(String),
 }
 
 impl std::fmt::Display for CoreError {
@@ -96,6 +100,7 @@ impl std::fmt::Display for CoreError {
             CoreError::NonFiniteInput => write!(f, "input contains NaN or infinite values"),
             CoreError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
             CoreError::Transport(msg) => write!(f, "transport failure: {msg}"),
+            CoreError::Timeout(msg) => write!(f, "deadline exceeded: {msg}"),
         }
     }
 }

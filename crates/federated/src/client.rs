@@ -159,11 +159,16 @@ impl<'a> ShardClient<'a> {
     }
 
     /// One round's reply to a (standalone or pipelined) broadcast.
+    /// A mask-carrying broadcast is answered with [`Msg::MaskedStats`]:
+    /// the same statistics, serialized to words and pairwise-masked
+    /// under the broadcast's [`MaskSpec`](crate::protocol::MaskSpec).
     fn answer_broadcast(&self, b: &crate::protocol::Broadcast) -> Msg {
         let centroids = b.summary.materialize();
-        Msg::LocalStats(compute_local_stats(
-            self.data, &centroids, b.round, &self.exec,
-        ))
+        let stats = compute_local_stats(self.data, &centroids, b.round, &self.exec);
+        match &b.mask {
+            None => Msg::LocalStats(stats),
+            Some(spec) => Msg::MaskedStats(crate::mask::mask_stats(&stats, spec, self.id)),
+        }
     }
 
     fn mass(&self) -> f64 {
@@ -218,6 +223,7 @@ mod tests {
             .handle(&Msg::Broadcast(Broadcast {
                 round: 0,
                 eval_only: false,
+                mask: None,
                 summary: Summary::Centroids(
                     Matrix::from_rows(&[vec![0.0, 0.0], vec![6.0, 8.0]]).unwrap(),
                 ),
@@ -254,6 +260,7 @@ mod tests {
         let broadcast = Broadcast {
             round: 3,
             eval_only: false,
+            mask: None,
             summary: Summary::Centroids(
                 Matrix::from_rows(&[vec![0.0, 0.0], vec![6.0, 8.0]]).unwrap(),
             ),
@@ -279,6 +286,44 @@ mod tests {
             .unwrap(),
             Step::Done
         );
+    }
+
+    #[test]
+    fn masked_broadcast_answers_with_recoverable_masked_stats() {
+        let data = shard();
+        let summary =
+            Summary::Centroids(Matrix::from_rows(&[vec![0.0, 0.0], vec![6.0, 8.0]]).unwrap());
+        let spec = crate::protocol::MaskSpec {
+            seed: 42,
+            members: vec![0, 1, 4],
+        };
+        let mut plain_client = ShardClient::new(1, &data, ExecCtx::serial());
+        let Step::Reply(Msg::LocalStats(plain)) = plain_client
+            .handle(&Msg::Broadcast(Broadcast {
+                round: 2,
+                eval_only: false,
+                mask: None,
+                summary: summary.clone(),
+            }))
+            .unwrap()
+        else {
+            panic!("expected plaintext stats");
+        };
+        let mut masked_client = ShardClient::new(1, &data, ExecCtx::serial());
+        let Step::Reply(Msg::MaskedStats(masked)) = masked_client
+            .handle(&Msg::Broadcast(Broadcast {
+                round: 2,
+                eval_only: false,
+                mask: Some(spec.clone()),
+                summary,
+            }))
+            .unwrap()
+        else {
+            panic!("expected masked stats");
+        };
+        // The server-side unmask recovers the plaintext reply bitwise.
+        let back = crate::mask::unmask_stats(&masked, &spec, 1).unwrap();
+        assert_eq!(back, plain);
     }
 
     #[test]

@@ -1,0 +1,386 @@
+//! Deterministic, transport-level fault injection — the chaos-test
+//! layer behind the `fault_injection` suite and the fig10 failure axis.
+//!
+//! A [`FaultPlan`] scripts failures per *(client, round)*:
+//! [`FaultAction::DropReply`] (the reply frame vanishes, surfacing as a
+//! typed timeout), [`FaultAction::DelayReply`] (the reply misses its
+//! round deadline and arrives *stale* during the next exchange),
+//! [`FaultAction::TruncateReply`] (the reply decodes to a genuine
+//! truncation error), and [`FaultAction::Disconnect`] (the channel
+//! closes at that round). Clients can also be marked *absent*: their
+//! registration is swallowed, so they never join the federation —
+//! which is what makes a faulted run comparable bitwise to a clean run
+//! over the surviving client set (absence precedes every server RNG
+//! draw).
+//!
+//! [`FaultConn`] wraps any [`Connection`] and keys every injection on
+//! the *decoded reply* (client id from the sniffed
+//! [`Join`](crate::protocol::Join), round from the
+//! [`LocalStats`](crate::protocol::LocalStats) /
+//! [`MaskedStats`](crate::protocol::MaskedStats) it intercepts) — never
+//! on wall-clock time. The same plan therefore produces the *identical*
+//! server-visible event sequence over the in-process local transport
+//! and loopback TCP, which is the property that turns every failure
+//! scenario into a reproducible test instead of a flake (CI-enforced
+//! bitwise at 1/2/8 pool workers).
+
+use crate::protocol::Msg;
+use crate::transport::Connection;
+use crate::wire::{self, FrameInfo};
+use kr_core::{CoreError, Result};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// One scripted failure for a *(client, round)* cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultAction {
+    /// The client's reply frame for the round vanishes in transit; the
+    /// server sees a typed timeout and drops the shard for the round.
+    DropReply,
+    /// The client's reply misses the round deadline (typed timeout) but
+    /// arrives *stale* during the server's next exchange, where it is
+    /// acked-and-discarded deterministically.
+    DelayReply,
+    /// The client's reply frame arrives cut short, decoding to a
+    /// genuine truncation error (classified as corruption, not
+    /// timeout).
+    TruncateReply,
+    /// The client's channel closes when its reply for the round is due;
+    /// the shard leaves the federation for the rest of the run.
+    Disconnect,
+}
+
+/// A seeded, per-*(client, round)* failure script, shared by every
+/// wrapped connection of a run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Scripted actions, keyed by `(client_id, round)`. Ordered maps
+    /// keep iteration deterministic (and satisfy the crate's
+    /// hash-collection ban).
+    entries: BTreeMap<(u32, u32), FaultAction>,
+    /// Clients whose registration is swallowed entirely.
+    absent: BTreeSet<u32>,
+}
+
+impl FaultPlan {
+    /// An empty plan (injects nothing).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Scripts `action` for `client` at `round` (builder style).
+    pub fn with(mut self, client: u32, round: u32, action: FaultAction) -> Self {
+        self.entries.insert((client, round), action);
+        self
+    }
+
+    /// Marks `client` absent: its `Join` never reaches the server, so
+    /// the federation forms without it (builder style).
+    pub fn with_absent(mut self, client: u32) -> Self {
+        self.absent.insert(client);
+        self
+    }
+
+    /// The scripted action for a *(client, round)* cell, if any.
+    pub fn action(&self, client: u32, round: u32) -> Option<FaultAction> {
+        self.entries.get(&(client, round)).copied()
+    }
+
+    /// Whether `client`'s registration is swallowed.
+    pub fn is_absent(&self, client: u32) -> bool {
+        self.absent.contains(&client)
+    }
+
+    /// Number of scripted *(client, round)* actions.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the plan injects nothing at all.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty() && self.absent.is_empty()
+    }
+
+    /// A seeded drop schedule: every round, `⌊drop_rate · n_clients⌋`
+    /// distinct clients (capped at `n_clients − 1`, so each round keeps
+    /// at least one reporter) lose their reply to a
+    /// [`FaultAction::DropReply`]. The victim sets are drawn by seeded
+    /// shuffles, so the schedule — like everything else in the injector
+    /// — is a pure function of its arguments.
+    pub fn seeded_drops(seed: u64, n_clients: usize, rounds: usize, drop_rate: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&drop_rate),
+            "drop_rate {drop_rate} out of [0, 1]"
+        );
+        let n_drop =
+            ((drop_rate * n_clients as f64).floor() as usize).min(n_clients.saturating_sub(1));
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut plan = FaultPlan::new();
+        let mut ids: Vec<u32> = (0..n_clients as u32).collect();
+        for round in 0..rounds as u32 {
+            ids.shuffle(&mut rng);
+            for &victim in ids.iter().take(n_drop) {
+                plan.entries.insert((victim, round), FaultAction::DropReply);
+            }
+        }
+        plan
+    }
+}
+
+/// Wraps every connection of a run with the same shared [`FaultPlan`].
+pub fn wrap<C: Connection>(plan: &Arc<FaultPlan>, conns: Vec<C>) -> Vec<FaultConn<C>> {
+    conns
+        .into_iter()
+        .map(|inner| FaultConn::new(inner, Arc::clone(plan)))
+        .collect()
+}
+
+/// A [`Connection`] that injects its plan's failures into the replies
+/// it relays (server side, so the same wrapper covers every backend).
+#[derive(Debug)]
+pub struct FaultConn<C> {
+    inner: C,
+    plan: Arc<FaultPlan>,
+    /// Learned from the sniffed `Join` — injections before registration
+    /// only cover absence.
+    client_id: Option<u32>,
+    /// A delayed reply awaiting stale delivery on the next `recv`.
+    held: Option<(Msg, FrameInfo)>,
+    /// Set on `Disconnect` / absence: the channel reads as closed and
+    /// outbound frames are swallowed.
+    dead: bool,
+}
+
+impl<C: Connection> FaultConn<C> {
+    /// Wraps one connection under `plan`.
+    pub fn new(inner: C, plan: Arc<FaultPlan>) -> Self {
+        FaultConn {
+            inner,
+            plan,
+            client_id: None,
+            held: None,
+            dead: false,
+        }
+    }
+
+    /// The wrapped client's id, once its `Join` has passed through.
+    pub fn client_id(&self) -> Option<u32> {
+        self.client_id
+    }
+
+    fn reply_round(msg: &Msg) -> Option<u32> {
+        match msg {
+            Msg::LocalStats(s) => Some(s.round),
+            Msg::MaskedStats(s) => Some(s.round),
+            _ => None,
+        }
+    }
+}
+
+impl<C: Connection> Connection for FaultConn<C> {
+    fn send(&mut self, msg: &Msg) -> Result<FrameInfo> {
+        if self.dead {
+            // The channel is gone; measure the frame (the server's
+            // accounting must not depend on which backend noticed the
+            // death first) but deliver nothing.
+            let (_, info) = wire::encode(msg);
+            return Ok(info);
+        }
+        self.inner.send(msg)
+    }
+
+    fn recv(&mut self) -> Result<Option<(Msg, FrameInfo)>> {
+        if self.dead {
+            return Ok(None);
+        }
+        // A delayed reply from a closed round is delivered *stale*,
+        // ahead of whatever the client sends next.
+        if let Some(held) = self.held.take() {
+            return Ok(Some(held));
+        }
+        let Some((msg, info)) = self.inner.recv()? else {
+            return Ok(None);
+        };
+        if let Msg::Join(j) = &msg {
+            self.client_id = Some(j.client_id);
+            if self.plan.is_absent(j.client_id) {
+                self.dead = true;
+                return Ok(None);
+            }
+        }
+        let (Some(id), Some(round)) = (self.client_id, Self::reply_round(&msg)) else {
+            return Ok(Some((msg, info)));
+        };
+        match self.plan.action(id, round) {
+            None => Ok(Some((msg, info))),
+            Some(FaultAction::DropReply) => Err(CoreError::Timeout(format!(
+                "injected drop: client {id} round {round}"
+            ))),
+            Some(FaultAction::DelayReply) => {
+                self.held = Some((msg, info));
+                Err(CoreError::Timeout(format!(
+                    "injected delay: client {id} round {round}"
+                )))
+            }
+            Some(FaultAction::TruncateReply) => {
+                // Re-frame the reply and cut it short, surfacing the
+                // *genuine* decode error a damaged frame produces.
+                let (frame, _) = wire::encode(&msg);
+                let cut = frame.len() * 3 / 4;
+                let err =
+                    wire::decode_frame(&frame[..cut]).expect_err("a truncated frame cannot decode");
+                Err(err.into())
+            }
+            Some(FaultAction::Disconnect) => {
+                self.dead = true;
+                Ok(None)
+            }
+        }
+    }
+
+    fn set_deadline(&mut self, deadline: Option<Duration>) -> Result<()> {
+        if self.dead {
+            return Ok(());
+        }
+        self.inner.set_deadline(deadline)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::LocalStats;
+    use crate::transport::FailureKind;
+    use kr_core::stats::SuffStats;
+    use std::collections::VecDeque;
+
+    /// A scripted inner connection feeding canned replies.
+    struct Scripted {
+        replies: VecDeque<Msg>,
+        sent: Vec<Msg>,
+    }
+
+    impl Connection for Scripted {
+        fn send(&mut self, msg: &Msg) -> Result<FrameInfo> {
+            self.sent.push(msg.clone());
+            let (_, info) = wire::encode(msg);
+            Ok(info)
+        }
+
+        fn recv(&mut self) -> Result<Option<(Msg, FrameInfo)>> {
+            Ok(self.replies.pop_front().map(|m| {
+                let (frame, _) = wire::encode(&m);
+                let info = FrameInfo {
+                    frame_bytes: frame.len(),
+                    stat_bytes: wire::stat_bytes(&m),
+                };
+                (m, info)
+            }))
+        }
+    }
+
+    fn stats_reply(round: u32) -> Msg {
+        Msg::LocalStats(LocalStats {
+            round,
+            stats: SuffStats::zeros(2, 2),
+            inertia: 1.0,
+        })
+    }
+
+    fn join(id: u32) -> Msg {
+        Msg::Join(crate::protocol::Join {
+            client_id: id,
+            nrows: 4,
+            ncols: 2,
+            finite: true,
+        })
+    }
+
+    fn wrap_one(plan: FaultPlan, replies: Vec<Msg>) -> FaultConn<Scripted> {
+        FaultConn::new(
+            Scripted {
+                replies: VecDeque::from(replies),
+                sent: Vec::new(),
+            },
+            Arc::new(plan),
+        )
+    }
+
+    #[test]
+    fn drop_is_a_typed_timeout_and_recovers_next_round() {
+        let plan = FaultPlan::new().with(3, 1, FaultAction::DropReply);
+        let mut conn = wrap_one(
+            plan,
+            vec![join(3), stats_reply(0), stats_reply(1), stats_reply(2)],
+        );
+        assert!(matches!(conn.recv(), Ok(Some((Msg::Join(_), _)))));
+        assert!(matches!(conn.recv(), Ok(Some((Msg::LocalStats(_), _)))));
+        let err = conn.recv().unwrap_err();
+        assert_eq!(crate::transport::classify(&err), FailureKind::Timeout);
+        // Round 2's reply flows again.
+        assert!(matches!(conn.recv(), Ok(Some((Msg::LocalStats(s), _))) if s.round == 2));
+    }
+
+    #[test]
+    fn delay_holds_the_reply_for_stale_delivery() {
+        let plan = FaultPlan::new().with(0, 0, FaultAction::DelayReply);
+        let mut conn = wrap_one(plan, vec![join(0), stats_reply(0), stats_reply(1)]);
+        conn.recv().unwrap();
+        let err = conn.recv().unwrap_err();
+        assert_eq!(crate::transport::classify(&err), FailureKind::Timeout);
+        // The held round-0 frame arrives stale, then round 1's.
+        assert!(matches!(conn.recv(), Ok(Some((Msg::LocalStats(s), _))) if s.round == 0));
+        assert!(matches!(conn.recv(), Ok(Some((Msg::LocalStats(s), _))) if s.round == 1));
+    }
+
+    #[test]
+    fn truncation_classifies_as_corruption() {
+        let plan = FaultPlan::new().with(1, 0, FaultAction::TruncateReply);
+        let mut conn = wrap_one(plan, vec![join(1), stats_reply(0)]);
+        conn.recv().unwrap();
+        let err = conn.recv().unwrap_err();
+        assert_eq!(crate::transport::classify(&err), FailureKind::Corrupt);
+    }
+
+    #[test]
+    fn disconnect_reads_as_closed_and_swallows_sends() {
+        let plan = FaultPlan::new().with(2, 1, FaultAction::Disconnect);
+        let mut conn = wrap_one(plan, vec![join(2), stats_reply(0), stats_reply(1)]);
+        conn.recv().unwrap();
+        conn.recv().unwrap();
+        assert!(matches!(conn.recv(), Ok(None)));
+        assert!(matches!(conn.recv(), Ok(None)), "stays dead");
+        conn.send(&Msg::MeanQuery).unwrap();
+        assert!(conn.inner.sent.is_empty(), "dead channel delivers nothing");
+    }
+
+    #[test]
+    fn absent_client_never_joins() {
+        let plan = FaultPlan::new().with_absent(7);
+        let mut conn = wrap_one(plan, vec![join(7), stats_reply(0)]);
+        assert!(matches!(conn.recv(), Ok(None)));
+        assert_eq!(conn.client_id(), Some(7));
+        assert!(matches!(conn.recv(), Ok(None)));
+    }
+
+    #[test]
+    fn seeded_drops_are_deterministic_and_bounded() {
+        let a = FaultPlan::seeded_drops(9, 10, 6, 0.3);
+        let b = FaultPlan::seeded_drops(9, 10, 6, 0.3);
+        assert_eq!(a, b, "same seed, same plan");
+        assert_ne!(a, FaultPlan::seeded_drops(10, 10, 6, 0.3));
+        assert_eq!(a.len(), 3 * 6, "⌊0.3·10⌋ victims per round");
+        // 100% drops still leave one reporter per round.
+        let full = FaultPlan::seeded_drops(1, 4, 3, 1.0);
+        for round in 0..3u32 {
+            let victims = (0..4u32)
+                .filter(|&c| full.action(c, round).is_some())
+                .count();
+            assert_eq!(victims, 3, "n − 1 cap");
+        }
+    }
+}

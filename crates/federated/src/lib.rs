@@ -22,6 +22,13 @@
 //!   against N concurrent clients, and a
 //!   [`ShardClient`](client::ShardClient) computing local statistics on
 //!   its own [`ExecCtx`].
+//! * [`faults`] / [`mask`] — a seeded, transport-level fault injector
+//!   (scripted drops, delays, truncations, disconnects per
+//!   client × round, identical over both backends) and the pairwise
+//!   additive-masking algebra behind secure aggregation. Fault
+//!   tolerance is configured per run through [`Resilience`]: quorum
+//!   rounds over the survivors, per-round read deadlines, masked
+//!   uploads — all under the same bitwise determinism contract.
 //!
 //! Protocol (both algorithms, per round):
 //!
@@ -60,12 +67,17 @@
 #![forbid(unsafe_code)]
 
 pub mod client;
+pub mod faults;
+pub mod mask;
 pub mod protocol;
 pub mod server;
 pub mod transport;
 pub mod wire;
 
-pub use server::{Algo, FederatedServer, WireTotals};
+pub use faults::{FaultAction, FaultConn, FaultPlan};
+pub use protocol::MaskSpec;
+pub use server::{Algo, FederatedServer, Resilience, WireTotals};
+pub use transport::FailureKind;
 
 use kr_core::aggregator::Aggregator;
 use kr_core::Result;
@@ -95,8 +107,15 @@ pub struct RoundStats {
     /// Cumulative client→server bytes after this round's upload.
     pub uplink_bytes: usize,
     /// Global inertia of the model *after* this round's update,
-    /// assembled from client-reported partials.
+    /// assembled from client-reported partials. With failures, it is the
+    /// inertia over the shards that reported the *next* exchange (the
+    /// partials of absent shards never reach the server).
     pub inertia: f64,
+    /// Shards whose statistics were merged into this round's update.
+    pub reporters: usize,
+    /// Per-shard failures recorded this round, as `(client_id, kind)`,
+    /// in ascending client order. Empty on a clean round.
+    pub failures: Vec<(u32, FailureKind)>,
 }
 
 /// Result of a federated run.
@@ -150,11 +169,7 @@ impl FkM {
     /// count, and bitwise identical to a loopback-TCP run of
     /// [`FederatedServer::drive`]).
     pub fn run_with(&self, clients: &[Client], exec: &ExecCtx) -> Result<FederatedModel> {
-        let server = FederatedServer {
-            algo: Algo::Fkm { k: self.k },
-            rounds: self.rounds,
-            seed: self.seed,
-        };
+        let server = FederatedServer::new(Algo::Fkm { k: self.k }, self.rounds, self.seed);
         server.drive(transport::local::connect_shards(clients, exec), exec)
     }
 }
@@ -169,14 +184,14 @@ impl KrFkM {
     /// Runs the protocol over the clients through the in-process
     /// [`transport::local`] backend (see [`FkM::run_with`]).
     pub fn run_with(&self, clients: &[Client], exec: &ExecCtx) -> Result<FederatedModel> {
-        let server = FederatedServer {
-            algo: Algo::KrFkm {
+        let server = FederatedServer::new(
+            Algo::KrFkm {
                 hs: self.hs.clone(),
                 aggregator: self.aggregator,
             },
-            rounds: self.rounds,
-            seed: self.seed,
-        };
+            self.rounds,
+            self.seed,
+        );
         server.drive(transport::local::connect_shards(clients, exec), exec)
     }
 }

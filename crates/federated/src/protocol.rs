@@ -94,6 +94,34 @@ impl Summary {
     }
 }
 
+/// Pairwise-masking parameters for one round, carried inside the
+/// round's [`Broadcast`].
+///
+/// Each pair of members `(i, j)` derives a shared stream of 64-bit
+/// words from `(seed, min(i,j), max(i,j), round)`; the lower id *adds*
+/// the stream to its serialized statistics (wrapping, in the `u64` bit
+/// domain), the higher id *subtracts* it, so summing every member's
+/// masked words cancels the masks exactly in `ℤ_{2^64}` — see
+/// [`crate::mask`]. Masking in the bit domain (not on the `f64` values)
+/// is what lets a masked run stay **bitwise identical** to an unmasked
+/// one: the server recovers each reporter's exact statistics before the
+/// usual ascending-client-order float merge.
+///
+/// This models the *aggregation algebra* of secure aggregation
+/// (Bonawitz et al.-style pairwise masks, including dropped-client mask
+/// recovery); it is not a cryptographic implementation — the seed
+/// travels in the clear on the same channel.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MaskSpec {
+    /// Run-level mask seed (all pair streams derive from it).
+    pub seed: u64,
+    /// The round's member client ids, ascending. Every member masks
+    /// against every other member; the server unmasks each reporter
+    /// against the same list, which is how a dropped member's mask
+    /// contributions are recovered.
+    pub members: Vec<u32>,
+}
+
 /// Server → client: one round's summary.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Broadcast {
@@ -104,6 +132,9 @@ pub struct Broadcast {
     /// telemetry and accounts no bytes (evaluation is not part of the
     /// paper's communication cost).
     pub eval_only: bool,
+    /// When present, clients must reply with [`MaskedStats`] derived
+    /// under this spec instead of plaintext [`LocalStats`].
+    pub mask: Option<MaskSpec>,
     /// The model summary.
     pub summary: Summary,
 }
@@ -119,6 +150,36 @@ pub struct LocalStats {
     /// The client's partial inertia under the received summary
     /// (telemetry; excluded from the byte accounting).
     pub inertia: f64,
+}
+
+/// Client → server: one round's sufficient statistics under pairwise
+/// additive masking (the reply to a [`Broadcast`] carrying a
+/// [`MaskSpec`]).
+///
+/// `words` is the client's [`LocalStats`] serialized to 64-bit words —
+/// `k·m` sum bit-patterns, then `k` counts, then one inertia
+/// bit-pattern — with the client's pairwise masks wrapping-added in the
+/// bit domain (see [`crate::mask`]). The sums + counts sections account
+/// as summary-statistic bytes exactly like a plaintext upload
+/// (`(k·m + k)·8`), so masking never changes the Figure 10 accounting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MaskedStats {
+    /// Round index this reply answers.
+    pub round: u32,
+    /// Number of clusters the statistics cover.
+    pub k: u32,
+    /// Feature dimension.
+    pub m: u32,
+    /// Masked words: `k·m` sums, `k` counts, `1` inertia — in that
+    /// order (`k·m + k + 1` words total).
+    pub words: Vec<u64>,
+}
+
+impl MaskedStats {
+    /// Number of words a `k x m` masked upload carries.
+    pub fn word_count(k: usize, m: usize) -> usize {
+        k * m + k + 1
+    }
 }
 
 /// Server → client: closes a round; `done = true` shuts the client
@@ -204,6 +265,9 @@ pub enum Msg {
     Broadcast(Broadcast),
     /// One round's sufficient statistics (client → server).
     LocalStats(LocalStats),
+    /// One round's pairwise-masked statistics (client → server; the
+    /// reply to a mask-carrying broadcast).
+    MaskedStats(MaskedStats),
     /// Round acknowledgement / shutdown (server → client).
     RoundAck(RoundAck),
 }

@@ -23,8 +23,10 @@
 //! evaluation is not part of the protocol's communication cost. Full
 //! frame traffic, overhead included, is reported in [`WireTotals`].
 
-use crate::protocol::{Broadcast, Join, LocalStats, Msg, RoundAck, ServerState};
-use crate::transport::{for_each_connection, recv_expected, Connection};
+use crate::mask;
+use crate::protocol::{Broadcast, Join, LocalStats, MaskSpec, Msg, RoundAck, ServerState};
+use crate::transport::{classify, for_each_connection, recv_expected, Connection, FailureKind};
+use crate::wire::FrameInfo;
 use crate::{FederatedModel, RoundStats};
 use kr_core::aggregator::Aggregator;
 use kr_core::stats::SuffStats;
@@ -32,6 +34,7 @@ use kr_core::{CoreError, Result};
 use kr_linalg::{ops, ExecCtx, Matrix};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::time::Duration;
 
 /// Which federated algorithm the server runs.
 #[derive(Debug, Clone, PartialEq)]
@@ -57,12 +60,41 @@ pub enum Algo {
 pub struct WireTotals {
     /// Frames the server sent.
     pub frames_down: usize,
-    /// Frames the server received.
+    /// Frames the server received and consumed.
     pub frames_up: usize,
+    /// Late frames for already-closed rounds, received and discarded
+    /// (their bytes still count toward `frame_bytes_up` — they did
+    /// travel).
+    pub frames_stale: usize,
     /// Bytes the server sent (length prefixes included).
     pub frame_bytes_down: usize,
     /// Bytes the server received (length prefixes included).
     pub frame_bytes_up: usize,
+}
+
+/// Fault-tolerance and privacy knobs for a federated run. The default
+/// is the strict legacy contract: every client must answer every round,
+/// deadlines are the transport's defaults, and uploads are plaintext.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Resilience {
+    /// Minimum number of clients that must report for a round to
+    /// proceed. `None` is strict mode: any per-round failure aborts the
+    /// run (the pre-resilience behavior). With `Some(q)`, a round
+    /// proceeds over its survivors — the ascending-client-order merge
+    /// simply skips the missing shards, which renormalizes the mean /
+    /// Proposition 6.1 updates over the reporters — and the run only
+    /// errors when fewer than `q` clients report.
+    pub quorum: Option<usize>,
+    /// Per-round read deadline armed on every connection before each
+    /// exchange ([`Connection::set_deadline`]); `None` keeps the
+    /// backend default. Expiries classify as
+    /// [`FailureKind::Timeout`].
+    pub round_deadline: Option<Duration>,
+    /// When set, every broadcast carries a [`MaskSpec`] over the
+    /// round's active members and clients reply with pairwise-masked
+    /// uploads ([`crate::mask`]). The server unmasks each reporter
+    /// exactly, so results are bitwise identical to an unmasked run.
+    pub mask_seed: Option<u64>,
 }
 
 /// A protocol server for one federated run.
@@ -74,6 +106,27 @@ pub struct FederatedServer {
     pub rounds: usize,
     /// RNG seed driving the bootstrap.
     pub seed: u64,
+    /// Fault-tolerance / masking configuration.
+    pub resilience: Resilience,
+}
+
+impl FederatedServer {
+    /// A server with the strict default [`Resilience`] (every client
+    /// answers every round, plaintext uploads).
+    pub fn new(algo: Algo, rounds: usize, seed: u64) -> Self {
+        FederatedServer {
+            algo,
+            rounds,
+            seed,
+            resilience: Resilience::default(),
+        }
+    }
+
+    /// Replaces the resilience configuration (builder style).
+    pub fn with_resilience(mut self, resilience: Resilience) -> Self {
+        self.resilience = resilience;
+        self
+    }
 }
 
 impl FederatedServer {
@@ -96,7 +149,7 @@ impl FederatedServer {
                 }
             }
         }
-        let mut driver = Driver::register(conns, exec)?;
+        let mut driver = Driver::register(conns, exec, self.resilience.round_deadline)?;
         let mut rng = StdRng::seed_from_u64(self.seed);
 
         // ---- Bootstrap (uncounted; identical bookkeeping for both
@@ -130,31 +183,36 @@ impl FederatedServer {
         // standalone broadcast; every later round's broadcast rides on
         // the previous round's ack (one server→client frame and one
         // reply per round — half the exchanges of the ack-then-broadcast
-        // scheme). A round's inertia is the inertia of the *updated*
+        // scheme). Clients that failed the previous round instead get a
+        // standalone *catch-up* broadcast — the server won't ack a
+        // contribution it never merged — which re-admits them into the
+        // new round. A round's inertia is the inertia of the *updated*
         // model, which clients report while assigning against the next
         // round's broadcast — so each entry is finalized one exchange
         // later (the last by the evaluation exchange below).
         let m = driver.m;
+        let quorum = self.resilience.quorum;
         let mut history: Vec<RoundStats> = Vec::with_capacity(self.rounds);
         let (mut down, mut up) = (0usize, 0usize);
         for round in 0..self.rounds {
-            let broadcast = Broadcast {
-                round: round as u32,
-                eval_only: false,
-                summary: state.summary(),
-            };
-            let (replies, stat_down, stat_up) = if round == 0 {
-                driver.broadcast_round(broadcast)?
+            let broadcast =
+                driver.make_broadcast(round as u32, false, &state, self.resilience.mask_seed);
+            let ack_round = if round == 0 {
+                None
             } else {
-                driver.ack_round_pipelined(round as u32 - 1, broadcast)?
+                Some(round as u32 - 1)
             };
-            down += stat_down;
-            up += stat_up;
+            let outcome = driver.round_exchange(broadcast, ack_round, quorum)?;
+            down += outcome.stat_down;
+            up += outcome.stat_up;
             if round > 0 {
-                history[round - 1].inertia = sum_inertia(&replies);
+                history[round - 1].inertia = outcome.sum_inertia();
             }
+            // Merge over the round's reporters in ascending client
+            // order: absent shards contribute nothing, so the mean /
+            // Proposition 6.1 updates renormalize over the survivors.
             let mut agg = SuffStats::zeros(state.grid_size(), m);
-            for r in &replies {
+            for r in outcome.replies.iter().flatten() {
                 agg.merge(&r.stats)?;
             }
             state.apply_stats(&agg);
@@ -163,6 +221,8 @@ impl FederatedServer {
                 downlink_bytes: down,
                 uplink_bytes: up,
                 inertia: f64::INFINITY, // finalized by the next exchange
+                reporters: outcome.reporters,
+                failures: outcome.failures,
             });
         }
 
@@ -170,13 +230,10 @@ impl FederatedServer {
         // model, assembled from client-reported partials, pipelined onto
         // the last accounted round's ack.
         if self.rounds > 0 {
-            let eval = Broadcast {
-                round: self.rounds as u32,
-                eval_only: true,
-                summary: state.summary(),
-            };
-            let (replies, _, _) = driver.ack_round_pipelined(self.rounds as u32 - 1, eval)?;
-            history[self.rounds - 1].inertia = sum_inertia(&replies);
+            let eval =
+                driver.make_broadcast(self.rounds as u32, true, &state, self.resilience.mask_seed);
+            let outcome = driver.round_exchange(eval, Some(self.rounds as u32 - 1), quorum)?;
+            history[self.rounds - 1].inertia = outcome.sum_inertia();
         }
         driver.broadcast_ack(self.rounds as u32, true)?;
 
@@ -186,11 +243,6 @@ impl FederatedServer {
             wire: driver.wire,
         })
     }
-}
-
-/// Sums client inertia partials in ascending client order.
-fn sum_inertia(replies: &[LocalStats]) -> f64 {
-    replies.iter().map(|r| r.inertia).sum()
 }
 
 /// Converts a sampled set to deviations from the global mean (the
@@ -213,6 +265,49 @@ fn anchor_deviations(set: &mut Matrix, mean: &[f64], aggregator: Aggregator) {
     }
 }
 
+/// What one connection contributed to a round exchange. Collected as
+/// `Ok` values from the per-connection workers (an `Err` there aborts
+/// the whole fan-out) and folded into a [`RoundOutcome`] afterwards.
+struct ConnReport {
+    /// The broadcast frame sent to this client, if it is still active.
+    down: Option<FrameInfo>,
+    /// Late frames for already-closed rounds, received and discarded.
+    stale_frames: usize,
+    stale_bytes: usize,
+    result: ConnResult,
+}
+
+enum ConnResult {
+    /// The connection is inactive (disconnected in an earlier round);
+    /// nothing was sent or expected.
+    Skipped,
+    /// The client reported this round's statistics (already unmasked).
+    Reported { stats: LocalStats, up: FrameInfo },
+    /// The client failed the round. The kind drives recovery; the
+    /// original error is preserved for strict-mode propagation.
+    Failed(FailureKind, CoreError),
+}
+
+/// One tolerant round exchange, folded over all connections in
+/// ascending client order.
+struct RoundOutcome {
+    /// Per-client reply, `None` where the shard sat the round out.
+    /// Indexed by registration (ascending client id) order, so merging
+    /// the `Some`s in sequence preserves the determinism contract.
+    replies: Vec<Option<LocalStats>>,
+    stat_down: usize,
+    stat_up: usize,
+    reporters: usize,
+    failures: Vec<(u32, FailureKind)>,
+}
+
+impl RoundOutcome {
+    /// Sums reporter inertia partials in ascending client order.
+    fn sum_inertia(&self) -> f64 {
+        self.replies.iter().flatten().map(|r| r.inertia).sum()
+    }
+}
+
 /// Registered connections plus the run's wire-measurement state.
 struct Driver<'e, C: Connection> {
     conns: Vec<C>,
@@ -220,6 +315,15 @@ struct Driver<'e, C: Connection> {
     exec: &'e ExecCtx,
     wire: WireTotals,
     m: usize,
+    /// Per-connection liveness: `false` once a shard's channel closed
+    /// (it left the federation for the rest of the run).
+    active: Vec<bool>,
+    /// Whether the client failed the previous round. A missed client's
+    /// contribution was never merged, so the next round re-admits it
+    /// with a standalone catch-up broadcast instead of a pipelined ack.
+    missed: Vec<bool>,
+    /// Per-round read deadline armed before each exchange.
+    deadline: Option<Duration>,
 }
 
 impl<'e, C: Connection> Driver<'e, C> {
@@ -227,19 +331,26 @@ impl<'e, C: Connection> Driver<'e, C> {
     /// client id, and validates the federation like the centralized
     /// `check_clients` did: some data must exist, non-empty shards must
     /// agree on the feature dimension, and every shard must be finite.
-    fn register(mut conns: Vec<C>, exec: &'e ExecCtx) -> Result<Self> {
+    ///
+    /// Registration is *tolerant of absence*: a connection that closes
+    /// before sending its `Join` is dropped on the floor, before any
+    /// seeding RNG is consumed — so a run whose clients never show up is
+    /// bitwise identical to a clean run over the survivors.
+    fn register(mut conns: Vec<C>, exec: &'e ExecCtx, deadline: Option<Duration>) -> Result<Self> {
         let mut wire = WireTotals::default();
-        let joins = for_each_connection(exec, &mut conns, |_, conn| match recv_expected(conn)? {
-            (Msg::Join(join), info) => Ok((join, info)),
-            (other, _) => Err(protocol_err("Join", &other)),
+        let joins = for_each_connection(exec, &mut conns, |_, conn| match conn.recv()? {
+            Some((Msg::Join(join), info)) => Ok(Some((join, info))),
+            Some((other, _)) => Err(protocol_err("Join", &other)),
+            None => Ok(None),
         })?;
         let mut pairs: Vec<(Join, C)> = joins
             .into_iter()
             .zip(conns)
-            .map(|((join, info), conn)| {
+            .filter_map(|(slot, conn)| {
+                let (join, info) = slot?;
                 wire.frames_up += 1;
                 wire.frame_bytes_up += info.frame_bytes;
-                (join, conn)
+                Some((join, conn))
             })
             .collect();
         pairs.sort_by_key(|(join, _)| join.client_id);
@@ -266,12 +377,16 @@ impl<'e, C: Connection> Driver<'e, C> {
                 return Err(CoreError::NonFiniteInput);
             }
         }
+        let n = joins.len();
         Ok(Driver {
             conns,
             joins,
             exec,
             wire,
             m,
+            active: vec![true; n],
+            missed: vec![false; n],
+            deadline,
         })
     }
 
@@ -302,69 +417,226 @@ impl<'e, C: Connection> Driver<'e, C> {
         Ok((out, stat_down, stat_up))
     }
 
-    /// Sends `msg` to every client without expecting replies.
+    /// Sends `msg` to every still-active client without expecting
+    /// replies (shards that left the federation get nothing).
     fn broadcast_only(&mut self, msg: &Msg) -> Result<()> {
-        let infos = for_each_connection(self.exec, &mut self.conns, |_, conn| conn.send(msg))?;
-        for info in infos {
+        let active = &self.active;
+        let infos = for_each_connection(self.exec, &mut self.conns, |i, conn| {
+            if active[i] {
+                conn.send(msg).map(Some)
+            } else {
+                Ok(None)
+            }
+        })?;
+        for info in infos.into_iter().flatten() {
             self.wire.frames_down += 1;
             self.wire.frame_bytes_down += info.frame_bytes;
         }
         Ok(())
     }
 
-    /// The opening round exchange: a standalone broadcast, answered by
-    /// [`LocalStats`].
-    fn broadcast_round(&mut self, broadcast: Broadcast) -> Result<(Vec<LocalStats>, usize, usize)> {
-        let round = broadcast.round;
-        let eval_only = broadcast.eval_only;
-        self.stats_exchange(&Msg::Broadcast(broadcast), round, eval_only)
-    }
-
-    /// A pipelined round exchange: acknowledges `ack_round` and carries
-    /// the next round's broadcast in the same frame; clients answer with
-    /// that round's [`LocalStats`] (see
-    /// [`RoundAck`](crate::protocol::RoundAck)).
-    fn ack_round_pipelined(
-        &mut self,
-        ack_round: u32,
-        next: Broadcast,
-    ) -> Result<(Vec<LocalStats>, usize, usize)> {
-        let round = next.round;
-        let eval_only = next.eval_only;
-        let msg = Msg::RoundAck(RoundAck {
-            round: ack_round,
-            done: false,
-            next: Some(next),
-        });
-        self.stats_exchange(&msg, round, eval_only)
-    }
-
-    /// Sends a broadcast-carrying frame to every client and collects the
-    /// per-client [`LocalStats`], validating round indices. Evaluation
-    /// exchanges are excluded from the Figure 10 accounting.
-    fn stats_exchange(
-        &mut self,
-        msg: &Msg,
+    /// The round's broadcast: the current summary, plus a [`MaskSpec`]
+    /// over the active membership when masking is enabled. Clients and
+    /// server both derive pair masks from this one value, so the member
+    /// lists they use can never disagree.
+    fn make_broadcast(
+        &self,
         round: u32,
         eval_only: bool,
-    ) -> Result<(Vec<LocalStats>, usize, usize)> {
-        let (replies, stat_down, stat_up) = self.exchange(msg, |reply| match reply {
-            Msg::LocalStats(stats) => Ok(stats),
-            other => Err(protocol_err("LocalStats", &other)),
+        state: &ServerState,
+        mask_seed: Option<u64>,
+    ) -> Broadcast {
+        let mask = mask_seed.map(|seed| MaskSpec {
+            seed,
+            members: self
+                .joins
+                .iter()
+                .zip(&self.active)
+                .filter(|&(_, &active)| active)
+                .map(|(j, _)| j.client_id)
+                .collect(),
+        });
+        Broadcast {
+            round,
+            eval_only,
+            mask,
+            summary: state.summary(),
+        }
+    }
+
+    /// One tolerant round exchange: sends each active shard its downlink
+    /// frame (pipelined ack, or a standalone catch-up broadcast if it
+    /// missed the previous round), collects and validates the replies,
+    /// discards stale frames for closed rounds, unmasks masked uploads,
+    /// and applies the strict/quorum failure policy.
+    fn round_exchange(
+        &mut self,
+        next: Broadcast,
+        ack_round: Option<u32>,
+        quorum: Option<usize>,
+    ) -> Result<RoundOutcome> {
+        let round = next.round;
+        let eval_only = next.eval_only;
+        let deadline = self.deadline;
+        // Build each connection's downlink frame up front: inactive
+        // shards get nothing; shards that reported the previous round
+        // get the pipelined ack; shards that missed it (and everyone in
+        // round 0) get a standalone catch-up broadcast — the server
+        // won't ack a contribution it never merged.
+        let msgs: Vec<Option<Msg>> = (0..self.conns.len())
+            .map(|i| {
+                if !self.active[i] {
+                    return None;
+                }
+                Some(match ack_round {
+                    Some(ack) if !self.missed[i] => Msg::RoundAck(RoundAck {
+                        round: ack,
+                        done: false,
+                        next: Some(next.clone()),
+                    }),
+                    _ => Msg::Broadcast(next.clone()),
+                })
+            })
+            .collect();
+        let mask = next.mask;
+        let ids: Vec<u32> = self.joins.iter().map(|j| j.client_id).collect();
+        let reports = for_each_connection(self.exec, &mut self.conns, |i, conn| {
+            let mut report = ConnReport {
+                down: None,
+                stale_frames: 0,
+                stale_bytes: 0,
+                result: ConnResult::Skipped,
+            };
+            let Some(msg) = &msgs[i] else {
+                return Ok(report);
+            };
+            if let Err(e) = conn.set_deadline(deadline) {
+                report.result = ConnResult::Failed(classify(&e), e);
+                return Ok(report);
+            }
+            match conn.send(msg) {
+                Ok(info) => report.down = Some(info),
+                Err(e) => {
+                    report.result = ConnResult::Failed(classify(&e), e);
+                    return Ok(report);
+                }
+            }
+            report.result = loop {
+                match conn.recv() {
+                    Err(e) => break ConnResult::Failed(classify(&e), e),
+                    Ok(None) => {
+                        break ConnResult::Failed(
+                            FailureKind::Disconnected,
+                            CoreError::Transport("client closed the connection mid-round".into()),
+                        )
+                    }
+                    Ok(Some((reply, info))) => {
+                        // A late reply for an already-closed round is
+                        // received, counted, and discarded; the loop
+                        // keeps reading for the current round's frame.
+                        let reply_round = match &reply {
+                            Msg::LocalStats(s) => Some(s.round),
+                            Msg::MaskedStats(s) => Some(s.round),
+                            _ => None,
+                        };
+                        if matches!(reply_round, Some(r) if r < round) {
+                            report.stale_frames += 1;
+                            report.stale_bytes += info.frame_bytes;
+                            continue;
+                        }
+                        break match (reply, &mask) {
+                            (Msg::LocalStats(stats), None) if stats.round == round => {
+                                ConnResult::Reported { stats, up: info }
+                            }
+                            (Msg::MaskedStats(masked), Some(spec)) if masked.round == round => {
+                                match mask::unmask_stats(&masked, spec, ids[i]) {
+                                    Ok(stats) => ConnResult::Reported { stats, up: info },
+                                    Err(e) => ConnResult::Failed(FailureKind::Corrupt, e),
+                                }
+                            }
+                            (other, _) => {
+                                let expected = if mask.is_some() {
+                                    "MaskedStats"
+                                } else {
+                                    "LocalStats"
+                                };
+                                ConnResult::Failed(
+                                    FailureKind::Corrupt,
+                                    protocol_err(expected, &other),
+                                )
+                            }
+                        };
+                    }
+                }
+            };
+            Ok(report)
         })?;
-        for r in &replies {
-            if r.round != round {
-                return Err(CoreError::Transport(format!(
-                    "round mismatch: expected {round}, client answered {}",
-                    r.round
-                )));
+        // Fold in ascending client order: wire accounting, failure
+        // bookkeeping, and the strict-vs-quorum decision.
+        let mut outcome = RoundOutcome {
+            replies: Vec::with_capacity(reports.len()),
+            stat_down: 0,
+            stat_up: 0,
+            reporters: 0,
+            failures: Vec::new(),
+        };
+        let mut first_err: Option<CoreError> = None;
+        for (i, report) in reports.into_iter().enumerate() {
+            self.wire.frames_stale += report.stale_frames;
+            self.wire.frame_bytes_up += report.stale_bytes;
+            if let Some(info) = report.down {
+                self.wire.frames_down += 1;
+                self.wire.frame_bytes_down += info.frame_bytes;
+                if !eval_only {
+                    outcome.stat_down += info.stat_bytes;
+                }
+            }
+            match report.result {
+                ConnResult::Skipped => outcome.replies.push(None),
+                ConnResult::Reported { stats, up } => {
+                    self.wire.frames_up += 1;
+                    self.wire.frame_bytes_up += up.frame_bytes;
+                    if !eval_only {
+                        outcome.stat_up += up.stat_bytes;
+                    }
+                    self.missed[i] = false;
+                    outcome.reporters += 1;
+                    outcome.replies.push(Some(stats));
+                }
+                ConnResult::Failed(kind, err) => {
+                    if kind == FailureKind::Disconnected {
+                        self.active[i] = false;
+                    }
+                    self.missed[i] = true;
+                    outcome.failures.push((ids[i], kind));
+                    first_err.get_or_insert(err);
+                    outcome.replies.push(None);
+                }
             }
         }
-        if eval_only {
-            Ok((replies, 0, 0))
-        } else {
-            Ok((replies, stat_down, stat_up))
+        match quorum {
+            // Strict legacy contract: any failure aborts the run with
+            // the first failing client's original error.
+            None => {
+                if let Some(err) = first_err {
+                    return Err(err);
+                }
+            }
+            // Quorum mode: proceed over the survivors as long as enough
+            // of them reported (at least one — an empty round has no
+            // statistics to update from).
+            Some(q) => {
+                let need = q.max(1);
+                if outcome.reporters < need {
+                    return Err(CoreError::Transport(format!(
+                        "round {round} fell below quorum: {} of {} shards reported, need {need}",
+                        outcome.reporters,
+                        outcome.replies.len(),
+                    )));
+                }
+            }
         }
+        Ok(outcome)
     }
 
     /// Closes a round (or, with `done`, the whole protocol) with a bare,

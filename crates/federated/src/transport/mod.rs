@@ -25,6 +25,7 @@ use crate::protocol::Msg;
 use crate::wire::FrameInfo;
 use kr_core::{CoreError, Result};
 use kr_linalg::{parallel, ExecCtx};
+use std::time::Duration;
 
 /// One framed, blocking, bidirectional channel between the server and a
 /// single client.
@@ -36,6 +37,55 @@ pub trait Connection: Send {
     /// Receives and decodes the next message. `Ok(None)` means the peer
     /// closed the channel cleanly at a frame boundary.
     fn recv(&mut self) -> Result<Option<(Msg, FrameInfo)>>;
+
+    /// Bounds how long the next `recv`s may block: `Some(d)` arms a
+    /// per-round read deadline, `None` restores the backend's default.
+    /// A deadline expiry surfaces as [`CoreError::Timeout`]. Backends
+    /// without wall-clock blocking (the in-process local transport,
+    /// where every reply is already queued) ignore deadlines — their
+    /// `recv` never waits, so the deadline is vacuously met.
+    fn set_deadline(&mut self, _deadline: Option<Duration>) -> Result<()> {
+        Ok(())
+    }
+}
+
+/// How a per-round client failure is classified — drives the server's
+/// recovery decision and is reported in
+/// [`RoundStats::failures`](crate::RoundStats).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailureKind {
+    /// The client missed the round deadline (or its reply frame was
+    /// dropped in transit). The shard sits out the round and is
+    /// re-admitted with a catch-up broadcast.
+    Timeout,
+    /// The client's reply failed to decode (truncated or corrupt
+    /// frame) or violated the protocol. The shard sits out the round.
+    Corrupt,
+    /// The client's channel closed; the shard leaves the federation for
+    /// the rest of the run.
+    Disconnected,
+}
+
+impl std::fmt::Display for FailureKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FailureKind::Timeout => write!(f, "timeout"),
+            FailureKind::Corrupt => write!(f, "corrupt"),
+            FailureKind::Disconnected => write!(f, "disconnected"),
+        }
+    }
+}
+
+/// Classifies a `recv`/`send` error: typed deadline expiries are
+/// [`FailureKind::Timeout`]; everything else (decode corruption,
+/// protocol violations, I/O faults) is [`FailureKind::Corrupt`].
+/// Disconnects are detected structurally — `recv` returning `Ok(None)`
+/// — not from an error value.
+pub fn classify(err: &CoreError) -> FailureKind {
+    match err {
+        CoreError::Timeout(_) => FailureKind::Timeout,
+        _ => FailureKind::Corrupt,
+    }
 }
 
 /// Receives the next message, treating a clean close as a protocol

@@ -33,7 +33,12 @@ use std::time::{Duration, Instant};
 
 /// Default read timeout on accepted / dialed streams: long enough for a
 /// slow peer to finish a round of compute, short enough that a dead
-/// peer surfaces as an error instead of a hang.
+/// peer surfaces as an error instead of a hang. No longer the only
+/// knob: the server arms per-round deadlines from its
+/// [`Resilience`](crate::server::Resilience) config through
+/// [`Connection::set_deadline`], and an expiry decodes to the *typed*
+/// [`CoreError::Timeout`](kr_core::CoreError) so failure classification
+/// can tell a slow peer from a corrupt one.
 pub const READ_TIMEOUT: Duration = Duration::from_secs(120);
 
 fn io_err(what: &str, e: std::io::Error) -> CoreError {
@@ -86,6 +91,16 @@ impl Connection for TcpConn {
             stat_bytes: wire::stat_bytes(&msg),
         };
         Ok(Some((msg, info)))
+    }
+
+    /// Arms a per-round read deadline on the stream (`None` restores
+    /// [`READ_TIMEOUT`]). An expiry surfaces as
+    /// [`WireError::Timeout`] → [`CoreError::Timeout`], which the
+    /// server classifies as a round failure rather than corruption.
+    fn set_deadline(&mut self, deadline: Option<Duration>) -> Result<()> {
+        self.stream
+            .set_read_timeout(Some(deadline.unwrap_or(READ_TIMEOUT)))
+            .map_err(|e| io_err("set_read_timeout", e))
     }
 }
 

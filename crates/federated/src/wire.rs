@@ -34,7 +34,7 @@
 //! assert_eq!(wire::decode_frame(&frame).unwrap(), msg);
 //! ```
 
-use crate::protocol::{Broadcast, Join, LocalStats, Msg, RoundAck, Summary};
+use crate::protocol::{Broadcast, Join, LocalStats, MaskSpec, MaskedStats, Msg, RoundAck, Summary};
 use kr_core::aggregator::Aggregator;
 use kr_core::stats::SuffStats;
 use kr_core::CoreError;
@@ -64,6 +64,10 @@ pub enum WireError {
     FrameTooLarge(usize),
     /// The peer closed the stream at a frame boundary (clean shutdown).
     Closed,
+    /// The read deadline elapsed before a full frame arrived. Distinct
+    /// from [`WireError::Truncated`] / [`WireError::Io`] so the server
+    /// can classify a slow peer differently from a corrupt one.
+    Timeout,
     /// An I/O error from the underlying stream.
     Io(String),
 }
@@ -77,6 +81,7 @@ impl std::fmt::Display for WireError {
             WireError::BadValue(what) => write!(f, "invalid field: {what}"),
             WireError::FrameTooLarge(n) => write!(f, "frame length {n} exceeds limit"),
             WireError::Closed => write!(f, "peer closed the stream"),
+            WireError::Timeout => write!(f, "read deadline elapsed"),
             WireError::Io(e) => write!(f, "io error: {e}"),
         }
     }
@@ -86,7 +91,10 @@ impl std::error::Error for WireError {}
 
 impl From<WireError> for CoreError {
     fn from(e: WireError) -> Self {
-        CoreError::Transport(e.to_string())
+        match e {
+            WireError::Timeout => CoreError::Timeout(e.to_string()),
+            other => CoreError::Transport(other.to_string()),
+        }
     }
 }
 
@@ -169,6 +177,7 @@ const TAG_MEAN_STATS: u8 = 9;
 const TAG_BROADCAST: u8 = 10;
 const TAG_LOCAL_STATS: u8 = 11;
 const TAG_ROUND_ACK: u8 = 12;
+const TAG_MASKED_STATS: u8 = 13;
 
 /// Encodes a message into one frame (length prefix included), measuring
 /// its sizes from the bytes actually written.
@@ -248,6 +257,24 @@ pub fn encode(msg: &Msg) -> (Vec<u8>, FrameInfo) {
             });
             e.finish()
         }
+        Msg::MaskedStats(s) => {
+            let mut e = Enc::new(TAG_MASKED_STATS);
+            e.u32(s.round);
+            e.u32(s.k);
+            e.u32(s.m);
+            let stat_words = (s.k as usize) * (s.m as usize) + s.k as usize;
+            // Masked sums + counts account exactly like a plaintext
+            // upload; the trailing masked-inertia word is telemetry.
+            e.stat_section(|e| {
+                for &w in s.words.iter().take(stat_words) {
+                    e.u64(w);
+                }
+            });
+            for &w in s.words.iter().skip(stat_words) {
+                e.u64(w);
+            }
+            e.finish()
+        }
         Msg::RoundAck(a) => {
             let mut e = Enc::new(TAG_ROUND_ACK);
             e.u32(a.round);
@@ -274,6 +301,19 @@ pub fn encode(msg: &Msg) -> (Vec<u8>, FrameInfo) {
 fn enc_broadcast(e: &mut Enc, b: &Broadcast) {
     e.u32(b.round);
     e.u8(b.eval_only as u8);
+    match &b.mask {
+        None => e.u8(0),
+        Some(spec) => {
+            // Mask parameters are control plumbing, not summary
+            // statistics: framing overhead like the round index.
+            e.u8(1);
+            e.u64(spec.seed);
+            e.u32(spec.members.len() as u32);
+            for &id in &spec.members {
+                e.u32(id);
+            }
+        }
+    }
     match &b.summary {
         Summary::Centroids(c) => {
             e.u8(0);
@@ -313,6 +353,7 @@ pub fn stat_bytes(msg: &Msg) -> usize {
     match msg {
         Msg::Broadcast(b) => 8 * b.summary.param_f64s(),
         Msg::LocalStats(s) => 8 * s.stats.wire_f64s(),
+        Msg::MaskedStats(s) => 8 * ((s.k as usize) * (s.m as usize) + s.k as usize),
         Msg::RoundAck(a) => a.next.as_ref().map_or(0, |b| 8 * b.summary.param_f64s()),
         _ => 0,
     }
@@ -455,6 +496,21 @@ pub fn decode_payload(payload: &[u8]) -> Result<Msg, WireError> {
                 stats: SuffStats { sums, counts },
             })
         }
+        TAG_MASKED_STATS => {
+            let round = d.u32()?;
+            let k = d.u32()?;
+            let m = d.u32()?;
+            let n_words = (k as usize)
+                .checked_mul(m as usize)
+                .and_then(|km| km.checked_add(k as usize + 1))
+                .filter(|&n| n <= MAX_FRAME_LEN / 8)
+                .ok_or(WireError::BadValue("masked stats shape"))?;
+            let mut words = Vec::with_capacity(n_words.min(d.buf.len() / 8 + 1));
+            for _ in 0..n_words {
+                words.push(d.u64()?);
+            }
+            Msg::MaskedStats(MaskedStats { round, k, m, words })
+        }
         TAG_ROUND_ACK => {
             let round = d.u32()?;
             let done = d.bool()?;
@@ -477,6 +533,20 @@ pub fn decode_payload(payload: &[u8]) -> Result<Msg, WireError> {
 fn dec_broadcast(d: &mut Dec<'_>) -> Result<Broadcast, WireError> {
     let round = d.u32()?;
     let eval_only = d.bool()?;
+    let mask = if d.bool()? {
+        let seed = d.u64()?;
+        let n = d.u32()? as usize;
+        if n > MAX_FRAME_LEN / 4 {
+            return Err(WireError::BadValue("mask member count"));
+        }
+        let mut members = Vec::with_capacity(n.min(d.buf.len() / 4 + 1));
+        for _ in 0..n {
+            members.push(d.u32()?);
+        }
+        Some(MaskSpec { seed, members })
+    } else {
+        None
+    };
     let summary = match d.u8()? {
         0 => Summary::Centroids(d.matrix()?),
         1 => {
@@ -497,6 +567,7 @@ fn dec_broadcast(d: &mut Dec<'_>) -> Result<Broadcast, WireError> {
     Ok(Broadcast {
         round,
         eval_only,
+        mask,
         summary,
     })
 }
@@ -524,6 +595,7 @@ pub fn read_frame(r: &mut impl Read) -> Result<Vec<u8>, WireError> {
             }
             Ok(n) => filled += n,
             Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) if is_timeout(&e) => return Err(WireError::Timeout),
             Err(e) => return Err(WireError::Io(e.to_string())),
         }
     }
@@ -536,11 +608,23 @@ pub fn read_frame(r: &mut impl Read) -> Result<Vec<u8>, WireError> {
     r.read_exact(&mut frame[LEN_PREFIX..]).map_err(|e| {
         if e.kind() == std::io::ErrorKind::UnexpectedEof {
             WireError::Truncated
+        } else if is_timeout(&e) {
+            WireError::Timeout
         } else {
             WireError::Io(e.to_string())
         }
     })?;
     Ok(frame)
+}
+
+/// Whether an I/O error is a read-deadline expiry. `read_timeout` on a
+/// `TcpStream` surfaces as `WouldBlock` on Unix and `TimedOut` on
+/// Windows, so both kinds classify as a timeout.
+fn is_timeout(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+    )
 }
 
 #[cfg(test)]
@@ -553,6 +637,7 @@ mod tests {
         let msg = Msg::Broadcast(Broadcast {
             round: 2,
             eval_only: false,
+            mask: None,
             summary: Summary::Centroids(c),
         });
         let (frame, info) = encode(&msg);
@@ -590,6 +675,40 @@ mod tests {
             }
             _ => panic!("wrong variant"),
         }
+    }
+
+    #[test]
+    fn masked_stats_and_mask_spec_round_trip() {
+        let (k, m) = (3usize, 2usize);
+        let words: Vec<u64> = (0..MaskedStats::word_count(k, m) as u64)
+            .map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            .collect();
+        let msg = Msg::MaskedStats(MaskedStats {
+            round: 4,
+            k: k as u32,
+            m: m as u32,
+            words,
+        });
+        let (frame, info) = encode(&msg);
+        // Masked uploads account exactly like plaintext ones: k·m + k
+        // words of summary statistics; the inertia word is telemetry.
+        assert_eq!(info.stat_bytes, (k * m + k) * 8);
+        assert_eq!(info.stat_bytes, stat_bytes(&msg));
+        assert_eq!(decode_frame(&frame).unwrap(), msg);
+
+        let msg = Msg::Broadcast(Broadcast {
+            round: 1,
+            eval_only: false,
+            mask: Some(MaskSpec {
+                seed: 0xDEAD_BEEF,
+                members: vec![0, 2, 5],
+            }),
+            summary: Summary::Centroids(Matrix::zeros(2, 2)),
+        });
+        let (frame, info) = encode(&msg);
+        // Mask parameters are framing overhead, not summary statistics.
+        assert_eq!(info.stat_bytes, 2 * 2 * 8);
+        assert_eq!(decode_frame(&frame).unwrap(), msg);
     }
 
     #[test]

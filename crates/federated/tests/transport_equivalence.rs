@@ -46,7 +46,7 @@ fn run_over_tcp(
     let conns = server
         .accept_clients(clients.len(), Duration::from_secs(30))
         .unwrap();
-    let model = FederatedServer { algo, rounds, seed }
+    let model = FederatedServer::new(algo, rounds, seed)
         .drive(conns, exec)
         .unwrap();
     for h in handles {

@@ -5,7 +5,9 @@
 
 use kr_core::aggregator::Aggregator;
 use kr_core::stats::SuffStats;
-use kr_federated::protocol::{Broadcast, Join, LocalStats, Msg, RoundAck, Summary};
+use kr_federated::protocol::{
+    Broadcast, Join, LocalStats, MaskSpec, MaskedStats, Msg, RoundAck, Summary,
+};
 use kr_federated::wire::{self, WireError, LEN_PREFIX};
 use kr_linalg::Matrix;
 use proptest::prelude::*;
@@ -43,6 +45,14 @@ fn summary() -> impl Strategy<Value = Summary> {
     prop_oneof![centroids, protosets]
 }
 
+fn mask() -> impl Strategy<Value = Option<MaskSpec>> {
+    prop_oneof![
+        Just(None),
+        (0u64..1000, proptest::collection::vec(0u32..64, 0..6))
+            .prop_map(|(seed, members)| Some(MaskSpec { seed, members })),
+    ]
+}
+
 fn msg() -> impl Strategy<Value = Msg> {
     prop_oneof![
         (0u32..100, 0u64..1000, 0u64..64, proptest::bool::ANY).prop_map(
@@ -62,13 +72,16 @@ fn msg() -> impl Strategy<Value = Msg> {
         (row(), proptest::bool::ANY).prop_map(|(row, found)| Msg::SeedPick { row, found }),
         Just(Msg::MeanQuery),
         (row(), 0u64..1000).prop_map(|(sum, count)| Msg::MeanStats { sum, count }),
-        (0u32..64, proptest::bool::ANY, summary()).prop_map(|(round, eval_only, summary)| {
-            Msg::Broadcast(Broadcast {
-                round,
-                eval_only,
-                summary,
-            })
-        }),
+        (0u32..64, proptest::bool::ANY, mask(), summary()).prop_map(
+            |(round, eval_only, mask, summary)| {
+                Msg::Broadcast(Broadcast {
+                    round,
+                    eval_only,
+                    mask,
+                    summary,
+                })
+            }
+        ),
         (0u32..64, small_matrix(), -1e9..1e9f64).prop_map(|(round, sums, inertia)| {
             let counts = (0..sums.nrows()).map(|i| i as u64 * 7).collect();
             Msg::LocalStats(LocalStats {
@@ -85,16 +98,25 @@ fn msg() -> impl Strategy<Value = Msg> {
             })
         }),
         // Pipelined ack: a non-final ack carrying the next broadcast.
-        (0u32..64, proptest::bool::ANY, summary()).prop_map(|(round, eval_only, summary)| {
-            Msg::RoundAck(RoundAck {
-                round,
-                done: false,
-                next: Some(Broadcast {
-                    round: round + 1,
-                    eval_only,
-                    summary,
-                }),
-            })
+        (0u32..64, proptest::bool::ANY, mask(), summary()).prop_map(
+            |(round, eval_only, mask, summary)| {
+                Msg::RoundAck(RoundAck {
+                    round,
+                    done: false,
+                    next: Some(Broadcast {
+                        round: round + 1,
+                        eval_only,
+                        mask,
+                        summary,
+                    }),
+                })
+            }
+        ),
+        // Masked upload: (k·m + k + 1) wrapped words.
+        (0u32..64, 0u32..=4, 0u32..=4).prop_flat_map(|(round, k, m)| {
+            let words = MaskedStats::word_count(k as usize, m as usize);
+            proptest::collection::vec(0u64..u64::MAX, words)
+                .prop_map(move |words| Msg::MaskedStats(MaskedStats { round, k, m, words }))
         }),
     ]
 }
@@ -144,6 +166,7 @@ proptest! {
         let msg = Msg::Broadcast(Broadcast {
             round: 0,
             eval_only: false,
+            mask: None,
             summary: Summary::Centroids(Matrix::zeros(k, m)),
         });
         let (_, info) = wire::encode(&msg);
@@ -152,6 +175,7 @@ proptest! {
         let msg = Msg::Broadcast(Broadcast {
             round: 0,
             eval_only: false,
+            mask: None,
             summary: Summary::ProtoSets {
                 aggregator: Aggregator::Sum,
                 sets: vec![Matrix::zeros(k, m), Matrix::zeros(k + 1, m)],
@@ -173,6 +197,7 @@ proptest! {
         let broadcast = Broadcast {
             round: 1,
             eval_only: false,
+            mask: None,
             summary: Summary::Centroids(Matrix::zeros(k, m)),
         };
         let (_, standalone) = wire::encode(&Msg::Broadcast(broadcast.clone()));
@@ -182,6 +207,44 @@ proptest! {
             next: Some(broadcast),
         }));
         prop_assert_eq!(pipelined.stat_bytes, standalone.stat_bytes);
+    }
+
+    #[test]
+    fn masked_accounting_matches_plaintext(k in 1usize..=6, m in 1usize..=6, members in proptest::collection::vec(0u32..64, 1..6)) {
+        // A masked upload accounts exactly like the plaintext one —
+        // k·m sums + k counts, 8 bytes each; the wrapped inertia word
+        // and the word framing are overhead, like plaintext framing.
+        let stats = Msg::LocalStats(LocalStats {
+            round: 0,
+            inertia: 0.0,
+            stats: SuffStats::zeros(k, m),
+        });
+        let masked = Msg::MaskedStats(MaskedStats {
+            round: 0,
+            k: k as u32,
+            m: m as u32,
+            words: vec![0; MaskedStats::word_count(k, m)],
+        });
+        let (_, plain_info) = wire::encode(&stats);
+        let (_, masked_info) = wire::encode(&masked);
+        prop_assert_eq!(masked_info.stat_bytes, plain_info.stat_bytes);
+        // Mask parameters ride in the broadcast as framing overhead:
+        // the stat bytes of a masked broadcast equal the unmasked ones.
+        let bare = Broadcast {
+            round: 0,
+            eval_only: false,
+            mask: None,
+            summary: Summary::Centroids(Matrix::zeros(k, m)),
+        };
+        let spec = MaskSpec { seed: 7, members };
+        let masked_bc = Broadcast {
+            mask: Some(spec),
+            ..bare.clone()
+        };
+        let (_, bare_info) = wire::encode(&Msg::Broadcast(bare));
+        let (masked_frame, masked_bc_info) = wire::encode(&Msg::Broadcast(masked_bc));
+        prop_assert_eq!(masked_bc_info.stat_bytes, bare_info.stat_bytes);
+        prop_assert!(masked_frame.len() > bare_info.frame_bytes, "spec bytes are overhead");
     }
 }
 

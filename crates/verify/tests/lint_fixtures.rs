@@ -193,6 +193,74 @@ mod tests {
 }
 
 #[test]
+fn wall_clock_waiver_is_transport_scoped_not_crate_wide() {
+    // The federated crate's wall-clock waiver covers exactly the TCP
+    // transport's deadline plumbing. A clock read sneaking into the
+    // fault injector (which must be wall-clock-free: it keys on decoded
+    // frames so local and TCP runs replay identically) stays a
+    // violation under the same config shape the workspace uses.
+    let cfg = config::parse(
+        r#"
+[rule.wall-clock]
+allow = ["crates/bench"]
+
+[[waiver]]
+rule = "wall-clock"
+path = "crates/federated/src/transport/tcp.rs"
+justification = "read deadlines only; never measured results"
+"#,
+    )
+    .unwrap();
+    let src = "\
+pub fn fire_at() -> std::time::Instant {
+    std::time::Instant::now()
+}
+";
+    let flagged = lint_files(
+        &[(
+            "crates/federated/src/faults.rs".to_string(),
+            src.to_string(),
+        )],
+        &cfg,
+    );
+    assert_eq!(flagged.diags.len(), 1, "{:?}", flagged.diags);
+    assert_eq!(flagged.diags[0].rule, "wall-clock");
+    let waived = lint_files(
+        &[(
+            "crates/federated/src/transport/tcp.rs".to_string(),
+            src.to_string(),
+        )],
+        &cfg,
+    );
+    assert!(waived.clean(), "{:?}", waived.diags);
+    assert_eq!(waived.waived.len(), 1);
+}
+
+#[test]
+fn deadlines_and_ordered_maps_are_not_clock_or_hash_violations() {
+    // The resilience layer's idioms — Duration-valued deadlines and
+    // BTreeMap/BTreeSet fault schedules — must lint clean in a numeric
+    // crate: Duration is a span (no clock read) and the ordered
+    // collections iterate deterministically. The fixture path sits in
+    // `crates/core`, which IS hash-collections-linted here, so the test
+    // proves the rule distinguishes ordered maps from hashed ones.
+    let src = "\
+use std::collections::{BTreeMap, BTreeSet};
+use std::time::Duration;
+pub struct Plan {
+    pub entries: BTreeMap<(u32, u32), u8>,
+    pub absent: BTreeSet<u32>,
+    pub deadline: Option<Duration>,
+}
+pub fn deadline() -> Duration {
+    Duration::from_millis(150)
+}
+";
+    let diags = lint_one("crates/core/src/plan.rs", src);
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
 fn crate_root_headers_enforced() {
     let diags = lint_one("crates/safe/src/lib.rs", "//! docs\npub fn f() {}\n");
     let rules: Vec<&str> = diags.iter().map(|d| d.rule).collect();
