@@ -1,0 +1,211 @@
+//! Assignment-pruning acceptance bench: the fig8 Lloyd loop with the
+//! bounds-gated `AssignEngine` against the exhaustive scan.
+//!
+//! Two passes over the *same* centroid trajectory (the engine's bitwise
+//! contract makes them identical by construction — asserted here):
+//! one with pruning off, one with the auto-selected bound structure.
+//! Only post-warmup iterations count (`WARMUP` = 2): the paper-relevant
+//! regime is the long tail of near-converged iterations where drift is
+//! small and bounds certify almost every point.
+//!
+//! Persists `BENCH_assign.json`: one record per leg with the measured
+//! distance-evaluation reduction and wall-clock speedup next to the
+//! committed floors (≥ 3x fewer distance evals, ≥ 2x wall-clock at
+//! k >= 64 — the ISSUE 9 acceptance criteria).
+
+use kr_core::assign::AssignEngine;
+use kr_core::kmeans::KMeans;
+use kr_linalg::{ops, ExecCtx, Matrix, PruneMode};
+use std::time::Instant;
+
+const WARMUP: usize = 2;
+const MEASURED: usize = 10;
+const FLOOR_DIST_REDUCTION: f64 = 3.0;
+const FLOOR_WALLCLOCK: f64 = 2.0;
+
+/// Plain Lloyd update: cluster means, empty clusters keep their row
+/// (no RNG — both passes must see the exact same trajectory).
+fn update(data: &Matrix, labels: &[usize], centroids: &mut Matrix) {
+    let (k, m) = centroids.shape();
+    let mut sums = vec![0.0f64; k * m];
+    let mut counts = vec![0usize; k];
+    for (i, &l) in labels.iter().enumerate() {
+        ops::add_assign(&mut sums[l * m..(l + 1) * m], data.row(i));
+        counts[l] += 1;
+    }
+    for (c, &cnt) in counts.iter().enumerate() {
+        if cnt == 0 {
+            continue;
+        }
+        let inv = 1.0 / cnt as f64;
+        for (cv, &sv) in centroids
+            .row_mut(c)
+            .iter_mut()
+            .zip(&sums[c * m..(c + 1) * m])
+        {
+            *cv = sv * inv;
+        }
+    }
+}
+
+struct LegResult {
+    leg: String,
+    n: usize,
+    m: usize,
+    k: usize,
+    dists_exhaustive: u64,
+    dists_computed: u64,
+    dists_skipped: u64,
+    dist_reduction: f64,
+    wall_speedup: f64,
+}
+
+/// One Lloyd trajectory in the given mode; returns the post-warmup
+/// assignment seconds, the post-warmup `PruneStats`, and the final
+/// labels (for the cross-pass bitwise assertion).
+fn run_pass(
+    data: &Matrix,
+    init: &Matrix,
+    mode: PruneMode,
+) -> (f64, kr_core::assign::PruneStats, Vec<usize>, Vec<u64>) {
+    let n = data.nrows();
+    let exec = ExecCtx::serial().with_prune_mode(mode);
+    let mut engine = AssignEngine::new(&exec);
+    engine.begin_fit(data);
+    engine.begin_restart();
+    let mut centroids = init.clone();
+    let mut labels = vec![0usize; n];
+    let mut dmin = vec![0.0f64; n];
+    let mut assign_secs = 0.0;
+    for it in 0..(WARMUP + MEASURED) {
+        let t0 = Instant::now();
+        engine.assign_dense(data, &centroids, &mut labels, &mut dmin);
+        let dt = t0.elapsed().as_secs_f64();
+        if it == WARMUP - 1 {
+            // Reset the counters: only post-warmup iterations count.
+            let _ = engine.take_stats();
+        }
+        if it >= WARMUP {
+            assign_secs += dt;
+        }
+        update(data, &labels, &mut centroids);
+    }
+    let stats = engine.take_stats();
+    let dmin_bits: Vec<u64> = dmin.iter().map(|d| d.to_bits()).collect();
+    (assign_secs, stats, labels, dmin_bits)
+}
+
+fn run_leg(leg: &str, n: usize, m: usize, k: usize, seed: u64) -> LegResult {
+    let ds = kr_datasets::synthetic::blobs(n, m, k, 1.0, seed);
+    // Deterministic spread seeding (every n/k-th point), shared by both
+    // passes; KMeans++ would draw RNG and is irrelevant to the loop.
+    let init = Matrix::from_fn(k, m, |c, j| ds.data.get(c * (n / k), j));
+    let (t_off, _, labels_off, bits_off) = run_pass(&ds.data, &init, PruneMode::Off);
+    let (t_on, stats, labels_on, bits_on) = run_pass(&ds.data, &init, PruneMode::Auto);
+    assert_eq!(labels_off, labels_on, "{leg}: pruning changed labels");
+    assert_eq!(bits_off, bits_on, "{leg}: pruning changed distance bits");
+    let dists_exhaustive = (n as u64) * (k as u64) * (MEASURED as u64);
+    LegResult {
+        leg: leg.to_string(),
+        n,
+        m,
+        k,
+        dists_exhaustive,
+        dists_computed: stats.dists_computed,
+        dists_skipped: stats.dists_skipped,
+        dist_reduction: dists_exhaustive as f64 / stats.dists_computed.max(1) as f64,
+        wall_speedup: t_off / t_on,
+    }
+}
+
+fn main() {
+    println!("=== Assignment pruning: fig8 Lloyd loop, post-warmup iterations ===");
+    println!(
+        "{:<22}{:>8}{:>6}{:>6}{:>14}{:>14}{:>12}{:>10}",
+        "leg", "n", "m", "k", "dists(off)", "dists(on)", "dist-redux", "wall-x"
+    );
+    let legs = [
+        // Auto resolves to Elkan here (k <= 96, k^2 <= n, k <= 4m).
+        run_leg("elkan_k64", kr_bench::scaled(6000, 1200), 32, 64, 70),
+        // Auto resolves to Hamerly (k > 96) — the fig8 kM(h1h2) shape.
+        run_leg("hamerly_k100", kr_bench::scaled(8000, 1600), 20, 100, 71),
+        // Larger k, still Hamerly: the memory-lean mode must scale.
+        run_leg("hamerly_k128", kr_bench::scaled(8000, 1600), 20, 128, 72),
+    ];
+    let mut out = String::from("[\n");
+    for (i, r) in legs.iter().enumerate() {
+        println!(
+            "{:<22}{:>8}{:>6}{:>6}{:>14}{:>14}{:>12.1}{:>10.2}",
+            r.leg,
+            r.n,
+            r.m,
+            r.k,
+            r.dists_exhaustive,
+            r.dists_computed,
+            r.dist_reduction,
+            r.wall_speedup
+        );
+        assert!(
+            r.dist_reduction >= FLOOR_DIST_REDUCTION,
+            "{}: distance-eval reduction {:.2}x below the {FLOOR_DIST_REDUCTION}x floor",
+            r.leg,
+            r.dist_reduction
+        );
+        assert!(
+            r.wall_speedup >= FLOOR_WALLCLOCK,
+            "{}: wall-clock speedup {:.2}x below the {FLOOR_WALLCLOCK}x floor",
+            r.leg,
+            r.wall_speedup
+        );
+        out.push_str(&format!(
+            "  {{\"leg\": \"{}\", \"n\": {}, \"m\": {}, \"k\": {}, \
+             \"iters_measured\": {MEASURED}, \"dists_exhaustive\": {}, \
+             \"dists_computed\": {}, \"dists_skipped\": {}, \
+             \"dist_eval_reduction\": {:.2}, \"wallclock_speedup\": {:.2}, \
+             \"floor_dist_reduction\": {FLOOR_DIST_REDUCTION}, \
+             \"floor_wallclock\": {FLOOR_WALLCLOCK}}}{}\n",
+            r.leg,
+            r.n,
+            r.m,
+            r.k,
+            r.dists_exhaustive,
+            r.dists_computed,
+            r.dists_skipped,
+            r.dist_reduction,
+            r.wall_speedup,
+            if i + 1 < legs.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("]\n");
+    std::fs::write("BENCH_assign.json", &out).expect("write BENCH_assign.json");
+    println!(
+        "wrote BENCH_assign.json ({} legs); all floors met",
+        legs.len()
+    );
+
+    // Sanity context: a whole KMeans fit with pruning on vs. off (not
+    // part of the floors — restart seeding and update time dilute the
+    // assignment win, but the skip ratio should stay visible).
+    let ds = kr_datasets::synthetic::blobs(kr_bench::scaled(4000, 800), 16, 64, 1.0, 73);
+    let fit = |mode: PruneMode| {
+        let t0 = Instant::now();
+        let model = KMeans::new(64)
+            .with_n_init(1)
+            .with_max_iter(WARMUP + MEASURED)
+            .with_exec(ExecCtx::serial().with_prune_mode(mode))
+            .fit(&ds.data)
+            .unwrap();
+        (model, t0.elapsed().as_secs_f64())
+    };
+    let (off, t_off) = fit(PruneMode::Off);
+    let (on, t_on) = fit(PruneMode::Auto);
+    assert_eq!(off.labels, on.labels, "full-fit labels must not change");
+    assert_eq!(off.inertia.to_bits(), on.inertia.to_bits());
+    println!(
+        "full fit k=64: {:.3}s off vs {:.3}s on ({:.2}x), skip ratio {:.1}%",
+        t_off,
+        t_on,
+        t_off / t_on,
+        100.0 * on.prune_stats.skip_ratio()
+    );
+}

@@ -130,8 +130,13 @@ mod tests {
         // O(1) bound: independent of n = 600 and k = 64. A small
         // constant headroom absorbs incidental fixed-size allocations
         // (e.g. Vec growth inside pooled buffers on rare resize).
+        // Tightened from 40 when the bounds-gated AssignEngine landed:
+        // its point caches and bound state persist across iterations
+        // (and across restarts) in the Scratch arena, so pruned
+        // assignment costs the same ~16 calls/iter as the exhaustive
+        // path (dominated by the update step's per-set temporaries).
         assert!(
-            per_iter <= 40.0,
+            per_iter <= 20.0,
             "expected O(1) allocs per Lloyd iteration, got {per_iter:.1} \
              ({a_short} allocs at max_iter={short}, {a_long} at max_iter={long})"
         );

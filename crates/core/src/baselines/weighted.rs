@@ -10,7 +10,8 @@
 //! every input, so unit-weight fits are bitwise reproducible references
 //! for the compressed fits (property-tested in `tests/proptests.rs`).
 
-use crate::kmeans::{assign, validate_input, UPDATE_CHUNK};
+use crate::assign::{AssignEngine, PruneStats};
+use crate::kmeans::{validate_input, UPDATE_CHUNK};
 use crate::{CoreError, Result};
 use kr_linalg::{ops, parallel, ExecCtx, Matrix};
 use rand::rngs::StdRng;
@@ -55,6 +56,11 @@ pub struct WeightedKMeansModel {
     pub inertia: f64,
     /// Iterations executed by the best restart.
     pub n_iter: usize,
+    /// Distance-evaluation pruning counters accumulated over the whole
+    /// fit (all restarts). Telemetry only — never part of the bitwise
+    /// determinism contract. Point weights scale the *update* step, not
+    /// the geometry, so assignment pruning applies unchanged.
+    pub prune_stats: PruneStats,
 }
 
 impl WeightedKMeans {
@@ -115,14 +121,20 @@ impl WeightedKMeans {
         validate_input(points, self.k)?;
         validate_weights(points, weights)?;
         let mut rng = StdRng::seed_from_u64(self.seed);
+        // One bounds-gated engine across all restarts (same reuse story
+        // as `KMeans::fit`): weights never enter the distance geometry.
+        let mut engine = AssignEngine::new(&self.exec);
+        engine.begin_fit(points);
         let mut best: Option<WeightedKMeansModel> = None;
         for _ in 0..self.n_init {
-            let model = self.fit_once(points, weights, &mut rng)?;
+            let model = self.fit_once(points, weights, &mut rng, &mut engine)?;
             if best.as_ref().is_none_or(|b| model.inertia < b.inertia) {
                 best = Some(model);
             }
         }
-        Ok(best.expect("n_init >= 1"))
+        let mut best = best.expect("n_init >= 1");
+        best.prune_stats = engine.take_stats();
+        Ok(best)
     }
 
     fn fit_once(
@@ -130,6 +142,7 @@ impl WeightedKMeans {
         points: &Matrix,
         weights: &[f64],
         rng: &mut StdRng,
+        engine: &mut AssignEngine,
     ) -> Result<WeightedKMeansModel> {
         let n = points.nrows();
         let mut centroids = weighted_plus_plus_init(points, weights, self.k, rng);
@@ -140,9 +153,10 @@ impl WeightedKMeans {
         // Same freshness bookkeeping as `KMeans::fit_once`: skip the
         // post-loop re-assignment when the last update moved nothing.
         let mut assignments_fresh = false;
+        engine.begin_restart();
         for it in 0..self.max_iter {
             n_iter = it + 1;
-            assign(points, &centroids, &mut labels, &mut dmin, &self.exec);
+            engine.assign_dense(points, &centroids, &mut labels, &mut dmin);
             inertia = weighted_sum(&dmin, weights);
 
             let (sums, wsums) = weighted_cluster_sums(points, weights, &labels, self.k, &self.exec);
@@ -175,7 +189,7 @@ impl WeightedKMeans {
             }
         }
         if !assignments_fresh {
-            assign(points, &centroids, &mut labels, &mut dmin, &self.exec);
+            engine.assign_dense(points, &centroids, &mut labels, &mut dmin);
             // Unlike `KMeans::fit_once` there is no `.min()` against the
             // loop's running value: the reported inertia must equal the
             // objective of the *returned* labels/centroids exactly (the
@@ -188,6 +202,7 @@ impl WeightedKMeans {
             labels,
             inertia,
             n_iter,
+            prune_stats: PruneStats::default(),
         })
     }
 }

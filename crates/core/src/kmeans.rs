@@ -5,6 +5,7 @@
 //! comparison of Figure 8 measures the Khatri-Rao machinery rather than
 //! incidental implementation differences (paper Appendix B).
 
+use crate::assign::{AssignEngine, PruneStats};
 use crate::{CoreError, Result};
 use kr_linalg::{ops, parallel, ExecCtx, Matrix};
 use rand::rngs::StdRng;
@@ -61,6 +62,10 @@ pub struct KMeansModel {
     pub inertia: f64,
     /// Iterations executed by the best restart.
     pub n_iter: usize,
+    /// Distance-evaluation pruning counters accumulated over the whole
+    /// fit (all restarts). Telemetry only — never part of the bitwise
+    /// determinism contract.
+    pub prune_stats: PruneStats,
 }
 
 impl KMeans {
@@ -137,17 +142,30 @@ impl KMeans {
             }
         }
         let mut rng = StdRng::seed_from_u64(self.seed);
+        // One bounds-gated engine reused across all restarts: its point
+        // caches survive the whole fit and its per-restart state buffers
+        // recycle through the Scratch arena, so steady-state restarts
+        // allocate nothing.
+        let mut engine = AssignEngine::new(&self.exec);
+        engine.begin_fit(data);
         let mut best: Option<KMeansModel> = None;
         for _ in 0..self.n_init {
-            let model = self.fit_once(data, &mut rng)?;
+            let model = self.fit_once(data, &mut rng, &mut engine)?;
             if best.as_ref().is_none_or(|b| model.inertia < b.inertia) {
                 best = Some(model);
             }
         }
-        Ok(best.expect("n_init >= 1"))
+        let mut best = best.expect("n_init >= 1");
+        best.prune_stats = engine.take_stats();
+        Ok(best)
     }
 
-    fn fit_once(&self, data: &Matrix, rng: &mut StdRng) -> Result<KMeansModel> {
+    fn fit_once(
+        &self,
+        data: &Matrix,
+        rng: &mut StdRng,
+        engine: &mut AssignEngine,
+    ) -> Result<KMeansModel> {
         let (n, m) = data.shape();
         let mut centroids = match &self.init {
             KMeansInit::Random => sample_rows(data, self.k, rng),
@@ -166,9 +184,10 @@ impl KMeans {
         // post-loop re-assignment can be skipped (it would recompute the
         // identical labels).
         let mut assignments_fresh = false;
+        engine.begin_restart();
         for it in 0..self.max_iter {
             n_iter = it + 1;
-            assign(data, &centroids, &mut labels, &mut dmin, &self.exec);
+            engine.assign_dense(data, &centroids, &mut labels, &mut dmin);
             inertia = dmin.iter().sum();
 
             // Update step: cluster means, accumulated as per-chunk
@@ -208,7 +227,7 @@ impl KMeans {
         // assignment is already exact (recomputing it was the seed's
         // double-assignment inefficiency).
         if !assignments_fresh {
-            assign(data, &centroids, &mut labels, &mut dmin, &self.exec);
+            engine.assign_dense(data, &centroids, &mut labels, &mut dmin);
             inertia = dmin.iter().sum::<f64>().min(inertia);
         }
         Ok(KMeansModel {
@@ -216,20 +235,19 @@ impl KMeans {
             labels,
             inertia,
             n_iter,
+            prune_stats: PruneStats::default(),
         })
     }
 }
 
 /// Assigns each row of `data` to its nearest centroid, filling `labels`
-/// and the per-point squared distance `dmin`. Chunk-parallel over points
-/// on `exec`'s pool; per-point work is independent of the chunk split,
-/// so results are identical at any thread count.
+/// and the per-point squared distance `dmin`.
 ///
-/// All temporaries come from `exec`'s [`kr_linalg::Scratch`] arena, so
-/// successive Lloyd iterations recycle the same buffers instead of
-/// allocating: the centroid-norm vector and an interleaved
-/// `(label, dmin)` buffer of `2n` f64 rows (labels round-trip exactly
-/// through f64 below 2^53; cluster counts are far smaller).
+/// One-shot entry point: delegates to the shared exhaustive scan in
+/// [`crate::assign`] (the reference implementation every pruned-engine
+/// run is bitwise-pinned to). Lloyd loops that assign repeatedly against
+/// drifting centroids should hold an [`AssignEngine`] instead and let
+/// the bounds skip certified candidates.
 pub(crate) fn assign(
     data: &Matrix,
     centroids: &Matrix,
@@ -237,48 +255,7 @@ pub(crate) fn assign(
     dmin: &mut [f64],
     exec: &ExecCtx,
 ) {
-    let n = data.nrows();
-    debug_assert_eq!(labels.len(), n);
-    debug_assert_eq!(dmin.len(), n);
-    // Labels ride through the f64 pair buffer below; exact only while
-    // every label fits in f64's integer range (unreachable for a
-    // materialized centroid matrix, but the invariant is load-bearing).
-    debug_assert!(
-        (centroids.nrows() as u128) < (1u128 << 53),
-        "centroid count must stay below 2^53 for exact f64 label round-trips"
-    );
-    let scratch = exec.scratch();
-    // Precompute centroid norms once; per-point work is then one dot per
-    // centroid, matching the pairwise_sqdist expansion without the n x k
-    // buffer. (`row_sq_norms_into` clears before writing, so the uninit
-    // take is safe to read afterwards.)
-    let mut c_norms = scratch.take_f64_uninit(0);
-    centroids.row_sq_norms_into(&mut c_norms);
-    // Width-2 rows, every element written before the read-back below.
-    let mut buf = scratch.take_f64_uninit(2 * n);
-    parallel::map_rows_into(exec, &mut buf, 2, 1, |start, chunk| {
-        for (off, out) in chunk.chunks_exact_mut(2).enumerate() {
-            let x = data.row(start + off);
-            let xn = ops::sq_norm(x);
-            let mut best = 0usize;
-            let mut best_d = f64::INFINITY;
-            for (c, crow) in centroids.rows_iter().enumerate() {
-                let d = xn + c_norms[c] - 2.0 * ops::dot(x, crow);
-                if d < best_d {
-                    best_d = d;
-                    best = c;
-                }
-            }
-            out[0] = best as f64;
-            out[1] = best_d.max(0.0);
-        }
-    });
-    for (i, pair) in buf.chunks_exact(2).enumerate() {
-        labels[i] = pair[0] as usize;
-        dmin[i] = pair[1];
-    }
-    scratch.put_f64(buf);
-    scratch.put_f64(c_norms);
+    crate::assign::exhaustive_dense(data, centroids, labels, dmin, exec, None);
 }
 
 /// Nearest-centroid assignment as a public building block: returns one

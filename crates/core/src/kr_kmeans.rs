@@ -31,7 +31,8 @@
 //! overrides the default either way.
 
 use crate::aggregator::Aggregator;
-use crate::kmeans::{assign, validate_input, KMeans};
+use crate::assign::{AssignEngine, PruneStats};
+use crate::kmeans::{validate_input, KMeans};
 use crate::operator::{aggregate_tuple_into, khatri_rao, CentroidIndexer};
 use crate::{CoreError, Result};
 use kr_linalg::{ops, parallel, ExecCtx, Matrix, Scratch};
@@ -117,6 +118,10 @@ pub struct KrKMeansModel {
     pub n_iter: usize,
     /// Aggregator used.
     pub aggregator: Aggregator,
+    /// Distance-evaluation pruning counters accumulated over the whole
+    /// fit (all restarts, warm start included). Telemetry only — never
+    /// part of the bitwise determinism contract.
+    pub prune_stats: PruneStats,
     indexer: CentroidIndexer,
 }
 
@@ -266,10 +271,15 @@ impl KrKMeans {
             }
         }
         let mut rng = StdRng::seed_from_u64(self.seed);
+        // One bounds-gated engine shared by every restart and the
+        // warm-start candidate: point caches survive the whole fit,
+        // per-restart bound state recycles through the Scratch arena.
+        let mut engine = AssignEngine::new(&self.exec);
+        engine.begin_fit(data);
         let mut best: Option<KrKMeansModel> = None;
         for _ in 0..self.n_init {
             let sets = self.initialize(data, &mut rng);
-            let model = self.fit_once(data, sets, &mut rng)?;
+            let model = self.fit_once(data, sets, &mut rng, &mut engine)?;
             if best.as_ref().is_none_or(|b| model.inertia < b.inertia) {
                 best = Some(model);
             }
@@ -279,12 +289,14 @@ impl KrKMeans {
             // the random restarts above stay byte-identical with or
             // without it.
             let mut wrng = StdRng::seed_from_u64(self.seed ^ WARM_START_SALT);
-            let model = self.fit_once(data, sets, &mut wrng)?;
+            let model = self.fit_once(data, sets, &mut wrng, &mut engine)?;
             if best.as_ref().is_none_or(|b| model.inertia < b.inertia) {
                 best = Some(model);
             }
         }
-        Ok(best.expect("n_init >= 1"))
+        let mut best = best.expect("n_init >= 1");
+        best.prune_stats = engine.take_stats();
+        Ok(best)
     }
 
     /// Phase-1/phase-2 initial sets for the warm-start candidate, or
@@ -327,6 +339,7 @@ impl KrKMeans {
         data: &Matrix,
         sets: Vec<Matrix>,
         rng: &mut StdRng,
+        engine: &mut AssignEngine,
     ) -> Result<KrKMeansModel> {
         let n = data.nrows();
         let indexer = CentroidIndexer::new(self.hs.clone());
@@ -337,10 +350,11 @@ impl KrKMeans {
         let mut dmin = vec![0.0f64; n];
         let mut n_iter = 0;
 
+        engine.begin_restart();
         for it in 0..self.max_iter {
             n_iter = it + 1;
             // --- Assignment (Algorithm 1 lines 7-15).
-            self.assign_points(data, &sets, &indexer, &mut labels, &mut dmin);
+            self.assign_points(data, &sets, &indexer, &mut labels, &mut dmin, engine);
 
             // --- Protocentroid updates (lines 16-19, Proposition 6.1).
             let clusters = bucket_by_label(&labels, k, self.exec.scratch());
@@ -374,7 +388,7 @@ impl KrKMeans {
             }
         }
         // Final assignment against converged protocentroids.
-        self.assign_points(data, &sets, &indexer, &mut labels, &mut dmin);
+        self.assign_points(data, &sets, &indexer, &mut labels, &mut dmin, engine);
         let inertia = dmin.iter().sum();
         Ok(KrKMeansModel {
             protocentroids: sets,
@@ -382,6 +396,7 @@ impl KrKMeans {
             inertia,
             n_iter,
             aggregator: self.aggregator,
+            prune_stats: PruneStats::default(),
             indexer,
         })
     }
@@ -439,22 +454,15 @@ impl KrKMeans {
         indexer: &CentroidIndexer,
         labels: &mut [usize],
         dmin: &mut [f64],
+        engine: &mut AssignEngine,
     ) {
         match self.variant {
             KrVariant::TimeEfficient => {
                 let centroids = khatri_rao(sets, self.aggregator).expect("validated sets");
-                assign(data, &centroids, labels, dmin, &self.exec);
+                engine.assign_grid(data, &centroids, sets, self.aggregator, labels, dmin);
             }
             KrVariant::MemoryEfficient => {
-                assign_on_the_fly(
-                    data,
-                    sets,
-                    indexer,
-                    self.aggregator,
-                    labels,
-                    dmin,
-                    &self.exec,
-                );
+                engine.assign_otf(data, sets, indexer, self.aggregator, labels, dmin);
             }
         }
     }
@@ -463,10 +471,10 @@ impl KrKMeans {
 /// On-the-fly assignment: enumerate all centroid combinations, holding
 /// only one aggregated centroid at a time (Algorithm 1 lines 7-14).
 ///
-/// Temporaries — the per-point `(dmin, label)` running state (width-2
-/// f64 rows; flat labels round-trip exactly through f64 below 2^53),
-/// the point norms, and the single aggregated centroid — all recycle
-/// through `exec`'s [`Scratch`] arena across Lloyd iterations.
+/// One-shot entry point: delegates to the shared exhaustive scan in
+/// [`crate::assign`] (the reference implementation the pruned
+/// [`AssignEngine::assign_otf`] path is bitwise-pinned to).
+#[allow(dead_code)]
 fn assign_on_the_fly(
     data: &Matrix,
     sets: &[Matrix],
@@ -476,49 +484,7 @@ fn assign_on_the_fly(
     dmin: &mut [f64],
     exec: &ExecCtx,
 ) {
-    let n = data.nrows();
-    let m = data.ncols();
-    // Flat labels ride through the f64 state buffer below; the
-    // round-trip is exact only while every label fits in f64's integer
-    // range. The KR flat index is the *product* of the set sizes, so
-    // unlike a materialized centroid matrix this can overflow 2^53
-    // without exhausting memory first — enforce it.
-    assert!(
-        (indexer.n_centroids() as u128) < (1u128 << 53),
-        "KR flat centroid index must stay below 2^53 for exact f64 label round-trips"
-    );
-    let scratch = exec.scratch();
-    let mut x_norms = scratch.take_f64_uninit(0);
-    data.row_sq_norms_into(&mut x_norms);
-    let mut state = scratch.take_f64_uninit(2 * n);
-    for slot in state.chunks_exact_mut(2) {
-        slot[0] = f64::INFINITY;
-        slot[1] = 0.0;
-    }
-    let mut mu = scratch.take_f64(m);
-    indexer.for_each_tuple(|flat, tuple| {
-        aggregate_tuple_into(&mut mu, sets, tuple, agg);
-        let mu_norm = ops::sq_norm(&mu);
-        let mu_ref = &mu;
-        let x_norms_ref = &x_norms;
-        parallel::map_rows_into(exec, &mut state, 2, 1, |start, chunk| {
-            for (off, slot) in chunk.chunks_exact_mut(2).enumerate() {
-                let i = start + off;
-                let d = (x_norms_ref[i] + mu_norm - 2.0 * ops::dot(data.row(i), mu_ref)).max(0.0);
-                if d < slot[0] {
-                    slot[0] = d;
-                    slot[1] = flat as f64;
-                }
-            }
-        });
-    });
-    for (i, slot) in state.chunks_exact(2).enumerate() {
-        dmin[i] = slot[0];
-        labels[i] = slot[1] as usize;
-    }
-    scratch.put_f64(mu);
-    scratch.put_f64(state);
-    scratch.put_f64(x_norms);
+    crate::assign::exhaustive_otf(data, sets, indexer, agg, labels, dmin, exec, None);
 }
 
 /// Groups point indices by flat cluster label.

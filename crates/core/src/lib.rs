@@ -48,6 +48,7 @@
 #![forbid(unsafe_code)]
 
 pub mod aggregator;
+pub mod assign;
 pub mod baselines;
 pub mod design;
 pub mod kmeans;
@@ -58,6 +59,7 @@ pub mod operator;
 pub mod stats;
 
 pub use aggregator::Aggregator;
+pub use assign::{AssignEngine, CcBounds, PruneStats};
 pub use baselines::{NnkMeans, NnkMeansModel, RkMeans, RkMeansModel};
 pub use kmeans::{KMeans, KMeansModel};
 pub use kr_kmeans::{KrKMeans, KrKMeansModel};

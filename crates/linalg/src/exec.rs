@@ -61,6 +61,48 @@ impl KernelMode {
     }
 }
 
+/// Assignment-pruning policy for the bounds-gated engine in `kr-core`.
+///
+/// Triangle-inequality pruning (Elkan/Hamerly-style bounds, adapted to a
+/// bitwise-equality contract) is a *performance* knob: every mode
+/// produces labels, distances, centroids, and inertia bitwise identical
+/// to `Off` (the exhaustive scan). `Auto` — the default — picks a bound
+/// structure from a deterministic size heuristic; the explicit modes
+/// force one structure, which CI uses to pin the equality contract on
+/// both.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PruneMode {
+    /// Deterministic size heuristic: full center–center bounds (Elkan)
+    /// for small centroid counts, single lower bound per point (Hamerly)
+    /// otherwise.
+    #[default]
+    Auto,
+    /// Exhaustive scans only — the reference path.
+    Off,
+    /// Force the single-lower-bound structure regardless of size.
+    Hamerly,
+    /// Force the full center–center bound matrix regardless of size.
+    Elkan,
+}
+
+impl PruneMode {
+    /// The process-default mode, read once from the `KR_PRUNE`
+    /// environment variable (`off`, `hamerly`, `elkan`, anything else —
+    /// including unset — means `Auto`) and cached, mirroring
+    /// [`KernelMode::from_env`]. CI uses `KR_PRUNE=hamerly` /
+    /// `KR_PRUNE=elkan` to re-run the determinism suites with pruning
+    /// forced on.
+    pub fn from_env() -> Self {
+        static MODE: OnceLock<PruneMode> = OnceLock::new();
+        *MODE.get_or_init(|| match std::env::var("KR_PRUNE") {
+            Ok(v) if v.eq_ignore_ascii_case("off") => PruneMode::Off,
+            Ok(v) if v.eq_ignore_ascii_case("hamerly") => PruneMode::Hamerly,
+            Ok(v) if v.eq_ignore_ascii_case("elkan") => PruneMode::Elkan,
+            _ => PruneMode::Auto,
+        })
+    }
+}
+
 /// A pool of reusable scratch buffers shared by everything holding a
 /// clone of one [`ExecCtx`].
 ///
@@ -195,6 +237,7 @@ pub struct ExecCtx {
     pool: PoolHandle,
     tiling: Tiling,
     kernel: KernelMode,
+    prune: PruneMode,
     scratch: Scratch,
 }
 
@@ -212,6 +255,7 @@ impl ExecCtx {
             pool: PoolHandle::Global,
             tiling: Tiling::default(),
             kernel: KernelMode::from_env(),
+            prune: PruneMode::from_env(),
             scratch: Scratch::default(),
         }
     }
@@ -263,9 +307,22 @@ impl ExecCtx {
         self.tiling
     }
 
+    /// Selects the assignment-pruning policy ([`PruneMode`]); the
+    /// default comes from [`PruneMode::from_env`]. Performance-only:
+    /// every mode is bitwise identical to `Off`.
+    pub fn with_prune_mode(mut self, prune: PruneMode) -> Self {
+        self.prune = prune;
+        self
+    }
+
     /// The configured kernel mode.
     pub fn kernel_mode(&self) -> KernelMode {
         self.kernel
+    }
+
+    /// The configured assignment-pruning policy.
+    pub fn prune_mode(&self) -> PruneMode {
+        self.prune
     }
 
     /// The scratch-buffer arena shared by all clones of this context.

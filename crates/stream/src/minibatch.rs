@@ -45,13 +45,20 @@ use kr_core::aggregator::Aggregator;
 /// [`MiniBatchKrModel::last_batch_inertia`]), so the summarizer's state
 /// stays bounded no matter how many batches the stream delivers.
 const TELEMETRY_CAP: usize = 1024;
+use kr_core::assign::{CcBounds, PruneStats};
 use kr_core::kmeans::nearest_assignments_with;
 use kr_core::kr_kmeans::{prop61_update_from_stats, KrKMeans};
 use kr_core::operator::khatri_rao;
 use kr_core::stats::SuffStats;
 use kr_core::{CoreError, Result};
 use kr_datasets::weighted::WeightedDataset;
-use kr_linalg::{ExecCtx, Matrix};
+use kr_linalg::{ExecCtx, Matrix, PruneMode};
+
+/// Largest materialized centroid count for which the streaming path
+/// keeps a persistent `k x k` center–center bound matrix. Beyond this
+/// the quadratic bound state would dwarf the summary itself, so the
+/// batch assignment falls back to the exhaustive scan.
+const CC_BOUNDS_MAX_K: usize = 512;
 
 /// Streaming mini-batch KR-k-Means runner (builder style).
 ///
@@ -79,6 +86,12 @@ struct MbState {
     n_observed: usize,
     batch_inertia: Vec<f64>,
     last_batch_inertia: f64,
+    /// Persistent center–center lower bounds surviving across batches
+    /// (`None` when pruning is off or `k` exceeds [`CC_BOUNDS_MAX_K`]).
+    /// Each batch measures the centroid drift since the previous one and
+    /// decays the bounds by it, so stale bounds can never mis-assign —
+    /// the assignment stays bitwise identical to the exhaustive scan.
+    pruner: Option<CcBounds>,
 }
 
 /// The model a finished [`MiniBatchKrKMeans`] stream produces.
@@ -190,13 +203,39 @@ impl MiniBatchKrKMeans {
             .with_exec(self.exec.clone())
             .fit(batch)?;
         let k: usize = self.hs.iter().product();
+        let pruner = if self.exec.prune_mode() != PruneMode::Off && k <= CC_BOUNDS_MAX_K {
+            Some(CcBounds::default())
+        } else {
+            None
+        };
         Ok(MbState {
             sets: fit.protocentroids,
             acc: SuffStats::zeros(k, batch.ncols()),
             n_observed: 0,
             batch_inertia: Vec::new(),
             last_batch_inertia: f64::NAN,
+            pruner,
         })
+    }
+
+    /// Distance-evaluation pruning counters accumulated by the
+    /// persistent cross-batch bounds so far (zeros when pruning is off).
+    pub fn prune_stats(&self) -> PruneStats {
+        self.state
+            .as_ref()
+            .and_then(|s| s.pruner.as_ref())
+            .map_or_else(PruneStats::default, |p| p.stats())
+    }
+
+    /// How many times the persistent center–center bound matrix was
+    /// rebuilt from exact distances (including the initial build) —
+    /// measured drift past the decay budget forces a rebuild, the
+    /// invalidation path the streaming regression test pins.
+    pub fn prune_rebuilds(&self) -> u64 {
+        self.state
+            .as_ref()
+            .and_then(|s| s.pruner.as_ref())
+            .map_or(0, |p| p.rebuilds())
     }
 }
 
@@ -222,7 +261,16 @@ impl StreamSummarizer for MiniBatchKrKMeans {
             )));
         }
         let centroids = khatri_rao(&state.sets, self.aggregator).expect("validated sets");
-        let (labels, dmin) = nearest_assignments_with(batch, &centroids, &self.exec);
+        let (labels, dmin) = match state.pruner.as_mut() {
+            Some(pruner) => {
+                // Bounds persist from the previous batch; sync measures
+                // the centroid drift since then and decays (or rebuilds)
+                // them before they gate this batch's scan.
+                pruner.sync(&centroids);
+                pruner.assign(batch, &centroids, &self.exec)
+            }
+            None => nearest_assignments_with(batch, &centroids, &self.exec),
+        };
         state.last_batch_inertia = dmin.iter().sum();
         if state.batch_inertia.len() < TELEMETRY_CAP {
             state.batch_inertia.push(state.last_batch_inertia);
@@ -359,6 +407,48 @@ mod tests {
         for (x, y) in a.batch_inertia.iter().zip(&b.batch_inertia) {
             assert_eq!(x.to_bits(), y.to_bits());
         }
+    }
+
+    #[test]
+    fn persistent_bounds_match_exhaustive_and_invalidate_on_drift() {
+        // Regression test for the cross-batch bound path: a stream whose
+        // batches come from *shifting* distributions drags the centroids
+        // along (Prop 6.1 updates follow the data), which must (a) never
+        // change a single output bit vs. the pruning-off path and
+        // (b) eventually blow the decay budget and force bound rebuilds.
+        let run = |mode: PruneMode| {
+            let mut mb = MiniBatchKrKMeans::new(vec![2, 2])
+                .with_seed(9)
+                .with_init_restarts(2)
+                .with_exec(ExecCtx::serial().with_prune_mode(mode));
+            for step in 0..12 {
+                // Gradual mean drift: each batch sits 0.8 further out.
+                let shift = step as f64 * 0.8;
+                let batch =
+                    Matrix::from_fn(24, 2, |i, j| ((i * 3 + j * 5) % 11) as f64 * 0.5 + shift);
+                mb.observe(&batch).unwrap();
+            }
+            let rebuilds = mb.prune_rebuilds();
+            let stats = mb.prune_stats();
+            (mb.finalize().unwrap(), rebuilds, stats)
+        };
+        let (reference, ref_rebuilds, ref_stats) = run(PruneMode::Off);
+        assert_eq!(ref_rebuilds, 0, "pruning off must not build bounds");
+        assert_eq!(ref_stats, PruneStats::default());
+        let (pruned, rebuilds, stats) = run(PruneMode::Auto);
+        assert_eq!(pruned.protocentroids, reference.protocentroids);
+        for (a, b) in pruned.batch_inertia.iter().zip(&reference.batch_inertia) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        assert_eq!(
+            pruned.last_batch_inertia.to_bits(),
+            reference.last_batch_inertia.to_bits()
+        );
+        // Drift measured against the snapshots exceeded the decay budget
+        // at least once past the initial build.
+        assert!(rebuilds >= 2, "rebuilds {rebuilds}");
+        assert!(stats.dists_computed > 0);
+        assert!(stats.bound_updates > 0);
     }
 
     #[test]

@@ -34,6 +34,19 @@ pub struct Waiver {
     pub justification: String,
 }
 
+impl Waiver {
+    /// The stale-waiver diagnostic line. One formatting site so every
+    /// reporter names the *rule* alongside the file — a bare
+    /// file/justification line is ambiguous the moment a file carries
+    /// waivers for more than one rule (which one do you delete?).
+    pub fn stale_line(&self) -> String {
+        format!(
+            "stale waiver: rule `{}` no longer fires in {} (\"{}\") — remove it from verify.toml",
+            self.rule, self.path, self.justification
+        )
+    }
+}
+
 /// Parsed `verify.toml`.
 #[derive(Debug, Default)]
 pub struct Config {

@@ -86,10 +86,7 @@ fn run_lint(args: &[String]) -> ExitCode {
     }
     if !quiet {
         for w in &report.unused_waivers {
-            eprintln!(
-                "kr-verify: warning: unused waiver ({} in {}) — remove it from verify.toml",
-                w.rule, w.path
-            );
+            eprintln!("kr-verify: warning: {}", w.stale_line());
         }
         eprintln!(
             "kr-verify lint: {} violation(s), {} waived, {} file(s) scanned",

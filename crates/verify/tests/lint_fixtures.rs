@@ -26,7 +26,7 @@ allow = ["crates/linalg/src/pool.rs"]
 allow = ["crates/bench"]
 
 [rule.float-fold]
-hot_path = ["crates/linalg/src/matrix.rs"]
+hot_path = ["crates/linalg/src/matrix.rs", "crates/core/src/assign.rs"]
 "#,
     )
     .expect("fixture config parses")
@@ -299,6 +299,63 @@ justification = "file was removed last PR"
     assert_eq!(report.waived.len(), 1);
     assert_eq!(report.unused_waivers.len(), 1);
     assert_eq!(report.unused_waivers[0].path, "crates/core/src/gone.rs");
+    // The diagnostic line must name the rule, not just the file: one
+    // file can carry waivers for several rules, and a file-only line
+    // doesn't say which entry to delete.
+    let line = report.unused_waivers[0].stale_line();
+    assert!(line.contains("hash-collections"), "{line}");
+    assert!(line.contains("crates/core/src/gone.rs"), "{line}");
+    assert!(line.contains("file was removed last PR"), "{line}");
+}
+
+#[test]
+fn assign_engine_is_a_float_fold_hot_path() {
+    // The bounds-gated assignment engine lives on the hot path: a raw
+    // float reduction slipping into a bound update would be exactly the
+    // unordered-fold hazard the rule exists for.
+    let src = "fn drift(v: &[f64]) -> f64 { v.iter().map(|x| x * x).sum::<f64>() }";
+    let diags = lint_one("crates/core/src/assign.rs", src);
+    assert!(diags.iter().any(|d| d.rule == "float-fold"), "{diags:?}");
+    // Ordered manual loops — how the real module accumulates bounds —
+    // stay clean.
+    let ok = "fn drift(v: &[f64]) -> f64 { let mut a = 0.0; for x in v { a += x * x; } a }";
+    assert!(lint_one("crates/core/src/assign.rs", ok).is_empty());
+}
+
+#[test]
+fn stale_waiver_line_disambiguates_rules_on_one_file() {
+    // Two waivers on the same file, different rules; only one is live.
+    // The stale line must single out the dead rule by name.
+    let cfg = config::parse(
+        r#"
+[rule.hash-collections]
+crates = ["crates/core"]
+
+[rule.wall-clock]
+allow = []
+
+[[waiver]]
+rule = "hash-collections"
+path = "crates/core/src/mixed.rs"
+justification = "membership-only set"
+
+[[waiver]]
+rule = "wall-clock"
+path = "crates/core/src/mixed.rs"
+justification = "timing removed two PRs ago"
+"#,
+    )
+    .unwrap();
+    let files = vec![(
+        "crates/core/src/mixed.rs".to_string(),
+        "use std::collections::HashSet;\n".to_string(),
+    )];
+    let report = lint_files(&files, &cfg);
+    assert!(report.clean());
+    assert_eq!(report.unused_waivers.len(), 1);
+    let line = report.unused_waivers[0].stale_line();
+    assert!(line.contains("wall-clock"), "{line}");
+    assert!(!line.contains("hash-collections"), "{line}");
 }
 
 #[test]
