@@ -58,6 +58,8 @@ struct LegResult {
     dists_skipped: u64,
     dist_reduction: f64,
     wall_speedup: f64,
+    /// Mean post-warmup assignment time per iteration, pruned pass.
+    assign_ns_on: f64,
 }
 
 /// One Lloyd trajectory in the given mode; returns the post-warmup
@@ -115,6 +117,7 @@ fn run_leg(leg: &str, n: usize, m: usize, k: usize, seed: u64) -> LegResult {
         dists_skipped: stats.dists_skipped,
         dist_reduction: dists_exhaustive as f64 / stats.dists_computed.max(1) as f64,
         wall_speedup: t_off / t_on,
+        assign_ns_on: t_on / MEASURED as f64 * 1e9,
     }
 }
 
@@ -132,8 +135,8 @@ fn main() {
         // Larger k, still Hamerly: the memory-lean mode must scale.
         run_leg("hamerly_k128", kr_bench::scaled(8000, 1600), 20, 128, 72),
     ];
-    let mut out = String::from("[\n");
-    for (i, r) in legs.iter().enumerate() {
+    let mut records = Vec::new();
+    for r in legs.iter() {
         println!(
             "{:<22}{:>8}{:>6}{:>6}{:>14}{:>14}{:>12.1}{:>10.2}",
             r.leg,
@@ -157,31 +160,24 @@ fn main() {
             r.leg,
             r.wall_speedup
         );
-        out.push_str(&format!(
-            "  {{\"leg\": \"{}\", \"n\": {}, \"m\": {}, \"k\": {}, \
-             \"iters_measured\": {MEASURED}, \"dists_exhaustive\": {}, \
-             \"dists_computed\": {}, \"dists_skipped\": {}, \
-             \"dist_eval_reduction\": {:.2}, \"wallclock_speedup\": {:.2}, \
-             \"floor_dist_reduction\": {FLOOR_DIST_REDUCTION}, \
-             \"floor_wallclock\": {FLOOR_WALLCLOCK}}}{}\n",
-            r.leg,
-            r.n,
-            r.m,
-            r.k,
-            r.dists_exhaustive,
-            r.dists_computed,
-            r.dists_skipped,
-            r.dist_reduction,
-            r.wall_speedup,
-            if i + 1 < legs.len() { "," } else { "" },
-        ));
+        records.push(
+            kr_bench::bench_json::Record::new("assign_pruning", &r.leg, r.assign_ns_on)
+                .with_shape(format!("{}x{}, k={}", r.n, r.m, r.k))
+                .with("n", r.n)
+                .with("m", r.m)
+                .with("k", r.k)
+                .with("iters_measured", MEASURED)
+                .with("dists_exhaustive", r.dists_exhaustive)
+                .with("dists_computed", r.dists_computed)
+                .with("dists_skipped", r.dists_skipped)
+                .with("dist_eval_reduction", r.dist_reduction)
+                .with("wallclock_speedup", r.wall_speedup)
+                .with("floor_dist_reduction", FLOOR_DIST_REDUCTION)
+                .with("floor_wallclock", FLOOR_WALLCLOCK),
+        );
     }
-    out.push_str("]\n");
-    std::fs::write("BENCH_assign.json", &out).expect("write BENCH_assign.json");
-    println!(
-        "wrote BENCH_assign.json ({} legs); all floors met",
-        legs.len()
-    );
+    kr_bench::bench_json::write("BENCH_assign.json", &records).expect("write BENCH_assign.json");
+    println!("all floors met across {} legs", legs.len());
 
     // Sanity context: a whole KMeans fit with pruning on vs. off (not
     // part of the floors — restart seeding and update time dilute the

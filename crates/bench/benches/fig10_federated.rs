@@ -224,8 +224,15 @@ fn main() {
     // how many upload bytes the dropped frames saved.
     println!("\n=== Failure axis: seeded drops under quorum rounds (KR-FkM) ===");
     println!(
-        "{:<9}{:>10}{:>12}{:>14}{:>14}{:>13}{:>15}",
-        "clients", "drop", "inertia", "vs clean", "stats up(KB)", "saved(KB)", "tcp == local"
+        "{:<9}{:>10}{:>12}{:>14}{:>14}{:>13}{:>8}{:>15}",
+        "clients",
+        "drop",
+        "inertia",
+        "vs clean",
+        "stats up(KB)",
+        "saved(KB)",
+        "stale",
+        "tcp == local"
     );
     let fail_rounds = 6usize;
     for &n_clients in &[5usize, 10] {
@@ -272,14 +279,19 @@ fn main() {
                 clean_inertia = last.inertia;
                 clean_up = last.uplink_bytes;
             }
+            // `frames_stale` counts late replies for already-closed
+            // rounds — the direct wire cost of re-admitting shards that
+            // missed a round, so the failure table must report it
+            // alongside the byte savings instead of dropping it.
             println!(
-                "{:<9}{:>10.0}{:>12.1}{:>13.2}x{:>14.1}{:>13.1}{:>15}",
+                "{:<9}{:>10.0}{:>12.1}{:>13.2}x{:>14.1}{:>13.1}{:>8}{:>15}",
                 n_clients,
                 drop_rate * 100.0,
                 last.inertia,
                 last.inertia / clean_inertia,
                 last.uplink_bytes as f64 / 1024.0,
                 (clean_up.saturating_sub(last.uplink_bytes)) as f64 / 1024.0,
+                local.wire.frames_stale,
                 if equal { "bitwise ✓" } else { "DIVERGED" },
             );
         }

@@ -292,34 +292,30 @@ fn shape_of(group: &str) -> &'static str {
     }
 }
 
-/// Persists every recorded median as one JSON record:
-/// `{"group", "bench", "median_ns", "shape", "kernel"}` (see
-/// EXPERIMENTS.md "Kernel modes" for the schema). `kernel` is `simd`
-/// for the `KernelMode::Simd` legs, `scalar` for everything else
-/// (including the seed-baseline loops, which are scalar by definition).
+/// Persists every recorded median through the shared
+/// [`kr_bench::bench_json`] writer (see EXPERIMENTS.md "Kernel modes"
+/// for the schema). `extra.kernel` is `simd` for the
+/// `KernelMode::Simd` legs, `scalar` for everything else (including
+/// the seed-baseline loops, which are scalar by definition).
 fn write_results_json(results: &[criterion::BenchResult]) {
-    let mut out = String::from("[\n");
-    for (i, r) in results.iter().enumerate() {
-        let (group, bench) = r
-            .label
-            .split_once('/')
-            .unwrap_or((r.label.as_str(), r.label.as_str()));
-        let kernel = if bench.contains("simd") {
-            "simd"
-        } else {
-            "scalar"
-        };
-        out.push_str(&format!(
-            "  {{\"group\": \"{group}\", \"bench\": \"{bench}\", \
-             \"median_ns\": {:.1}, \"shape\": \"{}\", \"kernel\": \"{kernel}\"}}{}\n",
-            r.median_ns,
-            shape_of(group),
-            if i + 1 < results.len() { "," } else { "" },
-        ));
-    }
-    out.push_str("]\n");
-    std::fs::write("BENCH_kernels.json", &out).expect("write BENCH_kernels.json");
-    println!("wrote BENCH_kernels.json ({} records)", results.len());
+    let records: Vec<kr_bench::bench_json::Record> = results
+        .iter()
+        .map(|r| {
+            let (group, bench) = r
+                .label
+                .split_once('/')
+                .unwrap_or((r.label.as_str(), r.label.as_str()));
+            let kernel = if bench.contains("simd") {
+                "simd"
+            } else {
+                "scalar"
+            };
+            kr_bench::bench_json::Record::new(group, bench, r.median_ns)
+                .with_shape(shape_of(group))
+                .with("kernel", kernel)
+        })
+        .collect();
+    kr_bench::bench_json::write("BENCH_kernels.json", &records).expect("write BENCH_kernels.json");
 }
 
 /// Prints the simd-vs-scalar speedups the acceptance criteria track.

@@ -16,6 +16,7 @@
 #![warn(missing_docs)]
 
 pub mod alloc_counter;
+pub mod bench_json;
 
 use std::sync::Once;
 use std::time::Instant;

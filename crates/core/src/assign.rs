@@ -27,7 +27,7 @@
 //!
 //! Floating-point certification uses one conservative additive error
 //! term for the expanded kernel `‖x‖² + ‖c‖² − 2⟨x,c⟩` (see
-//! [`kernel_error_bound`]) plus relative slack on every square root and
+//! `kernel_error_bound`) plus relative slack on every square root and
 //! bound decay, so a bound can under-prune but never mis-prune.
 //!
 //! ## Bound structures
@@ -54,7 +54,11 @@
 //! allocations, and one engine serves every restart of a fit.
 //! [`PruneStats`] counts exact evaluations, certified skips, and bound
 //! refreshes for the benches (telemetry only — counters may differ
-//! across thread counts even though results cannot).
+//! across thread counts even though results cannot). With the `obs`
+//! feature the same counters are mirrored onto the trace schema as
+//! `assign.dists_computed` / `assign.dists_skipped` /
+//! `assign.bound_updates`, and every assignment pass opens an
+//! `assign.pass` span labelled with `k`.
 
 use crate::aggregator::Aggregator;
 use crate::operator::{aggregate_tuple_into, CentroidIndexer};
@@ -109,14 +113,19 @@ pub(crate) struct SharedStats {
 
 impl SharedStats {
     fn add(&self, computed: u64, skipped: u64, updates: u64) {
+        // The obs counters mirror PruneStats onto the trace schema:
+        // per-chunk increments, aggregated by `Snapshot::counter_total`.
         if computed > 0 {
             self.computed.fetch_add(computed, Ordering::Relaxed);
+            kr_obs::counter!("assign.dists_computed", computed);
         }
         if skipped > 0 {
             self.skipped.fetch_add(skipped, Ordering::Relaxed);
+            kr_obs::counter!("assign.dists_skipped", skipped);
         }
         if updates > 0 {
             self.updates.fetch_add(updates, Ordering::Relaxed);
+            kr_obs::counter!("assign.bound_updates", updates);
         }
     }
 
@@ -407,7 +416,7 @@ impl AssignEngine {
 
     /// Nearest-centroid assignment against a dense centroid matrix —
     /// the `KMeans` / `WeightedKMeans` hot path. Bitwise identical to
-    /// [`exhaustive_dense`] in every [`PruneMode`].
+    /// `exhaustive_dense` in every [`PruneMode`].
     pub fn assign_dense(
         &mut self,
         data: &Matrix,
@@ -447,6 +456,7 @@ impl AssignEngine {
         debug_assert_eq!(data.shape(), (self.n, self.m), "begin_fit saw other data");
         debug_assert_eq!(centroids.ncols(), self.m);
         let k = centroids.nrows();
+        let _pass = kr_obs::span!("assign.pass", "k" => k);
         let Some(mode) = self.resolved_mode(k) else {
             exhaustive_dense(data, centroids, labels, dmin, &self.exec, Some(&self.stats));
             self.ready = false;
@@ -809,7 +819,7 @@ impl AssignEngine {
     /// Assignment over the *implicit* Khatri-Rao grid (the
     /// memory-efficient `KrKMeans` variant): candidates are aggregated
     /// tuple-by-tuple, never materialized. Bitwise identical to
-    /// [`exhaustive_otf`] in every [`PruneMode`].
+    /// `exhaustive_otf` in every [`PruneMode`].
     ///
     /// Pruning here is the single-bound structure plus a per-candidate
     /// norm gate (`d(x,c) ≥ |‖x‖ − ‖c‖|`): points whose bound certifies
@@ -829,6 +839,7 @@ impl AssignEngine {
     ) {
         debug_assert_eq!(data.shape(), (self.n, self.m), "begin_fit saw other data");
         let k = indexer.n_centroids();
+        let _pass = kr_obs::span!("assign.pass", "k" => k);
         assert!(
             (k as u128) < (1u128 << 53),
             "KR flat centroid index must stay below 2^53 for exact f64 label round-trips"
@@ -1325,7 +1336,7 @@ pub(crate) fn exhaustive_otf(
 /// the drift-invalidation regression test pins this trigger).
 ///
 /// `assign` is bitwise identical to the exhaustive scan in
-/// [`exhaustive_dense`]: candidates are visited in the same ascending
+/// `exhaustive_dense`: candidates are visited in the same ascending
 /// order with the same raw kernel expression, and a candidate is
 /// skipped only when its certified floor strictly exceeds the
 /// already-computed running best.
@@ -1425,7 +1436,7 @@ impl CcBounds {
     }
 
     /// Nearest-centroid assignment for one batch, gated by the
-    /// persistent bounds. Bitwise identical to [`exhaustive_dense`] on
+    /// persistent bounds. Bitwise identical to `exhaustive_dense` on
     /// the same inputs.
     pub fn assign(&mut self, data: &Matrix, centroids: &Matrix, exec: &ExecCtx) -> AssignOut {
         let n = data.nrows();

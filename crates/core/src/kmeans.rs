@@ -167,14 +167,18 @@ impl KMeans {
         engine: &mut AssignEngine,
     ) -> Result<KMeansModel> {
         let (n, m) = data.shape();
-        let mut centroids = match &self.init {
-            KMeansInit::Random => sample_rows(data, self.k, rng),
-            KMeansInit::PlusPlus => plus_plus_init(data, self.k, rng),
-            KMeansInit::FromCentroids(c) => {
-                debug_assert_eq!(c.shape(), (self.k, m), "warm-start shape");
-                c.clone()
+        let mut centroids = {
+            let _seed = kr_obs::span!("kmeans.seed", "k" => self.k);
+            match &self.init {
+                KMeansInit::Random => sample_rows(data, self.k, rng),
+                KMeansInit::PlusPlus => plus_plus_init(data, self.k, rng),
+                KMeansInit::FromCentroids(c) => {
+                    debug_assert_eq!(c.shape(), (self.k, m), "warm-start shape");
+                    c.clone()
+                }
             }
         };
+        let _lloyd = kr_obs::span!("kmeans.lloyd", "k" => self.k);
         let mut labels = vec![0usize; n];
         let mut dmin = vec![0.0f64; n];
         let mut n_iter = 0;

@@ -350,6 +350,7 @@ impl KrKMeans {
         let mut dmin = vec![0.0f64; n];
         let mut n_iter = 0;
 
+        let _lloyd = kr_obs::span!("krkmeans.lloyd", "k" => k);
         engine.begin_restart();
         for it in 0..self.max_iter {
             n_iter = it + 1;
@@ -402,6 +403,7 @@ impl KrKMeans {
     }
 
     fn initialize(&self, data: &Matrix, rng: &mut StdRng) -> Vec<Matrix> {
+        let _seed = kr_obs::span!("krkmeans.seed", "sets" => self.hs.len());
         match &self.init {
             KrInit::FromSets(sets) => sets.clone(),
             KrInit::RandomPoints => self

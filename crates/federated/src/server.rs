@@ -478,6 +478,7 @@ impl<'e, C: Connection> Driver<'e, C> {
         let round = next.round;
         let eval_only = next.eval_only;
         let deadline = self.deadline;
+        let _round_span = kr_obs::span!("fed.round", "round" => round);
         // Build each connection's downlink frame up front: inactive
         // shards get nothing; shards that reported the previous round
         // get the pipelined ack; shards that missed it (and everyone in
@@ -584,9 +585,14 @@ impl<'e, C: Connection> Driver<'e, C> {
         for (i, report) in reports.into_iter().enumerate() {
             self.wire.frames_stale += report.stale_frames;
             self.wire.frame_bytes_up += report.stale_bytes;
+            if report.stale_frames > 0 {
+                kr_obs::counter!("fed.frames_stale", report.stale_frames, "round" => round);
+            }
             if let Some(info) = report.down {
                 self.wire.frames_down += 1;
                 self.wire.frame_bytes_down += info.frame_bytes;
+                kr_obs::counter!("fed.frames_down", 1);
+                kr_obs::counter!("fed.frame_bytes_down", info.frame_bytes);
                 if !eval_only {
                     outcome.stat_down += info.stat_bytes;
                 }
@@ -596,6 +602,8 @@ impl<'e, C: Connection> Driver<'e, C> {
                 ConnResult::Reported { stats, up } => {
                     self.wire.frames_up += 1;
                     self.wire.frame_bytes_up += up.frame_bytes;
+                    kr_obs::counter!("fed.frames_up", 1);
+                    kr_obs::counter!("fed.frame_bytes_up", up.frame_bytes);
                     if !eval_only {
                         outcome.stat_up += up.stat_bytes;
                     }
@@ -604,6 +612,17 @@ impl<'e, C: Connection> Driver<'e, C> {
                     outcome.replies.push(Some(stats));
                 }
                 ConnResult::Failed(kind, err) => {
+                    match kind {
+                        FailureKind::Timeout => {
+                            kr_obs::counter!("fed.fail_timeout", 1, "round" => round)
+                        }
+                        FailureKind::Corrupt => {
+                            kr_obs::counter!("fed.fail_corrupt", 1, "round" => round)
+                        }
+                        FailureKind::Disconnected => {
+                            kr_obs::counter!("fed.fail_disconnected", 1, "round" => round)
+                        }
+                    }
                     if kind == FailureKind::Disconnected {
                         self.active[i] = false;
                     }

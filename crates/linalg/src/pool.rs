@@ -28,6 +28,12 @@
 //! output ranges, so every parallel kernel in the workspace remains
 //! bit-deterministic (the `threads_do_not_change_result` family of tests).
 //!
+//! With the `obs` feature the pool reports `pool.steal` / `pool.park` /
+//! `pool.wake` counters, a `pool.queue_depth` histogram per region, and
+//! one `pool.chunk` span per executed chunk (exit duration = busy time,
+//! `worker` = the thread that ran it). None of it touches chunk
+//! geometry, so the determinism contract is unaffected.
+//!
 //! # Safety
 //!
 //! This module contains the crate's only `unsafe` code: `scope_chunks`
@@ -89,6 +95,9 @@ impl Job {
         // `scope_chunks` (it cannot return before `remaining` hits zero,
         // which requires this job to finish), so the closure is alive.
         let f = unsafe { &*self.task.func.0 };
+        // Exit duration is the chunk's busy time; the event's `worker`
+        // field says which thread ran it.
+        let _chunk = kr_obs::span!("pool.chunk", "rows" => self.end - self.start);
         if let Err(payload) = catch_unwind(AssertUnwindSafe(|| f(self.start, self.end))) {
             let mut slot = self.task.panic.lock().unwrap();
             if slot.is_none() {
@@ -154,6 +163,7 @@ impl Shared {
                 model::yield_point(model::Op::Steal);
             }
             if let Some(job) = self.queues[victim].lock().unwrap().pop_front() {
+                kr_obs::counter!("pool.steal", 1);
                 return Some(job);
             }
         }
@@ -181,6 +191,7 @@ fn worker_loop(shared: Arc<Shared>, me: usize) {
             job.run();
             continue;
         }
+        kr_obs::counter!("pool.park", 1);
         drop(model::wait(&shared.wake, guard));
     }
 }
@@ -303,10 +314,12 @@ impl ThreadPool {
                 .unwrap()
                 .push_back(job);
         }
+        kr_obs::hist!("pool.queue_depth", n_jobs);
         model::yield_point(model::Op::Wake);
         {
             // Notify while holding the idle mutex (see `Shared::idle`).
             let _idle = self.shared.idle.lock().unwrap();
+            kr_obs::counter!("pool.wake", 1);
             model::notify_all(&self.shared.wake);
         }
 

@@ -1,0 +1,136 @@
+//! Time sources for the observability layer.
+//!
+//! Every timestamp in a trace flows through the [`Clock`] trait — no
+//! instrumented crate reads the wall clock directly (kr-verify's
+//! `wall-clock` rule and the `obs-macro-only` rule enforce this). Two
+//! implementations exist:
+//!
+//! * [`MonotonicClock`] — real elapsed nanoseconds since the clock was
+//!   created. This file is the **single sanctioned `Instant` site** in
+//!   the workspace outside kr-bench / kr-verify / the TCP transport's
+//!   waived deadline plumbing; `verify.toml` allowlists exactly
+//!   `crates/obs/src/clock.rs`, so an `Instant` anywhere else in kr-obs
+//!   still flags.
+//! * [`VirtualClock`] — a deterministic counter that advances by one
+//!   tick per read. Tests and CI default to it so instrumented runs
+//!   replay identically: timestamps become event sequence numbers and
+//!   span durations become "events observed while the span was open".
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// A monotonic nanosecond source.
+///
+/// Implementations must be strictly non-decreasing per instance. They
+/// must also be cheap and lock-free: `now_nanos` runs on every recorded
+/// event, inside the hot paths the events describe.
+pub trait Clock: Send + Sync {
+    /// Nanoseconds (or deterministic ticks) since the clock's origin.
+    fn now_nanos(&self) -> u64;
+}
+
+/// Real elapsed time: nanoseconds since the clock was constructed.
+///
+/// The only `Instant` reads in kr-obs live here, behind the scoped
+/// `verify.toml` wall-clock allowlist entry.
+#[derive(Debug)]
+pub struct MonotonicClock {
+    origin: Instant,
+}
+
+impl MonotonicClock {
+    /// Creates a clock whose origin is "now".
+    pub fn new() -> MonotonicClock {
+        MonotonicClock {
+            origin: Instant::now(),
+        }
+    }
+}
+
+impl Default for MonotonicClock {
+    fn default() -> MonotonicClock {
+        MonotonicClock::new()
+    }
+}
+
+impl Clock for MonotonicClock {
+    fn now_nanos(&self) -> u64 {
+        // u64 nanoseconds cover ~584 years of process uptime.
+        self.origin.elapsed().as_nanos() as u64
+    }
+}
+
+/// Deterministic clock: every read returns the next integer tick.
+///
+/// Reads are globally ordered per instance (a relaxed `fetch_add`), so
+/// timestamps are unique and strictly increasing — a total event order
+/// with no wall-clock input. This is the test/CI default; it is what
+/// makes instrumented runs replayable.
+#[derive(Debug, Default)]
+pub struct VirtualClock {
+    ticks: AtomicU64,
+}
+
+impl VirtualClock {
+    /// Creates a clock starting at tick zero (first read returns 1).
+    pub fn new() -> VirtualClock {
+        VirtualClock::default()
+    }
+
+    /// Ticks consumed so far (reads performed since construction).
+    pub fn ticks(&self) -> u64 {
+        self.ticks.load(Ordering::Relaxed)
+    }
+}
+
+impl Clock for VirtualClock {
+    fn now_nanos(&self) -> u64 {
+        // Relaxed is enough: uniqueness and monotonicity come from the
+        // atomicity of fetch_add, not from cross-variable ordering.
+        self.ticks.fetch_add(1, Ordering::Relaxed) + 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn monotonic_clock_is_non_decreasing() {
+        let c = MonotonicClock::new();
+        let a = c.now_nanos();
+        let b = c.now_nanos();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn virtual_clock_is_strictly_increasing_and_unique() {
+        let c = VirtualClock::new();
+        let reads: Vec<u64> = (0..100).map(|_| c.now_nanos()).collect();
+        for w in reads.windows(2) {
+            assert!(w[1] > w[0], "ticks must strictly increase: {w:?}");
+        }
+        assert_eq!(reads[0], 1);
+        assert_eq!(c.ticks(), 100);
+    }
+
+    #[test]
+    fn virtual_clock_ticks_are_unique_across_threads() {
+        let c = Arc::new(VirtualClock::new());
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let c = Arc::clone(&c);
+                std::thread::spawn(move || (0..250).map(|_| c.now_nanos()).collect::<Vec<u64>>())
+            })
+            .collect();
+        let mut all: Vec<u64> = handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), 1000, "every tick must be unique");
+        assert_eq!(*all.last().unwrap(), 1000);
+    }
+}

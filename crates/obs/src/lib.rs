@@ -1,0 +1,700 @@
+//! # kr-obs — zero-dependency observability with a deterministic-clock contract
+//!
+//! Structured spans, counters, and fixed-bucket histograms for the
+//! Khatri-Rao clustering workspace, recorded into lock-free per-thread
+//! ring buffers (bounded, seq-cst-free, drop-counting on overflow)
+//! and drained by a [`Recorder`] into JSONL or an in-process
+//! [`Snapshot`].
+//!
+//! ## The determinism contract
+//!
+//! Instrumentation must be *bitwise invisible*: with the `obs` feature
+//! on and a recorder attached, every numeric result — labels,
+//! centroids, inertia bits, sufficient statistics, wire totals — is
+//! identical to the obs-off run, at any worker count, in every kernel
+//! and prune mode. Three mechanisms enforce this:
+//!
+//! 1. **No wall clock.** Time flows only through the [`Clock`] trait;
+//!    [`MonotonicClock`] (the single sanctioned `Instant` site, in
+//!    [`clock`]) is for production traces, [`VirtualClock`]
+//!    (deterministic ticks) is the test/CI default.
+//! 2. **True no-ops when off.** The [`span!`]/[`counter!`]/[`hist!`]/
+//!    [`gauge!`] macros expand to nothing unless the *invoking* crate's
+//!    `obs` cargo feature is enabled; default builds carry zero
+//!    instrumentation cost.
+//! 3. **Macros only.** Instrumented crates never touch [`Recorder`] or
+//!    [`Clock`] directly — kr-verify's `obs-macro-only` rule bans it —
+//!    so recording can never feed a value back into a numeric path.
+//!
+//! ## Recording
+//!
+//! ```
+//! use std::sync::Arc;
+//!
+//! let recorder = kr_obs::Recorder::install(Arc::new(kr_obs::VirtualClock::new()));
+//! // ... run instrumented code built with `--features obs` ...
+//! let snapshot = recorder.snapshot();
+//! let jsonl = snapshot.to_jsonl();
+//! assert_eq!(kr_obs::Snapshot::parse_jsonl(&jsonl).unwrap().events, snapshot.events);
+//! ```
+//!
+//! Set `KR_OBS=trace.jsonl` and call [`init_from_env`] once at startup
+//! (the `streaming` example does) to capture a wall-clock trace to a
+//! file; see EXPERIMENTS.md "Observability" for the event schema.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod clock;
+mod event;
+mod ring;
+
+pub use clock::{Clock, MonotonicClock, VirtualClock};
+pub use event::{
+    bucket_index, parse_line, write_line, Event, EventKind, EventValue, Histogram, ParseError,
+    Snapshot, HIST_BUCKETS,
+};
+
+use std::cell::{Cell, RefCell};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Interned-key sentinel meaning "this event has no label".
+#[doc(hidden)]
+pub const NO_LABEL: u32 = u32::MAX;
+
+// Fast-path gate: true while a recorder is installed. Relaxed is
+// deliberate — a thread that observes the flag late merely records a
+// few events into a ring the next refresh discards, or skips a few.
+static ENABLED: AtomicBool = AtomicBool::new(false);
+// Bumped on every install so thread-local sessions know to re-register.
+static GENERATION: AtomicU64 = AtomicU64::new(0);
+// Global span-id well; ids only need to be unique, not dense.
+static SPAN_IDS: AtomicU64 = AtomicU64::new(0);
+// The installed recorder's state. Locked only on install, snapshot, and
+// once per (thread, generation) registration — never on the per-event
+// record path.
+static REGISTRY: Mutex<Option<GlobalState>> = Mutex::new(None);
+// Name intern table: macros resolve each name once per call site
+// through a `OnceLock`, so this lock is also off the hot path.
+static INTERN: Mutex<Vec<&'static str>> = Mutex::new(Vec::new());
+
+struct GlobalState {
+    gen: u64,
+    clock: Arc<dyn Clock>,
+    rings: Vec<Arc<ring::Ring>>,
+}
+
+struct ThreadSlot {
+    gen: Cell<u64>,
+    ring: RefCell<Option<Arc<ring::Ring>>>,
+    clock: RefCell<Option<Arc<dyn Clock>>>,
+}
+
+thread_local! {
+    static SLOT: ThreadSlot = const {
+        ThreadSlot {
+            gen: Cell::new(0),
+            ring: RefCell::new(None),
+            clock: RefCell::new(None),
+        }
+    };
+}
+
+/// Interns an event or label name, returning its table id. Macros call
+/// this once per call site (cached in a `OnceLock`); it is not a
+/// hot-path function.
+#[doc(hidden)]
+pub fn intern(name: &'static str) -> u32 {
+    let mut table = INTERN.lock().expect("obs intern table poisoned");
+    if let Some(i) = table.iter().position(|&s| s == name) {
+        return i as u32;
+    }
+    assert!(table.len() < NO_LABEL as usize, "obs intern table overflow");
+    table.push(name);
+    (table.len() - 1) as u32
+}
+
+/// Runs `f` with the calling thread's ring and clock for the current
+/// recorder generation, registering the thread first if needed. Returns
+/// `None` when no recorder is installed.
+fn with_session<R>(f: impl FnOnce(&ring::Ring, &dyn Clock) -> R) -> Option<R> {
+    SLOT.with(|slot| {
+        let gen = GENERATION.load(Ordering::Acquire);
+        if slot.gen.get() != gen {
+            refresh(slot, gen);
+        }
+        let ring = slot.ring.borrow();
+        let clock = slot.clock.borrow();
+        match (ring.as_deref(), clock.as_deref()) {
+            (Some(r), Some(c)) => Some(f(r, c)),
+            _ => None,
+        }
+    })
+}
+
+/// Re-registers the calling thread against the current recorder (slow
+/// path: once per thread per install).
+fn refresh(slot: &ThreadSlot, gen: u64) {
+    let mut registry = REGISTRY.lock().expect("obs registry poisoned");
+    match registry.as_mut() {
+        Some(state) if state.gen == gen => {
+            let ring = Arc::new(ring::Ring::new(
+                state.rings.len() as u32,
+                ring::RING_CAPACITY,
+            ));
+            state.rings.push(Arc::clone(&ring));
+            *slot.ring.borrow_mut() = Some(ring);
+            *slot.clock.borrow_mut() = Some(Arc::clone(&state.clock));
+        }
+        _ => {
+            *slot.ring.borrow_mut() = None;
+            *slot.clock.borrow_mut() = None;
+        }
+    }
+    slot.gen.set(gen);
+}
+
+fn record(kind: EventKind, name: u32, value: u64, span: u64, label_key: u32, label_val: u64) {
+    if !ENABLED.load(Ordering::Relaxed) {
+        return;
+    }
+    with_session(|ring, clock| {
+        ring.push(ring::RawEvent {
+            ts: clock.now_nanos(),
+            kind: kind.code(),
+            name,
+            value,
+            span,
+            label_key,
+            label_val,
+        });
+    });
+}
+
+/// Macro plumbing: the functions the `obs` macros expand to. Direct
+/// calls from instrumented crates are banned by kr-verify's
+/// `obs-macro-only` rule — go through [`counter!`]/[`hist!`]/[`gauge!`].
+#[doc(hidden)]
+pub mod rt {
+    use super::*;
+
+    /// Records one counter increment.
+    pub fn record_counter(name: u32, value: u64, label_key: u32, label_val: u64) {
+        record(EventKind::Counter, name, value, 0, label_key, label_val);
+    }
+
+    /// Records one histogram sample.
+    pub fn record_hist(name: u32, value: u64, label_key: u32, label_val: u64) {
+        record(EventKind::Hist, name, value, 0, label_key, label_val);
+    }
+
+    /// Records one gauge reading.
+    pub fn record_gauge(name: u32, value: f64, label_key: u32, label_val: u64) {
+        record(
+            EventKind::Gauge,
+            name,
+            value.to_bits(),
+            0,
+            label_key,
+            label_val,
+        );
+    }
+}
+
+/// An open span: records `span_enter` on creation (via [`span!`]) and
+/// `span_exit` — whose value is the clock-unit duration — when dropped.
+///
+/// Inert (a cheap two-branch drop) when no recorder is installed; not
+/// constructed at all when the invoking crate's `obs` feature is off
+/// ([`span!`] expands to [`NoopSpan`] instead).
+#[must_use = "a span measures the scope it is bound to; binding it to `_` drops it immediately"]
+pub struct SpanGuard {
+    name: u32,
+    span: u64,
+    start: u64,
+    label_key: u32,
+    label_val: u64,
+    active: bool,
+}
+
+impl SpanGuard {
+    /// Opens a span. Macro plumbing — use [`span!`].
+    #[doc(hidden)]
+    pub fn enter(name: u32, label_key: u32, label_val: u64) -> SpanGuard {
+        let inert = SpanGuard {
+            name,
+            span: 0,
+            start: 0,
+            label_key,
+            label_val,
+            active: false,
+        };
+        if !ENABLED.load(Ordering::Relaxed) {
+            return inert;
+        }
+        let span = SPAN_IDS.fetch_add(1, Ordering::Relaxed) + 1;
+        let start = with_session(|ring, clock| {
+            let ts = clock.now_nanos();
+            ring.push(ring::RawEvent {
+                ts,
+                kind: EventKind::SpanEnter.code(),
+                name,
+                value: 0,
+                span,
+                label_key,
+                label_val,
+            });
+            ts
+        });
+        match start {
+            Some(start) => SpanGuard {
+                span,
+                start,
+                active: true,
+                ..inert
+            },
+            None => inert,
+        }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if !self.active {
+            return;
+        }
+        with_session(|ring, clock| {
+            let ts = clock.now_nanos();
+            ring.push(ring::RawEvent {
+                ts,
+                kind: EventKind::SpanExit.code(),
+                name: self.name,
+                value: ts.saturating_sub(self.start),
+                span: self.span,
+                label_key: self.label_key,
+                label_val: self.label_val,
+            });
+        });
+    }
+}
+
+/// Zero-sized stand-in [`span!`] returns when the invoking crate's
+/// `obs` feature is off: no fields, no `Drop`, nothing to optimize out.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoopSpan;
+
+/// Drains recorded events from every thread's ring buffer.
+///
+/// Installing a recorder enables recording globally (last install
+/// wins); dropping it disables recording again. [`Recorder::snapshot`]
+/// is draining: each event is returned once, and the overflow drop
+/// count is taken-and-reset alongside it.
+pub struct Recorder {
+    gen: u64,
+}
+
+impl Recorder {
+    /// Installs a recorder timing events against `clock` and enables
+    /// recording. A newer install supersedes an older recorder, whose
+    /// snapshots become empty.
+    pub fn install(clock: Arc<dyn Clock>) -> Recorder {
+        let mut registry = REGISTRY.lock().expect("obs registry poisoned");
+        let gen = GENERATION.load(Ordering::Relaxed) + 1;
+        *registry = Some(GlobalState {
+            gen,
+            clock,
+            rings: Vec::new(),
+        });
+        // Release: a thread that acquires the new generation must see
+        // the registry entry its refresh will look up.
+        GENERATION.store(gen, Ordering::Release);
+        ENABLED.store(true, Ordering::Release);
+        Recorder { gen }
+    }
+
+    /// [`Recorder::install`] with a fresh [`VirtualClock`] — the
+    /// deterministic test/CI default.
+    pub fn install_virtual() -> Recorder {
+        Recorder::install(Arc::new(VirtualClock::new()))
+    }
+
+    /// Drains every ring into a timestamp-sorted [`Snapshot`]. Returns
+    /// an empty snapshot if this recorder has been superseded.
+    pub fn snapshot(&self) -> Snapshot {
+        let registry = REGISTRY.lock().expect("obs registry poisoned");
+        let Some(state) = registry.as_ref().filter(|s| s.gen == self.gen) else {
+            return Snapshot::default();
+        };
+        let names: Vec<&'static str> = INTERN.lock().expect("obs intern table poisoned").clone();
+        let resolve = |id: u32| names.get(id as usize).copied().unwrap_or("?").to_string();
+        let mut dropped = 0u64;
+        let mut raw = Vec::new();
+        let mut events = Vec::new();
+        for ring in &state.rings {
+            raw.clear();
+            ring.drain_into(&mut raw);
+            dropped += ring.take_dropped();
+            for e in &raw {
+                let kind = EventKind::from_code(e.kind);
+                events.push(Event {
+                    ts: e.ts,
+                    span: e.span,
+                    kind,
+                    name: resolve(e.name),
+                    value: match kind {
+                        EventKind::Gauge => EventValue::Float(f64::from_bits(e.value)),
+                        _ => EventValue::Int(e.value),
+                    },
+                    worker: ring.worker(),
+                    label: (e.label_key != NO_LABEL).then(|| (resolve(e.label_key), e.label_val)),
+                });
+            }
+        }
+        // Stable: ties keep per-ring (i.e. per-worker program) order.
+        events.sort_by_key(|e| e.ts);
+        Snapshot { events, dropped }
+    }
+}
+
+impl Drop for Recorder {
+    fn drop(&mut self) {
+        let mut registry = REGISTRY.lock().expect("obs registry poisoned");
+        if registry.as_ref().is_some_and(|s| s.gen == self.gen) {
+            ENABLED.store(false, Ordering::Relaxed);
+            *registry = None;
+        }
+    }
+}
+
+/// A recorder writing its trace to a file when dropped (or on
+/// [`TraceFile::finish`]).
+pub struct TraceFile {
+    recorder: Option<Recorder>,
+    path: std::path::PathBuf,
+}
+
+impl TraceFile {
+    /// Writes the final snapshot to the trace path, returning the
+    /// number of events written. Idempotent; also runs on drop.
+    pub fn finish(mut self) -> std::io::Result<usize> {
+        self.write_out()
+    }
+
+    fn write_out(&mut self) -> std::io::Result<usize> {
+        let Some(recorder) = self.recorder.take() else {
+            return Ok(0);
+        };
+        let snapshot = recorder.snapshot();
+        std::fs::write(&self.path, snapshot.to_jsonl())?;
+        Ok(snapshot.len())
+    }
+}
+
+impl Drop for TraceFile {
+    fn drop(&mut self) {
+        let _ = self.write_out();
+    }
+}
+
+/// If `KR_OBS=<path>` is set, installs a [`MonotonicClock`] recorder
+/// and returns a [`TraceFile`] that writes the JSONL trace to `<path>`
+/// when dropped. Call once at startup:
+///
+/// ```no_run
+/// let _trace = kr_obs::init_from_env();
+/// // ... run instrumented work; the trace lands when `_trace` drops.
+/// ```
+pub fn init_from_env() -> Option<TraceFile> {
+    let path = std::env::var_os("KR_OBS")?;
+    Some(TraceFile {
+        recorder: Some(Recorder::install(Arc::new(MonotonicClock::new()))),
+        path: path.into(),
+    })
+}
+
+/// Opens a [`SpanGuard`] measuring the enclosing scope:
+/// `let _span = kr_obs::span!("kmeans.lloyd");` or, with a numeric
+/// label, `kr_obs::span!("fed.round", "round" => round_idx)`.
+///
+/// Compiles to a zero-sized no-op unless the invoking crate's `obs`
+/// cargo feature is enabled; records only while a [`Recorder`] is
+/// installed.
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {{
+        #[cfg(feature = "obs")]
+        {
+            static __KR_OBS_NAME: ::std::sync::OnceLock<u32> = ::std::sync::OnceLock::new();
+            $crate::SpanGuard::enter(
+                *__KR_OBS_NAME.get_or_init(|| $crate::intern($name)),
+                $crate::NO_LABEL,
+                0,
+            )
+        }
+        #[cfg(not(feature = "obs"))]
+        {
+            let _ = || $name;
+            $crate::NoopSpan
+        }
+    }};
+    ($name:expr, $key:expr => $val:expr) => {{
+        #[cfg(feature = "obs")]
+        {
+            static __KR_OBS_NAME: ::std::sync::OnceLock<u32> = ::std::sync::OnceLock::new();
+            static __KR_OBS_KEY: ::std::sync::OnceLock<u32> = ::std::sync::OnceLock::new();
+            $crate::SpanGuard::enter(
+                *__KR_OBS_NAME.get_or_init(|| $crate::intern($name)),
+                *__KR_OBS_KEY.get_or_init(|| $crate::intern($key)),
+                ($val) as u64,
+            )
+        }
+        #[cfg(not(feature = "obs"))]
+        {
+            let _ = || ($name, $key, $val);
+            $crate::NoopSpan
+        }
+    }};
+}
+
+/// Records a counter increment: `kr_obs::counter!("pool.steal", 1);`
+/// or, labelled, `kr_obs::counter!("fed.frames_stale", n, "round" => r)`.
+///
+/// Compiles to a no-op unless the invoking crate's `obs` cargo feature
+/// is enabled; records only while a [`Recorder`] is installed.
+#[macro_export]
+macro_rules! counter {
+    ($name:expr, $val:expr) => {
+        $crate::__record_int!(record_counter, $name, $val)
+    };
+    ($name:expr, $val:expr, $key:expr => $lv:expr) => {
+        $crate::__record_int!(record_counter, $name, $val, $key => $lv)
+    };
+}
+
+/// Records one histogram sample into the fixed power-of-two buckets:
+/// `kr_obs::hist!("pool.queue_depth", n_jobs);`.
+///
+/// Compiles to a no-op unless the invoking crate's `obs` cargo feature
+/// is enabled; records only while a [`Recorder`] is installed.
+#[macro_export]
+macro_rules! hist {
+    ($name:expr, $val:expr) => {
+        $crate::__record_int!(record_hist, $name, $val)
+    };
+    ($name:expr, $val:expr, $key:expr => $lv:expr) => {
+        $crate::__record_int!(record_hist, $name, $val, $key => $lv)
+    };
+}
+
+/// Records a float gauge reading:
+/// `kr_obs::gauge!("stream.batch_inertia", inertia);`.
+///
+/// Compiles to a no-op unless the invoking crate's `obs` cargo feature
+/// is enabled; records only while a [`Recorder`] is installed.
+#[macro_export]
+macro_rules! gauge {
+    ($name:expr, $val:expr) => {{
+        #[cfg(feature = "obs")]
+        {
+            static __KR_OBS_NAME: ::std::sync::OnceLock<u32> = ::std::sync::OnceLock::new();
+            $crate::rt::record_gauge(
+                *__KR_OBS_NAME.get_or_init(|| $crate::intern($name)),
+                ($val) as f64,
+                $crate::NO_LABEL,
+                0,
+            );
+        }
+        #[cfg(not(feature = "obs"))]
+        {
+            let _ = || ($name, $val);
+        }
+    }};
+}
+
+/// Implementation detail of [`counter!`] and [`hist!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __record_int {
+    ($fn:ident, $name:expr, $val:expr) => {{
+        #[cfg(feature = "obs")]
+        {
+            static __KR_OBS_NAME: ::std::sync::OnceLock<u32> = ::std::sync::OnceLock::new();
+            $crate::rt::$fn(
+                *__KR_OBS_NAME.get_or_init(|| $crate::intern($name)),
+                ($val) as u64,
+                $crate::NO_LABEL,
+                0,
+            );
+        }
+        #[cfg(not(feature = "obs"))]
+        {
+            let _ = || ($name, $val);
+        }
+    }};
+    ($fn:ident, $name:expr, $val:expr, $key:expr => $lv:expr) => {{
+        #[cfg(feature = "obs")]
+        {
+            static __KR_OBS_NAME: ::std::sync::OnceLock<u32> = ::std::sync::OnceLock::new();
+            static __KR_OBS_KEY: ::std::sync::OnceLock<u32> = ::std::sync::OnceLock::new();
+            $crate::rt::$fn(
+                *__KR_OBS_NAME.get_or_init(|| $crate::intern($name)),
+                ($val) as u64,
+                *__KR_OBS_KEY.get_or_init(|| $crate::intern($key)),
+                ($lv) as u64,
+            );
+        }
+        #[cfg(not(feature = "obs"))]
+        {
+            let _ = || ($name, $val, $key, $lv);
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Recorder installs are process-global; serialize the tests that
+    // install one so `cargo test`'s default parallelism cannot
+    // interleave generations mid-assertion.
+    static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+    fn lock() -> std::sync::MutexGuard<'static, ()> {
+        TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn counter(name: &'static str, v: u64) {
+        rt::record_counter(intern(name), v, NO_LABEL, 0);
+    }
+
+    #[test]
+    fn disabled_by_default_and_after_drop() {
+        let _guard = lock();
+        counter("test.disabled", 1);
+        let recorder = Recorder::install_virtual();
+        counter("test.enabled", 2);
+        let snap = recorder.snapshot();
+        assert_eq!(snap.counter_total("test.disabled"), 0);
+        assert_eq!(snap.counter_total("test.enabled"), 2);
+        drop(recorder);
+        counter("test.after", 3);
+        let recorder = Recorder::install_virtual();
+        assert!(recorder.snapshot().is_empty(), "old events must not leak");
+    }
+
+    #[test]
+    fn multi_producer_drain_collects_every_thread() {
+        let _guard = lock();
+        let recorder = Recorder::install_virtual();
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                std::thread::spawn(move || {
+                    for _ in 0..100 {
+                        counter("test.mp", 1);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let snap = recorder.snapshot();
+        assert_eq!(snap.counter_total("test.mp"), 400);
+        assert_eq!(snap.dropped, 0);
+        // Four producer threads registered four distinct workers (the
+        // main thread recorded nothing).
+        let workers: std::collections::BTreeSet<u32> =
+            snap.events.iter().map(|e| e.worker).collect();
+        assert_eq!(workers.len(), 4);
+        // VirtualClock timestamps are a total order: sorted and unique.
+        for w in snap.events.windows(2) {
+            assert!(w[1].ts > w[0].ts);
+        }
+        // Draining is consuming.
+        assert!(recorder.snapshot().is_empty());
+    }
+
+    #[test]
+    fn overflow_is_counted_not_blocking() {
+        let _guard = lock();
+        let recorder = Recorder::install_virtual();
+        // One thread, one ring: push well past RING_CAPACITY.
+        for _ in 0..(ring::RING_CAPACITY + 500) {
+            counter("test.overflow", 1);
+        }
+        let snap = recorder.snapshot();
+        assert_eq!(snap.len(), ring::RING_CAPACITY);
+        assert_eq!(snap.dropped, 500);
+        // The drop count was taken with the snapshot.
+        assert_eq!(recorder.snapshot().dropped, 0);
+    }
+
+    #[test]
+    fn spans_nest_and_measure_ticks() {
+        let _guard = lock();
+        let recorder = Recorder::install_virtual();
+        {
+            let _outer = SpanGuard::enter(intern("test.outer"), NO_LABEL, 0);
+            let _inner = SpanGuard::enter(intern("test.inner"), intern("i"), 7);
+            counter("test.inside", 1);
+        }
+        let snap = recorder.snapshot();
+        let durations = snap.span_durations("test.inner");
+        assert_eq!(durations.len(), 1);
+        // enter(outer)=1, enter(inner)=2, counter=3, exit(inner)=4:
+        // two ticks elapsed inside the inner span.
+        assert_eq!(durations[0], 2);
+        assert_eq!(snap.span_durations("test.outer"), vec![4]);
+        let inner_exit = snap
+            .events
+            .iter()
+            .find(|e| e.kind == EventKind::SpanExit && e.name == "test.inner")
+            .unwrap();
+        let inner_enter = snap
+            .events
+            .iter()
+            .find(|e| e.kind == EventKind::SpanEnter && e.name == "test.inner")
+            .unwrap();
+        assert_eq!(inner_enter.span, inner_exit.span);
+        assert_ne!(inner_enter.span, 0);
+        assert_eq!(inner_exit.label, Some(("i".to_string(), 7)));
+    }
+
+    #[test]
+    fn trace_file_writes_on_drop() {
+        let _guard = lock();
+        let dir = std::env::temp_dir().join("kr_obs_trace_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.jsonl");
+        let _ = std::fs::remove_file(&path);
+        {
+            let trace = TraceFile {
+                recorder: Some(Recorder::install_virtual()),
+                path: path.clone(),
+            };
+            counter("test.trace_file", 5);
+            drop(trace);
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        let snap = Snapshot::parse_jsonl(&text).unwrap();
+        assert_eq!(snap.counter_total("test.trace_file"), 5);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn macros_compile_to_noops_without_the_feature() {
+        // This crate does not define an `obs` feature, so expansion
+        // takes the off branch: no events, and `span!` yields the
+        // zero-sized token.
+        let _guard = lock();
+        let recorder = Recorder::install_virtual();
+        let noop: NoopSpan = crate::span!("test.noop");
+        let _: NoopSpan = crate::span!("test.noop", "l" => 3u64);
+        crate::counter!("test.noop", 1);
+        crate::hist!("test.noop", 2);
+        crate::gauge!("test.noop", 3.0);
+        assert_eq!(std::mem::size_of_val(&noop), 0);
+        assert!(recorder.snapshot().is_empty());
+    }
+}

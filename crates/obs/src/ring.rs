@@ -1,0 +1,234 @@
+//! Lock-free bounded per-thread ring buffers.
+//!
+//! Each recording thread owns one [`Ring`]: the owning thread is the
+//! only producer, the draining [`crate::Recorder`] the only consumer
+//! (drains run under the recorder's registry lock, so consumption is
+//! serialized). That makes every ring a bounded SPSC queue, which safe
+//! Rust can express with plain atomics:
+//!
+//! * the producer publishes a slot with a release store of `tail`;
+//! * the consumer acquires `tail`, reads the slots, and releases the
+//!   space back with a release store of `head`;
+//! * slot payloads are relaxed atomic words — the index handoff carries
+//!   all the ordering.
+//!
+//! No `SeqCst` anywhere (the seq-cst-free contract), no locks on the
+//! record path, no `unsafe`. Capacity is fixed at construction; a full
+//! ring **drops** the incoming event and counts the drop instead of
+//! blocking or reallocating — backpressure must never perturb the hot
+//! path it is observing.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Events a ring holds before overflow drops kick in. Power of two so
+/// index wrapping is a mask.
+pub(crate) const RING_CAPACITY: usize = 4096;
+
+/// Words per slot: `[ts, value, span, label_val, kind<<32|name, label_key]`.
+const WORDS: usize = 6;
+
+/// One event in wire-ready integer form. Names and label keys are
+/// intern-table ids (see [`crate::intern`]); gauge payloads are
+/// `f64::to_bits`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct RawEvent {
+    /// Clock reading (nanoseconds or virtual ticks).
+    pub ts: u64,
+    /// Event kind code (see [`crate::EventKind`]).
+    pub kind: u8,
+    /// Interned event name.
+    pub name: u32,
+    /// Counter increment, histogram sample, span duration, or gauge bits.
+    pub value: u64,
+    /// Span correlation id; 0 when the event is not part of a span.
+    pub span: u64,
+    /// Interned label key, or [`crate::NO_LABEL`].
+    pub label_key: u32,
+    /// Numeric label value (meaningful only when `label_key` is set).
+    pub label_val: u64,
+}
+
+/// A bounded SPSC event queue owned by one recording thread.
+pub(crate) struct Ring {
+    slots: Box<[[AtomicU64; WORDS]]>,
+    /// Consumer index: slots below it are free for reuse.
+    head: AtomicU64,
+    /// Producer index: slots below it are published.
+    tail: AtomicU64,
+    /// Events discarded because the ring was full.
+    dropped: AtomicU64,
+    /// Registration index of the owning thread, stamped onto every
+    /// drained event as its `worker` field.
+    worker: u32,
+}
+
+impl Ring {
+    /// Creates an empty ring (capacity rounded up to a power of two).
+    pub(crate) fn new(worker: u32, capacity: usize) -> Ring {
+        let cap = capacity.next_power_of_two().max(2);
+        Ring {
+            slots: (0..cap)
+                .map(|_| std::array::from_fn(|_| AtomicU64::new(0)))
+                .collect(),
+            head: AtomicU64::new(0),
+            tail: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+            worker,
+        }
+    }
+
+    /// The owning thread's registration index.
+    pub(crate) fn worker(&self) -> u32 {
+        self.worker
+    }
+
+    /// Appends one event. Producer-side only (the owning thread).
+    /// Returns `false` — after bumping the drop counter — when full.
+    pub(crate) fn push(&self, ev: RawEvent) -> bool {
+        let tail = self.tail.load(Ordering::Relaxed);
+        // Acquire pairs with the consumer's release store: slots below
+        // `head` are done being read and safe to overwrite.
+        let head = self.head.load(Ordering::Acquire);
+        if tail.wrapping_sub(head) >= self.slots.len() as u64 {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            return false;
+        }
+        let slot = &self.slots[(tail as usize) & (self.slots.len() - 1)];
+        slot[0].store(ev.ts, Ordering::Relaxed);
+        slot[1].store(ev.value, Ordering::Relaxed);
+        slot[2].store(ev.span, Ordering::Relaxed);
+        slot[3].store(ev.label_val, Ordering::Relaxed);
+        slot[4].store(((ev.kind as u64) << 32) | ev.name as u64, Ordering::Relaxed);
+        slot[5].store(ev.label_key as u64, Ordering::Relaxed);
+        // Release publishes the slot words to the consumer's acquire
+        // load of `tail`.
+        self.tail.store(tail.wrapping_add(1), Ordering::Release);
+        true
+    }
+
+    /// Moves every published event into `out`, oldest first, freeing
+    /// the slots. Consumer-side only (serialized by the recorder).
+    pub(crate) fn drain_into(&self, out: &mut Vec<RawEvent>) {
+        // Acquire pairs with the producer's release store of `tail`.
+        let tail = self.tail.load(Ordering::Acquire);
+        let mut head = self.head.load(Ordering::Relaxed);
+        while head != tail {
+            let slot = &self.slots[(head as usize) & (self.slots.len() - 1)];
+            let kind_name = slot[4].load(Ordering::Relaxed);
+            out.push(RawEvent {
+                ts: slot[0].load(Ordering::Relaxed),
+                value: slot[1].load(Ordering::Relaxed),
+                span: slot[2].load(Ordering::Relaxed),
+                label_val: slot[3].load(Ordering::Relaxed),
+                kind: (kind_name >> 32) as u8,
+                name: kind_name as u32,
+                label_key: slot[5].load(Ordering::Relaxed) as u32,
+            });
+            head = head.wrapping_add(1);
+        }
+        // Release hands the consumed slots back to the producer.
+        self.head.store(head, Ordering::Release);
+    }
+
+    /// Takes (and resets) the overflow drop count.
+    pub(crate) fn take_dropped(&self) -> u64 {
+        self.dropped.swap(0, Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn ev(ts: u64) -> RawEvent {
+        RawEvent {
+            ts,
+            kind: 2,
+            name: 7,
+            value: ts * 3,
+            span: 0,
+            label_key: u32::MAX,
+            label_val: 0,
+        }
+    }
+
+    #[test]
+    fn roundtrips_in_order() {
+        let ring = Ring::new(0, 8);
+        for i in 0..5 {
+            assert!(ring.push(ev(i)));
+        }
+        let mut out = Vec::new();
+        ring.drain_into(&mut out);
+        assert_eq!(out.len(), 5);
+        for (i, e) in out.iter().enumerate() {
+            assert_eq!(*e, ev(i as u64));
+        }
+        assert_eq!(ring.take_dropped(), 0);
+    }
+
+    #[test]
+    fn overflow_drops_and_counts_instead_of_blocking() {
+        let ring = Ring::new(0, 4);
+        for i in 0..4 {
+            assert!(ring.push(ev(i)));
+        }
+        // Full: the next three pushes are dropped, not queued.
+        for i in 4..7 {
+            assert!(!ring.push(ev(i)));
+        }
+        assert_eq!(ring.take_dropped(), 3);
+        assert_eq!(ring.take_dropped(), 0, "drop count is take-and-reset");
+        let mut out = Vec::new();
+        ring.drain_into(&mut out);
+        // The first four survive untouched; the overflow never
+        // overwrote them.
+        assert_eq!(out.len(), 4);
+        assert_eq!(out[3], ev(3));
+        // Drained space is reusable.
+        assert!(ring.push(ev(9)));
+        out.clear();
+        ring.drain_into(&mut out);
+        assert_eq!(out, vec![ev(9)]);
+    }
+
+    #[test]
+    fn spsc_handoff_across_threads_loses_nothing_mid_stream() {
+        // One producer thread, consumer drains concurrently. Every
+        // event that was not reported dropped must come out exactly
+        // once, in order.
+        let ring = Arc::new(Ring::new(1, 64));
+        let producer = {
+            let ring = Arc::clone(&ring);
+            std::thread::spawn(move || {
+                let mut pushed = 0u64;
+                for i in 0..10_000 {
+                    if ring.push(ev(i)) {
+                        pushed += 1;
+                    }
+                }
+                pushed
+            })
+        };
+        let mut out = Vec::new();
+        while !producer.is_finished() {
+            ring.drain_into(&mut out);
+        }
+        let pushed = producer.join().unwrap();
+        ring.drain_into(&mut out);
+        assert_eq!(out.len() as u64, pushed);
+        assert_eq!(pushed + ring.take_dropped(), 10_000);
+        // Published order is preserved: ts strictly increases.
+        for w in out.windows(2) {
+            assert!(w[1].ts > w[0].ts, "out of order: {w:?}");
+        }
+        assert!(out.iter().all(|e| e.worker_check()), "payload corrupted");
+    }
+
+    impl RawEvent {
+        fn worker_check(&self) -> bool {
+            self.value == self.ts * 3 && self.kind == 2 && self.name == 7
+        }
+    }
+}

@@ -205,6 +205,7 @@ impl CoresetTree {
     fn compress(&mut self, points: &Matrix, weights: &[f64]) -> WeightedNode {
         debug_assert!(points.nrows() > self.budget);
         self.compressions += 1;
+        kr_obs::counter!("stream.compressions", 1, "rows" => points.nrows());
         let salt = self
             .seed
             .wrapping_add(self.compressions.wrapping_mul(COMPRESS_SALT));
@@ -241,6 +242,7 @@ impl CoresetTree {
                     self.level_reps += node.points.nrows();
                     self.levels[level] = Some(node);
                     self.track_peak(0);
+                    kr_obs::hist!("stream.ladder_depth", self.levels.len());
                     return;
                 }
                 Some(older) => {
@@ -287,6 +289,8 @@ impl StreamSummarizer for CoresetTree {
         if batch.nrows() == 0 {
             return Ok(());
         }
+        let _batch_span = kr_obs::span!("stream.batch", "rows" => batch.nrows());
+        kr_obs::counter!("stream.batch_rows", batch.nrows());
         if !batch.all_finite() {
             return Err(CoreError::NonFiniteInput);
         }

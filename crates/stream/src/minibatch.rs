@@ -246,6 +246,8 @@ impl StreamSummarizer for MiniBatchKrKMeans {
         if batch.nrows() == 0 {
             return Ok(());
         }
+        let _batch_span = kr_obs::span!("stream.batch", "rows" => batch.nrows());
+        kr_obs::counter!("stream.batch_rows", batch.nrows());
         if !batch.all_finite() {
             return Err(CoreError::NonFiniteInput);
         }
@@ -272,6 +274,7 @@ impl StreamSummarizer for MiniBatchKrKMeans {
             None => nearest_assignments_with(batch, &centroids, &self.exec),
         };
         state.last_batch_inertia = dmin.iter().sum();
+        kr_obs::gauge!("stream.batch_inertia", state.last_batch_inertia);
         if state.batch_inertia.len() < TELEMETRY_CAP {
             state.batch_inertia.push(state.last_batch_inertia);
         }

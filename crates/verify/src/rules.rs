@@ -34,7 +34,7 @@ impl std::fmt::Display for Diag {
 
 /// Rule names, in the order rules run. Kept public so the CLI can list
 /// them and the tests can assert exhaustiveness.
-pub const RULE_NAMES: [&str; 8] = [
+pub const RULE_NAMES: [&str; 9] = [
     "unsafe-allowlist",
     "safety-comment",
     "forbid-unsafe",
@@ -43,6 +43,7 @@ pub const RULE_NAMES: [&str; 8] = [
     "wall-clock",
     "float-fold",
     "missing-docs-header",
+    "obs-macro-only",
 ];
 
 /// Does `path` live in one of the configured files/directories?
@@ -82,6 +83,7 @@ pub fn run_all(path: &str, lexed: &Lexed, cfg: &Config) -> Vec<Diag> {
     diags.extend(wall_clock(path, &stripped, cfg));
     diags.extend(float_fold(path, &stripped, cfg));
     diags.extend(missing_docs_header(path, &lexed.toks));
+    diags.extend(obs_macro_only(path, &stripped, cfg));
     diags.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
     diags
 }
@@ -357,6 +359,57 @@ fn missing_docs_header(path: &str, toks: &[Tok]) -> Vec<Diag> {
     }]
 }
 
+/// `obs-macro-only` — inside the instrumented crates, the only
+/// sanctioned surface of kr-obs is its macros (`kr_obs::span!` /
+/// `counter!` / `hist!` / `gauge!`). The macros carry the feature gate
+/// and the `ENABLED` fast path; a direct `Recorder` / `Clock` call in
+/// library code would bypass both and put observability on the numeric
+/// path. Recorder handling belongs to the harness layer (tests,
+/// examples, benches, kr-obs itself), none of which this rule covers.
+fn obs_macro_only(path: &str, toks: &[Tok], cfg: &Config) -> Vec<Diag> {
+    if !in_list(path, cfg.rule_list("obs-macro-only", "crates")) {
+        return Vec::new();
+    }
+    let mut diags = Vec::new();
+    let mut lines_seen = Vec::new();
+    for i in 0..toks.len() {
+        // A `kr_obs::<name>` path is fine only as a macro invocation
+        // (`!` directly after the name); runtime items (Recorder,
+        // rt::*, Clock impls) are flagged whether path-qualified or
+        // imported by name.
+        let hit = if tok_text(toks, i) == "kr_obs"
+            && seq(toks, i + 1, &[":", ":"])
+            && tok_text(toks, i + 4) != "!"
+        {
+            Some(format!("`kr_obs::{}`", tok_text(toks, i + 3)))
+        } else if matches!(
+            tok_text(toks, i),
+            "Recorder" | "MonotonicClock" | "VirtualClock"
+        ) {
+            Some(format!("`{}`", tok_text(toks, i)))
+        } else {
+            None
+        };
+        let Some(what) = hit else { continue };
+        if lines_seen.contains(&toks[i].line) {
+            continue;
+        }
+        lines_seen.push(toks[i].line);
+        diags.push(Diag {
+            path: path.to_string(),
+            line: toks[i].line,
+            rule: "obs-macro-only",
+            msg: format!(
+                "{what} in an instrumented crate: kr-obs may only be reached through \
+                 its macros (`kr_obs::span!`/`counter!`/`hist!`/`gauge!`) so the \
+                 feature gate and ENABLED fast path cannot be bypassed; recorder and \
+                 clock handling belongs to the harness layer"
+            ),
+        });
+    }
+    diags
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -378,6 +431,8 @@ hot_path = ["crates/num/src/kernel.rs", "crates/num/src/simd.rs"]
 lane_fold = ["crates/num/src/simd.rs"]
 [rule.forbid-unsafe]
 roots = ["crates/num/src/lib.rs"]
+[rule.obs-macro-only]
+crates = ["crates/num"]
 "#,
         )
         .unwrap()
@@ -457,6 +512,27 @@ roots = ["crates/num/src/lib.rs"]
     #[test]
     fn range_dots_are_not_method_dots() {
         let d = diags_for("crates/num/src/kernel.rs", "let r = 0..sum;");
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn obs_macros_pass_but_runtime_items_are_flagged() {
+        // The macro path is the sanctioned surface...
+        let ok = r#"fn f() { kr_obs::counter!("x", 1); kr_obs::span!("y"); }"#;
+        assert!(diags_for("crates/num/src/a.rs", ok).is_empty());
+        // ...while path-qualified runtime calls and imported runtime
+        // types are violations, whether or not `kr_obs::` appears.
+        for bad in [
+            "fn f() { kr_obs::rt::record_counter(0, 1); }",
+            "fn f() { let _r = kr_obs::Recorder::install(); }",
+            "use kr_obs::Recorder;",
+            "fn f(c: &VirtualClock) { c.advance(1); }",
+        ] {
+            let d = diags_for("crates/num/src/a.rs", bad);
+            assert!(d.iter().any(|d| d.rule == "obs-macro-only"), "{bad}: {d:?}");
+        }
+        // Outside the configured crates the rule is silent.
+        let d = diags_for("crates/other/src/a.rs", "use kr_obs::Recorder;");
         assert!(d.is_empty(), "{d:?}");
     }
 }

@@ -27,6 +27,9 @@ allow = ["crates/bench"]
 
 [rule.float-fold]
 hot_path = ["crates/linalg/src/matrix.rs", "crates/core/src/assign.rs"]
+
+[rule.obs-macro-only]
+crates = ["crates/core", "crates/linalg"]
 "#,
     )
     .expect("fixture config parses")
@@ -356,6 +359,80 @@ justification = "timing removed two PRs ago"
     let line = report.unused_waivers[0].stale_line();
     assert!(line.contains("wall-clock"), "{line}");
     assert!(!line.contains("hash-collections"), "{line}");
+}
+
+#[test]
+fn wall_clock_allowlist_is_scoped_to_the_obs_clock_module() {
+    // The kr-obs Clock contract: MonotonicClock in clock.rs is the one
+    // sanctioned Instant site. Under the workspace-shaped config an
+    // Instant read in any *other* kr-obs module (ring, recorder, codec)
+    // must still flag — the allowlist names a file, not the crate.
+    let cfg = config::parse(
+        r#"
+[rule.wall-clock]
+allow = ["crates/bench", "crates/obs/src/clock.rs"]
+"#,
+    )
+    .unwrap();
+    let src = "\
+pub fn stamp() -> u64 {
+    let _t = std::time::Instant::now();
+    0
+}
+";
+    let allowed = lint_files(
+        &[("crates/obs/src/clock.rs".to_string(), src.to_string())],
+        &cfg,
+    );
+    assert!(allowed.clean(), "{:?}", allowed.diags);
+    let flagged = lint_files(
+        &[("crates/obs/src/ring.rs".to_string(), src.to_string())],
+        &cfg,
+    );
+    assert_eq!(flagged.diags.len(), 1, "{:?}", flagged.diags);
+    assert_eq!(flagged.diags[0].rule, "wall-clock");
+    assert_eq!(flagged.diags[0].line, 2);
+}
+
+#[test]
+fn obs_macro_calls_pass_but_direct_recorder_use_is_flagged() {
+    // The instrumentation idiom — feature-gated macros — lints clean in
+    // an instrumented crate...
+    let ok = r#"
+pub fn hot(rows: usize) {
+    let _span = kr_obs::span!("pool.chunk", "rows" => rows);
+    kr_obs::counter!("pool.steal", 1);
+    kr_obs::hist!("pool.queue_depth", rows);
+    kr_obs::gauge!("stream.batch_inertia", 0.5);
+}
+"#;
+    assert!(lint_one("crates/linalg/src/pool.rs", ok).is_empty());
+
+    // ...while reaching the runtime directly — path-qualified or via an
+    // import — bypasses the feature gate and is exactly what the rule
+    // bans.
+    let direct = "\
+pub fn rogue() {
+    let _r = kr_obs::Recorder::install();
+    kr_obs::rt::record_counter(0, 1);
+}
+";
+    let diags = lint_one("crates/core/src/rogue_obs.rs", direct);
+    assert_eq!(diags.len(), 2, "{diags:?}");
+    assert!(diags.iter().all(|d| d.rule == "obs-macro-only"));
+    assert_eq!(diags[0].line, 2);
+    assert_eq!(diags[1].line, 3);
+
+    let imported = "\
+use kr_obs::{Recorder, VirtualClock};
+";
+    let diags = lint_one("crates/core/src/rogue_obs.rs", imported);
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    assert_eq!(diags[0].rule, "obs-macro-only");
+
+    // Outside the configured crates (the harness layer) recorder
+    // handling is legitimate and the rule stays silent.
+    assert!(lint_one("crates/bench/src/capture.rs", direct).is_empty());
 }
 
 #[test]

@@ -2,11 +2,20 @@
 //! bounded memory and compare against the resident-data batch fit.
 //!
 //! Run with: `cargo run --release --example streaming`
+//!
+//! With the `obs` feature, setting `KR_OBS=trace.jsonl` captures a
+//! JSONL trace of the run (see EXPERIMENTS.md "Observability"):
+//! `KR_OBS=trace.jsonl cargo run --example streaming --features obs`
 
 use khatri_rao_clustering::prelude::*;
 use kr_datasets::stream::ChunkedReplay;
 
 fn main() {
+    // Recording never changes numeric results; the guard writes the
+    // trace on drop if KR_OBS is set (and is a no-op otherwise).
+    #[cfg(feature = "obs")]
+    let _trace = khatri_rao_clustering::obs::init_from_env();
+
     // 9 Gaussian clusters; the stream sees the rows in seeded shuffled
     // order, 200 at a time — never all at once.
     let ds = kr_datasets::synthetic::blobs(2000, 4, 9, 0.4, 42);

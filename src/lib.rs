@@ -33,6 +33,14 @@ pub use kr_linalg as linalg;
 pub use kr_metrics as metrics;
 pub use kr_stream as stream;
 
+/// Observability layer (spans/counters/histograms + JSONL traces).
+/// Present only with the `obs` cargo feature, which also compiles the
+/// instrumentation call sites across the stack; see EXPERIMENTS.md
+/// "Observability". Recording never changes numeric results
+/// (`tests/obs_determinism.rs` pins this bitwise).
+#[cfg(feature = "obs")]
+pub use kr_obs as obs;
+
 /// Common imports for library users.
 ///
 /// Brings the main entry points into scope and re-exports every workspace
